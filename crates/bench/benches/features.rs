@@ -1,0 +1,29 @@
+//! Criterion: window feature extraction (the "Fetch" cost of Table 4) and
+//! the slot-program interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splidt_flow::features::run_slot_program;
+use splidt_flow::{catalog, extract_windows, generate, DatasetId};
+
+fn bench_features(c: &mut Criterion) {
+    let flows = generate(DatasetId::D2, 50, 1);
+    let cat = catalog();
+    c.bench_function("features/extract_windows_p4", |b| {
+        b.iter(|| {
+            flows
+                .iter()
+                .map(|f| extract_windows(f, 4, cat).len())
+                .sum::<usize>()
+        })
+    });
+    let prog = *cat
+        .slot_program(cat.index_of("iat_max").unwrap())
+        .unwrap();
+    let pkts = &flows[0].packets;
+    c.bench_function("features/slot_program_iat_max", |b| {
+        b.iter(|| run_slot_program(&prog, pkts))
+    });
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: simulator packet-walk throughput — the feature-collection
+//! path, the prediction path (window boundary), and recirculation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splidt_core::{compile, train_partitioned, SplidtConfig};
+use splidt_dataplane::packet::PacketBuilder;
+use splidt_dataplane::pipeline::Pipeline;
+use splidt_flow::{catalog, generate, windowed_dataset, DatasetId};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let flows = generate(DatasetId::D2, 400, 1);
+    let wd = windowed_dataset(&flows, 3, 4);
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let compiled = compile(&model, 1 << 14).unwrap();
+    let fields = compiled.io.fields;
+    let mut pipe = Pipeline::new(compiled.program);
+    let frame = PacketBuilder::tcp(0x0a000001, 0xc0a80001, 40000, 443)
+        .payload(200)
+        .flow_size(1000)
+        .build();
+    let mut ts = 0u64;
+    c.bench_function("pipeline/feature_collection_pass", |b| {
+        b.iter(|| {
+            ts += 100;
+            pipe.process_packet(&frame, ts, &fields).unwrap()
+        })
+    });
+    // parse-only baseline for comparison
+    let layout = pipe.program().layout().clone();
+    c.bench_function("pipeline/parse_only", |b| {
+        b.iter(|| splidt_dataplane::parse(&frame, &layout, &fields).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion: Range-Marking rule generation + program assembly (Table 4's
+//! "Rulegen" and "Backend" rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splidt_core::{compile, model_rules, train_partitioned, SplidtConfig};
+use splidt_flow::{catalog, generate, windowed_dataset, DatasetId};
+use splidt_ranging::generate_rules;
+
+fn bench_rulegen(c: &mut Criterion) {
+    let flows = generate(DatasetId::D3, 600, 1);
+    let wd = windowed_dataset(&flows, 3, 13);
+    let cfg = SplidtConfig { partitions: vec![3, 3, 2], k: 4, ..Default::default() };
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    c.bench_function("rulegen/model_rules", |b| b.iter(|| model_rules(&model)));
+    c.bench_function("rulegen/single_subtree", |b| {
+        b.iter(|| generate_rules(&model.subtrees[0].tree, 24))
+    });
+    c.bench_function("rulegen/compile_program", |b| b.iter(|| compile(&model, 1 << 12).unwrap()));
+}
+
+criterion_group!(benches, bench_rulegen);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion: one Bayesian-optimization round — surrogate fit plus
+//! acquisition over the candidate pool (Table 4's "Optimizer" row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splidt_core::SplidtConfig;
+use splidt_search::{optimize, BoOptions, Objectives, ParamSpace};
+
+fn bench_search(c: &mut Criterion) {
+    let space = ParamSpace::default();
+    let eval = |cfg: &SplidtConfig| Objectives {
+        f1: 0.4 + cfg.k as f64 * 0.02,
+        max_flows: 1_000_000 / cfg.k as u64,
+        feasible: true,
+    };
+    c.bench_function("search/bo_24_evals", |b| {
+        b.iter(|| {
+            optimize(
+                &space,
+                &eval,
+                &BoOptions { budget: 24, batch: 8, init: 8, pool: 128, seed: 1 },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion: CART and Algorithm-1 partitioned training cost (Table 4's
+//! "Training" row at benchmark scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use splidt_core::{train_partitioned, SplidtConfig};
+use splidt_dt::{train_classifier, TrainParams};
+use splidt_flow::{catalog, flow_level_dataset, generate, windowed_dataset, DatasetId};
+
+fn bench_training(c: &mut Criterion) {
+    let flows = generate(DatasetId::D2, 600, 1);
+    let ds = flow_level_dataset(&flows, 4);
+    c.bench_function("train/cart_depth8", |b| {
+        b.iter(|| train_classifier(&ds, &TrainParams { max_depth: 8, ..Default::default() }))
+    });
+    for p in [1usize, 3, 5] {
+        let wd = windowed_dataset(&flows, p, 4);
+        c.bench_with_input(BenchmarkId::new("train/partitioned", p), &p, |b, &p| {
+            let cfg = SplidtConfig { partitions: vec![2; p], k: 4, ..Default::default() };
+            b.iter(|| train_partitioned(&wd, &cfg, &catalog().hardware_eligible()))
+        });
+    }
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

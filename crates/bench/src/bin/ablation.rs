@@ -1,0 +1,41 @@
+//! Ablation: what does register **reuse via recirculation** buy?
+//!
+//! "SpliDT-NoReuse" is the same partitioned model but with every distinct
+//! feature pinned to its own register for the whole flow (no resubmission
+//! resets) — the resource story one-shot systems are stuck with. The gap
+//! between the two columns is the paper's core mechanism, isolated.
+
+use splidt_bench::*;
+use splidt_core::{max_flows, splidt_footprint, SplidtConfig};
+use splidt_dataplane::resources::TargetSpec;
+use splidt_flow::DatasetId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let target = TargetSpec::tofino1();
+    let rows = for_datasets(&[DatasetId::D2, DatasetId::D6, DatasetId::D5], |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let cfg = SplidtConfig { partitions: vec![3, 3, 3, 2], k: 4, ..Default::default() };
+        let (model, f1) = bundle.train_splidt(&cfg);
+        let reuse = splidt_footprint(&model);
+        // No-reuse variant: slots = total distinct features, same deps.
+        let mut no_reuse = reuse.clone();
+        no_reuse.slots = model.total_features().len();
+        vec![
+            id.tag().to_string(),
+            f2(f1),
+            model.total_features().len().to_string(),
+            reuse.feature_register_bits().to_string(),
+            no_reuse.feature_register_bits().to_string(),
+            flows_fmt(max_flows(&reuse, &target)),
+            flows_fmt(max_flows(&no_reuse, &target)),
+        ]
+    });
+    print_table(
+        "Ablation: register reuse via recirculation (same model, same F1)",
+        &["Data", "F1", "#Feats", "RegBits:reuse", "RegBits:static", "Flows:reuse", "Flows:static"],
+        &rows,
+    );
+    println!("\nThe reuse column is SpliDT; the static column is what the same model");
+    println!("would cost if every feature held a register for the whole flow.");
+}

@@ -1,0 +1,49 @@
+//! Figure 10: time-to-detection ECDFs for D3 under WS and HD — NetBeacon
+//! vs Leo vs SpliDT. Early-exit probability for SpliDT is measured from
+//! the trained model on test flows.
+
+use splidt_bench::*;
+use splidt_core::ttd::{quantile, sample_ttd_ms, TtdSystem};
+use splidt_core::SplidtConfig;
+use splidt_flow::{catalog, extract_windows, DatasetId, Environment};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bundle = DatasetBundle::load(DatasetId::D3, scale);
+    let cfg = SplidtConfig { partitions: vec![3, 3, 3, 2], k: 4, ..Default::default() };
+    let (model, f1) = bundle.train_splidt(&cfg);
+    // measured early-exit rate (verdict before the final partition)
+    let p = model.n_partitions();
+    let mut early = 0usize;
+    for f in &bundle.test {
+        let w = extract_windows(f, p, catalog());
+        let inf = model.predict(&w);
+        if inf.exact && inf.windows_used < w.len() {
+            early += 1;
+        }
+    }
+    let early_prob =
+        (early as f64 / bundle.test.len() as f64 / (p as f64 - 1.0)).clamp(0.0, 1.0);
+    println!("SpliDT model: F1 {:.2}, early-exit/boundary prob {:.3}", f1, early_prob);
+
+    let n = 6000;
+    for env in Environment::both() {
+        let sp = sample_ttd_ms(TtdSystem::Splidt { partitions: p, early_exit_prob: early_prob }, &env, n, 1);
+        let nb = sample_ttd_ms(TtdSystem::NetBeacon { phases: 8 }, &env, n, 2);
+        let leo = sample_ttd_ms(TtdSystem::Leo, &env, n, 3);
+        let mut rows = Vec::new();
+        for q in [0.10, 0.25, 0.50, 0.75, 0.90, 0.99] {
+            rows.push(vec![
+                format!("p{}", (q * 100.0) as u32),
+                format!("{:.1}", quantile(&nb, q)),
+                format!("{:.1}", quantile(&leo, q)),
+                format!("{:.1}", quantile(&sp, q)),
+            ]);
+        }
+        print_table(
+            &format!("Figure 10: TTD ECDF quantiles (ms), D3 — {}", env.name),
+            &["Quantile", "NetBeacon", "Leo", "SpliDT"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 11: per-flow register bits vs total feature count — SpliDT:k is
+//! flat (k slots reused across subtrees), NB/Leo grow linearly.
+
+use splidt_bench::*;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n_features in [1usize, 2, 4, 6, 8, 10, 20, 30, 48, 50] {
+        let mut row = vec![n_features.to_string()];
+        for k in [1usize, 2, 3, 4] {
+            // SpliDT with k slots supports any total feature count ≥ k.
+            row.push(if n_features >= k { (k * 32).to_string() } else { "-".into() });
+        }
+        // one-shot top-k must hold every feature live
+        row.push((n_features * 32).to_string());
+        rows.push(row);
+    }
+    print_table(
+        "Figure 11: register bits per flow vs #total features",
+        &["#Features", "SpliDT:1", "SpliDT:2", "SpliDT:3", "SpliDT:4", "NB/Leo"],
+        &rows,
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 12: D3's Pareto frontier under 24/16/8-bit feature precision.
+//! Lower precision costs a little accuracy and roughly doubles/quadruples
+//! the supported flow count (register cells shrink 32→16→8 bits).
+
+use splidt_bench::*;
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+
+fn main() {
+    let scale = Scale::from_env();
+    let scale = Scale { bo_budget: (scale.bo_budget * 2 / 3).max(10), ..scale };
+    let bundle = DatasetBundle::load(DatasetId::D3, scale);
+    let mut rows = Vec::new();
+    for (bits, mult) in [(24u8, 1u64), (16, 2), (8, 4)] {
+        let space = ParamSpace { feature_bits: bits, ..Default::default() };
+        let res = search_dataset(&bundle, scale, &space, 42);
+        for &base in &FLOW_TARGETS {
+            let t = base * mult;
+            let f1 = res.best_at_flows(t).map(|(_, f)| f2(f)).unwrap_or_else(|| "-".into());
+            rows.push(vec![format!("{bits}-bit"), flows_fmt(t), f1]);
+        }
+    }
+    print_table(
+        "Figure 12: D3 Pareto frontier vs feature bit precision",
+        &["Precision", "#Flows", "SpliDT F1"],
+        &rows,
+    );
+}

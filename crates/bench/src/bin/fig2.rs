@@ -1,0 +1,44 @@
+//! Figure 2: F1 vs #flows — top-k (≤7) vs SpliDT vs ideal, datasets D1–D3.
+//! Per-packet model peaks printed alongside (the paper reports them in the
+//! caption).
+
+use splidt_bench::*;
+use splidt_core::baselines::{Ideal, PerPacket};
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ids = [DatasetId::D1, DatasetId::D2, DatasetId::D3];
+    let results = for_datasets(&ids, |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let search = search_dataset(&bundle, scale, &ParamSpace::default(), 42);
+        let ideal = Ideal::train(&bundle.train, bundle.n_classes, 16).evaluate(&bundle.test);
+        let pp = PerPacket::train(&bundle.train, bundle.n_classes, 8).evaluate(&bundle.test);
+        let mut rows = Vec::new();
+        for &t in &FLOW_TARGETS {
+            let splidt = search.best_at_flows(t).map(|(_, f1)| f1);
+            let topk = best_netbeacon(&bundle, t, 24).map(|b| b.f1);
+            rows.push(vec![
+                id.tag().to_string(),
+                flows_fmt(t),
+                topk.map(f2).unwrap_or_else(|| "-".into()),
+                splidt.map(f2).unwrap_or_else(|| "-".into()),
+                f2(ideal),
+            ]);
+        }
+        (rows, pp)
+    });
+    let mut all_rows = Vec::new();
+    let mut peaks = Vec::new();
+    for (rows, pp) in results {
+        all_rows.extend(rows);
+        peaks.push(f2(pp));
+    }
+    print_table(
+        "Figure 2: F1 vs #flows (top-k vs SpliDT vs ideal)",
+        &["Data", "#Flows", "Top-k", "SpliDT", "Ideal"],
+        &all_rows,
+    );
+    println!("\nPer-packet model peaks (D1-D3): {}", peaks.join(", "));
+}

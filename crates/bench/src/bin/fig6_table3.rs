@@ -1,0 +1,67 @@
+//! Figure 6 + Table 3: the Pareto frontier (F1 vs #flows) of SpliDT vs
+//! NetBeacon vs Leo across D1–D7, with the per-target resource accounting
+//! of Table 3 (depth/#partitions, #features, #TCAM entries, register bits).
+
+use splidt_bench::*;
+use splidt_core::{model_rules, splidt_footprint};
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ids = DatasetId::all();
+    let per_ds = for_datasets(&ids, |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let search = search_dataset(&bundle, scale, &ParamSpace::default(), 42);
+        let mut rows = Vec::new();
+        for &t in &FLOW_TARGETS {
+            let nb = best_netbeacon(&bundle, t, 24);
+            let leo = best_leo(&bundle, t, 24);
+            let sp = search.best_at_flows(t).map(|(i, f1)| {
+                let cfg = search.history[i].0.clone();
+                let (model, _) = bundle.train_splidt(&cfg);
+                let rules = model_rules(&model);
+                let fp = splidt_footprint(&model);
+                (
+                    f1,
+                    format!("{} / {}", model.realized_depth(), model.n_partitions()),
+                    model.total_features().len(),
+                    rules.tcam_entries,
+                    fp.feature_register_bits(),
+                )
+            });
+            let (nb_f1, nb_d, nb_k, nb_t, nb_r) = nb
+                .map(|b| (f2(b.f1), b.depth.to_string(), b.k, b.tcam, b.reg_bits))
+                .unwrap_or(("-".into(), "-".into(), 0, 0, 0));
+            let (leo_f1, leo_d, leo_k, leo_t, leo_r) = leo
+                .map(|b| (f2(b.f1), b.depth.to_string(), b.k, b.tcam, b.reg_bits))
+                .unwrap_or(("-".into(), "-".into(), 0, 0, 0));
+            let (sp_f1, sp_d, sp_k, sp_t, sp_r) = sp
+                .map(|(f1, d, k, t, r)| (f2(f1), d, k, t, r))
+                .unwrap_or(("-".into(), "-".into(), 0, 0, 0));
+            rows.push(vec![
+                id.tag().to_string(),
+                flows_fmt(t),
+                nb_f1, leo_f1, sp_f1,
+                nb_d, leo_d, sp_d,
+                nb_k.to_string(), leo_k.to_string(), sp_k.to_string(),
+                nb_t.to_string(), leo_t.to_string(), sp_t.to_string(),
+                nb_r.to_string(), leo_r.to_string(), sp_r.to_string(),
+            ]);
+        }
+        rows
+    });
+    let rows: Vec<Vec<String>> = per_ds.into_iter().flatten().collect();
+    print_table(
+        "Table 3 / Figure 6: F1 + resources vs flow target (NB | Leo | SpliDT)",
+        &[
+            "Data", "#Flows",
+            "F1:NB", "F1:Leo", "F1:Sp",
+            "D:NB", "D:Leo", "D/P:Sp",
+            "#F:NB", "#F:Leo", "#F:Sp",
+            "TCAM:NB", "TCAM:Leo", "TCAM:Sp",
+            "Reg:NB", "Reg:Leo", "Reg:Sp",
+        ],
+        &rows,
+    );
+}

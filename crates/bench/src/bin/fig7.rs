@@ -1,0 +1,25 @@
+//! Figure 7: BO search convergence — best F1 vs evaluations, D1–D7.
+
+use splidt_bench::*;
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+
+fn main() {
+    let scale = Scale::from_env();
+    let traces = for_datasets(&DatasetId::all(), |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let res = search_dataset(&bundle, scale, &ParamSpace::default(), 42);
+        (id, res.iterations)
+    });
+    let mut rows = Vec::new();
+    for (id, iters) in traces {
+        for it in iters {
+            rows.push(vec![
+                id.tag().to_string(),
+                it.evaluations.to_string(),
+                f2(it.best_f1),
+            ]);
+        }
+    }
+    print_table("Figure 7: BO convergence (best F1 so far)", &["Data", "Evals", "BestF1"], &rows);
+}

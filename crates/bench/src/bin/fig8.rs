@@ -1,0 +1,63 @@
+//! Figure 8: Pareto frontiers under constrained searches — (a) fixed total
+//! depth {10, 20, 24}, (b) fixed #partitions {1, 3, 5}, (c) fixed
+//! features/subtree k {1, 2, 3}. (The paper's depth-30 exceeds our depth
+//! cap of 24 at default scale; shape is unaffected.)
+
+use splidt_bench::*;
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+
+fn sweep(
+    bundle: &DatasetBundle,
+    scale: Scale,
+    label: &str,
+    spaces: &[(String, ParamSpace)],
+    rows: &mut Vec<Vec<String>>,
+) {
+    for (name, space) in spaces {
+        let res = search_dataset(bundle, scale, space, 42);
+        for &t in &FLOW_TARGETS {
+            let f1 = res.best_at_flows(t).map(|(_, f)| f2(f)).unwrap_or_else(|| "-".into());
+            rows.push(vec![
+                bundle.id.tag().to_string(),
+                label.to_string(),
+                name.clone(),
+                flows_fmt(t),
+                f1,
+            ]);
+        }
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Keep the constrained sweeps affordable: half budget each.
+    let scale = Scale { bo_budget: (scale.bo_budget / 2).max(10), ..scale };
+    let ids = DatasetId::all();
+    let all = for_datasets(&ids, |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let mut rows = Vec::new();
+        let depth_spaces: Vec<(String, ParamSpace)> = [10usize, 20, 24]
+            .iter()
+            .map(|&d| (d.to_string(), ParamSpace { depth: (d, d), ..Default::default() }))
+            .collect();
+        sweep(&bundle, scale, "depth", &depth_spaces, &mut rows);
+        let part_spaces: Vec<(String, ParamSpace)> = [1usize, 3, 5]
+            .iter()
+            .map(|&p| (p.to_string(), ParamSpace { partitions: (p, p), ..Default::default() }))
+            .collect();
+        sweep(&bundle, scale, "partitions", &part_spaces, &mut rows);
+        let k_spaces: Vec<(String, ParamSpace)> = [1usize, 2, 3]
+            .iter()
+            .map(|&k| (k.to_string(), ParamSpace { k: (k, k), ..Default::default() }))
+            .collect();
+        sweep(&bundle, scale, "k", &k_spaces, &mut rows);
+        rows
+    });
+    let rows: Vec<Vec<String>> = all.into_iter().flatten().collect();
+    print_table(
+        "Figure 8: Pareto frontiers under fixed depth / #partitions / k",
+        &["Data", "Constraint", "Value", "#Flows", "F1"],
+        &rows,
+    );
+}

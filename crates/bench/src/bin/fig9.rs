@@ -1,0 +1,57 @@
+//! Figure 9: #TCAM entries vs F1 — SpliDT search history vs NB/Leo grid
+//! points, D1–D7.
+
+use splidt_bench::*;
+use splidt_core::baselines::{Leo, LeoParams, NetBeacon, NetBeaconParams};
+use splidt_core::model_rules;
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+
+fn main() {
+    let scale = Scale::from_env();
+    let per = for_datasets(&DatasetId::all(), |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let mut rows = Vec::new();
+        // SpliDT: points from the search history (feasible ones)
+        let res = search_dataset(&bundle, scale, &ParamSpace::default(), 42);
+        let mut sp: Vec<(usize, f64)> = res
+            .history
+            .iter()
+            .filter(|(_, o)| o.feasible)
+            .map(|(cfg, o)| {
+                let (model, _) = bundle.train_splidt(cfg);
+                (model_rules(&model).tcam_entries, o.f1)
+            })
+            .collect();
+        sp.sort_by_key(|x| x.0);
+        // keep the upper envelope per entry budget
+        let mut best = 0.0f64;
+        for (e, f1) in sp {
+            if f1 > best {
+                best = f1;
+                rows.push(vec![id.tag().into(), "SpliDT".into(), e.to_string(), f2(f1)]);
+            }
+        }
+        for k in [2usize, 4, 6] {
+            for d in [6usize, 10] {
+                let nb = NetBeacon::train(&bundle.train, bundle.n_classes,
+                    &NetBeaconParams { k, depth: d, n_phases: 5, feature_bits: 24 });
+                rows.push(vec![
+                    id.tag().into(), "NB".into(),
+                    nb.footprint().tcam_entries.to_string(),
+                    f2(nb.evaluate(&bundle.test)),
+                ]);
+                let leo = Leo::train(&bundle.train, bundle.n_classes,
+                    &LeoParams { k, depth: d, feature_bits: 24 });
+                rows.push(vec![
+                    id.tag().into(), "Leo".into(),
+                    leo.tcam_entries().to_string(),
+                    f2(leo.evaluate(&bundle.test)),
+                ]);
+            }
+        }
+        rows
+    });
+    let rows: Vec<Vec<String>> = per.into_iter().flatten().collect();
+    print_table("Figure 9: #TCAM entries vs F1", &["Data", "System", "Entries", "F1"], &rows);
+}

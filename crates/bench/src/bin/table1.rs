@@ -1,0 +1,55 @@
+//! Table 1: feature density (%) per partition / subtree, and max
+//! recirculation bandwidth (Mbps) under WS and HD, datasets D1–D3.
+
+use splidt_bench::*;
+use splidt_core::{recirc, SplidtConfig};
+use splidt_flow::{catalog, DatasetId, Environment};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ids = [DatasetId::D1, DatasetId::D2, DatasetId::D3];
+    let n_total = catalog().hardware_eligible().len() as f64;
+    let rows = for_datasets(&ids, |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        // A representative mid-Pareto configuration (5 partitions, k=4).
+        let cfg = SplidtConfig { partitions: vec![3, 3, 3, 2, 2], k: 4, ..Default::default() };
+        let (model, _f1) = bundle.train_splidt(&cfg);
+        // per-subtree density
+        let per_subtree: Vec<f64> = model
+            .subtrees
+            .iter()
+            .map(|s| s.features().len() as f64 / n_total * 100.0)
+            .collect();
+        // per-partition density (union of subtree features per partition)
+        let mut per_partition = Vec::new();
+        for p in 0..model.n_partitions() {
+            let mut feats = std::collections::BTreeSet::new();
+            for s in model.subtrees.iter().filter(|s| s.partition == p) {
+                feats.extend(s.features());
+            }
+            if !feats.is_empty() {
+                per_partition.push(feats.len() as f64 / n_total * 100.0);
+            }
+        }
+        let ms = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let s = (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64)
+                .sqrt();
+            format!("{m:.2} ± {s:.2}")
+        };
+        let ws = recirc::model_recirc(&model, &Environment::webserver(), 500_000, 7);
+        let hd = recirc::model_recirc(&model, &Environment::hadoop(), 500_000, 7);
+        vec![
+            id.tag().to_string(),
+            ms(&per_partition),
+            ms(&per_subtree),
+            format!("{:.2} ± {:.2}", ws.mean_mbps, ws.std_mbps),
+            format!("{:.2} ± {:.2}", hd.mean_mbps, hd.std_mbps),
+        ]
+    });
+    print_table(
+        "Table 1: feature density (%) and recirculation bandwidth (Mbps, 500K flows)",
+        &["Data", "/Partition", "/Subtree", "WS", "HD"],
+        &rows,
+    );
+}

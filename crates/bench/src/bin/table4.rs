@@ -1,0 +1,64 @@
+//! Table 4: wall time per design-search iteration, broken into the
+//! paper's stages: fetch (dataset materialization), training, optimizer
+//! (surrogate + acquisition), rulegen, backend (program assembly).
+
+use splidt_bench::*;
+use splidt_core::{compile, model_rules, SplidtConfig};
+use splidt_flow::DatasetId;
+use splidt_search::ParamSpace;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = for_datasets(&DatasetId::all(), |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let cfg = SplidtConfig { partitions: vec![3, 3, 2], k: 4, ..Default::default() };
+
+        let t0 = Instant::now();
+        let _wd = bundle.windowed(cfg.n_partitions(), cfg.feature_bits);
+        let fetch = t0.elapsed();
+
+        let t0 = Instant::now();
+        let (model, _f1) = bundle.train_splidt(&cfg);
+        let training = t0.elapsed();
+
+        // optimizer cost: one surrogate-fit + acquisition round on a small
+        // synthetic history (the per-iteration BO overhead)
+        let t0 = Instant::now();
+        let space = ParamSpace::default();
+        let eval = |c: &SplidtConfig| splidt_search::Objectives {
+            f1: 0.5 + (c.k as f64) * 0.01,
+            max_flows: 100_000,
+            feasible: true,
+        };
+        let _ = splidt_search::optimize(
+            &space,
+            &eval,
+            &splidt_search::BoOptions { budget: 24, batch: 8, init: 16, pool: 192, seed: 1 },
+        );
+        let optimizer = t0.elapsed() / 1; // one BO round incl. surrogate fit
+
+        let t0 = Instant::now();
+        let rules = model_rules(&model);
+        let rulegen = t0.elapsed();
+
+        let t0 = Instant::now();
+        let _compiled = compile(&model, 1 << 14).expect("compiles");
+        let backend = t0.elapsed();
+
+        vec![
+            id.tag().to_string(),
+            format!("{:.3}s", fetch.as_secs_f64()),
+            format!("{:.3}s", training.as_secs_f64()),
+            format!("{:.3}s", optimizer.as_secs_f64()),
+            format!("{:.3}s", rulegen.as_secs_f64()),
+            format!("{:.1}ms", backend.as_secs_f64() * 1e3),
+            rules.tcam_entries.to_string(),
+        ]
+    });
+    print_table(
+        "Table 4: per-iteration stage timings",
+        &["Data", "Fetch", "Training", "Optimizer", "Rulegen", "Backend", "(rules)"],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 5: max recirculation bandwidth (Mbps), D1–D7 × {WS, HD} ×
+//! {100K, 500K, 1M} flows, using each dataset's searched partition count.
+
+use splidt_bench::*;
+use splidt_core::SplidtConfig;
+use splidt_flow::{DatasetId, Environment};
+use splidt_search::ParamSpace;
+
+fn main() {
+    let scale = Scale::from_env();
+    let parts = for_datasets(&DatasetId::all(), |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        let search = search_dataset(&bundle, scale, &ParamSpace::default(), 42);
+        // partition count of the best config at each flow target
+        let per_target: Vec<usize> = FLOW_TARGETS
+            .iter()
+            .map(|&t| {
+                search
+                    .best_at_flows(t)
+                    .map(|(i, _)| search.history[i].0.n_partitions())
+                    .unwrap_or(1)
+            })
+            .collect();
+        (id, per_target)
+    });
+    for env in Environment::both() {
+        let mut rows = Vec::new();
+        for (id, per_target) in &parts {
+            let mut row = vec![id.tag().to_string()];
+            for (ti, &t) in FLOW_TARGETS.iter().enumerate() {
+                let p = per_target[ti];
+                let cfg = SplidtConfig { partitions: vec![2; p], ..Default::default() };
+                let _ = &cfg;
+                let st = splidt_flow::simulate_recirc(&env, t, p, 7, 600);
+                row.push(format!("{:.1} ± {:.1}", st.mean_mbps, st.std_mbps));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Table 5: recirculation bandwidth (Mbps) — {}", env.name),
+            &["Data", "100K", "500K", "1M"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! Baseline in-network classifiers the paper compares against:
+//! NetBeacon \[85\], Leo \[43\], a stateless per-packet model (IIsy/Planter
+//! class) and the resource-unlimited "ideal" upper bound of Figure 2.
+//!
+//! All baselines share the evaluation contract: train on flows, then
+//! produce one label per test flow, plus a [`ModelFootprint`] for the
+//! resource/feasibility comparisons.
+
+use crate::resources::{slot_bits_for, ModelFootprint};
+use splidt_dt::{
+    metrics::macro_f1, top_k_features, train_classifier, train_classifier_on, Dataset,
+    TrainParams, Tree,
+};
+use splidt_flow::features::{catalog, DepRegister};
+use splidt_flow::{
+    extract_flow_level, extract_prefix, extract_windows, flow_level_dataset, packet_level_dataset,
+    prefix_dataset, quantize_dataset, FlowTrace,
+};
+use splidt_ranging::generate_rules;
+use std::collections::BTreeSet;
+
+/// Quantizes a feature row to `bits` (identity at the default 24).
+fn quantize_row(row: &mut [f32], bits: u8) {
+    if bits < splidt_flow::FEATURE_BITS {
+        for v in row.iter_mut() {
+            *v = splidt_flow::features::quantize(*v, bits);
+        }
+    }
+}
+
+fn maybe_quantize(ds: Dataset, bits: u8) -> Dataset {
+    if bits < splidt_flow::FEATURE_BITS {
+        quantize_dataset(&ds, bits)
+    } else {
+        ds
+    }
+}
+
+fn dep_registers_of(features: &BTreeSet<usize>) -> usize {
+    let cat = catalog();
+    let mut deps: BTreeSet<DepRegister> = BTreeSet::new();
+    for &f in features {
+        if let Some(p) = cat.slot_program(f) {
+            deps.extend(p.deps());
+        }
+    }
+    deps.len()
+}
+
+// ---------------------------------------------------------------- NetBeacon
+
+/// NetBeacon \[85\]: one global top-k stateful feature set, phase trees at
+/// exponentially growing packet counts (2, 4, 8, …), state retained across
+/// phases. The verdict is the deepest applicable phase's prediction.
+#[derive(Debug, Clone)]
+pub struct NetBeacon {
+    /// Global top-k feature columns.
+    pub top_k: Vec<usize>,
+    /// Phase packet counts (2^1 … 2^m).
+    pub phase_pkts: Vec<usize>,
+    /// One tree per phase.
+    pub phase_trees: Vec<Tree>,
+    /// Class count.
+    pub n_classes: usize,
+    /// Feature precision (bits).
+    pub feature_bits: u8,
+}
+
+/// NetBeacon hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct NetBeaconParams {
+    /// Global stateful feature budget (paper: k ≤ 6).
+    pub k: usize,
+    /// Tree depth per phase.
+    pub depth: usize,
+    /// Number of phases (packet counts 2^1..2^n).
+    pub n_phases: usize,
+    /// Feature precision in bits.
+    pub feature_bits: u8,
+}
+
+impl Default for NetBeaconParams {
+    fn default() -> Self {
+        Self { k: 4, depth: 8, n_phases: 5, feature_bits: splidt_flow::FEATURE_BITS }
+    }
+}
+
+impl NetBeacon {
+    /// Trains phase trees on prefix datasets.
+    pub fn train(flows: &[FlowTrace], n_classes: usize, params: &NetBeaconParams) -> Self {
+        let eligible = catalog().hardware_eligible();
+        let flow_ds = maybe_quantize(flow_level_dataset(flows, n_classes), params.feature_bits);
+        let top_k = top_k_features(&flow_ds, params.k, 10, Some(&eligible));
+        let phase_pkts: Vec<usize> = (1..=params.n_phases).map(|j| 1usize << j).collect();
+        let phase_trees = phase_pkts
+            .iter()
+            .map(|&pkts| {
+                let ds =
+                    maybe_quantize(prefix_dataset(flows, pkts, n_classes), params.feature_bits);
+                train_classifier_on(
+                    &ds.view(),
+                    &TrainParams {
+                        max_depth: params.depth,
+                        allowed_features: Some(top_k.clone()),
+                        max_thresholds_per_feature: 32,
+                        ..TrainParams::default()
+                    },
+                )
+            })
+            .collect();
+        Self { top_k, phase_pkts, phase_trees, n_classes, feature_bits: params.feature_bits }
+    }
+
+    /// Classifies one flow: the deepest phase whose packet count the flow
+    /// reaches decides.
+    pub fn predict(&self, flow: &FlowTrace) -> u16 {
+        let size = flow.size_pkts();
+        let mut phase = 0usize;
+        for (i, &pkts) in self.phase_pkts.iter().enumerate() {
+            if size >= pkts {
+                phase = i;
+            }
+        }
+        let prefix = self.phase_pkts[phase].min(size);
+        let mut row = extract_prefix(flow, prefix, catalog());
+        quantize_row(&mut row, self.feature_bits);
+        self.phase_trees[phase].predict(&row)
+    }
+
+    /// Macro-F1 over test flows.
+    pub fn evaluate(&self, flows: &[FlowTrace]) -> f64 {
+        let truth: Vec<u16> = flows.iter().map(|f| f.label).collect();
+        let preds: Vec<u16> = flows.iter().map(|f| self.predict(f)).collect();
+        macro_f1(&truth, &preds, self.n_classes)
+    }
+
+    /// Resource footprint.
+    pub fn footprint(&self) -> ModelFootprint {
+        let feats: BTreeSet<usize> = self.top_k.iter().copied().collect();
+        let (mut entries, mut key_bits) = (0usize, 0usize);
+        for t in &self.phase_trees {
+            let r = generate_rules(t, self.feature_bits);
+            entries += r.tcam_entries();
+            key_bits = key_bits.max(r.mark_bits() + 8);
+        }
+        ModelFootprint {
+            slots: self.top_k.len(),
+            slot_bits: slot_bits_for(self.feature_bits),
+            dep_registers: dep_registers_of(&feats),
+            // phase id (8) + packet counter (24).
+            reserved_bits: 32,
+            tcam_entries: entries,
+            max_key_bits: key_bits,
+            stages: 6 + self.top_k.len().div_ceil(8),
+        }
+    }
+
+    /// Deepest phase tree depth (Table 3's "Depth" for NB).
+    pub fn depth(&self) -> usize {
+        self.phase_trees.iter().map(|t| t.depth()).max().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------- Leo
+
+/// Leo \[43\]: a single one-shot tree over top-k flow-level features with a
+/// depth-optimized MAT layout (fixed power-of-two table geometry).
+#[derive(Debug, Clone)]
+pub struct Leo {
+    /// Global top-k features.
+    pub top_k: Vec<usize>,
+    /// The tree.
+    pub tree: Tree,
+    /// Class count.
+    pub n_classes: usize,
+    /// Feature precision.
+    pub feature_bits: u8,
+}
+
+/// Leo hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LeoParams {
+    /// Global feature budget.
+    pub k: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Feature precision in bits.
+    pub feature_bits: u8,
+}
+
+impl Default for LeoParams {
+    fn default() -> Self {
+        Self { k: 4, depth: 10, feature_bits: splidt_flow::FEATURE_BITS }
+    }
+}
+
+impl Leo {
+    /// Trains the one-shot tree.
+    pub fn train(flows: &[FlowTrace], n_classes: usize, params: &LeoParams) -> Self {
+        let eligible = catalog().hardware_eligible();
+        let ds = maybe_quantize(flow_level_dataset(flows, n_classes), params.feature_bits);
+        let top_k = top_k_features(&ds, params.k, 10, Some(&eligible));
+        let tree = train_classifier(
+            &ds,
+            &TrainParams {
+                max_depth: params.depth,
+                allowed_features: Some(top_k.clone()),
+                max_thresholds_per_feature: 32,
+                ..TrainParams::default()
+            },
+        );
+        Self { top_k, tree, n_classes, feature_bits: params.feature_bits }
+    }
+
+    /// Classifies one flow from flow-level features.
+    pub fn predict(&self, flow: &FlowTrace) -> u16 {
+        let mut row = extract_flow_level(flow, catalog());
+        quantize_row(&mut row, self.feature_bits);
+        self.tree.predict(&row)
+    }
+
+    /// Macro-F1 over test flows.
+    pub fn evaluate(&self, flows: &[FlowTrace]) -> f64 {
+        let truth: Vec<u16> = flows.iter().map(|f| f.label).collect();
+        let preds: Vec<u16> = flows.iter().map(|f| self.predict(f)).collect();
+        macro_f1(&truth, &preds, self.n_classes)
+    }
+
+    /// Leo's fixed MAT geometry: table capacity grows in power-of-two
+    /// steps with depth (visible in the paper's Table 3 Leo column:
+    /// 2048 / 8192 / 16384).
+    pub fn tcam_entries(&self) -> usize {
+        let d = self.tree.depth();
+        2048usize << (d.saturating_sub(5) / 2).min(4)
+    }
+
+    /// Resource footprint.
+    pub fn footprint(&self) -> ModelFootprint {
+        let feats: BTreeSet<usize> = self.top_k.iter().copied().collect();
+        let rules = generate_rules(&self.tree, self.feature_bits);
+        ModelFootprint {
+            slots: self.top_k.len(),
+            slot_bits: slot_bits_for(self.feature_bits),
+            dep_registers: dep_registers_of(&feats),
+            reserved_bits: 24,
+            tcam_entries: self.tcam_entries(),
+            max_key_bits: rules.mark_bits().max(8),
+            stages: 5 + self.top_k.len().div_ceil(8),
+        }
+    }
+}
+
+// --------------------------------------------------------------- per-packet
+
+/// Stateless per-packet classifier (IIsy \[79\] / Planter \[84\] class): one
+/// tree over per-packet header fields; flow label = majority vote over the
+/// flow's packets.
+#[derive(Debug, Clone)]
+pub struct PerPacket {
+    /// The tree over stateless features.
+    pub tree: Tree,
+    /// Class count.
+    pub n_classes: usize,
+}
+
+impl PerPacket {
+    /// Trains on up to `max_pkts_per_flow` packets per training flow.
+    pub fn train(flows: &[FlowTrace], n_classes: usize, depth: usize) -> Self {
+        let ds = packet_level_dataset(flows, n_classes, 16);
+        let tree = train_classifier(
+            &ds,
+            &TrainParams {
+                max_depth: depth,
+                allowed_features: Some(catalog().stateless()),
+                ..TrainParams::default()
+            },
+        );
+        Self { tree, n_classes }
+    }
+
+    /// Majority vote over the flow's packets.
+    pub fn predict(&self, flow: &FlowTrace) -> u16 {
+        let cat = catalog();
+        let mut votes = vec![0usize; self.n_classes];
+        for i in 0..flow.size_pkts().min(32) {
+            let row = splidt_flow::extract_packet(flow, i, cat);
+            votes[self.tree.predict(&row) as usize] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(c, &v)| (v, usize::MAX - c))
+            .map(|(c, _)| c as u16)
+            .unwrap_or(0)
+    }
+
+    /// Macro-F1 over test flows.
+    pub fn evaluate(&self, flows: &[FlowTrace]) -> f64 {
+        let truth: Vec<u16> = flows.iter().map(|f| f.label).collect();
+        let preds: Vec<u16> = flows.iter().map(|f| self.predict(f)).collect();
+        macro_f1(&truth, &preds, self.n_classes)
+    }
+}
+
+// --------------------------------------------------------------------- ideal
+
+/// The "ideal" upper bound of Figure 2: unlimited resources — buffer the
+/// whole flow, compute *every* feature (including software-only statistics)
+/// over the full flow *and* per-window, with unrestricted tree depth.
+#[derive(Debug, Clone)]
+pub struct Ideal {
+    tree: Tree,
+    windows: usize,
+    n_classes: usize,
+}
+
+impl Ideal {
+    /// Trains the unrestricted model on flow-level ⧺ per-window features.
+    pub fn train(flows: &[FlowTrace], n_classes: usize, depth: usize) -> Self {
+        let windows = 4usize;
+        let rows: Vec<Vec<f32>> = flows.iter().map(|f| Self::features(f, windows)).collect();
+        let labels: Vec<u16> = flows.iter().map(|f| f.label).collect();
+        let mut ds = Dataset::from_rows(&rows, &labels, None).expect("consistent");
+        ds.set_n_classes(n_classes);
+        let tree = train_classifier(
+            &ds,
+            &TrainParams { max_depth: depth, ..TrainParams::default() },
+        );
+        Self { tree, windows, n_classes }
+    }
+
+    fn features(flow: &FlowTrace, windows: usize) -> Vec<f32> {
+        let cat = catalog();
+        let mut row = extract_flow_level(flow, cat);
+        for w in extract_windows(flow, windows, cat) {
+            row.extend(w);
+        }
+        let want = cat.len() * (windows + 1);
+        row.resize(want, 0.0);
+        row
+    }
+
+    /// Classifies one flow.
+    pub fn predict(&self, flow: &FlowTrace) -> u16 {
+        self.tree.predict(&Self::features(flow, self.windows))
+    }
+
+    /// Macro-F1 over test flows.
+    pub fn evaluate(&self, flows: &[FlowTrace]) -> f64 {
+        let truth: Vec<u16> = flows.iter().map(|f| f.label).collect();
+        let preds: Vec<u16> = flows.iter().map(|f| self.predict(f)).collect();
+        macro_f1(&truth, &preds, self.n_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splidt_flow::{generate, select_flows, spec, stratified_split, DatasetId};
+
+    fn d2() -> (Vec<FlowTrace>, Vec<FlowTrace>, usize) {
+        let flows = generate(DatasetId::D2, 700, 17);
+        let (tr, te) = stratified_split(&flows, 0.3, 3);
+        (
+            select_flows(&flows, &tr),
+            select_flows(&flows, &te),
+            spec(DatasetId::D2).n_classes as usize,
+        )
+    }
+
+    #[test]
+    fn netbeacon_trains_and_classifies() {
+        let (tr, te, nc) = d2();
+        let nb = NetBeacon::train(&tr, nc, &NetBeaconParams::default());
+        assert_eq!(nb.top_k.len(), 4);
+        assert_eq!(nb.phase_trees.len(), 5);
+        let f1 = nb.evaluate(&te);
+        assert!(f1 > 0.4, "NB f1 {f1}");
+        let fp = nb.footprint();
+        assert_eq!(fp.slots, 4);
+        assert!(fp.tcam_entries > 0);
+    }
+
+    #[test]
+    fn leo_trains_and_classifies() {
+        let (tr, te, nc) = d2();
+        let leo = Leo::train(&tr, nc, &LeoParams::default());
+        let f1 = leo.evaluate(&te);
+        assert!(f1 > 0.4, "Leo f1 {f1}");
+        // fixed power-of-two geometry
+        assert!(leo.tcam_entries().is_power_of_two());
+        assert!(leo.tcam_entries() >= 2048);
+    }
+
+    #[test]
+    fn perpacket_is_weakest() {
+        let (tr, te, nc) = d2();
+        let pp = PerPacket::train(&tr, nc, 8);
+        let leo = Leo::train(&tr, nc, &LeoParams::default());
+        let f1_pp = pp.evaluate(&te);
+        let f1_leo = leo.evaluate(&te);
+        assert!(f1_pp < f1_leo, "per-packet {f1_pp} vs leo {f1_leo}");
+        assert!(f1_pp > 0.15, "still above chance: {f1_pp}");
+    }
+
+    #[test]
+    fn ideal_is_strongest() {
+        let (tr, te, nc) = d2();
+        let ideal = Ideal::train(&tr, nc, 14);
+        let leo = Leo::train(&tr, nc, &LeoParams::default());
+        let f1_ideal = ideal.evaluate(&te);
+        assert!(f1_ideal > leo.evaluate(&te), "ideal {f1_ideal}");
+        assert!(f1_ideal > 0.7);
+    }
+
+    #[test]
+    fn quantization_reduces_accuracy_mildly() {
+        let (tr, te, nc) = d2();
+        let full = Leo::train(&tr, nc, &LeoParams::default());
+        let coarse = Leo::train(&tr, nc, &LeoParams { feature_bits: 8, ..Default::default() });
+        let f_full = full.evaluate(&te);
+        let f_coarse = coarse.evaluate(&te);
+        assert!(f_coarse <= f_full + 0.05, "8-bit {f_coarse} vs 24-bit {f_full}");
+        assert!(f_coarse > f_full - 0.4, "8-bit should not collapse: {f_coarse}");
+    }
+}

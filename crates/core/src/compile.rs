@@ -1,0 +1,984 @@
+//! Compiler: a trained [`PartitionedTree`] → an executable data-plane
+//! [`Program`] (the role the paper's P4 program + bfrt controller play).
+//!
+//! Pipeline layout (8 stages, within Tofino1's 12):
+//!
+//! | stage | contents |
+//! |---|---|
+//! | 0 | flow hash, direction, `window_len = flow_size / p`, payload |
+//! | 1 | SID / packet-counter / window-counter registers |
+//! | 2 | dependency-chain registers (`last_ts` per scope) |
+//! | 3 | IAT arithmetic, validity bits, window-first, boundary detection |
+//! | 4 | the `k` feature-slot registers + operator-selection MATs |
+//! | 5 | per-SID load transforms (cap / negate / since-timestamp) |
+//! | 6 | `k` match-key generator MATs (value → range mark) |
+//! | 7 | the model MAT (marks → next SID / class), resubmit, digest |
+//!
+//! Register reuse via recirculation (paper §3.1.3): the model MAT marks the
+//! boundary packet for resubmission with `next_sid` in metadata; on the
+//! resubmitted pass every stateful table matches `is_resubmit = 1` and
+//! resets its register (SID ← next_sid, counters/slots/deps ← 0).
+
+use crate::model::{LeafTarget, PartitionedTree};
+use splidt_dataplane::action::{Action, AluOp, AluOut, Primitive, Source};
+use splidt_dataplane::parser::StandardFields;
+use splidt_dataplane::phv::FieldId;
+use splidt_dataplane::program::{Program, ProgramBuilder, ProgramError};
+use splidt_dataplane::register::RegisterSpec;
+use splidt_dataplane::table::{TableId, TableSpec};
+use splidt_dataplane::tcam::Ternary;
+use splidt_flow::features::{
+    catalog, DepRegister, FeatureKind, Guard, LoadTransform, Operand, Scope, SlotProgram,
+    StatelessKind, UpdateOp, FEATURE_CAP,
+};
+use splidt_ranging::{generate_rules, range_to_prefixes, SubtreeRules};
+use std::collections::BTreeMap;
+
+/// Compile-time errors.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Program assembly failed.
+    Program(ProgramError),
+    /// The model is structurally invalid.
+    InvalidModel(String),
+    /// Unsupported configuration (e.g. k > 8 slots in one stage).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Program(e) => write!(f, "program error: {e}"),
+            CompileError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ProgramError> for CompileError {
+    fn from(e: ProgramError) -> Self {
+        CompileError::Program(e)
+    }
+}
+
+/// Rule-generation summary used by resource estimation (and Table 3 / Fig 9
+/// accounting) without building a full program.
+#[derive(Debug, Clone)]
+pub struct RulesSummary {
+    /// `(sid, rules)` per subtree.
+    pub subtree_rules: Vec<(u16, SubtreeRules)>,
+    /// Mark-field width in bits per slot (max over subtrees).
+    pub slot_mark_bits: Vec<u8>,
+    /// Canonical TCAM entry count: feature-table entries + one model entry
+    /// per leaf (the paper's accounting).
+    pub tcam_entries: usize,
+    /// Feature-table entries only.
+    pub feature_entries: usize,
+    /// Model entries (= total leaves).
+    pub model_entries: usize,
+    /// Model-MAT key width: flags(2) + sid(8) + Σ slot mark bits.
+    pub model_key_bits: usize,
+}
+
+/// Slot position of each feature within a subtree: features sorted
+/// ascending, slot = rank.
+pub fn slot_assignment(features: &[usize]) -> BTreeMap<usize, usize> {
+    features.iter().enumerate().map(|(slot, &f)| (f, slot)).collect()
+}
+
+/// Generates Range-Marking rules for every subtree and aggregates the
+/// accounting the paper reports.
+pub fn model_rules(model: &PartitionedTree) -> RulesSummary {
+    let bits = model.config.feature_bits;
+    let mut subtree_rules = Vec::with_capacity(model.subtrees.len());
+    let mut slot_mark_bits = vec![0u8; model.config.k];
+    let mut feature_entries = 0usize;
+    let mut model_entries = 0usize;
+    for st in &model.subtrees {
+        let rules = generate_rules(&st.tree, bits);
+        let slots = slot_assignment(&rules.features);
+        for ft in &rules.feature_tables {
+            let slot = slots[&ft.feature];
+            slot_mark_bits[slot] = slot_mark_bits[slot].max(ft.encoder.mark_bits());
+            feature_entries += ft.rules.len();
+        }
+        model_entries += rules.model.len();
+        subtree_rules.push((st.sid, rules));
+    }
+    let model_key_bits =
+        2 + 8 + slot_mark_bits.iter().map(|&b| b as usize).sum::<usize>();
+    RulesSummary {
+        subtree_rules,
+        slot_mark_bits,
+        tcam_entries: feature_entries + model_entries,
+        feature_entries,
+        model_entries,
+        model_key_bits,
+    }
+}
+
+/// Handles into the compiled program the runtime needs.
+#[derive(Debug, Clone)]
+pub struct CompiledIo {
+    /// Standard parsed fields.
+    pub fields: StandardFields,
+    /// Flow-slot count (register depth).
+    pub flow_slots: usize,
+    /// Digest layout: `[ipv4.src, ipv4.dst, class, sid]`.
+    pub digest_src: usize,
+    /// Index of class within digest values.
+    pub digest_class: usize,
+    /// Index of sid within digest values.
+    pub digest_sid: usize,
+    /// The model table id (hit statistics).
+    pub model_table: TableId,
+}
+
+/// A compiled model: executable program + IO handles + rule summary.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// The data-plane program.
+    pub program: Program,
+    /// Runtime handles.
+    pub io: CompiledIo,
+    /// Rule accounting.
+    pub summary: RulesSummary,
+}
+
+struct SlotMeta {
+    fval: FieldId,
+    mark: FieldId,
+    table: TableId,
+    reg: splidt_dataplane::register::RegId,
+}
+
+/// Per-(sid, slot) feature binding.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    feature: usize,
+    kind: BindKind,
+}
+
+/// How a bound feature is materialized in its slot.
+#[derive(Debug, Clone, Copy)]
+enum BindKind {
+    /// Stateful register-slot program.
+    Slot(SlotProgram),
+    /// Stateless header field: the slot register simply latches the
+    /// (canonicalized) field on every packet, so the boundary packet's
+    /// value is what the key generator matches — identical to the software
+    /// extractor's "stateless = boundary packet" semantics.
+    Stateless(StatelessKind),
+}
+
+const MAX_SLOT_TABLE_ENTRIES: usize = 4096;
+
+/// Compiles a partitioned tree into a pipeline program with `flow_slots`
+/// register entries (power of two).
+pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledModel, CompileError> {
+    model.validate().map_err(CompileError::InvalidModel)?;
+    if model.config.k > 8 {
+        return Err(CompileError::Unsupported("k > 8 feature slots".into()));
+    }
+    if !flow_slots.is_power_of_two() {
+        return Err(CompileError::Unsupported("flow_slots must be a power of two".into()));
+    }
+    let cat = catalog();
+    let k = model.config.k;
+    let p = model.n_partitions();
+    let summary = model_rules(model);
+
+    // (sid, slot) → binding
+    let mut bindings: BTreeMap<(u16, usize), Binding> = BTreeMap::new();
+    let mut deps: Vec<DepRegister> = Vec::new();
+    for st in &model.subtrees {
+        let feats = st.features();
+        let slots = slot_assignment(&feats);
+        for (&f, &slot) in &slots {
+            let kind = match &cat.defs()[f].kind {
+                FeatureKind::Slot(p) => {
+                    for d in p.deps() {
+                        if !deps.contains(&d) {
+                            deps.push(d);
+                        }
+                    }
+                    BindKind::Slot(*p)
+                }
+                FeatureKind::Stateless(k) => BindKind::Stateless(*k),
+                FeatureKind::Software(_) => {
+                    return Err(CompileError::InvalidModel(format!(
+                        "feature {f} ({}) is software-only",
+                        cat.defs()[f].name
+                    )));
+                }
+            };
+            bindings.insert((st.sid, slot), Binding { feature: f, kind });
+        }
+    }
+    deps.sort();
+
+    let mut b = ProgramBuilder::new();
+    let fields = b.standard_fields();
+
+    // --- metadata fields
+    let slot_bits_log2 = flow_slots.trailing_zeros() as u8;
+    let m_flow_idx = b.add_meta("m.flow_idx", slot_bits_log2.max(1));
+    let m_sid = b.add_meta("m.sid", 8);
+    let m_next_sid = b.add_meta("m.next_sid", 8);
+    let m_next_store = b.add_meta("m.next_sid_store", 8);
+    let m_class = b.add_meta("m.class", 8);
+    let m_pkt_count = b.add_meta("m.pkt_count", 24);
+    let m_win_count = b.add_meta("m.win_count", 16);
+    let m_window_len = b.add_meta("m.window_len", 16);
+    let m_dir = b.add_meta("m.dir", 1);
+    let m_now = b.add_meta("m.now", 32);
+    let m_payload = b.add_meta("m.payload", 16);
+    let m_win_first = b.add_meta("m.win_first", 1);
+    let m_boundary = b.add_meta("m.boundary", 1);
+    let m_final = b.add_meta("m.final", 1);
+    let m_diff_win = b.add_meta("m.diff_win", 16);
+    let m_diff_flow = b.add_meta("m.diff_flow", 24);
+    let mut m_last = BTreeMap::new();
+    let mut m_iat = BTreeMap::new();
+    let mut m_neg_iat = BTreeMap::new();
+    let mut m_valid = BTreeMap::new();
+    for d in &deps {
+        let DepRegister::LastTs(s) = d;
+        let tag = scope_tag(*s);
+        m_last.insert(*s, b.add_meta(format!("m.last_{tag}"), 32));
+        m_iat.insert(*s, b.add_meta(format!("m.iat_{tag}"), 32));
+        m_neg_iat.insert(*s, b.add_meta(format!("m.neg_iat_{tag}"), 32));
+        m_valid.insert(*s, b.add_meta(format!("m.valid_{tag}"), 1));
+    }
+    let m_neg_len = b.add_meta("m.neg_len", 32);
+
+    // --- registers
+    let r_sid = b.add_register(RegisterSpec::new("r.sid", 8, flow_slots), 1);
+    let r_pkt = b.add_register(RegisterSpec::new("r.pkt_count", 24, flow_slots), 1);
+    let r_win = b.add_register(RegisterSpec::new("r.win_count", 16, flow_slots), 1);
+    let mut r_last = BTreeMap::new();
+    for d in &deps {
+        let DepRegister::LastTs(s) = d;
+        let tag = scope_tag(*s);
+        r_last.insert(*s, b.add_register(RegisterSpec::new(format!("r.last_{tag}"), 32, flow_slots), 2));
+    }
+
+    // --- stage 0: prep + direction
+    let t_prep = b.add_table(TableSpec::ternary("prep", vec![fields.is_resubmit], 2), 0);
+    b.set_default(
+        t_prep,
+        Action::new("prep")
+            .with(Primitive::HashFlow { dst: m_flow_idx, mask: (flow_slots - 1) as u64 })
+            .with(Primitive::Set { dst: m_now, src: Source::Field(fields.ts_us) })
+            .with(Primitive::DivConst {
+                dst: m_window_len,
+                a: Source::Field(fields.flow_size),
+                divisor: p as u64,
+            })
+            .with(Primitive::Max {
+                dst: m_window_len,
+                a: Source::Field(m_window_len),
+                b: Source::Const(1),
+            })
+            .with(Primitive::Sub {
+                dst: m_payload,
+                a: Source::Field(fields.ip_len),
+                b: Source::Const(40),
+            })
+            .with(Primitive::Sub {
+                dst: m_neg_len,
+                a: Source::Const(FEATURE_CAP),
+                b: Source::Field(fields.frame_len),
+            })
+            // The SID register stores `sid − 1` so that zero-initialized
+            // flow slots start in subtree 1 without a per-flow init pass;
+            // precompute the stored form of next_sid for resubmissions.
+            .with(Primitive::Sub {
+                dst: m_next_store,
+                a: Source::Field(m_next_sid),
+                b: Source::Const(1),
+            }),
+    );
+    let m_csport = b.add_meta("m.csport", 16);
+    let m_cdport = b.add_meta("m.cdport", 16);
+    let t_dir = b.add_table(TableSpec::ternary("dir", vec![fields.dport], 4), 0);
+    // dport < 1024 ⇒ toward the service ⇒ forward direction. Canonical
+    // (initiator-oriented) ports are derived alongside.
+    b.add_ternary_entry(
+        t_dir,
+        vec![Ternary::new(0, !0x3FFu64 & 0xFFFF)],
+        1,
+        Action::new("fwd")
+            .with(Primitive::set_const(m_dir, 1))
+            .with(Primitive::set_field(m_csport, fields.sport))
+            .with(Primitive::set_field(m_cdport, fields.dport)),
+    )?;
+    b.set_default(
+        t_dir,
+        Action::new("bwd")
+            .with(Primitive::set_const(m_dir, 0))
+            .with(Primitive::set_field(m_csport, fields.dport))
+            .with(Primitive::set_field(m_cdport, fields.sport)),
+    );
+
+    // --- stage 1: sid / counters
+    let t_sid = b.add_table(TableSpec::exact("sid", vec![fields.is_resubmit], 2), 1);
+    b.add_exact_entry(
+        t_sid,
+        vec![0],
+        Action::new("read_sid")
+            .with(Primitive::RegRmw {
+                reg: r_sid,
+                index: Source::Field(m_flow_idx),
+                op: AluOp::Read,
+                operand: Source::Const(0),
+                out: Some((m_sid, AluOut::Old)),
+            })
+            .with(Primitive::Add { dst: m_sid, a: Source::Field(m_sid), b: Source::Const(1) }),
+    )?;
+    b.add_exact_entry(
+        t_sid,
+        vec![1],
+        Action::new("write_sid")
+            .with(Primitive::RegRmw {
+                reg: r_sid,
+                index: Source::Field(m_flow_idx),
+                op: AluOp::Write,
+                operand: Source::Field(m_next_store),
+                out: Some((m_sid, AluOut::New)),
+            })
+            .with(Primitive::Add { dst: m_sid, a: Source::Field(m_sid), b: Source::Const(1) }),
+    )?;
+    let t_pkt = b.add_table(TableSpec::exact("pkt_count", vec![fields.is_resubmit], 2), 1);
+    b.add_exact_entry(
+        t_pkt,
+        vec![0],
+        Action::new("inc").with(Primitive::RegRmw {
+            reg: r_pkt,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Add,
+            operand: Source::Const(1),
+            out: Some((m_pkt_count, AluOut::New)),
+        }),
+    )?;
+    b.add_exact_entry(
+        t_pkt,
+        vec![1],
+        Action::new("read").with(Primitive::RegRmw {
+            reg: r_pkt,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Read,
+            operand: Source::Const(0),
+            out: Some((m_pkt_count, AluOut::Old)),
+        }),
+    )?;
+    let t_win = b.add_table(TableSpec::exact("win_count", vec![fields.is_resubmit], 2), 1);
+    b.add_exact_entry(
+        t_win,
+        vec![0],
+        Action::new("inc").with(Primitive::RegRmw {
+            reg: r_win,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Add,
+            operand: Source::Const(1),
+            out: Some((m_win_count, AluOut::New)),
+        }),
+    )?;
+    b.add_exact_entry(
+        t_win,
+        vec![1],
+        Action::new("reset").with(Primitive::RegRmw {
+            reg: r_win,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Write,
+            operand: Source::Const(0),
+            out: None,
+        }),
+    )?;
+
+    // --- stage 2: dependency registers
+    for d in &deps {
+        let DepRegister::LastTs(s) = d;
+        let tag = scope_tag(*s);
+        let reg = r_last[s];
+        let out = m_last[s];
+        match s {
+            Scope::All => {
+                let t = b.add_table(
+                    TableSpec::exact(format!("last_{tag}"), vec![fields.is_resubmit], 2),
+                    2,
+                );
+                b.add_exact_entry(
+                    t,
+                    vec![0],
+                    Action::new("upd").with(Primitive::RegRmw {
+                        reg,
+                        index: Source::Field(m_flow_idx),
+                        op: AluOp::Write,
+                        operand: Source::Field(m_now),
+                        out: Some((out, AluOut::Old)),
+                    }),
+                )?;
+                b.add_exact_entry(
+                    t,
+                    vec![1],
+                    Action::new("reset").with(Primitive::RegRmw {
+                        reg,
+                        index: Source::Field(m_flow_idx),
+                        op: AluOp::Write,
+                        operand: Source::Const(0),
+                        out: None,
+                    }),
+                )?;
+            }
+            Scope::Fwd | Scope::Bwd => {
+                let want = if *s == Scope::Fwd { 1u64 } else { 0 };
+                let t = b.add_table(
+                    TableSpec::exact(format!("last_{tag}"), vec![fields.is_resubmit, m_dir], 4),
+                    2,
+                );
+                b.add_exact_entry(
+                    t,
+                    vec![0, want],
+                    Action::new("upd").with(Primitive::RegRmw {
+                        reg,
+                        index: Source::Field(m_flow_idx),
+                        op: AluOp::Write,
+                        operand: Source::Field(m_now),
+                        out: Some((out, AluOut::Old)),
+                    }),
+                )?;
+                b.add_exact_entry(
+                    t,
+                    vec![0, 1 - want],
+                    Action::new("read").with(Primitive::RegRmw {
+                        reg,
+                        index: Source::Field(m_flow_idx),
+                        op: AluOp::Read,
+                        operand: Source::Const(0),
+                        out: Some((out, AluOut::Old)),
+                    }),
+                )?;
+                for dirv in [0u64, 1] {
+                    b.add_exact_entry(
+                        t,
+                        vec![1, dirv],
+                        Action::new("reset").with(Primitive::RegRmw {
+                            reg,
+                            index: Source::Field(m_flow_idx),
+                            op: AluOp::Write,
+                            operand: Source::Const(0),
+                            out: None,
+                        }),
+                    )?;
+                }
+            }
+        }
+    }
+
+    // --- stage 3: arithmetic, validity, window-first, boundary
+    let t_compute = b.add_table(TableSpec::ternary("compute", vec![fields.is_resubmit], 2), 3);
+    let mut compute = Action::new("compute")
+        .with(Primitive::Sub {
+            dst: m_diff_win,
+            a: Source::Field(m_win_count),
+            b: Source::Field(m_window_len),
+        })
+        .with(Primitive::Sub {
+            dst: m_diff_flow,
+            a: Source::Field(m_pkt_count),
+            b: Source::Field(fields.flow_size),
+        });
+    for d in &deps {
+        let DepRegister::LastTs(s) = d;
+        compute = compute
+            .with(Primitive::Sub {
+                dst: m_iat[s],
+                a: Source::Field(m_now),
+                b: Source::Field(m_last[s]),
+            })
+            .with(Primitive::Min {
+                dst: m_iat[s],
+                a: Source::Field(m_iat[s]),
+                b: Source::Const(FEATURE_CAP),
+            })
+            .with(Primitive::Sub {
+                dst: m_neg_iat[s],
+                a: Source::Const(FEATURE_CAP),
+                b: Source::Field(m_iat[s]),
+            });
+    }
+    b.set_default(t_compute, compute);
+    for d in &deps {
+        let DepRegister::LastTs(s) = d;
+        let tag = scope_tag(*s);
+        let t = b.add_table(TableSpec::ternary(format!("valid_{tag}"), vec![m_last[s]], 2), 3);
+        b.add_ternary_entry(
+            t,
+            vec![Ternary::exact(0, 32)],
+            1,
+            Action::new("invalid").with(Primitive::set_const(m_valid[s], 0)),
+        )?;
+        b.set_default(t, Action::new("valid").with(Primitive::set_const(m_valid[s], 1)));
+    }
+    let t_first = b.add_table(TableSpec::ternary("win_first", vec![m_win_count], 2), 3);
+    b.add_ternary_entry(
+        t_first,
+        vec![Ternary::exact(1, 16)],
+        1,
+        Action::new("first").with(Primitive::set_const(m_win_first, 1)),
+    )?;
+    b.set_default(t_first, Action::new("not_first").with(Primitive::set_const(m_win_first, 0)));
+
+    let t_boundary = b.add_table(
+        TableSpec::ternary(
+            "boundary",
+            vec![fields.is_resubmit, m_diff_win, m_diff_flow],
+            4,
+        ),
+        3,
+    );
+    b.add_ternary_entry(
+        t_boundary,
+        vec![Ternary::exact(0, 1), Ternary::ANY, Ternary::exact(0, 24)],
+        10,
+        Action::new("final")
+            .with(Primitive::set_const(m_boundary, 1))
+            .with(Primitive::set_const(m_final, 1)),
+    )?;
+    b.add_ternary_entry(
+        t_boundary,
+        vec![Ternary::exact(0, 1), Ternary::exact(0, 16), Ternary::ANY],
+        5,
+        Action::new("window")
+            .with(Primitive::set_const(m_boundary, 1))
+            .with(Primitive::set_const(m_final, 0)),
+    )?;
+    b.set_default(
+        t_boundary,
+        Action::new("none")
+            .with(Primitive::set_const(m_boundary, 0))
+            .with(Primitive::set_const(m_final, 0)),
+    );
+
+    // --- stage 4: feature slots (registers + operator-selection MATs)
+    let mut slot_key: Vec<FieldId> =
+        vec![fields.is_resubmit, m_sid, m_dir, fields.tcp_flags, fields.frame_len, m_payload, m_win_first];
+    for d in &deps {
+        let DepRegister::LastTs(s) = d;
+        slot_key.push(m_valid[s]);
+    }
+    let valid_pos: BTreeMap<Scope, usize> = deps
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let DepRegister::LastTs(s) = d;
+            (*s, 7 + i)
+        })
+        .collect();
+
+    // Pre-expand operator-selection entries so each slot table can be
+    // declared with its exact capacity (TCAM allocation follows declared
+    // capacity, like hardware).
+    type PendingEntry = (Vec<Ternary>, u32, Action);
+    let mut slot_entries: Vec<Vec<PendingEntry>> = vec![Vec::new(); k];
+
+    let mut slots: Vec<SlotMeta> = Vec::with_capacity(k);
+    for slot in 0..k {
+        let fval = b.add_meta(format!("m.fval_{slot}"), 32);
+        let mark_bits = summary.slot_mark_bits[slot].max(1);
+        let mark = b.add_meta(format!("m.mark_{slot}"), mark_bits);
+        let reg = b.add_register(RegisterSpec::new(format!("r.slot_{slot}"), 32, flow_slots), 4);
+        // reset on resubmission
+        let mut key = vec![Ternary::ANY; slot_key.len()];
+        key[0] = Ternary::exact(1, 1);
+        slot_entries[slot].push((
+            key,
+            1_000_000,
+            Action::new("reset").with(Primitive::RegRmw {
+                reg,
+                index: Source::Field(m_flow_idx),
+                op: AluOp::Write,
+                operand: Source::Const(0),
+                out: None,
+            }),
+        ));
+        // table id assigned after entry counting; placeholder via push order
+        slots.push(SlotMeta { fval, mark, table: TableId::invalid(), reg });
+    }
+
+    // operator-selection entries per (sid, slot)
+    for ((sid, slot), binding) in &bindings {
+        let meta = &slots[*slot];
+        let (guard, op, operand) = match &binding.kind {
+            BindKind::Slot(prog) => (
+                prog.guard,
+                match prog.op {
+                    UpdateOp::Add => AluOp::Add,
+                    UpdateOp::Max => AluOp::Max,
+                    UpdateOp::Write => AluOp::Write,
+                },
+                operand_source(
+                    prog.operand,
+                    fields.frame_len,
+                    m_payload,
+                    m_neg_len,
+                    m_now,
+                    &m_iat,
+                    &m_neg_iat,
+                )?,
+            ),
+            BindKind::Stateless(k) => (
+                Guard::scope(Scope::All),
+                AluOp::Write,
+                match k {
+                    StatelessKind::FrameLen => Source::Field(fields.frame_len),
+                    StatelessKind::Ttl => Source::Field(fields.ttl),
+                    StatelessKind::TcpFlags => Source::Field(fields.tcp_flags),
+                    StatelessKind::SrcPort => Source::Field(m_csport),
+                    StatelessKind::DstPort => Source::Field(m_cdport),
+                    StatelessKind::Proto => Source::Field(fields.ip_proto),
+                },
+            ),
+        };
+        let action = Action::new(format!("s{sid}_f{}", binding.feature)).with(Primitive::RegRmw {
+            reg: meta.reg,
+            index: Source::Field(m_flow_idx),
+            op,
+            operand,
+            out: Some((meta.fval, AluOut::New)),
+        });
+        for key in guard_keys(&guard, *sid, slot_key.len(), &valid_pos) {
+            slot_entries[*slot].push((key, 100, action.clone()));
+        }
+    }
+
+    for slot in 0..k {
+        let n = slot_entries[slot].len().min(MAX_SLOT_TABLE_ENTRIES);
+        let table = b.add_table(
+            TableSpec::ternary(format!("slot_{slot}"), slot_key.clone(), n.max(1)),
+            4,
+        );
+        b.set_default(
+            table,
+            Action::new("load").with(Primitive::RegRmw {
+                reg: slots[slot].reg,
+                index: Source::Field(m_flow_idx),
+                op: AluOp::Read,
+                operand: Source::Const(0),
+                out: Some((slots[slot].fval, AluOut::New)),
+            }),
+        );
+        for (key, prio, action) in slot_entries[slot].drain(..) {
+            b.add_ternary_entry(table, key, prio, action)?;
+        }
+        slots[slot].table = table;
+    }
+
+    // --- stage 5: load transforms per (sid, slot)
+    let load_tables: Vec<TableId> = (0..k)
+        .map(|slot| b.add_table(TableSpec::exact(format!("load_{slot}"), vec![m_sid], 512), 5))
+        .collect();
+    for ((sid, slot), binding) in &bindings {
+        let meta = &slots[*slot];
+        let fval = meta.fval;
+        let load = match &binding.kind {
+            BindKind::Slot(prog) => prog.load,
+            BindKind::Stateless(_) => LoadTransform::Identity,
+        };
+        let action = match load {
+            LoadTransform::Identity => Action::new("cap").with(Primitive::Min {
+                dst: fval,
+                a: Source::Field(fval),
+                b: Source::Const(FEATURE_CAP),
+            }),
+            LoadTransform::NegCap => Action::new("negcap")
+                .with(Primitive::Min {
+                    dst: fval,
+                    a: Source::Field(fval),
+                    b: Source::Const(FEATURE_CAP),
+                })
+                .with(Primitive::Sub {
+                    dst: fval,
+                    a: Source::Const(FEATURE_CAP),
+                    b: Source::Field(fval),
+                }),
+            LoadTransform::SinceTs => Action::new("since")
+                .with(Primitive::Sub { dst: fval, a: Source::Field(m_now), b: Source::Field(fval) })
+                .with(Primitive::Min {
+                    dst: fval,
+                    a: Source::Field(fval),
+                    b: Source::Const(FEATURE_CAP),
+                }),
+        };
+        b.add_exact_entry(load_tables[*slot], vec![*sid as u64], action)?;
+    }
+
+    // --- stage 6: match-key generators (value → range mark)
+    let mut keygen_entries: Vec<Vec<PendingEntry>> = vec![Vec::new(); k];
+    for (sid, rules) in &summary.subtree_rules {
+        let assignment = slot_assignment(&rules.features);
+        for ft in &rules.feature_tables {
+            let slot = assignment[&ft.feature];
+            for rule in &ft.rules {
+                keygen_entries[slot].push((
+                    vec![
+                        Ternary::exact(*sid as u64, 8),
+                        Ternary::new(rule.prefix.value, rule.prefix.mask),
+                    ],
+                    10,
+                    Action::new("mark").with(Primitive::set_const(slots[slot].mark, rule.mark)),
+                ));
+            }
+        }
+    }
+    for slot in 0..k {
+        let t = b.add_table(
+            TableSpec::ternary(
+                format!("keygen_{slot}"),
+                vec![m_sid, slots[slot].fval],
+                keygen_entries[slot].len().max(1),
+            ),
+            6,
+        );
+        b.set_default(t, Action::new("zero").with(Primitive::set_const(slots[slot].mark, 0)));
+        for (key, prio, action) in keygen_entries[slot].drain(..) {
+            b.add_ternary_entry(t, key, prio, action)?;
+        }
+    }
+
+    // --- stage 7: model MAT
+    let mut model_key: Vec<FieldId> = vec![m_boundary, m_final, m_sid];
+    for meta in &slots {
+        model_key.push(meta.mark);
+    }
+    let mut model_entries: Vec<PendingEntry> = Vec::new();
+    for (sid, rules) in &summary.subtree_rules {
+        let st = model.subtree(*sid);
+        let assignment = slot_assignment(&rules.features);
+        let last_partition = st.partition + 1 == p;
+        for mr in &rules.model {
+            // build mark patterns positioned by slot
+            let mut key_progress = vec![Ternary::ANY; 3 + k];
+            key_progress[0] = Ternary::exact(1, 1); // boundary
+            key_progress[1] = Ternary::exact(0, 1); // not final
+            key_progress[2] = Ternary::exact(*sid as u64, 8);
+            let mut key_final = vec![Ternary::ANY; 3 + k];
+            key_final[1] = Ternary::exact(1, 1); // final
+            key_final[2] = Ternary::exact(*sid as u64, 8);
+            for (fi, &(val, mask)) in mr.mark_patterns.iter().enumerate() {
+                let slot = assignment[&rules.features[fi]];
+                key_progress[3 + slot] = Ternary::new(val, mask);
+                key_final[3 + slot] = Ternary::new(val, mask);
+            }
+            let target = st.leaf_targets[mr.leaf_index as usize];
+            // flow-end entry: digest the best-known class
+            let final_class = match target {
+                LeafTarget::Class(c) => c,
+                LeafTarget::Next { fallback, .. } => fallback,
+            };
+            model_entries.push((
+                key_final,
+                20,
+                Action::new("flow_end")
+                    .with(Primitive::set_const(m_class, final_class as u64))
+                    .with(Primitive::Digest),
+            ));
+            // progress entry (skip for last partition: classification there
+            // only happens at flow end)
+            if !last_partition {
+                let action = match target {
+                    LeafTarget::Next { sid: next, fallback } => Action::new("advance")
+                        .with(Primitive::set_const(m_next_sid, next as u64))
+                        .with(Primitive::set_const(m_class, fallback as u64))
+                        .with(Primitive::Resubmit),
+                    LeafTarget::Class(c) => Action::new("early_exit")
+                        .with(Primitive::set_const(m_class, c as u64))
+                        .with(Primitive::Digest)
+                        // DONE sentinel: stored 254 → sid 255, which no
+                        // table entry matches.
+                        .with(Primitive::set_const(m_next_sid, 255))
+                        .with(Primitive::Resubmit),
+                };
+                model_entries.push((key_progress, 10, action));
+            }
+        }
+    }
+    let t_model =
+        b.add_table(TableSpec::ternary("model", model_key, model_entries.len().max(1)), 7);
+    for (key, prio, action) in model_entries {
+        b.add_ternary_entry(t_model, key, prio, action)?;
+    }
+
+    b.set_digest_fields(vec![fields.ipv4_src, fields.ipv4_dst, m_class, m_sid]);
+    b.set_resubmit_limit(4);
+
+    let program = b.build()?;
+    Ok(CompiledModel {
+        program,
+        io: CompiledIo {
+            fields,
+            flow_slots,
+            digest_src: 0,
+            digest_class: 2,
+            digest_sid: 3,
+            model_table: t_model,
+        },
+        summary,
+    })
+}
+
+fn scope_tag(s: Scope) -> &'static str {
+    match s {
+        Scope::All => "all",
+        Scope::Fwd => "fwd",
+        Scope::Bwd => "bwd",
+    }
+}
+
+fn operand_source(
+    op: Operand,
+    f_len: FieldId,
+    m_payload: FieldId,
+    m_neg_len: FieldId,
+    m_now: FieldId,
+    m_iat: &BTreeMap<Scope, FieldId>,
+    m_neg_iat: &BTreeMap<Scope, FieldId>,
+) -> Result<Source, CompileError> {
+    Ok(match op {
+        Operand::One => Source::Const(1),
+        Operand::FrameLen => Source::Field(f_len),
+        Operand::NegFrameLen => Source::Field(m_neg_len),
+        Operand::HdrLen => Source::Const(58), // fixed L2+shim+L3+L4 header
+        Operand::PayloadLen => Source::Field(m_payload),
+        Operand::NowUs => Source::Field(m_now),
+        Operand::Iat(s) => Source::Field(
+            *m_iat.get(&s).ok_or_else(|| CompileError::InvalidModel("missing iat dep".into()))?,
+        ),
+        Operand::NegIat(s) => Source::Field(
+            *m_neg_iat
+                .get(&s)
+                .ok_or_else(|| CompileError::InvalidModel("missing neg iat dep".into()))?,
+        ),
+    })
+}
+
+/// Expands a slot guard into ternary keys over the slot-table key layout:
+/// `[is_resubmit, sid, dir, tcp_flags, frame_len, payload, win_first,
+/// valid…]`.
+fn guard_keys(
+    guard: &Guard,
+    sid: u16,
+    key_len: usize,
+    valid_pos: &BTreeMap<Scope, usize>,
+) -> Vec<Vec<Ternary>> {
+    let mut base = vec![Ternary::ANY; key_len];
+    base[0] = Ternary::exact(0, 1);
+    base[1] = Ternary::exact(sid as u64, 8);
+    match guard.scope {
+        Scope::All => {}
+        Scope::Fwd => base[2] = Ternary::exact(1, 1),
+        Scope::Bwd => base[2] = Ternary::exact(0, 1),
+    }
+    if guard.flags_mask != 0 {
+        base[3] = Ternary::new(guard.flags_mask as u64, guard.flags_mask as u64);
+    }
+    if guard.win_first_only {
+        base[6] = Ternary::exact(1, 1);
+    }
+    if let Some(s) = guard.require_prev {
+        let pos = valid_pos[&s];
+        base[pos] = Ternary::exact(1, 1);
+    }
+    // range guards expand into prefix cross products
+    let len_prefixes = match guard.len_range {
+        Some((lo, hi)) => range_to_prefixes(lo as u64, hi as u64, 16),
+        None => vec![splidt_ranging::Prefix { value: 0, mask: 0 }],
+    };
+    let payload_prefixes = match guard.payload_range {
+        Some((lo, hi)) => range_to_prefixes(lo as u64, hi as u64, 16),
+        None => vec![splidt_ranging::Prefix { value: 0, mask: 0 }],
+    };
+    let mut out = Vec::with_capacity(len_prefixes.len() * payload_prefixes.len());
+    for lp in &len_prefixes {
+        for pp in &payload_prefixes {
+            let mut key = base.clone();
+            key[4] = Ternary::new(lp.value, lp.mask);
+            key[5] = Ternary::new(pp.value, pp.mask);
+            out.push(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplidtConfig;
+    use crate::train::train_partitioned;
+    use splidt_flow::{generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId};
+
+    fn small_model() -> PartitionedTree {
+        let flows = generate(DatasetId::D2, 300, 21);
+        let (tr, _) = stratified_split(&flows, 0.3, 5);
+        let wd = windowed_dataset(
+            &select_flows(&flows, &tr),
+            3,
+            spec(DatasetId::D2).n_classes as usize,
+        );
+        let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+        train_partitioned(&wd, &cfg, &catalog().hardware_eligible())
+    }
+
+    #[test]
+    fn compiles_and_fits_tofino1() {
+        let model = small_model();
+        let compiled = compile(&model, 1 << 14).expect("compiles");
+        assert!(compiled.program.stages().len() <= 8);
+        let report = splidt_dataplane::resources::check(
+            &compiled.program,
+            &splidt_dataplane::resources::TargetSpec::tofino1(),
+        );
+        assert!(report.feasible(), "violations: {:?}", report.violations);
+        assert!(compiled.program.tcam_entries() > 0);
+    }
+
+    #[test]
+    fn rules_summary_accounting() {
+        let model = small_model();
+        let s = model_rules(&model);
+        assert_eq!(s.subtree_rules.len(), model.n_subtrees());
+        assert_eq!(s.tcam_entries, s.feature_entries + s.model_entries);
+        let total_leaves: usize =
+            model.subtrees.iter().map(|st| st.tree.n_leaves() as usize).sum();
+        assert_eq!(s.model_entries, total_leaves);
+        assert!(s.model_key_bits >= 10);
+    }
+
+    #[test]
+    fn rejects_bad_flow_slots() {
+        let model = small_model();
+        assert!(matches!(compile(&model, 1000), Err(CompileError::Unsupported(_))));
+    }
+
+    #[test]
+    fn guard_key_expansion() {
+        let g = Guard {
+            scope: Scope::Fwd,
+            flags_mask: 0x08,
+            len_range: Some((0, 128)),
+            payload_range: None,
+            require_prev: None,
+            win_first_only: false,
+        };
+        let keys = guard_keys(&g, 3, 8, &BTreeMap::new());
+        assert!(!keys.is_empty());
+        for k in &keys {
+            assert_eq!(k[1], Ternary::exact(3, 8));
+            assert_eq!(k[2], Ternary::exact(1, 1));
+            assert_eq!(k[3], Ternary::new(0x08, 0x08));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # splidt-core — SpliDT: partitioned decision trees at line rate
+//!
+//! The paper's primary contribution ([SIGCOMM 2025](https://arxiv.org/abs/2509.00397)),
+//! reproduced end to end:
+//!
+//! * [`config`] / [`model`] — partitioned-tree configurations and the model
+//!   itself (subtrees, SIDs, per-subtree feature sets, early exits);
+//! * [`train`] — Algorithm 1, the recursive per-partition training;
+//! * [`compile`] — partitioned tree → match-action pipeline program
+//!   (operator-selection MATs, key-generator MATs, the Range-Marking model
+//!   MAT, register allocation, resubmission protocol);
+//! * [`runtime`] — packet-level execution on the simulator with
+//!   digest-vs-software equivalence checking;
+//! * [`resources`] — the analytic feasibility model (flows ↔ registers ↔
+//!   TCAM ↔ stages) driving the design search;
+//! * [`recirc`] / [`ttd`] — recirculation-bandwidth and time-to-detection
+//!   analyses (Tables 1/5, Figure 10);
+//! * [`baselines`] — NetBeacon, Leo, per-packet and ideal comparators.
+
+pub mod baselines;
+pub mod compile;
+pub mod config;
+pub mod model;
+pub mod recirc;
+pub mod resources;
+pub mod runtime;
+pub mod train;
+pub mod ttd;
+
+/// Default feature precision (bits) — re-exported for configs.
+pub const FEATURE_BITS_DEFAULT: u8 = splidt_flow::FEATURE_BITS;
+
+pub use compile::{compile, model_rules, CompiledModel, RulesSummary};
+pub use config::SplidtConfig;
+pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
+pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};
+pub use runtime::{run_flows, RuntimeReport};
+pub use train::{evaluate_partitioned, train_partitioned};

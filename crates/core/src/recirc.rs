@@ -1,0 +1,90 @@
+//! Recirculation-bandwidth accounting for partitioned models
+//! (Tables 1 and 5 of the paper).
+//!
+//! SpliDT resubmits exactly one control packet per window boundary
+//! (`p − 1` per flow, plus possibly one terminal resubmission after an
+//! early exit — bounded by the same `p − 1`). The bandwidth therefore
+//! follows the flow-churn rate of the datacenter environment; this module
+//! glues a model's partition count to the [`splidt_flow::dcn`] workload
+//! models.
+
+use crate::model::PartitionedTree;
+use splidt_flow::dcn::{recirc_mbps_analytic, simulate_recirc, Environment, RecircStats};
+
+/// Recirculation statistics of a model under an environment at a flow
+/// count.
+pub fn model_recirc(
+    model: &PartitionedTree,
+    env: &Environment,
+    n_flows: u64,
+    seed: u64,
+) -> RecircStats {
+    simulate_recirc(env, n_flows, model.n_partitions(), seed, 600)
+}
+
+/// Analytic mean (headline of Tables 1/5).
+pub fn model_recirc_analytic(model: &PartitionedTree, env: &Environment, n_flows: u64) -> f64 {
+    recirc_mbps_analytic(env, n_flows, model.n_partitions())
+}
+
+/// Fraction of the target's recirculation bandwidth consumed (the paper's
+/// "≤ 0.05 %" headline claim).
+pub fn recirc_fraction(mbps: f64, recirc_gbps: f64) -> f64 {
+    mbps / (recirc_gbps * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplidtConfig;
+    use crate::model::{LeafTarget, PartitionedTree, Subtree};
+    use splidt_dt::Tree;
+
+    fn model_with_partitions(p: usize) -> PartitionedTree {
+        // A chain of single-leaf subtrees is enough for recirc accounting.
+        let mut subtrees = Vec::new();
+        for i in 0..p {
+            let target = if i + 1 < p {
+                LeafTarget::Next { sid: (i + 2) as u16, fallback: 0 }
+            } else {
+                LeafTarget::Class(0)
+            };
+            subtrees.push(Subtree {
+                sid: (i + 1) as u16,
+                partition: i,
+                tree: Tree::leaf(0, 1, 4),
+                leaf_targets: vec![target],
+            });
+        }
+        PartitionedTree {
+            config: SplidtConfig { partitions: vec![1; p], k: 2, ..Default::default() },
+            subtrees,
+            n_classes: 2,
+        }
+    }
+
+    #[test]
+    fn more_partitions_more_bandwidth() {
+        let ws = Environment::webserver();
+        let m3 = model_recirc_analytic(&model_with_partitions(3), &ws, 500_000);
+        let m6 = model_recirc_analytic(&model_with_partitions(6), &ws, 500_000);
+        assert!(m6 > m3 * 2.0);
+    }
+
+    #[test]
+    fn single_partition_zero() {
+        let ws = Environment::webserver();
+        assert_eq!(model_recirc_analytic(&model_with_partitions(1), &ws, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn fraction_of_budget_is_tiny() {
+        let hd = Environment::hadoop();
+        let m = model_with_partitions(6);
+        let stats = model_recirc(&m, &hd, 1_000_000, 7);
+        // The paper's worst case: ~0.05% of the 100 Gbps recirc budget.
+        let frac = recirc_fraction(stats.max_mbps, 100.0);
+        assert!(frac < 0.005, "fraction {frac}");
+        assert!(frac > 0.0);
+    }
+}

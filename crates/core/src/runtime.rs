@@ -1,0 +1,242 @@
+//! Data-plane runtime: serialize flow traces into frames, interleave them
+//! on a shared timeline, push them through the compiled pipeline, and
+//! score the digests against ground truth.
+//!
+//! This is the reproduction's equivalent of the paper's testbed run
+//! (MoonGen → Tofino1 → digest collection), and the place where the core
+//! fidelity invariant is checked: *data-plane inference must equal the
+//! software reference* ([`PartitionedTree::predict`]) flow-for-flow.
+
+use crate::compile::{compile, CompileError, CompiledModel};
+use crate::model::PartitionedTree;
+use splidt_dataplane::hash::flow_index;
+use splidt_dataplane::packet::PacketBuilder;
+use splidt_dataplane::pipeline::{Meters, Pipeline};
+use splidt_dt::metrics::macro_f1;
+use splidt_flow::features::catalog;
+use splidt_flow::{extract_windows, FlowTrace};
+use std::collections::HashMap;
+
+/// Per-flow result of a data-plane run.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Ground truth.
+    pub label: u16,
+    /// First digest's class (None = no digest seen — a bug if it happens).
+    pub predicted: Option<u16>,
+    /// Software-reference prediction for the same flow.
+    pub software: u16,
+    /// Digests observed for this flow.
+    pub digests: usize,
+    /// Time-to-detection: first digest time − first packet time (µs).
+    pub ttd_us: Option<u64>,
+}
+
+/// Aggregate report of a data-plane run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Macro-F1 of data-plane verdicts.
+    pub f1: f64,
+    /// Fraction of flows where data-plane class == software class.
+    pub software_agreement: f64,
+    /// Per-flow outcomes.
+    pub flows: Vec<FlowOutcome>,
+    /// Pipeline meters (packets, passes, resubmissions, digests…).
+    pub meters: Meters,
+    /// Mean resubmissions per flow.
+    pub recirc_per_flow: f64,
+    /// Flows dropped due to register-slot collisions (hash collisions are
+    /// real behaviour; colliding flows are excluded from scoring).
+    pub collisions_skipped: usize,
+}
+
+/// The canonical register index of a flow (must match the pipeline's
+/// `HashFlow` primitive: the 5-tuple is ordered before hashing).
+pub fn canonical_flow_index(f: &FlowTrace, slots: usize) -> usize {
+    let t = f.tuple;
+    let ((sip, sp), (dip, dp)) = if (t.src_ip, t.src_port) > (t.dst_ip, t.dst_port) {
+        ((t.dst_ip, t.dst_port), (t.src_ip, t.src_port))
+    } else {
+        ((t.src_ip, t.src_port), (t.dst_ip, t.dst_port))
+    };
+    flow_index(sip, dip, sp, dp, t.proto, slots)
+}
+
+/// Runs `flows` through a freshly compiled pipeline for `model`.
+///
+/// Flows are staggered `stagger_us` apart and their packets merged into one
+/// timeline, so many flows are in flight concurrently and register-state
+/// separation is genuinely exercised.
+pub fn run_flows(
+    model: &PartitionedTree,
+    flows: &[FlowTrace],
+    flow_slots: usize,
+    stagger_us: u64,
+) -> Result<RuntimeReport, CompileError> {
+    let compiled: CompiledModel = compile(model, flow_slots)?;
+    run_flows_compiled(model, compiled, flows, stagger_us)
+}
+
+/// Like [`run_flows`] but reusing an already-compiled model.
+pub fn run_flows_compiled(
+    model: &PartitionedTree,
+    compiled: CompiledModel,
+    flows: &[FlowTrace],
+    stagger_us: u64,
+) -> Result<RuntimeReport, CompileError> {
+    let mut pipe = Pipeline::new(compiled.program);
+    let fields = compiled.io.fields;
+    let slots = compiled.io.flow_slots;
+
+    // Drop flows whose canonical register slot collides with an earlier
+    // flow: shared state would corrupt both (the paper sizes registers so
+    // collisions are negligible; we surface them instead of hiding them).
+    let mut slot_owner: HashMap<usize, usize> = HashMap::new();
+    let mut kept: Vec<usize> = Vec::new();
+    let mut collisions = 0usize;
+    for (i, f) in flows.iter().enumerate() {
+        let idx = canonical_flow_index(f, slots);
+        if slot_owner.contains_key(&idx) {
+            collisions += 1;
+        } else {
+            slot_owner.insert(idx, i);
+            kept.push(i);
+        }
+    }
+
+    // Build the merged timeline: (ts, flow, packet index).
+    let mut events: Vec<(u64, usize, usize)> = Vec::new();
+    for (order, &i) in kept.iter().enumerate() {
+        let base = 1_000 + order as u64 * stagger_us;
+        for (j, p) in flows[i].packets.iter().enumerate() {
+            events.push((base + p.ts_us, i, j));
+        }
+    }
+    events.sort_unstable();
+
+    // Process packets.
+    for &(ts, i, j) in &events {
+        let f = &flows[i];
+        let p = &f.packets[j];
+        let wt = f.wire_tuple(j);
+        let payload = p.frame_len.saturating_sub(58);
+        let frame = PacketBuilder::tcp(wt.src_ip, wt.dst_ip, wt.src_port, wt.dst_port)
+            .flags(p.tcp_flags)
+            .payload(payload)
+            .flow_size(f.size_pkts() as u16)
+            .build();
+        pipe.process_packet(&frame, ts, &fields).expect("well-formed frame");
+    }
+
+    // Collate digests by initiator IP (unique per flow in our traces).
+    let mut digests_by_flow: HashMap<u32, Vec<(u64, u16)>> = HashMap::new();
+    for d in pipe.take_digests() {
+        let src = d.values[compiled.io.digest_src] as u32;
+        let dst = d.values[1] as u32;
+        // The initiator IP (10.0.0.0/8 pool) is unique per flow and always
+        // the numerically smaller of the pair in our traces.
+        let key = src.min(dst);
+        let class = d.values[compiled.io.digest_class] as u16;
+        digests_by_flow.entry(key).or_default().push((d.ts_us, class));
+    }
+
+    let cat = catalog();
+    let p = model.n_partitions();
+    let mut outcomes = Vec::with_capacity(kept.len());
+    let mut truth = Vec::new();
+    let mut preds = Vec::new();
+    let mut agree = 0usize;
+    for (order, &i) in kept.iter().enumerate() {
+        let f = &flows[i];
+        let base = 1_000 + order as u64 * stagger_us;
+        let key = f.tuple.src_ip.min(f.tuple.dst_ip);
+        let ds = digests_by_flow.get(&key);
+        let first = ds.and_then(|v| v.iter().min_by_key(|(ts, _)| *ts).copied());
+        let windows = extract_windows(f, p, cat);
+        let software = model.predict(&windows).class;
+        let outcome = FlowOutcome {
+            label: f.label,
+            predicted: first.map(|(_, c)| c),
+            software,
+            digests: ds.map(|v| v.len()).unwrap_or(0),
+            ttd_us: first.map(|(ts, _)| ts.saturating_sub(base + f.packets[0].ts_us)),
+        };
+        if let Some(c) = outcome.predicted {
+            truth.push(f.label);
+            preds.push(c);
+            if c == software {
+                agree += 1;
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    let f1 = if truth.is_empty() { 0.0 } else { macro_f1(&truth, &preds, model.n_classes) };
+    let software_agreement =
+        if outcomes.is_empty() { 1.0 } else { agree as f64 / outcomes.len() as f64 };
+    let meters = pipe.meters().clone();
+    let recirc_per_flow = if kept.is_empty() {
+        0.0
+    } else {
+        meters.resubmissions as f64 / kept.len() as f64
+    };
+    Ok(RuntimeReport {
+        f1,
+        software_agreement,
+        flows: outcomes,
+        meters,
+        recirc_per_flow,
+        collisions_skipped: collisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplidtConfig;
+    use crate::train::train_partitioned;
+    use splidt_flow::{generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId};
+
+    fn model_and_flows() -> (PartitionedTree, Vec<FlowTrace>) {
+        let flows = generate(DatasetId::D2, 260, 33);
+        let (tr, te) = stratified_split(&flows, 0.25, 6);
+        let nc = spec(DatasetId::D2).n_classes as usize;
+        let wd = windowed_dataset(&select_flows(&flows, &tr), 3, nc);
+        let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+        let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+        (model, select_flows(&flows, &te))
+    }
+
+    #[test]
+    fn dataplane_matches_software_reference() {
+        let (model, test_flows) = model_and_flows();
+        let report = run_flows(&model, &test_flows, 1 << 16, 5_000).unwrap();
+        assert_eq!(report.collisions_skipped, 0, "choose more slots");
+        // every flow classified exactly once, and exactly like software
+        for (i, o) in report.flows.iter().enumerate() {
+            assert_eq!(o.digests, 1, "flow {i} produced {} digests", o.digests);
+            assert_eq!(
+                o.predicted,
+                Some(o.software),
+                "flow {i}: dataplane {:?} vs software {}",
+                o.predicted,
+                o.software
+            );
+        }
+        assert!((report.software_agreement - 1.0).abs() < 1e-9);
+        assert!(report.f1 > 0.4, "f1 {}", report.f1);
+    }
+
+    #[test]
+    fn recirculation_counts_match_windows() {
+        let (model, test_flows) = model_and_flows();
+        let report = run_flows(&model, &test_flows, 1 << 16, 5_000).unwrap();
+        // each flow crosses ≤ p−1 window boundaries, each costing one
+        // resubmission (early exits can add one terminal resubmission)
+        let p = model.n_partitions() as f64;
+        assert!(report.recirc_per_flow <= p, "recirc/flow {}", report.recirc_per_flow);
+        assert!(report.meters.resubmissions > 0);
+        // TTD recorded and positive
+        assert!(report.flows.iter().all(|o| o.ttd_us.is_some()));
+    }
+}

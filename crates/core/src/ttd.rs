@@ -1,0 +1,145 @@
+//! Time-to-detection (TTD) simulation — Figure 10.
+//!
+//! TTD is the time from the start of tree traversal to the final verdict.
+//! For all three systems the verdict lands near the end of the flow's
+//! observation (SpliDT: the last window boundary; NetBeacon: the deepest
+//! phase boundary; Leo: once enough of the flow has been seen), so the
+//! ECDFs nearly coincide — the paper's point being that partitioned
+//! inference does *not* slow detection.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use splidt_flow::dcn::Environment;
+
+/// Which system's decision point to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TtdSystem {
+    /// SpliDT with `p` partitions: verdict at the last window boundary
+    /// (the end of window `p` = flow end), or earlier on early exit.
+    Splidt {
+        /// Partition count.
+        partitions: usize,
+        /// Probability a flow exits early at any given boundary
+        /// (measured from a trained model; 0 for none).
+        early_exit_prob: f64,
+    },
+    /// NetBeacon: verdict at the deepest phase boundary `2^m` packets, or
+    /// flow end for shorter flows.
+    NetBeacon {
+        /// Number of phases.
+        phases: usize,
+    },
+    /// Leo: one-shot verdict once the flow has been observed.
+    Leo,
+}
+
+/// Samples `n` per-flow TTDs (milliseconds) under `env`.
+pub fn sample_ttd_ms(system: TtdSystem, env: &Environment, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x77D);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dur_s = env.sample_duration_s(&mut rng);
+        let size = env.sample_size_pkts(&mut rng) as f64;
+        let ttd_s = match system {
+            TtdSystem::Splidt { partitions, early_exit_prob } => {
+                // Verdict at boundary j with geometric early-exit chance,
+                // else at the final boundary (= flow end).
+                let mut frac = 1.0;
+                for j in 1..partitions {
+                    if rand::Rng::random::<f64>(&mut rng) < early_exit_prob {
+                        frac = j as f64 / partitions as f64;
+                        break;
+                    }
+                }
+                dur_s * frac
+            }
+            TtdSystem::NetBeacon { phases } => {
+                let deepest = (1usize << phases) as f64;
+                // Fraction of the flow observed at the deepest phase.
+                dur_s * (deepest / size).min(1.0)
+            }
+            TtdSystem::Leo => dur_s,
+        };
+        out.push(ttd_s * 1000.0);
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    out
+}
+
+/// Empirical CDF points `(value_ms, fraction ≤ value)` from sorted samples.
+pub fn ecdf(sorted_ms: &[f64]) -> Vec<(f64, f64)> {
+    let n = sorted_ms.len() as f64;
+    sorted_ms
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// The value at quantile `q` of sorted samples.
+pub fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let idx = ((sorted_ms.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted_ms[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systems_have_similar_medians() {
+        let ws = Environment::webserver();
+        let sp = sample_ttd_ms(
+            TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.05 },
+            &ws,
+            4000,
+            1,
+        );
+        let nb = sample_ttd_ms(TtdSystem::NetBeacon { phases: 8 }, &ws, 4000, 2);
+        let leo = sample_ttd_ms(TtdSystem::Leo, &ws, 4000, 3);
+        let (m_sp, m_nb, m_leo) =
+            (quantile(&sp, 0.5), quantile(&nb, 0.5), quantile(&leo, 0.5));
+        // within a small factor of each other (the paper's Figure 10 shape)
+        for (a, b) in [(m_sp, m_leo), (m_nb, m_leo)] {
+            let ratio = a / b;
+            assert!((0.2..=1.2).contains(&ratio), "median ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn hadoop_detects_faster_than_webserver() {
+        let sys = TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.0 };
+        let ws = sample_ttd_ms(sys, &Environment::webserver(), 4000, 4);
+        let hd = sample_ttd_ms(sys, &Environment::hadoop(), 4000, 5);
+        assert!(quantile(&hd, 0.5) < quantile(&ws, 0.5));
+    }
+
+    #[test]
+    fn early_exit_shortens_ttd() {
+        let ws = Environment::webserver();
+        let none = sample_ttd_ms(
+            TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.0 },
+            &ws,
+            4000,
+            6,
+        );
+        let lots = sample_ttd_ms(
+            TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.5 },
+            &ws,
+            4000,
+            6,
+        );
+        assert!(quantile(&lots, 0.5) < quantile(&none, 0.5));
+    }
+
+    #[test]
+    fn ecdf_shape() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let e = ecdf(&xs);
+        assert_eq!(e.first().unwrap().1, 0.25);
+        assert_eq!(e.last().unwrap().1, 1.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+    }
+}

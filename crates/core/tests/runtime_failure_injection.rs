@@ -1,0 +1,54 @@
+//! Failure injection on the data-plane runtime: register-slot collisions,
+//! heavy interleaving, and tiny flows.
+
+use splidt_core::runtime::canonical_flow_index;
+use splidt_core::{run_flows, train_partitioned, SplidtConfig};
+use splidt_flow::{
+    catalog, generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId,
+};
+
+#[test]
+fn hash_collisions_are_detected_and_skipped() {
+    let id = DatasetId::D2;
+    let nc = spec(id).n_classes as usize;
+    let flows = generate(id, 300, 13);
+    let (tr, te) = stratified_split(&flows, 0.3, 1);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    let cfg = SplidtConfig { partitions: vec![2, 2], k: 3, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, 2, nc);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    // Absurdly small register space: 16 slots for ~90 flows ⇒ collisions
+    // are guaranteed; the runtime must surface them, not mis-score.
+    let report = run_flows(&model, &test_flows, 16, 1_000).unwrap();
+    assert!(report.collisions_skipped > 0, "collisions must be detected");
+    let kept = report.flows.len();
+    assert_eq!(kept + report.collisions_skipped, test_flows.len());
+    // kept flows still classify exactly like software
+    for o in &report.flows {
+        assert_eq!(o.predicted, Some(o.software));
+    }
+    // slot indices of kept flows are unique by construction
+    let mut idxs: Vec<usize> =
+        (0..test_flows.len()).map(|i| canonical_flow_index(&test_flows[i], 16)).collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    assert!(idxs.len() <= 16);
+}
+
+#[test]
+fn heavy_interleaving_still_exact() {
+    // Very tight stagger: all flows effectively simultaneous — maximum
+    // interleaving pressure on register-state separation.
+    let id = DatasetId::D6;
+    let nc = spec(id).n_classes as usize;
+    let flows = generate(id, 160, 21);
+    let (tr, te) = stratified_split(&flows, 0.3, 2);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, 3, nc);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let report = run_flows(&model, &test_flows, 1 << 16, 1).unwrap();
+    assert!((report.software_agreement - 1.0).abs() < 1e-9, "interleaving broke state separation");
+}

@@ -1,0 +1,209 @@
+//! Action primitives executed on a table hit.
+//!
+//! Actions are short straight-line programs over PHV fields and register
+//! arrays, mirroring what a single RMT stage's VLIW action engine plus
+//! stateful ALUs can do: move/arith on fields, one read-modify-write per
+//! register array, and the two pipeline-control effects SpliDT relies on —
+//! **resubmit** (the in-band control channel) and **digest** (verdict
+//! export to the controller).
+
+use crate::phv::FieldId;
+use crate::register::{RegAluOp, RegId};
+use serde::{Deserialize, Serialize};
+
+/// An operand: a constant or a PHV field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// Immediate constant.
+    Const(u64),
+    /// Read a PHV field.
+    Field(FieldId),
+}
+
+/// Which value a register RMW exports to the PHV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AluOut {
+    /// The value before the update.
+    Old,
+    /// The value after the update.
+    New,
+}
+
+/// Re-export of the register ALU op for action declarations.
+pub type AluOp = RegAluOp;
+
+/// One action primitive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Primitive {
+    /// `dst = src` (masked to `dst` width).
+    Set {
+        /// Destination field.
+        dst: FieldId,
+        /// Source operand.
+        src: Source,
+    },
+    /// `dst = a + b` (wrapping, masked to `dst` width).
+    Add {
+        /// Destination field.
+        dst: FieldId,
+        /// Left operand.
+        a: Source,
+        /// Right operand.
+        b: Source,
+    },
+    /// `dst = a - b` (wrapping, masked to `dst` width).
+    Sub {
+        /// Destination field.
+        dst: FieldId,
+        /// Left operand.
+        a: Source,
+        /// Right operand.
+        b: Source,
+    },
+    /// `dst = min(a, b)` (masked to `dst` width). Used to cap operands
+    /// before they feed saturating feature registers.
+    Min {
+        /// Destination field.
+        dst: FieldId,
+        /// Left operand.
+        a: Source,
+        /// Right operand.
+        b: Source,
+    },
+    /// `dst = max(a, b)` (masked to `dst` width).
+    Max {
+        /// Destination field.
+        dst: FieldId,
+        /// Left operand.
+        a: Source,
+        /// Right operand.
+        b: Source,
+    },
+    /// `dst = a / divisor` (integer division by a compile-time constant).
+    ///
+    /// Hardware realizes small-constant division with a multiply-shift in
+    /// the ALU or a compact lookup table; SpliDT needs exactly one of these
+    /// — `window_len = flow_size / p` — per packet (see DESIGN.md).
+    DivConst {
+        /// Destination field.
+        dst: FieldId,
+        /// Dividend.
+        a: Source,
+        /// Compile-time divisor (> 0).
+        divisor: u64,
+    },
+    /// CRC32 hash of the canonicalized 5-tuple into `dst`, masked by
+    /// `mask` (a power-of-two-minus-one selecting the register index
+    /// range). Canonicalization orders (src, dst) so both directions of a
+    /// flow hash identically — the P4 original does the same with min/max
+    /// comparisons before the hash extern.
+    HashFlow {
+        /// Destination field (flow index metadata).
+        dst: FieldId,
+        /// Index mask (`slots - 1`).
+        mask: u64,
+    },
+    /// Read-modify-write on a register array element.
+    RegRmw {
+        /// Target register array.
+        reg: RegId,
+        /// Element index source (e.g. the flow-hash metadata field).
+        index: Source,
+        /// ALU operation.
+        op: AluOp,
+        /// ALU operand.
+        operand: Source,
+        /// Optionally export old/new value into a PHV field.
+        out: Option<(FieldId, AluOut)>,
+    },
+    /// Mark the packet for resubmission (recirculation) after this pass.
+    Resubmit,
+    /// Emit a digest (the program's digest field set) to the controller.
+    Digest,
+    /// Drop the packet at the end of the pass.
+    Drop,
+}
+
+impl Primitive {
+    /// Shorthand: `dst = const`.
+    pub fn set_const(dst: FieldId, v: u64) -> Self {
+        Primitive::Set { dst, src: Source::Const(v) }
+    }
+
+    /// Shorthand: `dst = field`.
+    pub fn set_field(dst: FieldId, src: FieldId) -> Self {
+        Primitive::Set { dst, src: Source::Field(src) }
+    }
+}
+
+/// A named action: a sequence of primitives executed on a hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Action {
+    /// Name (for debugging and rule dumps).
+    pub name: String,
+    /// Primitives, executed in order.
+    pub prims: Vec<Primitive>,
+}
+
+impl Action {
+    /// An action with no primitives.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), prims: Vec::new() }
+    }
+
+    /// No-op action (the default for most tables).
+    pub fn nop() -> Self {
+        Self::new("nop")
+    }
+
+    /// Appends a primitive (builder style).
+    pub fn with(mut self, p: Primitive) -> Self {
+        self.prims.push(p);
+        self
+    }
+
+    /// The register arrays this action touches.
+    pub fn regs_touched(&self) -> Vec<RegId> {
+        self.prims
+            .iter()
+            .filter_map(|p| match p {
+                Primitive::RegRmw { reg, .. } => Some(*reg),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::PhvLayout;
+
+    #[test]
+    fn builder_and_shorthands() {
+        let mut l = PhvLayout::new();
+        let a = l.add_field("a", 8);
+        let b = l.add_field("b", 8);
+        let act = Action::new("t")
+            .with(Primitive::set_const(a, 5))
+            .with(Primitive::set_field(b, a))
+            .with(Primitive::Resubmit);
+        assert_eq!(act.prims.len(), 3);
+        assert_eq!(act.name, "t");
+        assert!(act.regs_touched().is_empty());
+    }
+
+    #[test]
+    fn regs_touched_lists_rmws() {
+        let mut l = PhvLayout::new();
+        let idx = l.add_field("idx", 16);
+        let act = Action::new("r").with(Primitive::RegRmw {
+            reg: RegId(3),
+            index: Source::Field(idx),
+            op: AluOp::Add,
+            operand: Source::Const(1),
+            out: None,
+        });
+        assert_eq!(act.regs_touched(), vec![RegId(3)]);
+    }
+}

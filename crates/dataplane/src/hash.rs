@@ -1,0 +1,87 @@
+//! CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`), the hash SpliDT
+//! uses to map a flow's 5-tuple onto register indices (paper §3.1.1).
+//!
+//! Table-driven implementation; the table is computed at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC32 of a byte slice (IEEE, as used by Ethernet FCS and zlib).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Hashes a 5-tuple into a register index in `0..slots`.
+///
+/// `slots` must be a power of two (register arrays are sized that way so the
+/// hardware can mask instead of divide).
+pub fn flow_index(
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    proto: u8,
+    slots: usize,
+) -> usize {
+    assert!(slots.is_power_of_two(), "slots must be a power of two");
+    let mut buf = [0u8; 13];
+    buf[0..4].copy_from_slice(&src_ip.to_be_bytes());
+    buf[4..8].copy_from_slice(&dst_ip.to_be_bytes());
+    buf[8..10].copy_from_slice(&src_port.to_be_bytes());
+    buf[10..12].copy_from_slice(&dst_port.to_be_bytes());
+    buf[12] = proto;
+    (crc32(&buf) as usize) & (slots - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn flow_index_in_range_and_deterministic() {
+        let a = flow_index(0x0a000001, 0x0a000002, 1234, 80, 6, 1 << 16);
+        let b = flow_index(0x0a000001, 0x0a000002, 1234, 80, 6, 1 << 16);
+        assert_eq!(a, b);
+        assert!(a < (1 << 16));
+    }
+
+    #[test]
+    fn different_tuples_usually_differ() {
+        let a = flow_index(1, 2, 3, 4, 6, 1 << 20);
+        let b = flow_index(1, 2, 3, 5, 6, 1 << 20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        flow_index(1, 2, 3, 4, 6, 1000);
+    }
+}

@@ -1,0 +1,228 @@
+//! The programmable parser: packet bytes → PHV fields.
+//!
+//! Mirrors a P4 parser for the header stack produced by
+//! [`crate::packet::PacketBuilder`]: Ethernet, optional flow-size shim,
+//! IPv4, then TCP or UDP. Parsed values land in the [`StandardFields`]
+//! registered on the program's [`PhvLayout`].
+
+use crate::packet::{ETHERTYPE_IPV4, FLOW_SHIM_ETHERTYPE, IPPROTO_TCP, IPPROTO_UDP};
+use crate::phv::{FieldId, Phv, PhvLayout};
+
+/// Field ids of the standard parsed headers plus intrinsic metadata.
+///
+/// `ts_us` (ingress timestamp, microseconds) and `is_resubmit` are intrinsic
+/// metadata set by the pipeline, not the parser.
+#[derive(Debug, Clone, Copy)]
+pub struct StandardFields {
+    /// IPv4 source address.
+    pub ipv4_src: FieldId,
+    /// IPv4 destination address.
+    pub ipv4_dst: FieldId,
+    /// IPv4 protocol.
+    pub ip_proto: FieldId,
+    /// IPv4 total length (bytes).
+    pub ip_len: FieldId,
+    /// IPv4 TTL.
+    pub ttl: FieldId,
+    /// L4 source port.
+    pub sport: FieldId,
+    /// L4 destination port.
+    pub dport: FieldId,
+    /// TCP flags (0 for UDP).
+    pub tcp_flags: FieldId,
+    /// Flow size in packets from the shim header (0 when absent).
+    pub flow_size: FieldId,
+    /// Ingress timestamp in microseconds (intrinsic metadata).
+    pub ts_us: FieldId,
+    /// 1 when the PHV re-enters via resubmission (intrinsic metadata).
+    pub is_resubmit: FieldId,
+    /// Frame length in bytes (intrinsic metadata).
+    pub frame_len: FieldId,
+}
+
+impl StandardFields {
+    /// Registers the standard fields on a layout.
+    pub fn register(layout: &mut PhvLayout) -> Self {
+        Self {
+            ipv4_src: layout.add_field("ipv4.src", 32),
+            ipv4_dst: layout.add_field("ipv4.dst", 32),
+            ip_proto: layout.add_field("ipv4.proto", 8),
+            ip_len: layout.add_field("ipv4.len", 16),
+            ttl: layout.add_field("ipv4.ttl", 8),
+            sport: layout.add_field("l4.sport", 16),
+            dport: layout.add_field("l4.dport", 16),
+            tcp_flags: layout.add_field("tcp.flags", 8),
+            flow_size: layout.add_field("shim.flow_size", 16),
+            ts_us: layout.add_field("ig.ts_us", 48),
+            is_resubmit: layout.add_field("ig.is_resubmit", 1),
+            frame_len: layout.add_field("ig.frame_len", 16),
+        }
+    }
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The frame ended before a header could be read.
+    TooShort {
+        /// Which header was being parsed.
+        header: &'static str,
+    },
+    /// EtherType is neither IPv4 nor the flow-size shim.
+    UnsupportedEtherType(u16),
+    /// IP protocol is neither TCP nor UDP.
+    UnsupportedProtocol(u8),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::TooShort { header } => write!(f, "frame too short parsing {header}"),
+            ParseError::UnsupportedEtherType(e) => write!(f, "unsupported ethertype {e:#06x}"),
+            ParseError::UnsupportedProtocol(p) => write!(f, "unsupported ip protocol {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn be16(b: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([b[off], b[off + 1]])
+}
+
+fn be32(b: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+/// Parses a frame into a fresh PHV using the standard field set.
+pub fn parse(
+    frame: &[u8],
+    layout: &PhvLayout,
+    fields: &StandardFields,
+) -> Result<Phv, ParseError> {
+    let mut phv = layout.new_phv();
+    if frame.len() < 14 {
+        return Err(ParseError::TooShort { header: "ethernet" });
+    }
+    let mut off = 12;
+    let mut ethertype = be16(frame, off);
+    off += 2;
+    if ethertype == FLOW_SHIM_ETHERTYPE {
+        if frame.len() < off + 4 {
+            return Err(ParseError::TooShort { header: "flow shim" });
+        }
+        phv.set(fields.flow_size, be16(frame, off) as u64);
+        ethertype = be16(frame, off + 2);
+        off += 4;
+    }
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::UnsupportedEtherType(ethertype));
+    }
+    if frame.len() < off + 20 {
+        return Err(ParseError::TooShort { header: "ipv4" });
+    }
+    let ihl = (frame[off] & 0x0F) as usize * 4;
+    phv.set(fields.ip_len, be16(frame, off + 2) as u64);
+    phv.set(fields.ttl, frame[off + 8] as u64);
+    let proto = frame[off + 9];
+    phv.set(fields.ip_proto, proto as u64);
+    phv.set(fields.ipv4_src, be32(frame, off + 12) as u64);
+    phv.set(fields.ipv4_dst, be32(frame, off + 16) as u64);
+    let l4 = off + ihl;
+    match proto {
+        IPPROTO_TCP => {
+            if frame.len() < l4 + 20 {
+                return Err(ParseError::TooShort { header: "tcp" });
+            }
+            phv.set(fields.sport, be16(frame, l4) as u64);
+            phv.set(fields.dport, be16(frame, l4 + 2) as u64);
+            phv.set(fields.tcp_flags, frame[l4 + 13] as u64);
+        }
+        IPPROTO_UDP => {
+            if frame.len() < l4 + 8 {
+                return Err(ParseError::TooShort { header: "udp" });
+            }
+            phv.set(fields.sport, be16(frame, l4) as u64);
+            phv.set(fields.dport, be16(frame, l4 + 2) as u64);
+        }
+        other => return Err(ParseError::UnsupportedProtocol(other)),
+    }
+    phv.set(fields.frame_len, frame.len() as u64);
+    Ok(phv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, TcpFlags};
+
+    fn layout() -> (PhvLayout, StandardFields) {
+        let mut l = PhvLayout::new();
+        let f = StandardFields::register(&mut l);
+        (l, f)
+    }
+
+    #[test]
+    fn parses_tcp_with_shim() {
+        let (l, f) = layout();
+        let frame = PacketBuilder::tcp(0x0a000001, 0x0a000002, 4321, 443)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .payload(64)
+            .flow_size(100)
+            .build();
+        let phv = parse(&frame, &l, &f).unwrap();
+        assert_eq!(phv.get(f.ipv4_src), 0x0a000001);
+        assert_eq!(phv.get(f.ipv4_dst), 0x0a000002);
+        assert_eq!(phv.get(f.sport), 4321);
+        assert_eq!(phv.get(f.dport), 443);
+        assert_eq!(phv.get(f.tcp_flags), (TcpFlags::SYN | TcpFlags::ACK) as u64);
+        assert_eq!(phv.get(f.flow_size), 100);
+        assert_eq!(phv.get(f.ip_len), 20 + 20 + 64);
+        assert_eq!(phv.get(f.frame_len), frame.len() as u64);
+    }
+
+    #[test]
+    fn parses_udp_without_shim() {
+        let (l, f) = layout();
+        let frame = PacketBuilder::udp(1, 2, 53, 5353).payload(32).build();
+        let phv = parse(&frame, &l, &f).unwrap();
+        assert_eq!(phv.get(f.ip_proto), 17);
+        assert_eq!(phv.get(f.flow_size), 0);
+        assert_eq!(phv.get(f.tcp_flags), 0);
+        assert_eq!(phv.get(f.sport), 53);
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        let (l, f) = layout();
+        assert_eq!(
+            parse(&[0u8; 10], &l, &f),
+            Err(ParseError::TooShort { header: "ethernet" })
+        );
+    }
+
+    #[test]
+    fn truncated_tcp_rejected() {
+        let (l, f) = layout();
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).build();
+        let cut = &frame[..frame.len() - 10];
+        assert_eq!(parse(cut, &l, &f), Err(ParseError::TooShort { header: "tcp" }));
+    }
+
+    #[test]
+    fn unknown_ethertype_rejected() {
+        let (l, f) = layout();
+        let mut frame = PacketBuilder::udp(1, 2, 3, 4).build().to_vec();
+        frame[12] = 0x86; // 0x86DD = IPv6
+        frame[13] = 0xDD;
+        assert_eq!(parse(&frame, &l, &f), Err(ParseError::UnsupportedEtherType(0x86DD)));
+    }
+
+    #[test]
+    fn unknown_protocol_rejected() {
+        let (l, f) = layout();
+        let mut frame = PacketBuilder::udp(1, 2, 3, 4).build().to_vec();
+        frame[14 + 9] = 1; // ICMP
+        assert_eq!(parse(&frame, &l, &f), Err(ParseError::UnsupportedProtocol(1)));
+    }
+}

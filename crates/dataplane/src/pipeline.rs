@@ -1,0 +1,467 @@
+//! Pipeline execution: packets (or raw PHVs) walk the stages, hit tables,
+//! mutate registers, and may **resubmit** (recirculate) or emit **digests**.
+//!
+//! Resubmission is SpliDT's in-band control channel (paper §3.1.3): at a
+//! window boundary the prediction tables mark the packet for resubmission;
+//! the next pass sees `is_resubmit = 1`, and the resubmit-apply table
+//! updates the subtree-id register and clears the feature registers. The
+//! pipeline meters every resubmission so recirculation bandwidth is
+//! directly observable.
+
+use crate::parser::{parse, ParseError, StandardFields};
+use crate::phv::Phv;
+use crate::program::Program;
+use crate::register::RegisterArray;
+use crate::action::{Action, AluOut, Primitive, Source};
+
+/// What happened to a packet after its final pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Forwarded out of the pipeline.
+    Forward,
+    /// Dropped by an action.
+    Drop,
+    /// Resubmit was requested but the loop bound was hit (safety stop; a
+    /// correct SpliDT program never triggers this).
+    ResubmitLimit,
+}
+
+/// A digest record pushed to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digest {
+    /// Ingress timestamp (µs) of the pass that emitted the digest.
+    pub ts_us: u64,
+    /// Values of the program's digest fields, in declaration order.
+    pub values: Vec<u64>,
+}
+
+/// Aggregate pipeline meters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Meters {
+    /// Packets submitted (not counting resubmission passes).
+    pub packets: u64,
+    /// Total bytes submitted.
+    pub bytes: u64,
+    /// Total pipeline passes (packets + resubmissions).
+    pub passes: u64,
+    /// Resubmission events.
+    pub resubmissions: u64,
+    /// Bytes carried by resubmitted passes (frame length at resubmit time).
+    pub resubmit_bytes: u64,
+    /// Packets dropped.
+    pub drops: u64,
+    /// Digests emitted.
+    pub digests: u64,
+}
+
+/// Result of processing one packet to completion (including resubmissions).
+#[derive(Debug, Clone)]
+pub struct ProcessOutcome {
+    /// Final PHV state.
+    pub phv: Phv,
+    /// Final disposition.
+    pub disposition: Disposition,
+    /// Number of passes the packet took (1 = no resubmission).
+    pub passes: u32,
+}
+
+/// An executing pipeline: a program plus live register state.
+#[derive(Debug)]
+pub struct Pipeline {
+    program: Program,
+    regs: Vec<RegisterArray>,
+    digests: Vec<Digest>,
+    meters: Meters,
+}
+
+impl Pipeline {
+    /// Instantiates register state for a program.
+    pub fn new(program: Program) -> Self {
+        let regs = program.registers().iter().cloned().map(RegisterArray::new).collect();
+        Self { program, regs, digests: Vec::new(), meters: Meters::default() }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Live register arrays (for assertions and controller-style reads).
+    pub fn registers(&self) -> &[RegisterArray] {
+        &self.regs
+    }
+
+    /// Mutable register access (controller-style writes in tests).
+    pub fn registers_mut(&mut self) -> &mut [RegisterArray] {
+        &mut self.regs
+    }
+
+    /// Digests emitted so far.
+    pub fn digests(&self) -> &[Digest] {
+        &self.digests
+    }
+
+    /// Drains and returns all digests.
+    pub fn take_digests(&mut self) -> Vec<Digest> {
+        std::mem::take(&mut self.digests)
+    }
+
+    /// Aggregate meters.
+    pub fn meters(&self) -> &Meters {
+        &self.meters
+    }
+
+    /// Parses a frame and processes it at time `ts_us`.
+    pub fn process_packet(
+        &mut self,
+        frame: &[u8],
+        ts_us: u64,
+        fields: &StandardFields,
+    ) -> Result<ProcessOutcome, ParseError> {
+        let mut phv = parse(frame, self.program.layout(), fields)?;
+        phv.set(fields.ts_us, ts_us);
+        self.meters.packets += 1;
+        self.meters.bytes += frame.len() as u64;
+        Ok(self.run(phv, ts_us, Some(fields)))
+    }
+
+    /// Processes a pre-built PHV (no parsing; useful for unit tests and
+    /// synthetic control packets).
+    pub fn process_phv(&mut self, phv: Phv, ts_us: u64) -> ProcessOutcome {
+        self.meters.packets += 1;
+        self.run(phv, ts_us, None)
+    }
+
+    fn run(&mut self, mut phv: Phv, ts_us: u64, fields: Option<&StandardFields>) -> ProcessOutcome {
+        let limit = self.program.resubmit_limit();
+        let mut passes = 0u32;
+        loop {
+            passes += 1;
+            self.meters.passes += 1;
+            let effects = self.one_pass(&mut phv, ts_us);
+            if effects.drop {
+                self.meters.drops += 1;
+                return ProcessOutcome { phv, disposition: Disposition::Drop, passes };
+            }
+            if effects.resubmit {
+                if passes as usize > limit {
+                    return ProcessOutcome { phv, disposition: Disposition::ResubmitLimit, passes };
+                }
+                self.meters.resubmissions += 1;
+                let frame_len = fields.map(|f| phv.get(f.frame_len)).unwrap_or(64);
+                self.meters.resubmit_bytes += frame_len.max(64);
+                if let Some(f) = fields {
+                    phv.set(f.is_resubmit, 1);
+                }
+                continue;
+            }
+            return ProcessOutcome { phv, disposition: Disposition::Forward, passes };
+        }
+    }
+
+    fn one_pass(&mut self, phv: &mut Phv, ts_us: u64) -> PassEffects {
+        let mut effects = PassEffects::default();
+        let n_stages = self.program.stages().len();
+        for stage in 0..n_stages {
+            let table_ids: Vec<_> = self.program.stages()[stage].tables.clone();
+            for tid in table_ids {
+                let hit = self.program.table(tid).lookup(phv);
+                // Clone the action out so we can mutate registers/PHV while
+                // bumping counters; actions are small.
+                let action: Action = match hit {
+                    Some(i) => {
+                        let t = &mut self.program.tables_mut()[tid.index()];
+                        t.record_hit(i);
+                        t.entries()[i].action.clone()
+                    }
+                    None => {
+                        let t = &mut self.program.tables_mut()[tid.index()];
+                        t.record_miss();
+                        t.default_action().clone()
+                    }
+                };
+                self.execute(&action, phv, ts_us, &mut effects);
+            }
+        }
+        effects
+    }
+
+    fn resolve(&self, src: Source, phv: &Phv) -> u64 {
+        match src {
+            Source::Const(c) => c,
+            Source::Field(f) => phv.get(f),
+        }
+    }
+
+    fn execute(&mut self, action: &Action, phv: &mut Phv, ts_us: u64, effects: &mut PassEffects) {
+        for p in &action.prims {
+            match p {
+                Primitive::Set { dst, src } => {
+                    let v = self.resolve(*src, phv);
+                    phv.set_masked(*dst, v, self.program.layout());
+                }
+                Primitive::Add { dst, a, b } => {
+                    let v = self.resolve(*a, phv).wrapping_add(self.resolve(*b, phv));
+                    phv.set_masked(*dst, v, self.program.layout());
+                }
+                Primitive::Sub { dst, a, b } => {
+                    let v = self.resolve(*a, phv).wrapping_sub(self.resolve(*b, phv));
+                    phv.set_masked(*dst, v, self.program.layout());
+                }
+                Primitive::Min { dst, a, b } => {
+                    let v = self.resolve(*a, phv).min(self.resolve(*b, phv));
+                    phv.set_masked(*dst, v, self.program.layout());
+                }
+                Primitive::Max { dst, a, b } => {
+                    let v = self.resolve(*a, phv).max(self.resolve(*b, phv));
+                    phv.set_masked(*dst, v, self.program.layout());
+                }
+                Primitive::DivConst { dst, a, divisor } => {
+                    debug_assert!(*divisor > 0, "DivConst divisor must be positive");
+                    let v = self.resolve(*a, phv) / divisor.max(&1);
+                    phv.set_masked(*dst, v, self.program.layout());
+                }
+                Primitive::HashFlow { dst, mask } => {
+                    // Requires standard fields; programs using HashFlow are
+                    // built via `standard_fields()`.
+                    let l = self.program.layout();
+                    let get = |name: &str| {
+                        phv.get(l.by_name(name).expect("standard fields registered"))
+                    };
+                    let (mut sip, mut dip) = (get("ipv4.src") as u32, get("ipv4.dst") as u32);
+                    let (mut sp, mut dp) = (get("l4.sport") as u16, get("l4.dport") as u16);
+                    if (sip, sp) > (dip, dp) {
+                        std::mem::swap(&mut sip, &mut dip);
+                        std::mem::swap(&mut sp, &mut dp);
+                    }
+                    let idx = crate::hash::flow_index(
+                        sip,
+                        dip,
+                        sp,
+                        dp,
+                        get("ipv4.proto") as u8,
+                        (*mask as usize) + 1,
+                    );
+                    phv.set_masked(*dst, idx as u64, self.program.layout());
+                }
+                Primitive::RegRmw { reg, index, op, operand, out } => {
+                    let idx = self.resolve(*index, phv) as usize;
+                    let opv = self.resolve(*operand, phv);
+                    let (old, new) = self.regs[reg.index()].rmw(idx, *op, opv);
+                    if let Some((dst, which)) = out {
+                        let v = match which {
+                            AluOut::Old => old,
+                            AluOut::New => new,
+                        };
+                        phv.set_masked(*dst, v, self.program.layout());
+                    }
+                }
+                Primitive::Resubmit => effects.resubmit = true,
+                Primitive::Digest => {
+                    let values = self
+                        .program
+                        .digest_fields()
+                        .iter()
+                        .map(|&f| phv.get(f))
+                        .collect();
+                    self.digests.push(Digest { ts_us, values });
+                    self.meters.digests += 1;
+                }
+                Primitive::Drop => effects.drop = true,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PassEffects {
+    resubmit: bool,
+    drop: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, AluOp, Primitive, Source};
+    use crate::packet::PacketBuilder;
+    use crate::program::ProgramBuilder;
+    use crate::register::RegisterSpec;
+    use crate::table::TableSpec;
+    use crate::tcam::Ternary;
+
+    #[test]
+    fn register_accumulation_across_packets() {
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let idx = b.add_meta("idx", 16);
+        let r = b.add_register(RegisterSpec::new("cnt", 32, 16), 0);
+        let t = b.add_table(TableSpec::exact("count", vec![fields.ip_proto], 4), 0);
+        b.add_exact_entry(
+            t,
+            vec![6],
+            Action::new("bump").with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Field(idx),
+                op: AluOp::Add,
+                operand: Source::Const(1),
+                out: None,
+            }),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).build();
+        for i in 0..5 {
+            pipe.process_packet(&frame, i, &fields).unwrap();
+        }
+        assert_eq!(pipe.registers()[0].read(0), 5);
+        assert_eq!(pipe.meters().packets, 5);
+        assert_eq!(pipe.meters().passes, 5);
+    }
+
+    #[test]
+    fn resubmission_loops_and_meters() {
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let t = b.add_table(TableSpec::exact("go", vec![fields.is_resubmit], 4), 0);
+        // First pass (is_resubmit=0): request resubmission.
+        b.add_exact_entry(t, vec![0], Action::new("resub").with(Primitive::Resubmit)).unwrap();
+        // Second pass (is_resubmit=1): no-op, forward.
+        b.add_exact_entry(t, vec![1], Action::nop()).unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).build();
+        let out = pipe.process_packet(&frame, 0, &fields).unwrap();
+        assert_eq!(out.disposition, Disposition::Forward);
+        assert_eq!(out.passes, 2);
+        assert_eq!(pipe.meters().resubmissions, 1);
+        assert!(pipe.meters().resubmit_bytes >= 64);
+        assert_eq!(pipe.meters().passes, 2);
+        assert_eq!(pipe.meters().packets, 1);
+    }
+
+    #[test]
+    fn resubmit_limit_bounds_loops() {
+        let mut b = ProgramBuilder::new();
+        let f = b.add_meta("f", 8);
+        b.set_resubmit_limit(3);
+        let t = b.add_table(TableSpec::ternary("always", vec![f], 4), 0);
+        b.add_ternary_entry(
+            t,
+            vec![Ternary::ANY],
+            0,
+            Action::new("loop").with(Primitive::Resubmit),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let phv = pipe.program().layout().new_phv();
+        let out = pipe.process_phv(phv, 0);
+        assert_eq!(out.disposition, Disposition::ResubmitLimit);
+        assert_eq!(out.passes, 4); // limit(3) + the first pass
+    }
+
+    #[test]
+    fn digest_carries_fields() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 16);
+        let c = b.add_meta("c", 8);
+        b.set_digest_fields(vec![a, c]);
+        let t = b.add_table(TableSpec::ternary("t", vec![a], 4), 0);
+        b.add_ternary_entry(
+            t,
+            vec![Ternary::ANY],
+            0,
+            Action::new("d")
+                .with(Primitive::set_const(c, 9))
+                .with(Primitive::Digest),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let mut phv = pipe.program().layout().new_phv();
+        phv.set(a, 1234);
+        pipe.process_phv(phv, 77);
+        assert_eq!(pipe.digests().len(), 1);
+        assert_eq!(pipe.digests()[0].values, vec![1234, 9]);
+        assert_eq!(pipe.digests()[0].ts_us, 77);
+        assert_eq!(pipe.take_digests().len(), 1);
+        assert!(pipe.digests().is_empty());
+    }
+
+    #[test]
+    fn drop_stops_packet() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 8);
+        let t = b.add_table(TableSpec::ternary("t", vec![a], 4), 0);
+        b.add_ternary_entry(t, vec![Ternary::ANY], 0, Action::new("x").with(Primitive::Drop))
+            .unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let phv = pipe.program().layout().new_phv();
+        let out = pipe.process_phv(phv, 0);
+        assert_eq!(out.disposition, Disposition::Drop);
+        assert_eq!(pipe.meters().drops, 1);
+    }
+
+    #[test]
+    fn rmw_exports_old_and_new() {
+        let mut b = ProgramBuilder::new();
+        let trigger = b.add_meta("trigger", 8);
+        let old_f = b.add_meta("old", 32);
+        let new_f = b.add_meta("new", 32);
+        let r = b.add_register(RegisterSpec::new("ts", 32, 4), 0);
+        let t1 = b.add_table(TableSpec::ternary("w", vec![trigger], 4), 0);
+        b.add_ternary_entry(
+            t1,
+            vec![Ternary::ANY],
+            0,
+            Action::new("write")
+                .with(Primitive::RegRmw {
+                    reg: r,
+                    index: Source::Const(0),
+                    op: AluOp::Write,
+                    operand: Source::Const(42),
+                    out: Some((old_f, AluOut::Old)),
+                }),
+        )
+        .unwrap();
+        let t2 = b.add_table(TableSpec::ternary("r", vec![trigger], 4), 0);
+        // Second visit is a different table in the same stage — allowed in
+        // the simulator for testing; reads new value.
+        b.add_ternary_entry(
+            t2,
+            vec![Ternary::ANY],
+            0,
+            Action::new("read").with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Const(0),
+                op: AluOp::Read,
+                operand: Source::Const(0),
+                out: Some((new_f, AluOut::New)),
+            }),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let phv = pipe.program().layout().new_phv();
+        let out = pipe.process_phv(phv, 0);
+        assert_eq!(out.phv.get(old_f), 0);
+        assert_eq!(out.phv.get(new_f), 42);
+    }
+
+    #[test]
+    fn default_action_fires_on_miss() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 8);
+        let out_f = b.add_meta("out", 8);
+        let t = b.add_table(TableSpec::exact("t", vec![a], 4), 0);
+        b.set_default(t, Action::new("miss").with(Primitive::set_const(out_f, 7)));
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let phv = pipe.program().layout().new_phv();
+        let out = pipe.process_phv(phv, 0);
+        assert_eq!(out.phv.get(out_f), 7);
+        assert_eq!(pipe.program().table(t).misses(), 1);
+    }
+}

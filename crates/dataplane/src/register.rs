@@ -1,0 +1,233 @@
+//! Stateful register arrays with Tofino-style stateful-ALU semantics.
+//!
+//! Each array lives in exactly one pipeline stage and supports **one
+//! read-modify-write per packet pass** (the pipeline validator enforces the
+//! single-stage placement; the one-visit property follows from tables being
+//! applied once per pass). The ALU operations mirror what Tofino's SALUs
+//! provide and what SpliDT's feature slots need: write, add, min, max — each
+//! able to export the old or new value into the PHV.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a register array within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegId(pub(crate) u16);
+
+impl RegId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declaration of a register array.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegisterSpec {
+    /// Human-readable name (unique within a program).
+    pub name: String,
+    /// Element width in bits (1..=64; hardware pairs 32-bit cells for wider).
+    pub width_bits: u8,
+    /// Number of elements (flow slots). Must be a power of two.
+    pub len: usize,
+    /// Optional saturation cap: stored values clamp to `min(mask, cap)`.
+    /// Models a stateful ALU configured for saturating arithmetic at a
+    /// sub-width boundary; SpliDT's feature slots use this so software and
+    /// data-plane accumulators agree bit-for-bit.
+    pub cap: Option<u64>,
+}
+
+impl RegisterSpec {
+    /// Convenience constructor without a cap.
+    pub fn new(name: impl Into<String>, width_bits: u8, len: usize) -> Self {
+        Self { name: name.into(), width_bits, len, cap: None }
+    }
+
+    /// Convenience constructor with a saturation cap.
+    pub fn capped(name: impl Into<String>, width_bits: u8, len: usize, cap: u64) -> Self {
+        Self { name: name.into(), width_bits, len, cap: Some(cap) }
+    }
+}
+
+impl RegisterSpec {
+    /// Total bits of state held by the array.
+    pub fn total_bits(&self) -> u64 {
+        self.width_bits as u64 * self.len as u64
+    }
+
+    /// Mask for element width.
+    pub fn mask(&self) -> u64 {
+        if self.width_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width_bits) - 1
+        }
+    }
+}
+
+/// Runtime state of a register array.
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    spec: RegisterSpec,
+    data: Vec<u64>,
+}
+
+impl RegisterArray {
+    /// Allocates a zeroed array from a spec.
+    pub fn new(spec: RegisterSpec) -> Self {
+        assert!(spec.len.is_power_of_two(), "register '{}' len must be a power of two", spec.name);
+        assert!((1..=64).contains(&spec.width_bits), "register '{}' width out of range", spec.name);
+        let data = vec![0u64; spec.len];
+        Self { spec, data }
+    }
+
+    /// The array's declaration.
+    pub fn spec(&self) -> &RegisterSpec {
+        &self.spec
+    }
+
+    /// Reads element `i` (no modify).
+    pub fn read(&self, i: usize) -> u64 {
+        self.data[i & (self.spec.len - 1)]
+    }
+
+    /// Writes element `i` (used by tests and controller-style resets).
+    pub fn write(&mut self, i: usize, v: u64) {
+        let idx = i & (self.spec.len - 1);
+        self.data[idx] = v & self.spec.mask();
+    }
+
+    /// Read-modify-write: applies `op` with `operand`, returns `(old, new)`.
+    ///
+    /// When the spec carries a `cap`, the stored value saturates at the cap
+    /// (the ALU's saturating mode): with non-negative operands, `Add`
+    /// becomes saturating addition.
+    pub fn rmw(&mut self, i: usize, op: RegAluOp, operand: u64) -> (u64, u64) {
+        let idx = i & (self.spec.len - 1);
+        let mask = self.spec.mask();
+        let old = self.data[idx];
+        let mut new = match op {
+            RegAluOp::Read => old,
+            RegAluOp::Write => operand & mask,
+            RegAluOp::Add => old.wrapping_add(operand) & mask,
+            RegAluOp::Sub => old.wrapping_sub(operand) & mask,
+            RegAluOp::Min => old.min(operand & mask),
+            RegAluOp::Max => old.max(operand & mask),
+        };
+        if let Some(cap) = self.spec.cap {
+            // Saturating add: if the un-masked sum exceeds the cap, clamp.
+            if op == RegAluOp::Add && old.checked_add(operand).is_none_or(|s| s > cap) {
+                new = cap.min(mask);
+            } else {
+                new = new.min(cap.min(mask));
+            }
+        }
+        self.data[idx] = new;
+        (old, new)
+    }
+
+    /// Zeroes all elements.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+/// The stateful-ALU operation applied on a register visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegAluOp {
+    /// Read without modifying.
+    Read,
+    /// Overwrite with the operand.
+    Write,
+    /// Wrapping add of the operand.
+    Add,
+    /// Wrapping subtract of the operand.
+    Sub,
+    /// Keep the minimum of cell and operand.
+    Min,
+    /// Keep the maximum of cell and operand.
+    Max,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(width: u8, len: usize) -> RegisterArray {
+        RegisterArray::new(RegisterSpec::new("r", width, len))
+    }
+
+    #[test]
+    fn rmw_ops() {
+        let mut r = arr(32, 8);
+        assert_eq!(r.rmw(0, RegAluOp::Write, 10), (0, 10));
+        assert_eq!(r.rmw(0, RegAluOp::Add, 5), (10, 15));
+        assert_eq!(r.rmw(0, RegAluOp::Sub, 3), (15, 12));
+        assert_eq!(r.rmw(0, RegAluOp::Max, 100), (12, 100));
+        assert_eq!(r.rmw(0, RegAluOp::Min, 42), (100, 42));
+        assert_eq!(r.rmw(0, RegAluOp::Read, 999), (42, 42));
+        assert_eq!(r.read(0), 42);
+    }
+
+    #[test]
+    fn width_masking_and_wrapping() {
+        let mut r = arr(8, 4);
+        r.rmw(1, RegAluOp::Write, 0x1FF);
+        assert_eq!(r.read(1), 0xFF);
+        assert_eq!(r.rmw(1, RegAluOp::Add, 2), (0xFF, 0x01)); // wraps at 8 bits
+    }
+
+    #[test]
+    fn index_wraps_power_of_two() {
+        let mut r = arr(16, 8);
+        r.write(9, 77); // 9 & 7 == 1
+        assert_eq!(r.read(1), 77);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = arr(16, 4);
+        r.write(2, 5);
+        r.clear();
+        assert_eq!(r.read(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_len_rejected() {
+        arr(16, 6);
+    }
+
+    #[test]
+    fn total_bits() {
+        let r = arr(32, 1024);
+        assert_eq!(r.spec().total_bits(), 32 * 1024);
+    }
+
+    #[test]
+    fn capped_add_saturates() {
+        let mut r = RegisterArray::new(RegisterSpec::capped("c", 32, 4, 100));
+        r.rmw(0, RegAluOp::Write, 95);
+        assert_eq!(r.rmw(0, RegAluOp::Add, 3), (95, 98));
+        assert_eq!(r.rmw(0, RegAluOp::Add, 10), (98, 100)); // saturates
+        assert_eq!(r.rmw(0, RegAluOp::Add, 1), (100, 100));
+    }
+
+    #[test]
+    fn capped_write_and_max_clamp() {
+        let mut r = RegisterArray::new(RegisterSpec::capped("c", 32, 4, 100));
+        r.rmw(0, RegAluOp::Write, 500);
+        assert_eq!(r.read(0), 100);
+        r.rmw(1, RegAluOp::Max, 7);
+        assert_eq!(r.read(1), 7);
+        r.rmw(1, RegAluOp::Max, 101);
+        assert_eq!(r.read(1), 100);
+    }
+
+    #[test]
+    fn capped_add_near_u64_boundary_saturates() {
+        let mut r = RegisterArray::new(RegisterSpec::capped("c", 64, 4, u64::MAX - 1));
+        r.rmw(0, RegAluOp::Write, u64::MAX - 2);
+        // Overflowing u64 add must clamp to the cap, not wrap.
+        assert_eq!(r.rmw(0, RegAluOp::Add, 100).1, u64::MAX - 1);
+    }
+}

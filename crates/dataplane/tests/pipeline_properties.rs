@@ -1,0 +1,150 @@
+//! Property-based and failure-injection tests for the RMT simulator.
+
+use proptest::prelude::*;
+use splidt_dataplane::action::{Action, AluOp, AluOut, Primitive, Source};
+use splidt_dataplane::packet::{PacketBuilder, TcpFlags};
+use splidt_dataplane::pipeline::Pipeline;
+use splidt_dataplane::program::ProgramBuilder;
+use splidt_dataplane::register::{RegAluOp, RegisterArray, RegisterSpec};
+use splidt_dataplane::table::TableSpec;
+use splidt_dataplane::tcam::Ternary;
+
+proptest! {
+    /// Parser round-trip: whatever the builder writes, the parser reads.
+    #[test]
+    fn parse_roundtrip(
+        sip in any::<u32>(), dip in any::<u32>(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        flags in 0u8..64, payload in 0u16..1200,
+        flow_size in 1u16..1000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let f = b.standard_fields();
+        let program = b.build().unwrap();
+        let frame = PacketBuilder::tcp(sip, dip, sp, dp)
+            .flags(flags)
+            .payload(payload)
+            .flow_size(flow_size)
+            .build();
+        let phv = splidt_dataplane::parse(&frame, program.layout(), &f).unwrap();
+        prop_assert_eq!(phv.get(f.ipv4_src), sip as u64);
+        prop_assert_eq!(phv.get(f.ipv4_dst), dip as u64);
+        prop_assert_eq!(phv.get(f.sport), sp as u64);
+        prop_assert_eq!(phv.get(f.dport), dp as u64);
+        prop_assert_eq!(phv.get(f.tcp_flags), flags as u64);
+        prop_assert_eq!(phv.get(f.flow_size), flow_size as u64);
+        prop_assert_eq!(phv.get(f.frame_len), frame.len() as u64);
+    }
+
+    /// Register ALU saturation: a capped register never exceeds its cap,
+    /// no matter the op sequence.
+    #[test]
+    fn register_never_exceeds_cap(
+        ops in proptest::collection::vec((0u8..6, any::<u32>()), 1..60),
+        cap in 1u64..1_000_000,
+    ) {
+        let mut r = RegisterArray::new(RegisterSpec::capped("c", 32, 4, cap));
+        for (op, v) in ops {
+            let op = match op {
+                0 => RegAluOp::Read,
+                1 => RegAluOp::Write,
+                2 => RegAluOp::Add,
+                3 => RegAluOp::Sub,
+                4 => RegAluOp::Min,
+                _ => RegAluOp::Max,
+            };
+            let (_, new) = r.rmw(0, op, v as u64);
+            prop_assert!(new <= cap, "op {op:?} value {v} produced {new} > cap {cap}");
+        }
+    }
+
+    /// Ternary priority: the winning entry always has the maximum priority
+    /// among matching entries.
+    #[test]
+    fn ternary_priority_correct(
+        entries in proptest::collection::vec((any::<u16>(), any::<u16>(), 0u32..100), 1..20),
+        probe in any::<u16>(),
+    ) {
+        let mut b = ProgramBuilder::new();
+        let f = b.add_meta("f", 16);
+        let t = b.add_table(TableSpec::ternary("t", vec![f], 64), 0);
+        for (i, &(v, m, p)) in entries.iter().enumerate() {
+            b.add_ternary_entry(
+                t,
+                vec![Ternary::new(v as u64, m as u64)],
+                p,
+                Action::new(format!("e{i}")),
+            )
+            .unwrap();
+        }
+        let program = b.build().unwrap();
+        let table = program.table(t);
+        let mut phv = program.layout().new_phv();
+        phv.set(f, probe as u64);
+        let hit = table.lookup(&phv);
+        let matching: Vec<(usize, u32)> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &(v, m, _))| (probe as u64) & (m as u64) == (v as u64) & (m as u64))
+            .map(|(i, &(_, _, p))| (i, p))
+            .collect();
+        match hit {
+            None => prop_assert!(matching.is_empty()),
+            Some(idx) => {
+                let max_prio = matching.iter().map(|&(_, p)| p).max().unwrap();
+                let winner_prio = matching.iter().find(|&&(i, _)| i == idx).map(|&(_, p)| p);
+                prop_assert_eq!(winner_prio, Some(max_prio));
+            }
+        }
+    }
+}
+
+/// Failure injection: malformed frames never corrupt pipeline state.
+#[test]
+fn malformed_frames_are_rejected_cleanly() {
+    let mut b = ProgramBuilder::new();
+    let fields = b.standard_fields();
+    let idx = b.add_meta("idx", 8);
+    let r = b.add_register(RegisterSpec::new("cnt", 32, 16), 0);
+    let t = b.add_table(TableSpec::ternary("t", vec![fields.ip_proto], 4), 0);
+    b.add_ternary_entry(
+        t,
+        vec![Ternary::ANY],
+        0,
+        Action::new("bump").with(Primitive::RegRmw {
+            reg: r,
+            index: Source::Field(idx),
+            op: AluOp::Add,
+            operand: Source::Const(1),
+            out: Some((idx, AluOut::New)),
+        }),
+    )
+    .unwrap();
+    let mut pipe = Pipeline::new(b.build().unwrap());
+    // garbage frames of every length up to a valid packet
+    let good = PacketBuilder::tcp(1, 2, 3, 4).flags(TcpFlags::SYN).build();
+    for cut in 0..good.len() {
+        let _ = pipe.process_packet(&good[..cut], 0, &fields); // may Err — must not panic
+    }
+    assert_eq!(pipe.registers()[0].read(0), 0, "no partial frame may touch state");
+    pipe.process_packet(&good, 1, &fields).unwrap();
+    assert_eq!(pipe.registers()[0].read(0), 1);
+}
+
+/// Resubmit-limit safety stop: a pathological always-resubmit program
+/// terminates with the documented disposition and exact meter counts.
+#[test]
+fn infinite_resubmit_is_bounded() {
+    let mut b = ProgramBuilder::new();
+    let f = b.add_meta("f", 8);
+    b.set_resubmit_limit(5);
+    let t = b.add_table(TableSpec::ternary("loop", vec![f], 2), 0);
+    b.add_ternary_entry(t, vec![Ternary::ANY], 0, Action::new("x").with(Primitive::Resubmit))
+        .unwrap();
+    let mut pipe = Pipeline::new(b.build().unwrap());
+    let phv = pipe.program().layout().new_phv();
+    let out = pipe.process_phv(phv, 0);
+    assert_eq!(out.disposition, splidt_dataplane::Disposition::ResubmitLimit);
+    assert_eq!(pipe.meters().passes, 6);
+    assert_eq!(pipe.meters().resubmissions, 5);
+}

@@ -1,0 +1,199 @@
+//! Evaluation metrics: confusion matrix, accuracy and macro-F1.
+//!
+//! The SpliDT paper reports **macro-averaged F1** throughout (Figures 2 and
+//! 6–9, Table 3); classes absent from the ground truth are excluded from the
+//! average, matching scikit-learn's `f1_score(average="macro")` behaviour on
+//! the label set actually present.
+
+/// A `n_classes × n_classes` confusion matrix; rows = truth, cols = predicted.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel truth/prediction slices.
+    pub fn new(truth: &[u16], pred: &[u16], n_classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len(), "truth/pred length mismatch");
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&t, &p) in truth.iter().zip(pred) {
+            assert!((t as usize) < n_classes && (p as usize) < n_classes, "label out of range");
+            counts[t as usize * n_classes + p as usize] += 1;
+        }
+        Self { counts, n_classes }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of samples with truth `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t * self.n_classes + p]
+    }
+
+    /// True positives for class `c`.
+    pub fn tp(&self, c: usize) -> usize {
+        self.count(c, c)
+    }
+
+    /// False positives for class `c` (predicted `c`, truth differs).
+    pub fn fp(&self, c: usize) -> usize {
+        (0..self.n_classes).filter(|&t| t != c).map(|t| self.count(t, c)).sum()
+    }
+
+    /// False negatives for class `c` (truth `c`, predicted differently).
+    pub fn fn_(&self, c: usize) -> usize {
+        (0..self.n_classes).filter(|&p| p != c).map(|p| self.count(c, p)).sum()
+    }
+
+    /// Samples whose true class is `c`.
+    pub fn support(&self, c: usize) -> usize {
+        (0..self.n_classes).map(|p| self.count(c, p)).sum()
+    }
+
+    /// Precision of class `c` (0 when nothing was predicted as `c`).
+    pub fn precision(&self, c: usize) -> f64 {
+        let tp = self.tp(c);
+        let denom = tp + self.fp(c);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall of class `c` (0 when the class has no support).
+    pub fn recall(&self, c: usize) -> f64 {
+        let tp = self.tp(c);
+        let denom = tp + self.fn_(c);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// Per-class F1 (harmonic mean of precision and recall; 0 when both are 0).
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-F1 over classes **present in the ground truth**.
+    pub fn macro_f1(&self) -> f64 {
+        let present: Vec<usize> =
+            (0..self.n_classes).filter(|&c| self.support(c) > 0).collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| self.f1(c)).sum::<f64>() / present.len() as f64
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|c| self.tp(c)).sum();
+        correct as f64 / total as f64
+    }
+}
+
+/// Convenience: macro-F1 from raw slices.
+pub fn macro_f1(truth: &[u16], pred: &[u16], n_classes: usize) -> f64 {
+    ConfusionMatrix::new(truth, pred, n_classes).macro_f1()
+}
+
+/// Convenience: accuracy from raw slices.
+pub fn accuracy(truth: &[u16], pred: &[u16], n_classes: usize) -> f64 {
+    ConfusionMatrix::new(truth, pred, n_classes).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = vec![0, 1, 2, 1, 0];
+        let cm = ConfusionMatrix::new(&y, &y, 3);
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+        assert!((cm.accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![1, 1, 0, 0];
+        let cm = ConfusionMatrix::new(&truth, &pred, 2);
+        assert_eq!(cm.macro_f1(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // truth: [0,0,0,1,1], pred: [0,0,1,1,0]
+        // class0: tp=2 fp=1 fn=1 -> p=2/3 r=2/3 f1=2/3
+        // class1: tp=1 fp=1 fn=1 -> p=1/2 r=1/2 f1=1/2
+        let truth = vec![0, 0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 1, 0];
+        let cm = ConfusionMatrix::new(&truth, &pred, 2);
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1) - 0.5).abs() < 1e-12);
+        assert!((cm.macro_f1() - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_excluded_from_macro() {
+        // Class 2 never occurs in truth; macro-F1 averages classes 0 and 1.
+        let truth = vec![0, 1];
+        let pred = vec![0, 1];
+        let cm = ConfusionMatrix::new(&truth, &pred, 3);
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_predicted_counts_as_fp() {
+        // Truth has classes {0,1}; a prediction of 2 hurts class 1 recall.
+        let truth = vec![0, 1, 1];
+        let pred = vec![0, 2, 1];
+        let cm = ConfusionMatrix::new(&truth, &pred, 3);
+        // class0: perfect. class1: tp=1, fn=1 -> r=0.5, p=1 -> f1=2/3.
+        assert!((cm.macro_f1() - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_and_support() {
+        let truth = vec![0, 0, 1];
+        let pred = vec![1, 0, 1];
+        let cm = ConfusionMatrix::new(&truth, &pred, 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.support(0), 2);
+        assert_eq!(cm.tp(1), 1);
+        assert_eq!(cm.fp(1), 1);
+        assert_eq!(cm.fn_(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        ConfusionMatrix::new(&[0], &[0, 1], 2);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let cm = ConfusionMatrix::new(&[], &[], 2);
+        assert_eq!(cm.macro_f1(), 0.0);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,467 @@
+//! CART training (Gini impurity) with SpliDT's distinct-feature budget.
+//!
+//! Besides the standard `max_depth` / `min_samples` knobs, the trainer
+//! supports two constraints central to the paper:
+//!
+//! * [`TrainParams::allowed_features`] — restrict splits to a feature subset
+//!   (used by the top-k baselines, NetBeacon \[85\] and Leo \[43\]).
+//! * [`TrainParams::feature_budget`] — a budget `k` on the number of
+//!   **distinct** features the whole (sub)tree may reference. This is the
+//!   feature-slot constraint of SpliDT §2.2: each subtree must fit in `k`
+//!   stateful registers. The budget is enforced greedily during growth: once
+//!   `k` distinct features are in use, further splits may only reuse them.
+//!
+//! Thresholds are chosen at midpoints between consecutive observed values.
+//! With integer-valued features (all SpliDT features are), midpoints are
+//! `x.5` values, so `v <= t` is equivalent to `v <= floor(t)` — which is how
+//! the Range-Marking rule generator maps them onto integer TCAM ranges.
+
+use crate::dataset::{Dataset, DatasetView};
+use crate::tree::{Node, NodeId, Tree};
+use std::collections::BTreeSet;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainParams {
+    /// Maximum tree depth (root at depth 0). Depth 0 forces a single leaf.
+    pub max_depth: usize,
+    /// Do not split nodes with fewer samples than this.
+    pub min_samples_split: usize,
+    /// Every child must keep at least this many samples.
+    pub min_samples_leaf: usize,
+    /// Budget on distinct features used by the tree (SpliDT's `k`).
+    pub feature_budget: Option<usize>,
+    /// If set, only these features may be used at all.
+    pub allowed_features: Option<Vec<usize>>,
+    /// Cap on candidate thresholds per feature per node; `0` means exact
+    /// search over all midpoints. Sub-sampling uses evenly spaced quantiles,
+    /// which mirrors the bounded threshold precision of TCAM rules.
+    pub max_thresholds_per_feature: usize,
+    /// Cap on **distinct thresholds per feature across the whole tree**
+    /// (`None` = unbounded). Range-Marking assigns one mark bit per
+    /// distinct threshold, so this budget directly bounds TCAM match-key
+    /// width; once a feature exhausts it, further splits on that feature
+    /// must reuse existing thresholds (greedy, like the feature budget).
+    pub threshold_budget_per_feature: Option<usize>,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            feature_budget: None,
+            allowed_features: None,
+            max_thresholds_per_feature: 64,
+            threshold_budget_per_feature: Some(31),
+        }
+    }
+}
+
+/// Trains a classification tree on the full dataset.
+pub fn train_classifier(data: &Dataset, params: &TrainParams) -> Tree {
+    train_classifier_on(&data.view(), params)
+}
+
+/// Trains a classification tree on a dataset view (row subset).
+pub fn train_classifier_on(view: &DatasetView<'_>, params: &TrainParams) -> Tree {
+    assert!(!view.is_empty(), "cannot train on an empty view");
+    let candidates: Vec<usize> = match &params.allowed_features {
+        Some(fs) => {
+            let mut fs = fs.clone();
+            fs.sort_unstable();
+            fs.dedup();
+            assert!(
+                fs.iter().all(|&f| f < view.n_features()),
+                "allowed feature out of range"
+            );
+            fs
+        }
+        None => (0..view.n_features()).collect(),
+    };
+    let mut b = Builder {
+        n_classes: view.n_classes(),
+        params,
+        candidates,
+        used: BTreeSet::new(),
+        used_thresholds: std::collections::BTreeMap::new(),
+        nodes: Vec::new(),
+        n_leaves: 0,
+    };
+    let positions: Vec<usize> = (0..view.len()).collect();
+    let root = b.grow(view, &positions, 0);
+    Tree::from_arena(b.nodes, root, view.n_features())
+}
+
+struct Builder<'p> {
+    n_classes: usize,
+    params: &'p TrainParams,
+    candidates: Vec<usize>,
+    used: BTreeSet<usize>,
+    /// Distinct thresholds committed per feature (bit patterns of f32, so
+    /// the set is ordered and exact).
+    used_thresholds: std::collections::BTreeMap<usize, BTreeSet<u32>>,
+    nodes: Vec<Node>,
+    n_leaves: u32,
+}
+
+/// Result of a split search.
+#[derive(Debug, Clone, Copy)]
+struct BestSplit {
+    feature: usize,
+    threshold: f32,
+    /// Weighted Gini of the two children (lower is better).
+    score: f64,
+}
+
+impl Builder<'_> {
+    fn grow(&mut self, view: &DatasetView<'_>, positions: &[usize], depth: usize) -> NodeId {
+        let counts = class_counts(view, positions, self.n_classes);
+        let total: usize = positions.len();
+        let majority = majority(&counts);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+
+        if depth >= self.params.max_depth
+            || total < self.params.min_samples_split
+            || pure
+        {
+            return self.push_leaf(majority, total as u32);
+        }
+
+        let split = self.find_best_split(view, positions, &counts);
+        let Some(split) = split else {
+            return self.push_leaf(majority, total as u32);
+        };
+
+        let (left_pos, right_pos): (Vec<usize>, Vec<usize>) = positions
+            .iter()
+            .partition(|&&p| view.row(p)[split.feature] <= split.threshold);
+        if left_pos.len() < self.params.min_samples_leaf
+            || right_pos.len() < self.params.min_samples_leaf
+        {
+            return self.push_leaf(majority, total as u32);
+        }
+
+        self.used.insert(split.feature);
+        self.used_thresholds
+            .entry(split.feature)
+            .or_default()
+            .insert(split.threshold.to_bits());
+        let node_id = self.nodes.len() as NodeId;
+        // Reserve the slot so children get consecutive ids after it.
+        self.nodes.push(Node::Leaf { label: 0, n_samples: 0, leaf_index: u32::MAX });
+        let left = self.grow(view, &left_pos, depth + 1);
+        let right = self.grow(view, &right_pos, depth + 1);
+        self.nodes[node_id as usize] =
+            Node::Split { feature: split.feature, threshold: split.threshold, left, right };
+        node_id
+    }
+
+    fn push_leaf(&mut self, label: u16, n_samples: u32) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node::Leaf { label, n_samples, leaf_index: self.n_leaves });
+        self.n_leaves += 1;
+        id
+    }
+
+    /// Features currently eligible under the distinct-feature budget.
+    fn eligible(&self) -> Vec<usize> {
+        match self.params.feature_budget {
+            Some(k) if self.used.len() >= k => {
+                self.candidates.iter().copied().filter(|f| self.used.contains(f)).collect()
+            }
+            _ => self.candidates.clone(),
+        }
+    }
+
+    fn find_best_split(
+        &self,
+        view: &DatasetView<'_>,
+        positions: &[usize],
+        parent_counts: &[usize],
+    ) -> Option<BestSplit> {
+        let total = positions.len() as f64;
+        let parent_gini = gini(parent_counts, positions.len());
+        let mut best: Option<BestSplit> = None;
+
+        for &feature in &self.eligible() {
+            // Gather (value, label) pairs and sort by value.
+            let mut pairs: Vec<(f32, u16)> = positions
+                .iter()
+                .map(|&p| (view.row(p)[feature], view.label(p)))
+                .collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
+            if pairs.first().map(|p| p.0) == pairs.last().map(|p| p.0) {
+                continue; // constant feature on this node
+            }
+
+            // Candidate boundaries: positions i where value changes between
+            // pairs[i-1] and pairs[i]; optionally sub-sampled to quantiles.
+            let boundaries = candidate_boundaries(
+                &pairs,
+                self.params.max_thresholds_per_feature,
+            );
+
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut cursor = 0usize;
+            for &b in &boundaries {
+                while cursor < b {
+                    left_counts[pairs[cursor].1 as usize] += 1;
+                    cursor += 1;
+                }
+                let n_left = b;
+                let n_right = pairs.len() - b;
+                let mut right_counts = vec![0usize; self.n_classes];
+                for c in 0..self.n_classes {
+                    right_counts[c] = parent_counts[c] - left_counts[c];
+                }
+                let score = (n_left as f64 / total) * gini(&left_counts, n_left)
+                    + (n_right as f64 / total) * gini(&right_counts, n_right);
+                if score + 1e-12 >= parent_gini {
+                    continue; // no impurity decrease
+                }
+                let threshold = midpoint(pairs[b - 1].0, pairs[b].0);
+                if let Some(budget) = self.params.threshold_budget_per_feature {
+                    let used = self.used_thresholds.get(&feature);
+                    let n_used = used.map(|s| s.len()).unwrap_or(0);
+                    let is_reuse =
+                        used.is_some_and(|s| s.contains(&threshold.to_bits()));
+                    if n_used >= budget && !is_reuse {
+                        continue;
+                    }
+                }
+                let better = match &best {
+                    None => true,
+                    Some(cur) => {
+                        score < cur.score - 1e-12
+                            || (score < cur.score + 1e-12
+                                && (feature, threshold) < (cur.feature, cur.threshold))
+                    }
+                };
+                if better {
+                    best = Some(BestSplit { feature, threshold, score });
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Candidate split boundaries: indices `b` such that the split is
+/// `pairs[..b] | pairs[b..]`, restricted to value-change points and (when
+/// `max > 0`) sub-sampled to at most `max` evenly spaced quantiles.
+fn candidate_boundaries(pairs: &[(f32, u16)], max: usize) -> Vec<usize> {
+    let mut change_points = Vec::new();
+    for i in 1..pairs.len() {
+        if pairs[i].0 > pairs[i - 1].0 {
+            change_points.push(i);
+        }
+    }
+    if max == 0 || change_points.len() <= max {
+        return change_points;
+    }
+    // Evenly spaced quantile subsample, always keeping the extremes' nearest
+    // change points so the full value range stays splittable.
+    let mut out = Vec::with_capacity(max);
+    for j in 0..max {
+        let idx = j * (change_points.len() - 1) / (max - 1);
+        out.push(change_points[idx]);
+    }
+    out.dedup();
+    out
+}
+
+fn midpoint(lo: f32, hi: f32) -> f32 {
+    let m = lo + (hi - lo) / 2.0;
+    // Guard against midpoint rounding onto `hi` for adjacent f32 values:
+    // `v <= m` must keep `lo` left and `hi` right.
+    if m >= hi {
+        lo
+    } else {
+        m
+    }
+}
+
+fn class_counts(view: &DatasetView<'_>, positions: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &p in positions {
+        counts[view.label(p) as usize] += 1;
+    }
+    counts
+}
+
+fn majority(counts: &[usize]) -> u16 {
+    let mut best = 0usize;
+    for (c, &n) in counts.iter().enumerate() {
+        if n > counts[best] {
+            best = c;
+        }
+    }
+    best as u16
+}
+
+/// Gini impurity of a class histogram with `n` total samples.
+fn gini(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn grid_dataset() -> Dataset {
+        // 2-D grid, class = quadrant (4 classes), 100 points.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push(vec![i as f32, j as f32]);
+                let c = (u16::from(i >= 5) << 1) | u16::from(j >= 5);
+                labels.push(c);
+            }
+        }
+        Dataset::from_rows(&rows, &labels, None).unwrap()
+    }
+
+    #[test]
+    fn learns_quadrants_perfectly() {
+        let ds = grid_dataset();
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 2, ..Default::default() });
+        for i in 0..ds.n_samples() {
+            assert_eq!(tree.predict(ds.row(i)), ds.label(i));
+        }
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.n_leaves(), 4);
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf() {
+        let ds = grid_dataset();
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 0, ..Default::default() });
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let ds = grid_dataset();
+        for d in 0..5 {
+            let tree =
+                train_classifier(&ds, &TrainParams { max_depth: d, ..Default::default() });
+            assert!(tree.depth() <= d, "depth {} exceeds max {}", tree.depth(), d);
+        }
+    }
+
+    #[test]
+    fn feature_budget_limits_distinct_features() {
+        // 3 informative features; budget of 1 must use exactly one.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let a = (i % 2) as f32;
+            let b = ((i / 2) % 2) as f32;
+            let c = ((i / 4) % 2) as f32;
+            rows.push(vec![a, b, c]);
+            labels.push(((a as u16) << 2 | (b as u16) << 1 | c as u16) % 4);
+        }
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(
+            &ds,
+            &TrainParams { max_depth: 6, feature_budget: Some(1), ..Default::default() },
+        );
+        assert!(tree.features_used().len() <= 1);
+        let tree2 = train_classifier(
+            &ds,
+            &TrainParams { max_depth: 6, feature_budget: Some(2), ..Default::default() },
+        );
+        assert!(tree2.features_used().len() <= 2);
+    }
+
+    #[test]
+    fn allowed_features_is_respected() {
+        let ds = grid_dataset();
+        let tree = train_classifier(
+            &ds,
+            &TrainParams {
+                max_depth: 4,
+                allowed_features: Some(vec![1]),
+                ..Default::default()
+            },
+        );
+        assert!(tree.features_used().iter().all(|&f| f == 1));
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let ds = grid_dataset();
+        let tree = train_classifier(
+            &ds,
+            &TrainParams { max_depth: 10, min_samples_leaf: 10, ..Default::default() },
+        );
+        for leaf in tree.leaves() {
+            assert!(leaf.n_samples >= 10, "leaf with {} samples", leaf.n_samples);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = grid_dataset();
+        let p = TrainParams { max_depth: 5, ..Default::default() };
+        let t1 = train_classifier(&ds, &p);
+        let t2 = train_classifier(&ds, &p);
+        assert_eq!(t1.nodes(), t2.nodes());
+    }
+
+    #[test]
+    fn threshold_subsampling_still_learns() {
+        let ds = grid_dataset();
+        let tree = train_classifier(
+            &ds,
+            &TrainParams { max_depth: 2, max_thresholds_per_feature: 3, ..Default::default() },
+        );
+        // With only 3 candidate thresholds the tree may be slightly worse but
+        // must still beat the 25% majority baseline by a wide margin.
+        let correct = (0..ds.n_samples())
+            .filter(|&i| tree.predict(ds.row(i)) == ds.label(i))
+            .count();
+        assert!(correct >= 75, "only {correct}/100 correct");
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![1, 1, 1, 1];
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(&ds, &TrainParams::default());
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn gini_math() {
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert!((gini(&[10, 0], 10) - 0.0).abs() < 1e-12);
+        assert!(gini(&[0, 0], 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_never_reaches_hi() {
+        let cases = [(0.0f32, 1.0f32), (1.0, 1.0f32.next_up()), (-3.0, (-3.0f32).next_up())];
+        for (lo, hi) in cases {
+            let m = midpoint(lo, hi);
+            assert!(m >= lo && m < hi, "midpoint({lo},{hi}) = {m}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based invariants of the tree library.
+
+use proptest::prelude::*;
+use splidt_dt::metrics::{accuracy, macro_f1, ConfusionMatrix};
+use splidt_dt::{train_classifier, Dataset, TrainParams};
+
+fn arb_dataset() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<u16>)> {
+    (2usize..5, 30usize..150, any::<u64>()).prop_map(|(nf, n, seed)| {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..nf).map(|_| rng.random_range(0..200) as f32).collect())
+            .collect();
+        let labels: Vec<u16> = rows
+            .iter()
+            .map(|r| (u16::from(r[0] > 100.0) + u16::from(r[1] > 60.0)) % 3)
+            .collect();
+        (rows, labels)
+    })
+}
+
+proptest! {
+    /// Leaves partition the sample space: every training row lands in
+    /// exactly one leaf, and leaf sample counts sum to the training size.
+    #[test]
+    fn leaves_partition_samples((rows, labels) in arb_dataset()) {
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 5, ..Default::default() });
+        let total: u32 = tree.leaves().iter().map(|l| l.n_samples).sum();
+        prop_assert_eq!(total as usize, rows.len());
+        // routing a row yields a leaf index within range
+        for r in &rows {
+            prop_assert!(tree.leaf_index_of(r) < tree.n_leaves());
+        }
+    }
+
+    /// Deeper budgets never reduce training accuracy (growth is greedy but
+    /// monotone in the hypothesis space).
+    #[test]
+    fn deeper_trees_fit_no_worse((rows, labels) in arb_dataset()) {
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let acc = |d: usize| {
+            let t = train_classifier(&ds, &TrainParams { max_depth: d, ..Default::default() });
+            let preds: Vec<u16> = rows.iter().map(|r| t.predict(r)).collect();
+            accuracy(&labels, &preds, ds.n_classes())
+        };
+        prop_assert!(acc(6) + 1e-9 >= acc(2));
+        prop_assert!(acc(2) + 1e-9 >= acc(0));
+    }
+
+    /// Every leaf path is consistent: replaying the path conditions on any
+    /// row that reaches the leaf must hold.
+    #[test]
+    fn leaf_paths_consistent((rows, labels) in arb_dataset()) {
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 4, ..Default::default() });
+        let leaves = tree.leaves();
+        for r in rows.iter().take(40) {
+            let li = tree.leaf_index_of(r);
+            let leaf = leaves.iter().find(|l| l.leaf_index == li).unwrap();
+            for step in &leaf.path {
+                let lhs = r[step.feature] <= step.threshold;
+                prop_assert_eq!(lhs, step.went_left);
+            }
+        }
+    }
+
+    /// Metric bounds: macro-F1 and accuracy always land in [0, 1], and
+    /// per-class precision/recall are consistent with the confusion matrix.
+    #[test]
+    fn metric_bounds(truth in proptest::collection::vec(0u16..4, 1..80),
+                     pred_seed in any::<u64>()) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(pred_seed);
+        let pred: Vec<u16> = truth.iter().map(|_| rng.random_range(0..4)).collect();
+        let f1 = macro_f1(&truth, &pred, 4);
+        let acc = accuracy(&truth, &pred, 4);
+        prop_assert!((0.0..=1.0).contains(&f1));
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let cm = ConfusionMatrix::new(&truth, &pred, 4);
+        for c in 0..4 {
+            prop_assert_eq!(cm.tp(c) + cm.fn_(c), cm.support(c));
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+        }
+    }
+
+    /// Threshold budget bounds distinct thresholds per feature tree-wide.
+    #[test]
+    fn threshold_budget_bounds_marks((rows, labels) in arb_dataset(), budget in 1usize..6) {
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(
+            &ds,
+            &TrainParams {
+                max_depth: 8,
+                threshold_budget_per_feature: Some(budget),
+                ..Default::default()
+            },
+        );
+        for f in tree.features_used() {
+            prop_assert!(tree.thresholds_for(f).len() <= budget);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! ML matrices from flow traces: windowed (SpliDT), flow-level (Leo/ideal),
+//! prefix (NetBeacon phases) and packet-level (per-packet baselines).
+//!
+//! This module plays the role of the paper's modified CICFlowMeter plus the
+//! "dataset store" of Figure 5: given raw traces it materializes the
+//! feature matrices each training strategy consumes.
+
+use crate::features::{
+    catalog, extract_flow_level, extract_packet, extract_prefix, extract_windows, quantize,
+};
+use crate::flow::FlowTrace;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use splidt_dt::Dataset;
+
+/// Per-window feature matrices for partitioned training.
+///
+/// Row `i` of every window's matrix corresponds to the same flow
+/// (`flow_idx[i]` into the source slice), so Algorithm 1 can route leaf
+/// subsets from window `j` to window `j+1` by row index.
+#[derive(Debug, Clone)]
+pub struct WindowedDataset {
+    /// One dataset per window (all with identical row order and labels).
+    pub per_window: Vec<Dataset>,
+    /// Ground-truth labels, row-aligned.
+    pub labels: Vec<u16>,
+    /// Row → index into the source flow slice.
+    pub flow_idx: Vec<usize>,
+    /// Class count.
+    pub n_classes: usize,
+}
+
+impl WindowedDataset {
+    /// Number of windows (= partitions `p` it was built for).
+    pub fn n_windows(&self) -> usize {
+        self.per_window.len()
+    }
+
+    /// Number of flows (rows).
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+}
+
+/// Builds per-window matrices for `p` partitions.
+///
+/// Flows shorter than `p` packets (which would yield fewer than `p`
+/// windows) are skipped — the synthetic generators never produce them, but
+/// real traces could.
+pub fn windowed_dataset(flows: &[FlowTrace], p: usize, n_classes: usize) -> WindowedDataset {
+    let cat = catalog();
+    let names = Some(cat.names());
+    let mut rows_per_window: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut labels = Vec::new();
+    let mut flow_idx = Vec::new();
+    for (i, f) in flows.iter().enumerate() {
+        let wins = extract_windows(f, p, cat);
+        if wins.len() < p {
+            continue;
+        }
+        for (j, w) in wins.into_iter().enumerate() {
+            rows_per_window[j].extend_from_slice(&w);
+        }
+        labels.push(f.label);
+        flow_idx.push(i);
+    }
+    let per_window = rows_per_window
+        .into_iter()
+        .map(|flat| {
+            let mut ds = Dataset::from_flat(flat, cat.len(), labels.clone(), names.clone())
+                .expect("consistent matrix");
+            ds.set_n_classes(n_classes);
+            ds
+        })
+        .collect();
+    WindowedDataset { per_window, labels, flow_idx, n_classes }
+}
+
+/// Flow-level matrix: one row per flow, features over the entire flow.
+pub fn flow_level_dataset(flows: &[FlowTrace], n_classes: usize) -> Dataset {
+    let cat = catalog();
+    let mut flat = Vec::with_capacity(flows.len() * cat.len());
+    let mut labels = Vec::with_capacity(flows.len());
+    for f in flows {
+        flat.extend_from_slice(&extract_flow_level(f, cat));
+        labels.push(f.label);
+    }
+    let mut ds =
+        Dataset::from_flat(flat, cat.len(), labels, Some(cat.names())).expect("consistent");
+    ds.set_n_classes(n_classes);
+    ds
+}
+
+/// Prefix matrix over the first `prefix` packets (NetBeacon's phase `j`
+/// dataset uses `prefix = 2^j`; state is retained from flow start).
+pub fn prefix_dataset(flows: &[FlowTrace], prefix: usize, n_classes: usize) -> Dataset {
+    let cat = catalog();
+    let mut flat = Vec::with_capacity(flows.len() * cat.len());
+    let mut labels = Vec::with_capacity(flows.len());
+    for f in flows {
+        flat.extend_from_slice(&extract_prefix(f, prefix, cat));
+        labels.push(f.label);
+    }
+    let mut ds =
+        Dataset::from_flat(flat, cat.len(), labels, Some(cat.names())).expect("consistent");
+    ds.set_n_classes(n_classes);
+    ds
+}
+
+/// Packet-level matrix for the stateless per-packet baselines. At most
+/// `max_pkts_per_flow` packets per flow are sampled (head of flow) to bound
+/// the matrix.
+pub fn packet_level_dataset(
+    flows: &[FlowTrace],
+    n_classes: usize,
+    max_pkts_per_flow: usize,
+) -> Dataset {
+    let cat = catalog();
+    let mut flat = Vec::new();
+    let mut labels = Vec::new();
+    for f in flows {
+        for i in 0..f.size_pkts().min(max_pkts_per_flow) {
+            flat.extend_from_slice(&extract_packet(f, i, cat));
+            labels.push(f.label);
+        }
+    }
+    let mut ds =
+        Dataset::from_flat(flat, cat.len(), labels, Some(cat.names())).expect("consistent");
+    ds.set_n_classes(n_classes);
+    ds
+}
+
+/// Stratified flow-index split: `(train, test)` indices into `flows`.
+pub fn stratified_split(
+    flows: &[FlowTrace],
+    test_frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(test_frac > 0.0 && test_frac < 1.0);
+    let n_classes = flows.iter().map(|f| f.label).max().unwrap_or(0) as usize + 1;
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, f) in flows.iter().enumerate() {
+        per_class[f.label as usize].push(i);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut idxs in per_class {
+        idxs.shuffle(&mut rng);
+        let n_test = ((idxs.len() as f64) * test_frac).round() as usize;
+        let n_test = if idxs.len() >= 2 { n_test.clamp(1, idxs.len() - 1) } else { 0 };
+        test.extend_from_slice(&idxs[..n_test]);
+        train.extend_from_slice(&idxs[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Materializes a subset of flows by index.
+pub fn select_flows(flows: &[FlowTrace], idx: &[usize]) -> Vec<FlowTrace> {
+    idx.iter().map(|&i| flows[i].clone()).collect()
+}
+
+/// Quantizes every value of a dataset to `bits` of precision (Figure 12).
+pub fn quantize_dataset(ds: &Dataset, bits: u8) -> Dataset {
+    let n = ds.n_samples();
+    let f = ds.n_features();
+    let mut flat = Vec::with_capacity(n * f);
+    for i in 0..n {
+        for v in ds.row(i) {
+            flat.push(quantize(*v, bits));
+        }
+    }
+    let mut out = Dataset::from_flat(
+        flat,
+        f,
+        ds.labels().to_vec(),
+        Some(ds.feature_names().to_vec()),
+    )
+    .expect("consistent");
+    out.set_n_classes(ds.n_classes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, DatasetId};
+
+    #[test]
+    fn windowed_shapes() {
+        let flows = generate(DatasetId::D2, 40, 1);
+        let wd = windowed_dataset(&flows, 3, 4);
+        assert_eq!(wd.n_windows(), 3);
+        assert_eq!(wd.n_rows(), 40, "all synthetic flows have ≥ p windows");
+        for w in &wd.per_window {
+            assert_eq!(w.n_samples(), 40);
+            assert_eq!(w.n_features(), catalog().len());
+            assert_eq!(w.n_classes(), 4);
+        }
+        // labels row-aligned with source flows
+        for (row, &fi) in wd.flow_idx.iter().enumerate() {
+            assert_eq!(wd.labels[row], flows[fi].label);
+        }
+    }
+
+    #[test]
+    fn flow_level_shapes() {
+        let flows = generate(DatasetId::D2, 25, 2);
+        let ds = flow_level_dataset(&flows, 4);
+        assert_eq!(ds.n_samples(), 25);
+        assert_eq!(ds.n_classes(), 4);
+    }
+
+    #[test]
+    fn windows_differ_from_flow_level() {
+        let flows = generate(DatasetId::D2, 10, 3);
+        let wd = windowed_dataset(&flows, 4, 4);
+        let fl = flow_level_dataset(&flows, 4);
+        let pc = catalog().index_of("pkt_count").unwrap();
+        for row in 0..10 {
+            let total: f32 = (0..4).map(|w| wd.per_window[w].value(row, pc)).sum();
+            assert_eq!(total, fl.value(row, pc), "window pkt counts sum to flow count");
+        }
+    }
+
+    #[test]
+    fn prefix_monotone_pkt_count() {
+        let flows = generate(DatasetId::D3, 10, 4);
+        let p2 = prefix_dataset(&flows, 2, 13);
+        let p8 = prefix_dataset(&flows, 8, 13);
+        let pc = catalog().index_of("pkt_count").unwrap();
+        for i in 0..10 {
+            assert!(p2.value(i, pc) <= p8.value(i, pc));
+            assert_eq!(p2.value(i, pc), 2.0);
+        }
+    }
+
+    #[test]
+    fn packet_level_caps_rows() {
+        let flows = generate(DatasetId::D2, 5, 5);
+        let ds = packet_level_dataset(&flows, 4, 6);
+        assert!(ds.n_samples() <= 30);
+        assert!(ds.n_samples() >= 5);
+    }
+
+    #[test]
+    fn split_is_disjoint_and_stratified() {
+        let flows = generate(DatasetId::D2, 200, 6);
+        let (tr, te) = stratified_split(&flows, 0.25, 9);
+        assert_eq!(tr.len() + te.len(), 200);
+        for i in &te {
+            assert!(!tr.contains(i));
+        }
+        // every class present on both sides
+        for side in [&tr, &te] {
+            let mut seen = [false; 4];
+            for &i in side.iter() {
+                seen[flows[i].label as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_shape_and_reduces_levels() {
+        let flows = generate(DatasetId::D2, 10, 7);
+        let ds = flow_level_dataset(&flows, 4);
+        let q = quantize_dataset(&ds, 8);
+        assert_eq!(q.n_samples(), ds.n_samples());
+        for i in 0..q.n_samples() {
+            for v in q.row(i) {
+                assert!(*v <= 255.0);
+            }
+        }
+    }
+}

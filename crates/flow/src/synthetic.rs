@@ -1,0 +1,436 @@
+//! Synthetic dataset generators: D1–D7 analogs.
+//!
+//! The paper evaluates on seven real traffic datasets (CIC-IoMT2024,
+//! CIC-IoT2023-a/b, ISCX-VPN2016, CampusTraffic, CIC-IDS2017/2018) that we
+//! cannot redistribute. These generators substitute synthetic analogs with
+//! the *properties the paper's results rest on* (see DESIGN.md §1):
+//!
+//! 1. the same class counts (19, 4, 13, 11, 32, 10, 10);
+//! 2. **phase-local signatures** — each class perturbs a sparse set of
+//!    traffic knobs (packet sizes, gaps, flag rates, direction mix) in
+//!    specific *phases* of the flow, so different windows carry different
+//!    discriminative features (this is what makes window-based partitioned
+//!    trees with per-subtree feature sets outperform one-shot top-k trees);
+//! 3. per-subtree feature sparsity (≈10 % of the catalogue per subtree),
+//!    which emerges from (2) and is verified empirically by the Table 1
+//!    harness;
+//! 4. graded difficulty (label noise + knob overlap) chosen so the F1
+//!    bands land near the paper's per-dataset levels.
+//!
+//! Generation is fully deterministic: every flow derives its own RNG from
+//! `(dataset seed, flow index)`.
+
+use crate::flow::{Dir, FiveTuple, FlowTrace, TracePacket};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of behavioural phases a flow moves through (fixed; windows need
+/// not align with phases — that is the point: partition search has to find
+/// configurations whose windows capture the signal).
+pub const PHASES: usize = 4;
+
+/// The seven datasets of the paper's Table 2, as synthetic analogs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// CIC-IoMT2024 analog: 19-class medical-IoT intrusion detection.
+    D1,
+    /// CIC-IoT2023-a analog: 4 coarse IoT traffic classes.
+    D2,
+    /// ISCX-VPN2016 analog: 13-class VPN/non-VPN detection.
+    D3,
+    /// CampusTraffic analog: 11 application types.
+    D4,
+    /// CIC-IoT2023-b analog: 32-class IoT threat taxonomy.
+    D5,
+    /// CIC-IDS2017 analog: 10-class intrusion detection.
+    D6,
+    /// CIC-IDS2018 analog: 10-class anomaly detection.
+    D7,
+}
+
+impl DatasetId {
+    /// All seven datasets in paper order.
+    pub fn all() -> [DatasetId; 7] {
+        use DatasetId::*;
+        [D1, D2, D3, D4, D5, D6, D7]
+    }
+
+    /// Paper-aligned short id ("D1"…"D7").
+    pub fn tag(self) -> &'static str {
+        match self {
+            DatasetId::D1 => "D1",
+            DatasetId::D2 => "D2",
+            DatasetId::D3 => "D3",
+            DatasetId::D4 => "D4",
+            DatasetId::D5 => "D5",
+            DatasetId::D6 => "D6",
+            DatasetId::D7 => "D7",
+        }
+    }
+}
+
+/// Generation parameters of one dataset analog.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Paper-aligned id.
+    pub id: DatasetId,
+    /// Descriptive name.
+    pub name: String,
+    /// Number of classes.
+    pub n_classes: u16,
+    /// Scale of class-signature knob perturbations (higher = easier).
+    pub knob_spread: f64,
+    /// Label-noise probability (higher = harder; caps attainable F1).
+    pub label_noise: f64,
+    /// Number of (phase, knob) signature perturbations per class.
+    pub sig_knobs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// The spec for a dataset id.
+pub fn spec(id: DatasetId) -> DatasetSpec {
+    let (name, n_classes, knob_spread, label_noise, sig_knobs, seed) = match id {
+        DatasetId::D1 => ("CIC-IoMT2024 analog", 19, 1.15, 0.08, 12, 101),
+        DatasetId::D2 => ("CIC-IoT2023-a analog", 4, 1.30, 0.04, 6, 102),
+        DatasetId::D3 => ("ISCX-VPN2016 analog", 13, 1.25, 0.04, 9, 103),
+        DatasetId::D4 => ("CampusTraffic analog", 11, 1.05, 0.08, 8, 104),
+        DatasetId::D5 => ("CIC-IoT2023-b analog", 32, 1.00, 0.10, 12, 105),
+        DatasetId::D6 => ("CIC-IDS2017 analog", 10, 1.90, 0.008, 9, 106),
+        DatasetId::D7 => ("CIC-IDS2018 analog", 10, 2.20, 0.003, 9, 107),
+    };
+    DatasetSpec {
+        id,
+        name: name.to_string(),
+        n_classes,
+        knob_spread,
+        label_noise,
+        sig_knobs,
+        seed,
+    }
+}
+
+/// The per-phase traffic knobs a class signature perturbs.
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    /// ln-space mean of frame length.
+    len_mu: f64,
+    /// ln-space std of frame length.
+    len_sigma: f64,
+    /// ln-space mean of inter-arrival gap (µs).
+    iat_mu: f64,
+    /// ln-space std of gaps.
+    iat_sigma: f64,
+    /// PSH flag probability.
+    psh_prob: f64,
+    /// URG flag probability.
+    urg_prob: f64,
+    /// Fraction of forward-direction packets.
+    fwd_frac: f64,
+    /// Probability of a minimal (ACK-like, 60-byte) packet.
+    small_prob: f64,
+    /// Probability of a zero-payload packet.
+    zero_payload_prob: f64,
+}
+
+const N_KNOBS: usize = 9;
+
+impl Knobs {
+    fn base() -> Self {
+        Self {
+            len_mu: (300.0f64).ln(),
+            len_sigma: 0.6,
+            iat_mu: (3000.0f64).ln(),
+            iat_sigma: 0.9,
+            psh_prob: 0.15,
+            urg_prob: 0.02,
+            fwd_frac: 0.55,
+            small_prob: 0.25,
+            zero_payload_prob: 0.10,
+        }
+    }
+
+    /// Applies signature delta `d` (in [-1, 1] × spread) to knob `k`.
+    fn perturb(&mut self, k: usize, d: f64) {
+        match k {
+            0 => self.len_mu += d * 0.9,
+            1 => self.len_sigma = (self.len_sigma + d * 0.35).clamp(0.05, 1.5),
+            2 => self.iat_mu += d * 1.2,
+            3 => self.iat_sigma = (self.iat_sigma + d * 0.5).clamp(0.05, 2.0),
+            4 => self.psh_prob = (self.psh_prob + d * 0.35).clamp(0.0, 0.95),
+            5 => self.urg_prob = (self.urg_prob + d * 0.25).clamp(0.0, 0.9),
+            6 => self.fwd_frac = (self.fwd_frac + d * 0.3).clamp(0.05, 0.95),
+            7 => self.small_prob = (self.small_prob + d * 0.35).clamp(0.0, 0.95),
+            8 => self.zero_payload_prob = (self.zero_payload_prob + d * 0.3).clamp(0.0, 0.9),
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// A class's behavioural signature: sparse per-phase knob perturbations
+/// plus a small global shift.
+#[derive(Debug, Clone)]
+struct ClassProfile {
+    /// (phase, knob, delta) perturbations.
+    signature: Vec<(usize, usize, f64)>,
+    /// Small global deltas (knob, delta) applied to every phase.
+    global: Vec<(usize, f64)>,
+    /// ln-space mean of flow size in packets.
+    size_mu: f64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Standard normal via Box–Muller (rand_distr is outside the dependency
+/// budget).
+fn randn(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn lognormal(rng: &mut SmallRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * randn(rng)).exp()
+}
+
+fn class_profiles(spec: &DatasetSpec) -> Vec<ClassProfile> {
+    let mut rng = SmallRng::seed_from_u64(splitmix64(spec.seed));
+    (0..spec.n_classes)
+        .map(|_| {
+            let signature = (0..spec.sig_knobs)
+                .map(|_| {
+                    let phase = rng.random_range(0..PHASES);
+                    let knob = rng.random_range(0..N_KNOBS);
+                    // Minimum magnitude 0.5×spread: a signature must rise
+                    // above per-window sampling noise to be learnable.
+                    let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                    let delta = sign * (0.5 + 0.5 * rng.random::<f64>()) * spec.knob_spread;
+                    (phase, knob, delta)
+                })
+                .collect();
+            let global = (0..2)
+                .map(|_| {
+                    let knob = rng.random_range(0..N_KNOBS);
+                    // Global shifts are deliberately weak: one-shot top-k
+                    // models can exploit them, phase signatures they cannot.
+                    let delta = (rng.random::<f64>() * 2.0 - 1.0) * spec.knob_spread * 0.25;
+                    (knob, delta)
+                })
+                .collect();
+            let size_mu = (64.0f64).ln() + (rng.random::<f64>() - 0.5) * 0.6;
+            ClassProfile { signature, global, size_mu }
+        })
+        .collect()
+}
+
+/// Well-known responder ports (uncorrelated with class, so ports alone
+/// carry no label signal).
+const SERVER_PORTS: [u16; 8] = [80, 443, 53, 22, 25, 123, 110, 993];
+
+/// Generates `n_flows` labelled flows for dataset `id`. `seed` perturbs the
+/// draw (class profiles stay fixed per dataset — they are the dataset).
+pub fn generate(id: DatasetId, n_flows: usize, seed: u64) -> Vec<FlowTrace> {
+    let spec = spec(id);
+    let profiles = class_profiles(&spec);
+    (0..n_flows)
+        .map(|i| generate_flow(&spec, &profiles, i, seed))
+        .collect()
+}
+
+fn generate_flow(
+    spec: &DatasetSpec,
+    profiles: &[ClassProfile],
+    flow_idx: usize,
+    seed: u64,
+) -> FlowTrace {
+    let mut rng =
+        SmallRng::seed_from_u64(splitmix64(spec.seed ^ seed.rotate_left(17) ^ flow_idx as u64));
+    // Balanced class assignment with deterministic per-flow noise.
+    let true_class = (flow_idx % spec.n_classes as usize) as u16;
+    let label = true_class;
+    // Label noise: generate the flow from a *different* class's behaviour
+    // while keeping the (now wrong) label — irreducible error, like
+    // mislabelled real-world captures.
+    let gen_class = if rng.random::<f64>() < spec.label_noise {
+        rng.random_range(0..spec.n_classes)
+    } else {
+        true_class
+    };
+    let profile = &profiles[gen_class as usize];
+
+    let size = lognormal(&mut rng, profile.size_mu, 0.55).round() as usize;
+    let size = size.clamp(12, 512);
+
+    // Per-phase knob tables for this flow's class.
+    let mut phase_knobs: Vec<Knobs> = (0..PHASES)
+        .map(|ph| {
+            let mut k = Knobs::base();
+            for &(knob, d) in &profile.global {
+                k.perturb(knob, d);
+            }
+            for &(phase, knob, d) in &profile.signature {
+                if phase == ph {
+                    k.perturb(knob, d);
+                }
+            }
+            k
+        })
+        .collect();
+    // Tiny per-flow jitter so flows of a class are not identical.
+    for k in &mut phase_knobs {
+        k.len_mu += (rng.random::<f64>() - 0.5) * 0.1;
+        k.iat_mu += (rng.random::<f64>() - 0.5) * 0.1;
+    }
+
+    let tuple = FiveTuple {
+        src_ip: 0x0a00_0000 | (flow_idx as u32 & 0x00FF_FFFF),
+        dst_ip: 0xc0a8_0000 | ((flow_idx as u32).wrapping_mul(2654435761) & 0xFFFF),
+        src_port: 32768 + (splitmix64(flow_idx as u64 ^ spec.seed) % 28000) as u16,
+        dst_port: SERVER_PORTS[rng.random_range(0..SERVER_PORTS.len())],
+        proto: 6,
+    };
+
+    let mut packets = Vec::with_capacity(size);
+    let mut ts: u64 = 0;
+    for i in 0..size {
+        let phase = (i * PHASES / size).min(PHASES - 1);
+        let k = &phase_knobs[phase];
+        let dir = if i == 0 {
+            Dir::Fwd // initiator opens
+        } else if i == 1 {
+            Dir::Bwd // responder replies
+        } else if rng.random::<f64>() < k.fwd_frac {
+            Dir::Fwd
+        } else {
+            Dir::Bwd
+        };
+        // On-wire header: Ethernet(14) + flow-size shim(4) + IPv4(20) +
+        // TCP(20) = 58 bytes; the serialized frames in the runtime match
+        // this exactly, so frame/payload features agree bit-for-bit.
+        let hdr_len: u16 = 58;
+        let frame_len = if rng.random::<f64>() < k.small_prob {
+            64
+        } else if rng.random::<f64>() < k.zero_payload_prob {
+            hdr_len
+        } else {
+            (lognormal(&mut rng, k.len_mu, k.len_sigma).round() as u16).clamp(64, 1514)
+        };
+        let mut flags = crate::features::flags::ACK;
+        if i == 0 {
+            flags = crate::features::flags::SYN;
+        } else if i == 1 {
+            flags = crate::features::flags::SYN | crate::features::flags::ACK;
+        } else {
+            if rng.random::<f64>() < k.psh_prob {
+                flags |= crate::features::flags::PSH;
+            }
+            if rng.random::<f64>() < k.urg_prob {
+                flags |= crate::features::flags::URG;
+            }
+            if i == size - 1 {
+                flags |= crate::features::flags::FIN;
+            }
+        }
+        if i > 0 {
+            let gap = lognormal(&mut rng, k.iat_mu, k.iat_sigma).round() as u64;
+            ts += gap.clamp(1, 4_000_000);
+        }
+        packets.push(TracePacket { ts_us: ts, frame_len, hdr_len, tcp_flags: flags, dir });
+    }
+
+    FlowTrace { tuple, packets, label }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(DatasetId::D2, 20, 7);
+        let b = generate(DatasetId::D2, 20, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tuple, y.tuple);
+            assert_eq!(x.packets, y.packets);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn different_seed_different_flows() {
+        let a = generate(DatasetId::D2, 20, 7);
+        let b = generate(DatasetId::D2, 20, 8);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.packets != y.packets));
+    }
+
+    #[test]
+    fn class_counts_match_paper() {
+        let expected = [19u16, 4, 13, 11, 32, 10, 10];
+        for (id, want) in DatasetId::all().into_iter().zip(expected) {
+            assert_eq!(spec(id).n_classes, want, "{}", id.tag());
+        }
+    }
+
+    #[test]
+    fn flows_are_well_formed() {
+        for f in generate(DatasetId::D5, 50, 1) {
+            assert!(f.size_pkts() >= 12 && f.size_pkts() <= 512);
+            assert!(f.is_time_ordered());
+            assert!(f.tuple.src_port >= 32768, "ephemeral initiator port");
+            assert!(f.tuple.dst_port < 9000, "service responder port");
+            assert_eq!(f.packets[0].dir, Dir::Fwd);
+            assert!(f.packets[0].tcp_flags & crate::features::flags::SYN != 0);
+            // labels within range
+            assert!(f.label < 32);
+            for p in &f.packets {
+                assert!(p.frame_len >= 58 && p.frame_len <= 1514);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let spec = spec(DatasetId::D2);
+        let flows = generate(DatasetId::D2, 400, 3);
+        let mut counts = vec![0usize; spec.n_classes as usize];
+        for f in &flows {
+            counts[f.label as usize] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, 100);
+        }
+    }
+
+    #[test]
+    fn classes_are_behaviourally_distinct() {
+        // Mean frame length should differ measurably across at least one
+        // pair of classes (coarse sanity that signatures do something).
+        let flows = generate(DatasetId::D2, 400, 9);
+        let mut mean_len = vec![(0u64, 0u64); 4];
+        for f in &flows {
+            let e = &mut mean_len[f.label as usize];
+            e.0 += f.total_bytes();
+            e.1 += f.size_pkts() as u64;
+        }
+        let means: Vec<f64> =
+            mean_len.iter().map(|(b, n)| *b as f64 / (*n).max(1) as f64).collect();
+        let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+            - means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 20.0, "class mean-length spread too small: {means:?}");
+    }
+
+    #[test]
+    fn unique_tuples() {
+        let flows = generate(DatasetId::D3, 300, 5);
+        let mut tuples: Vec<_> = flows.iter().map(|f| f.tuple).collect();
+        tuples.sort_by_key(|t| (t.src_ip, t.src_port, t.dst_ip, t.dst_port));
+        let n = tuples.len();
+        tuples.dedup();
+        assert_eq!(tuples.len(), n, "5-tuples must be unique per flow");
+    }
+}

@@ -1,0 +1,100 @@
+//! Uniform packet windows over flows (paper §3.1, "SpliDT splits each flow
+//! into uniform windows").
+//!
+//! With `p` partitions and a flow of `n` packets, the window length is
+//! `w = max(n / p, 1)`. Boundaries fall after packets `w, 2w, …` and the
+//! final boundary is always the end of the flow. Flows with `n ≥ p` yield
+//! exactly `p` windows; shorter flows yield `n` single-packet windows (and
+//! exit the partitioned tree early at inference — the same semantics the
+//! data-plane program implements with its `win_count` register).
+
+/// Window boundaries for a flow of `n_pkts` split into `p` partitions.
+///
+/// Returns half-open packet-index ranges `[start, end)`, in order. The last
+/// window absorbs the remainder (`n mod p`).
+pub fn window_bounds(n_pkts: usize, p: usize) -> Vec<(usize, usize)> {
+    assert!(p >= 1, "at least one partition");
+    if n_pkts == 0 {
+        return Vec::new();
+    }
+    let w = (n_pkts / p).max(1);
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for j in 0..p {
+        if start >= n_pkts {
+            break;
+        }
+        let end = if j == p - 1 { n_pkts } else { ((j + 1) * w).min(n_pkts) };
+        // Guard: the final window always reaches the end of the flow.
+        let end = end.max(start + 1).min(n_pkts);
+        out.push((start, end));
+        start = end;
+    }
+    if let Some(last) = out.last_mut() {
+        last.1 = n_pkts;
+    }
+    out
+}
+
+/// The uniform window length `w = max(n / p, 1)` (what the data-plane
+/// program computes with its `DivConst` step).
+pub fn window_len(n_pkts: usize, p: usize) -> usize {
+    assert!(p >= 1);
+    (n_pkts / p).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(window_bounds(12, 3), vec![(0, 4), (4, 8), (8, 12)]);
+        assert_eq!(window_len(12, 3), 4);
+    }
+
+    #[test]
+    fn remainder_goes_to_last_window() {
+        assert_eq!(window_bounds(14, 4), vec![(0, 3), (3, 6), (6, 9), (9, 14)]);
+    }
+
+    #[test]
+    fn single_partition_is_whole_flow() {
+        assert_eq!(window_bounds(7, 1), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn short_flow_fewer_windows() {
+        // 2 packets, 4 partitions: w = 1 → two single-packet windows.
+        assert_eq!(window_bounds(2, 4), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn exactly_p_packets() {
+        assert_eq!(window_bounds(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn empty_flow() {
+        assert!(window_bounds(0, 3).is_empty());
+    }
+
+    #[test]
+    fn windows_partition_the_flow() {
+        for n in 1..60 {
+            for p in 1..8 {
+                let w = window_bounds(n, p);
+                assert_eq!(w[0].0, 0);
+                assert_eq!(w.last().unwrap().1, n, "n={n} p={p} w={w:?}");
+                for pair in w.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "contiguous n={n} p={p}");
+                    assert!(pair[0].0 < pair[0].1, "non-empty n={n} p={p}");
+                }
+                assert!(w.len() <= p);
+                if n >= p {
+                    assert_eq!(w.len(), p, "full windows when n>=p: n={n} p={p}");
+                }
+            }
+        }
+    }
+}

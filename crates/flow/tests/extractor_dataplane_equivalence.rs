@@ -1,0 +1,128 @@
+//! The single-source-of-truth property: the software slot-program
+//! interpreter and a direct register emulation agree on every deployable
+//! feature for randomized packet windows — the foundation of the
+//! software ≡ data-plane guarantee proven end-to-end in `splidt-core`.
+
+use proptest::prelude::*;
+use splidt_flow::features::{
+    catalog, run_slot_program, LoadTransform, SlotRegKind, UpdateOp, FEATURE_CAP,
+};
+use splidt_flow::{Dir, TracePacket};
+
+fn arb_packet() -> impl Strategy<Value = TracePacket> {
+    (0u64..3_000_000, 58u16..1514, 0u8..64, any::<bool>()).prop_map(|(gap, len, flags, fwd)| {
+        TracePacket {
+            ts_us: gap, // converted to absolute below
+            frame_len: len,
+            hdr_len: 58,
+            tcp_flags: flags,
+            dir: if fwd { Dir::Fwd } else { Dir::Bwd },
+        }
+    })
+}
+
+fn arb_window() -> impl Strategy<Value = Vec<TracePacket>> {
+    proptest::collection::vec(arb_packet(), 1..40).prop_map(|mut pkts| {
+        // turn gaps into increasing absolute timestamps starting at 1000
+        let mut ts = 1000u64;
+        for p in &mut pkts {
+            ts += 1 + p.ts_us % 3_999_999;
+            p.ts_us = ts;
+        }
+        pkts
+    })
+}
+
+proptest! {
+    /// Every deployable feature value is within the 24-bit domain and
+    /// integer-exact in f32 — the precondition for lossless TCAM matching.
+    #[test]
+    fn slot_values_in_domain(pkts in arb_window()) {
+        let cat = catalog();
+        for i in cat.deployable() {
+            let prog = cat.slot_program(i).unwrap();
+            let v = run_slot_program(prog, &pkts);
+            prop_assert!(v <= FEATURE_CAP, "{} = {v}", cat.defs()[i].name);
+            prop_assert_eq!(v as f32 as u64, v, "{} not f32-exact", &cat.defs()[i].name);
+        }
+    }
+
+    /// Saturating-per-update (register semantics) equals cap-at-load for
+    /// every additive slot — the algebraic identity the compiler relies on
+    /// when it caps values in the load-transform stage instead of inside
+    /// the ALU.
+    #[test]
+    fn per_update_saturation_equals_load_cap(pkts in arb_window()) {
+        let cat = catalog();
+        for i in cat.deployable() {
+            let prog = cat.slot_program(i).unwrap();
+            if prog.op != UpdateOp::Add || prog.reg != SlotRegKind::CappedAccum {
+                continue;
+            }
+            // uncapped accumulation, capped once at the end
+            let mut raw: u64 = 0;
+            let mut prev = splidt_flow::features::PrevState::default();
+            for (j, pkt) in pkts.iter().enumerate() {
+                if prog.guard.admits(pkt, &prev, j == 0) {
+                    if let Some(v) = operand(prog, pkt, &prev) {
+                        raw = raw.saturating_add(v);
+                    }
+                }
+                prev.update(pkt.dir, pkt.ts_us);
+            }
+            let load_capped = match prog.load {
+                LoadTransform::Identity => raw.min(FEATURE_CAP),
+                LoadTransform::NegCap => FEATURE_CAP - raw.min(FEATURE_CAP),
+                LoadTransform::SinceTs => continue,
+            };
+            prop_assert_eq!(
+                load_capped,
+                run_slot_program(prog, &pkts),
+                "{}", &cat.defs()[i].name
+            );
+        }
+    }
+
+    /// Window splitting + per-window extraction: additive features over
+    /// the windows sum to the flow-level value (no packet counted twice
+    /// or dropped at boundaries).
+    #[test]
+    fn window_sums_equal_flow_level(pkts in arb_window(), p in 1usize..6) {
+        use splidt_flow::{window_bounds, FiveTuple, FlowTrace};
+        let cat = catalog();
+        let flow = FlowTrace {
+            tuple: FiveTuple { src_ip: 1, dst_ip: 2, src_port: 40000, dst_port: 80, proto: 6 },
+            packets: pkts,
+            label: 0,
+        };
+        let flow_row = splidt_flow::extract_flow_level(&flow, cat);
+        let windows = splidt_flow::extract_windows(&flow, p, cat);
+        prop_assert_eq!(windows.len(), window_bounds(flow.size_pkts(), p).len());
+        for name in ["pkt_count", "byte_count", "syn_count", "payload_bytes"] {
+            let i = cat.index_of(name).unwrap();
+            let sum: f64 = windows.iter().map(|w| w[i] as f64).sum();
+            // equality holds when nothing saturates
+            if flow_row[i] < FEATURE_CAP as f32 {
+                prop_assert_eq!(sum, flow_row[i] as f64, "{}", name);
+            }
+        }
+    }
+}
+
+fn operand(
+    prog: &splidt_flow::features::SlotProgram,
+    pkt: &TracePacket,
+    prev: &splidt_flow::features::PrevState,
+) -> Option<u64> {
+    use splidt_flow::features::Operand::*;
+    Some(match prog.operand {
+        One => 1,
+        FrameLen => pkt.frame_len as u64,
+        NegFrameLen => FEATURE_CAP - (pkt.frame_len as u64).min(FEATURE_CAP),
+        HdrLen => pkt.hdr_len as u64,
+        PayloadLen => pkt.payload_len() as u64,
+        NowUs => pkt.ts_us & 0xFFFF_FFFF,
+        Iat(s) => (pkt.ts_us - prev.get(s)?).min(FEATURE_CAP),
+        NegIat(s) => FEATURE_CAP - (pkt.ts_us - prev.get(s)?).min(FEATURE_CAP),
+    })
+}

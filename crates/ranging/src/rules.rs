@@ -1,0 +1,269 @@
+//! Rule generation: a trained decision (sub)tree → feature-table entries
+//! (value → mark) and model-table entries (marks → verdict), exactly the
+//! two TCAM rule sets of the paper's "Subtree Rule Generation" (§3.2.1).
+
+use crate::marks::{integer_threshold, ThermometerEncoder};
+use crate::ternary::Prefix;
+use splidt_dt::Tree;
+use std::collections::BTreeMap;
+
+/// One feature-table entry: value prefix → mark constant.
+#[derive(Debug, Clone)]
+pub struct FeatureRule {
+    /// Value prefix over the feature domain.
+    pub prefix: Prefix,
+    /// Mark written on hit.
+    pub mark: u64,
+}
+
+/// The complete mark-translation table of one feature within one subtree.
+#[derive(Debug, Clone)]
+pub struct FeatureTable {
+    /// Feature (column) index.
+    pub feature: usize,
+    /// The thermometer encoder (thresholds, widths).
+    pub encoder: ThermometerEncoder,
+    /// TCAM entries.
+    pub rules: Vec<FeatureRule>,
+}
+
+/// One model-table entry: per-feature ternary mark patterns → leaf verdict.
+#[derive(Debug, Clone)]
+pub struct ModelRule {
+    /// Dense leaf index within the subtree.
+    pub leaf_index: u32,
+    /// Leaf label (class — or, in SpliDT's intermediate partitions, the
+    /// next-subtree selector; the compiler decides the interpretation).
+    pub label: u16,
+    /// `(value, mask)` over each feature's mark bits, ordered like
+    /// [`SubtreeRules::features`].
+    pub mark_patterns: Vec<(u64, u64)>,
+}
+
+/// All rules for one subtree.
+#[derive(Debug, Clone)]
+pub struct SubtreeRules {
+    /// Features used by the subtree (sorted; defines mark-pattern order).
+    pub features: Vec<usize>,
+    /// Per-feature translation tables (same order as `features`).
+    pub feature_tables: Vec<FeatureTable>,
+    /// Model-table entries, one per leaf.
+    pub model: Vec<ModelRule>,
+}
+
+impl SubtreeRules {
+    /// Total TCAM entries (feature tables + model table) — the paper's
+    /// "#TCAM Entries" accounting unit.
+    pub fn tcam_entries(&self) -> usize {
+        self.feature_tables.iter().map(|t| t.rules.len()).sum::<usize>() + self.model.len()
+    }
+
+    /// Total mark bits (= model-table key width contributed by features).
+    pub fn mark_bits(&self) -> usize {
+        self.feature_tables.iter().map(|t| t.encoder.mark_bits() as usize).sum()
+    }
+
+    /// Classifies a feature row through the generated rules (reference
+    /// implementation used by tests to prove rules ≡ tree).
+    pub fn classify(&self, row: &[f32]) -> Option<u16> {
+        // 1. feature tables: value → mark
+        let marks: Vec<u64> = self
+            .feature_tables
+            .iter()
+            .map(|t| {
+                let v = row[t.feature] as u64;
+                t.rules
+                    .iter()
+                    .find(|r| r.prefix.matches(v))
+                    .map(|r| r.mark)
+                    .expect("feature tables cover the domain")
+            })
+            .collect();
+        // 2. model table: marks → verdict
+        self.model
+            .iter()
+            .find(|m| {
+                m.mark_patterns
+                    .iter()
+                    .zip(&marks)
+                    .all(|(&(val, mask), &mk)| mk & mask == val)
+            })
+            .map(|m| m.label)
+    }
+}
+
+/// Generates Range-Marking rules for a subtree over a `feature_bits`-wide
+/// integer feature domain.
+pub fn generate_rules(tree: &Tree, feature_bits: u8) -> SubtreeRules {
+    // Collect integer thresholds per feature.
+    let mut thresholds: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for &f in &tree.features_used() {
+        let ts: Vec<u64> =
+            tree.thresholds_for(f).into_iter().map(integer_threshold).collect();
+        thresholds.insert(f, ts);
+    }
+    let features: Vec<usize> = thresholds.keys().copied().collect();
+    let feature_tables: Vec<FeatureTable> = features
+        .iter()
+        .map(|&f| {
+            let encoder = ThermometerEncoder::new(thresholds[&f].clone(), feature_bits);
+            let rules = encoder
+                .elementary_ranges()
+                .into_iter()
+                .flat_map(|r| {
+                    r.prefixes
+                        .into_iter()
+                        .map(move |prefix| FeatureRule { prefix, mark: r.mark })
+                })
+                .collect();
+            FeatureTable { feature: f, encoder, rules }
+        })
+        .collect();
+
+    let index_of: BTreeMap<usize, usize> =
+        features.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+
+    let model = tree
+        .leaves()
+        .into_iter()
+        .map(|leaf| {
+            let mut patterns = vec![(0u64, 0u64); features.len()];
+            for step in &leaf.path {
+                let fi = index_of[&step.feature];
+                let enc = &feature_tables[fi].encoder;
+                let t = integer_threshold(step.threshold);
+                if let Some(c) = enc.constraint(t, step.went_left) {
+                    let bit = 1u64 << c.bit;
+                    patterns[fi].1 |= bit;
+                    if c.value {
+                        patterns[fi].0 |= bit;
+                    } else {
+                        patterns[fi].0 &= !bit;
+                    }
+                }
+            }
+            ModelRule { leaf_index: leaf.leaf_index, label: leaf.label, mark_patterns: patterns }
+        })
+        .collect();
+
+    SubtreeRules { features, feature_tables, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splidt_dt::{train_classifier, Dataset, TrainParams};
+
+    fn integer_dataset(seed: u64, n: usize, n_features: usize) -> Dataset {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let row: Vec<f32> =
+                (0..n_features).map(|_| rng.random_range(0..1000) as f32).collect();
+            // nontrivial label rule over integer features
+            let y = (u16::from(row[0] > 300.0)
+                + u16::from(row[1] > 600.0) * 2
+                + u16::from(row[2] > 100.0 && row[2] <= 500.0))
+                % 4;
+            rows.push(row);
+            labels.push(y);
+        }
+        Dataset::from_rows(&rows, &labels, None).unwrap()
+    }
+
+    #[test]
+    fn rules_reproduce_tree_exactly() {
+        let ds = integer_dataset(1, 600, 4);
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 6, ..Default::default() });
+        let rules = generate_rules(&tree, 24);
+        for i in 0..ds.n_samples() {
+            let row = ds.row(i);
+            assert_eq!(
+                rules.classify(row),
+                Some(tree.predict(row)),
+                "row {i}: rules disagree with tree"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_agree_on_unseen_values() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let ds = integer_dataset(2, 400, 3);
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 5, ..Default::default() });
+        let rules = generate_rules(&tree, 24);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let row: Vec<f32> =
+                (0..3).map(|_| rng.random_range(0..(1 << 24)) as f32).collect();
+            assert_eq!(rules.classify(&row), Some(tree.predict(&row)));
+        }
+    }
+
+    #[test]
+    fn one_model_rule_per_leaf() {
+        let ds = integer_dataset(3, 500, 4);
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 7, ..Default::default() });
+        let rules = generate_rules(&tree, 24);
+        assert_eq!(rules.model.len(), tree.n_leaves() as usize);
+        // exactly one model rule matches any input (leaves partition space)
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let row: Vec<f32> =
+                (0..4).map(|_| rng.random_range(0..100000) as f32).collect();
+            let marks: Vec<u64> = rules
+                .feature_tables
+                .iter()
+                .map(|t| {
+                    let v = row[t.feature] as u64;
+                    t.rules.iter().find(|r| r.prefix.matches(v)).unwrap().mark
+                })
+                .collect();
+            let hits = rules
+                .model
+                .iter()
+                .filter(|m| {
+                    m.mark_patterns
+                        .iter()
+                        .zip(&marks)
+                        .all(|(&(val, mask), &mk)| mk & mask == val)
+                })
+                .count();
+            assert_eq!(hits, 1);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_rules() {
+        let tree = Tree::leaf(5, 10, 3);
+        let rules = generate_rules(&tree, 24);
+        assert!(rules.features.is_empty());
+        assert_eq!(rules.model.len(), 1);
+        assert_eq!(rules.classify(&[1.0, 2.0, 3.0]), Some(5));
+        assert_eq!(rules.tcam_entries(), 1);
+    }
+
+    #[test]
+    fn entry_and_bit_accounting() {
+        let ds = integer_dataset(4, 500, 4);
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 6, ..Default::default() });
+        let rules = generate_rules(&tree, 24);
+        let expected_entries: usize =
+            rules.feature_tables.iter().map(|t| t.rules.len()).sum::<usize>()
+                + rules.model.len();
+        assert_eq!(rules.tcam_entries(), expected_entries);
+        let expected_bits: usize = rules
+            .feature_tables
+            .iter()
+            .map(|t| t.encoder.mark_bits() as usize)
+            .sum();
+        assert_eq!(rules.mark_bits(), expected_bits);
+        assert!(rules.mark_bits() > 0);
+    }
+}

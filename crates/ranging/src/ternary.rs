@@ -1,0 +1,130 @@
+//! Range → ternary (prefix) expansion for TCAM installation.
+//!
+//! TCAMs match value/mask patterns, not ranges; an integer interval
+//! `[lo, hi]` over a `bits`-wide domain is covered by a minimal set of
+//! *prefixes* (patterns whose mask selects a contiguous high-bit region).
+//! This is the classic expansion used by every range-matching compiler —
+//! worst case `2·bits − 2` prefixes per range.
+
+/// A prefix pattern over a `bits`-wide integer domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    /// Match value (low `bits` significant).
+    pub value: u64,
+    /// Care mask (always a high-bit-contiguous prefix mask).
+    pub mask: u64,
+}
+
+impl Prefix {
+    /// Whether `v` matches this prefix.
+    pub fn matches(&self, v: u64) -> bool {
+        v & self.mask == self.value
+    }
+}
+
+/// Minimal prefix cover of the inclusive range `[lo, hi]` over `bits`.
+///
+/// # Panics
+/// Panics if `lo > hi` or `hi` does not fit in `bits`.
+pub fn range_to_prefixes(lo: u64, hi: u64, bits: u8) -> Vec<Prefix> {
+    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    let domain_max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    assert!(lo <= hi, "lo {lo} > hi {hi}");
+    assert!(hi <= domain_max, "hi {hi} exceeds {bits}-bit domain");
+
+    let mut out = Vec::new();
+    let mut cur = lo;
+    loop {
+        // Largest aligned block starting at `cur` that stays within `hi`.
+        let max_align = if cur == 0 { bits as u32 } else { cur.trailing_zeros().min(bits as u32) };
+        let mut k = max_align;
+        // shrink while block end exceeds hi
+        loop {
+            let block = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+            let end = cur.saturating_add(block);
+            if end <= hi {
+                break;
+            }
+            k -= 1;
+        }
+        let mask = if k >= 64 { 0 } else { (domain_max >> k) << k } & domain_max;
+        out.push(Prefix { value: cur & mask, mask });
+        let block = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+        let end = cur.saturating_add(block);
+        if end >= hi {
+            break;
+        }
+        cur = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covered(prefixes: &[Prefix], bits: u8) -> Vec<u64> {
+        let max = (1u64 << bits) - 1;
+        (0..=max).filter(|&v| prefixes.iter().any(|p| p.matches(v))).collect()
+    }
+
+    #[test]
+    fn full_domain_single_prefix() {
+        let p = range_to_prefixes(0, 255, 8);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].mask, 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let p = range_to_prefixes(7, 7, 8);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].value, 7);
+        assert_eq!(p[0].mask, 0xFF);
+    }
+
+    #[test]
+    fn classic_worst_case() {
+        // [1, 254] over 8 bits needs 14 prefixes (2·8 − 2).
+        let p = range_to_prefixes(1, 254, 8);
+        assert_eq!(p.len(), 14);
+        assert_eq!(covered(&p, 8), (1..=254).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exact_cover_exhaustive_small_domain() {
+        for lo in 0u64..32 {
+            for hi in lo..32 {
+                let p = range_to_prefixes(lo, hi, 5);
+                let want: Vec<u64> = (lo..=hi).collect();
+                assert_eq!(covered(&p, 5), want, "[{lo},{hi}]");
+                // prefixes must be disjoint
+                for v in 0..32u64 {
+                    let hits = p.iter().filter(|x| x.matches(v)).count();
+                    assert!(hits <= 1, "value {v} hit {hits} prefixes for [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_of_domain() {
+        let p = range_to_prefixes(250, 255, 8);
+        assert_eq!(covered(&p, 8), (250..=255).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wide_domain_no_overflow() {
+        let p = range_to_prefixes(0, u64::MAX, 64);
+        assert_eq!(p.len(), 1);
+        let p = range_to_prefixes(u64::MAX - 3, u64::MAX, 64);
+        assert!(p.iter().any(|x| x.matches(u64::MAX)));
+        assert!(!p.iter().any(|x| x.matches(u64::MAX - 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn inverted_range_panics() {
+        range_to_prefixes(5, 4, 8);
+    }
+}

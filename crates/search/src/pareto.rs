@@ -1,0 +1,110 @@
+//! Pareto-dominance utilities for the (F1 ↑, flows ↑) bi-objective space.
+
+/// A point in objective space (both maximized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Model accuracy (macro-F1).
+    pub f1: f64,
+    /// Supported concurrent flows.
+    pub flows: f64,
+}
+
+/// True when `a` dominates `b` (≥ on both, > on at least one).
+pub fn dominates(a: Point, b: Point) -> bool {
+    a.f1 >= b.f1 && a.flows >= b.flows && (a.f1 > b.f1 || a.flows > b.flows)
+}
+
+/// Indices of the non-dominated points.
+pub fn pareto_front(points: &[Point]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &p) in points.iter().enumerate() {
+        for (j, &q) in points.iter().enumerate() {
+            if i != j && (dominates(q, p) || (q == p && j < i)) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// 2-D hypervolume dominated by the front w.r.t. a reference point
+/// `(ref_f1, ref_flows)` (both below/left of all points).
+pub fn hypervolume(points: &[Point], ref_f1: f64, ref_flows: f64) -> f64 {
+    let front = pareto_front(points);
+    let mut pts: Vec<Point> = front.iter().map(|&i| points[i]).collect();
+    // sort by flows ascending; sweep adds rectangles
+    pts.sort_by(|a, b| a.flows.partial_cmp(&b.flows).expect("finite"));
+    let mut hv = 0.0;
+    let mut prev_flows = ref_flows;
+    // iterate flows ascending but accumulate from the highest-f1 (lowest
+    // flows) side: with both maximized, f1 decreases as flows increases on
+    // a front.
+    for p in &pts {
+        let width = (p.flows - prev_flows).max(0.0);
+        let height = (p.f1 - ref_f1).max(0.0);
+        hv += width * height;
+        prev_flows = p.flows.max(prev_flows);
+    }
+    hv
+}
+
+/// The best F1 among points supporting at least `min_flows`.
+pub fn best_f1_at(points: &[Point], min_flows: f64) -> Option<f64> {
+    points
+        .iter()
+        .filter(|p| p.flows >= min_flows)
+        .map(|p| p.f1)
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point { f1: 0.9, flows: 1e5 },
+            Point { f1: 0.8, flows: 5e5 },
+            Point { f1: 0.7, flows: 1e6 },
+            Point { f1: 0.6, flows: 5e5 }, // dominated by #1
+            Point { f1: 0.85, flows: 9e4 }, // dominated by #0
+        ]
+    }
+
+    #[test]
+    fn dominance() {
+        let p = pts();
+        assert!(dominates(p[1], p[3]));
+        assert!(!dominates(p[3], p[1]));
+        assert!(!dominates(p[0], p[2]));
+    }
+
+    #[test]
+    fn front_extraction() {
+        assert_eq!(pareto_front(&pts()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_points_keep_one() {
+        let p = vec![Point { f1: 0.5, flows: 1.0 }, Point { f1: 0.5, flows: 1.0 }];
+        assert_eq!(pareto_front(&p), vec![0]);
+    }
+
+    #[test]
+    fn hypervolume_monotone_in_points() {
+        let mut p = pts();
+        let hv1 = hypervolume(&p, 0.0, 0.0);
+        p.push(Point { f1: 0.95, flows: 2e6 }); // dominates everything
+        let hv2 = hypervolume(&p, 0.0, 0.0);
+        assert!(hv2 > hv1);
+    }
+
+    #[test]
+    fn best_f1_at_flow_levels() {
+        let p = pts();
+        assert_eq!(best_f1_at(&p, 1e6), Some(0.7));
+        assert_eq!(best_f1_at(&p, 2e5), Some(0.8));
+        assert_eq!(best_f1_at(&p, 1e7), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! The SpliDT design-search parameter space (paper §3.2.1): total depth
+//! `D`, features per subtree `k`, and the partition-size vector
+//! `[i1, …, ip]` with `Σ i_j = D`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use splidt_core::SplidtConfig;
+
+/// Bounds of the configuration space.
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    /// Tree depth range (total `D`).
+    pub depth: (usize, usize),
+    /// Features-per-subtree range (`k`).
+    pub k: (usize, usize),
+    /// Partition count range (`p`).
+    pub partitions: (usize, usize),
+    /// Feature precision (bits) — fixed per search.
+    pub feature_bits: u8,
+}
+
+impl Default for ParamSpace {
+    fn default() -> Self {
+        Self { depth: (2, 24), k: (1, 7), partitions: (1, 7), feature_bits: 24 }
+    }
+}
+
+impl ParamSpace {
+    /// Dimensionality of the surrogate encoding.
+    pub fn encoded_len(&self) -> usize {
+        3 + self.partitions.1
+    }
+
+    /// Samples a random valid configuration.
+    pub fn sample(&self, rng: &mut SmallRng) -> SplidtConfig {
+        let p = rng.random_range(self.partitions.0..=self.partitions.1);
+        let k = rng.random_range(self.k.0..=self.k.1);
+        let d_lo = self.depth.0.max(p);
+        let d_hi = self.depth.1.max(d_lo);
+        let d = rng.random_range(d_lo..=d_hi);
+        // random composition of d into p positive parts
+        let mut parts = vec![1usize; p];
+        let mut rest = d - p;
+        while rest > 0 {
+            let i = rng.random_range(0..p);
+            parts[i] += 1;
+            rest -= 1;
+        }
+        SplidtConfig {
+            partitions: parts,
+            k,
+            feature_bits: self.feature_bits,
+            ..SplidtConfig::default()
+        }
+    }
+
+    /// Encodes a configuration for the random-forest surrogate:
+    /// `[D, k, p, i1 … i_pmax]` (missing partitions zero-padded).
+    pub fn encode(&self, cfg: &SplidtConfig) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.encoded_len());
+        v.push(cfg.total_depth() as f64);
+        v.push(cfg.k as f64);
+        v.push(cfg.partitions.len() as f64);
+        for i in 0..self.partitions.1 {
+            v.push(cfg.partitions.get(i).copied().unwrap_or(0) as f64);
+        }
+        v
+    }
+
+    /// A mutation of `cfg` (local move for acquisition sampling).
+    pub fn neighbor(&self, cfg: &SplidtConfig, rng: &mut SmallRng) -> SplidtConfig {
+        let mut c = cfg.clone();
+        match rng.random_range(0..4u32) {
+            0 => {
+                // bump k
+                let dk: i64 = if rng.random::<bool>() { 1 } else { -1 };
+                c.k = (c.k as i64 + dk).clamp(self.k.0 as i64, self.k.1 as i64) as usize;
+            }
+            1 => {
+                // bump one partition's depth
+                let i = rng.random_range(0..c.partitions.len());
+                let dd: i64 = if rng.random::<bool>() { 1 } else { -1 };
+                let nd = (c.partitions[i] as i64 + dd).max(1) as usize;
+                if c.total_depth() - c.partitions[i] + nd <= self.depth.1 {
+                    c.partitions[i] = nd;
+                }
+            }
+            2 => {
+                // add a partition
+                if c.partitions.len() < self.partitions.1
+                    && c.total_depth() + 1 <= self.depth.1
+                {
+                    c.partitions.push(1);
+                }
+            }
+            _ => {
+                // drop a partition
+                if c.partitions.len() > self.partitions.0.max(1) {
+                    c.partitions.pop();
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_valid() {
+        let s = ParamSpace::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            assert!(c.validate().is_ok(), "{c:?}");
+            assert!(c.total_depth() >= c.partitions.len());
+            assert!(c.total_depth() <= 24);
+            assert!((1..=7).contains(&c.k));
+            assert!((1..=7).contains(&c.partitions.len()));
+        }
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let s = ParamSpace::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let c = s.sample(&mut rng);
+        let e = s.encode(&c);
+        assert_eq!(e.len(), s.encoded_len());
+        assert_eq!(e[0], c.total_depth() as f64);
+        assert_eq!(e[1], c.k as f64);
+    }
+
+    #[test]
+    fn neighbors_stay_valid() {
+        let s = ParamSpace::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut c = s.sample(&mut rng);
+        for _ in 0..300 {
+            c = s.neighbor(&c, &mut rng);
+            assert!(c.validate().is_ok(), "{c:?}");
+            assert!(c.total_depth() <= 24 + 1); // +1 slack from add-partition
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Regression test: searches over spaces with fewer distinct
+//! configurations than the candidate-pool size must terminate.
+
+use splidt_search::{optimize, BoOptions, Objectives, ParamSpace};
+
+#[test]
+fn tiny_space_terminates() {
+    // p fixed to 1, k fixed to 1: the whole space is the depth axis.
+    let space = ParamSpace { partitions: (1, 1), k: (1, 1), depth: (2, 10), ..Default::default() };
+    let eval = |cfg: &splidt_core::SplidtConfig| Objectives {
+        f1: cfg.total_depth() as f64 / 20.0,
+        max_flows: 1_000_000,
+        feasible: true,
+    };
+    let res = optimize(
+        &space,
+        &eval,
+        &BoOptions { budget: 64, batch: 8, init: 8, pool: 512, seed: 1 },
+    );
+    // Cannot evaluate more configs than the space holds, and must finish.
+    assert!(!res.history.is_empty());
+    assert!(res.history.len() <= 64);
+    assert!(res.iterations.last().unwrap().best_f1 > 0.0);
+}

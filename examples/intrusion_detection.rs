@@ -1,0 +1,70 @@
+//! Intrusion detection (CIC-IDS2017 analog): SpliDT vs the NetBeacon and
+//! Leo baselines at the paper's flow targets, plus recirculation overhead
+//! and time-to-detection — the paper's end-to-end story on one dataset.
+//!
+//! Run with: `cargo run --release --example intrusion_detection`
+
+use splidt::core::baselines::{Leo, LeoParams, NetBeacon, NetBeaconParams};
+use splidt::core::{recirc, ttd};
+use splidt::prelude::*;
+
+fn main() {
+    let id = DatasetId::D6;
+    let n_classes = spec(id).n_classes as usize;
+    let flows = generate(id, 1600, 3);
+    let (tr, te) = stratified_split(&flows, 0.3, 1);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    println!("dataset: {}", spec(id).name);
+
+    // SpliDT: 4 partitions, k = 4.
+    let cfg = SplidtConfig { partitions: vec![3, 3, 3, 2], k: 4, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, cfg.n_partitions(), n_classes);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let wd_test = windowed_dataset(&test_flows, cfg.n_partitions(), n_classes);
+    let f1_sp = evaluate_partitioned(&model, &wd_test);
+
+    // Baselines with the same global budget k = 4.
+    let nb = NetBeacon::train(&train_flows, n_classes, &NetBeaconParams::default());
+    let leo = Leo::train(&train_flows, n_classes, &LeoParams::default());
+    let (f1_nb, f1_leo) = (nb.evaluate(&test_flows), leo.evaluate(&test_flows));
+    println!("F1 — SpliDT {f1_sp:.3} | NetBeacon {f1_nb:.3} | Leo {f1_leo:.3}");
+    println!(
+        "distinct features — SpliDT {} | NetBeacon {} | Leo {}",
+        model.total_features().len(),
+        nb.top_k.len(),
+        leo.top_k.len()
+    );
+
+    // Capacity on Tofino1 at equal register budgets.
+    let t = TargetSpec::tofino1();
+    println!(
+        "max flows — SpliDT {} | NetBeacon {} | Leo {}",
+        max_flows(&splidt_footprint(&model), &t),
+        max_flows(&nb.footprint(), &t),
+        max_flows(&leo.footprint(), &t)
+    );
+
+    // Recirculation overhead at 1M flows (Table 5's worst-case check).
+    for env in Environment::both() {
+        let st = recirc::model_recirc(&model, &env, 1_000_000, 7);
+        println!(
+            "recirc @1M flows [{}]: mean {:.1} Mbps, peak {:.1} Mbps ({:.4}% of 100G)",
+            env.name,
+            st.mean_mbps,
+            st.max_mbps,
+            recirc::recirc_fraction(st.max_mbps, t.recirc_gbps) * 100.0
+        );
+    }
+
+    // TTD medians (Figure 10's point: all three systems detect equally fast).
+    let env = Environment::hadoop();
+    for (name, sys) in [
+        ("SpliDT", ttd::TtdSystem::Splidt { partitions: model.n_partitions(), early_exit_prob: 0.05 }),
+        ("NetBeacon", ttd::TtdSystem::NetBeacon { phases: 8 }),
+        ("Leo", ttd::TtdSystem::Leo),
+    ] {
+        let samples = ttd::sample_ttd_ms(sys, &env, 4000, 1);
+        println!("TTD median [{name}]: {:.1} ms", ttd::quantile(&samples, 0.5));
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train a partitioned decision tree on an IoT-classification
+//! dataset, inspect it, compile it to the data-plane simulator, and verify
+//! the pipeline classifies exactly like the software model.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use splidt::prelude::*;
+
+fn main() {
+    // 1. A labelled traffic dataset: the CIC-IoT2023-a analog (4 classes).
+    let id = DatasetId::D2;
+    let n_classes = spec(id).n_classes as usize;
+    let flows = generate(id, 1200, 7);
+    let (tr, te) = stratified_split(&flows, 0.3, 1);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    println!("dataset: {} ({n_classes} classes, {} flows)", spec(id).name, flows.len());
+
+    // 2. Configure and train: 3 partitions of depths [3,3,2], k = 4
+    //    feature slots per subtree (Algorithm 1 of the paper).
+    let cfg = SplidtConfig { partitions: vec![3, 3, 2], k: 4, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, cfg.n_partitions(), n_classes);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let wd_test = windowed_dataset(&test_flows, cfg.n_partitions(), n_classes);
+    println!(
+        "model: {} subtrees across {} partitions; ≤{} features/subtree, {} distinct features total",
+        model.n_subtrees(),
+        model.n_partitions(),
+        model.max_features_per_subtree(),
+        model.total_features().len()
+    );
+    println!("software test F1: {:.3}", evaluate_partitioned(&model, &wd_test));
+
+    // 3. Resources: would it fit a Tofino1, and at how many flows?
+    let fp = splidt_footprint(&model);
+    let rules = model_rules(&model);
+    println!(
+        "footprint: {} reg bits/flow ({} feature bits), {} TCAM entries, model key {} bits",
+        fp.per_flow_bits(),
+        fp.feature_register_bits(),
+        rules.tcam_entries,
+        rules.model_key_bits,
+    );
+    println!("max concurrent flows on Tofino1: {}", max_flows(&fp, &TargetSpec::tofino1()));
+
+    // 4. Compile to the pipeline and replay the test flows packet by packet.
+    let report = run_flows(&model, &test_flows, 1 << 16, 5_000).expect("compiles");
+    println!(
+        "data plane: F1 {:.3}, software agreement {:.1}%, {:.2} recirculations/flow",
+        report.f1,
+        report.software_agreement * 100.0,
+        report.recirc_per_flow
+    );
+    assert!((report.software_agreement - 1.0).abs() < 1e-9, "pipeline must match software");
+    println!("ok: pipeline inference is bit-exact with the software model");
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration on VPN detection (ISCX-VPN2016 analog): run
+//! the Bayesian-optimization search and print the Pareto frontier of
+//! (F1, supported flows) — the per-dataset workflow of the paper's §3.3.
+//!
+//! Run with: `cargo run --release --example vpn_dse`
+
+use splidt::core::{evaluate_partitioned, max_flows, splidt_footprint, train_partitioned};
+use splidt::prelude::*;
+use splidt::flow::windowed_dataset;
+
+fn main() {
+    let id = DatasetId::D3;
+    let n_classes = spec(id).n_classes as usize;
+    let flows = generate(id, 1200, 11);
+    let (tr, te) = stratified_split(&flows, 0.3, 1);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    println!("dataset: {} — searching…", spec(id).name);
+
+    let target = TargetSpec::tofino1();
+    let evaluator = |cfg: &SplidtConfig| {
+        let wd = windowed_dataset(&train_flows, cfg.n_partitions(), n_classes);
+        let model = train_partitioned(&wd, cfg, &catalog().hardware_eligible());
+        let wd_te = windowed_dataset(&test_flows, cfg.n_partitions(), n_classes);
+        let f1 = evaluate_partitioned(&model, &wd_te);
+        let flows_cap = max_flows(&splidt_footprint(&model), &target);
+        Objectives { f1, max_flows: flows_cap, feasible: flows_cap > 0 }
+    };
+
+    let res = optimize(
+        &ParamSpace::default(),
+        &evaluator,
+        &BoOptions { budget: 32, batch: 8, init: 10, pool: 128, seed: 42 },
+    );
+
+    println!("\nconvergence (best F1 after n evaluations):");
+    for it in &res.iterations {
+        println!("  {:>3} evals → {:.3}", it.evaluations, it.best_f1);
+    }
+
+    println!("\nPareto frontier (F1 vs supported flows):");
+    let mut entries: Vec<_> = res.pareto.iter().map(|&i| &res.history[i]).collect();
+    entries.sort_by(|a, b| b.1.max_flows.cmp(&a.1.max_flows));
+    for (cfg, obj) in entries {
+        println!(
+            "  F1 {:.3} @ {:>9} flows — D={} partitions={:?} k={}",
+            obj.f1,
+            obj.max_flows,
+            cfg.total_depth(),
+            cfg.partitions,
+            cfg.k
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # splidt — partitioned decision trees for scalable stateful inference
+//!
+//! A complete Rust reproduction of **SpliDT** (SIGCOMM 2025,
+//! [arXiv:2509.00397](https://arxiv.org/abs/2509.00397)): in-network
+//! decision-tree classification that scales the number of *stateful*
+//! features a model can use by splitting the tree into partitions, giving
+//! each subtree its own feature set, and reusing the switch's registers
+//! and match keys across partitions via packet recirculation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`](splidt_core) | the partitioned model, Algorithm-1 training, pipeline compiler, runtime, resource models, baselines |
+//! | [`dataplane`](splidt_dataplane) | Tofino1-class RMT pipeline simulator |
+//! | [`flow`](splidt_flow) | traffic substrate: flows, window features, D1–D7 dataset analogs, datacenter workloads |
+//! | [`dt`](splidt_dt) | decision trees (CART with feature budgets), forests, metrics |
+//! | [`ranging`](splidt_ranging) | the Range-Marking TCAM encoding |
+//! | [`search`](splidt_search) | multi-objective Bayesian-optimization design search |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use splidt::prelude::*;
+//!
+//! // 1. a labelled traffic dataset (synthetic CIC-IoT analog)
+//! let flows = generate(DatasetId::D2, 400, 7);
+//! let (tr, te) = stratified_split(&flows, 0.3, 1);
+//! let train_flows = select_flows(&flows, &tr);
+//! let test_flows = select_flows(&flows, &te);
+//!
+//! // 2. train a partitioned tree: 3 partitions of depth 2, 4 features/subtree
+//! let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+//! let wd = windowed_dataset(&train_flows, 3, 4);
+//! let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+//!
+//! // 3. run it in the data plane and check it against software inference
+//! let report = run_flows(&model, &test_flows, 1 << 16, 5_000).unwrap();
+//! assert!((report.software_agreement - 1.0).abs() < 1e-9);
+//! ```
+
+pub use splidt_core as core;
+pub use splidt_dataplane as dataplane;
+pub use splidt_dt as dt;
+pub use splidt_flow as flow;
+pub use splidt_ranging as ranging;
+pub use splidt_search as search;
+
+/// One-stop imports for examples and quick experiments.
+pub mod prelude {
+    pub use splidt_core::{
+        compile, evaluate_partitioned, max_flows, model_rules, run_flows, splidt_footprint,
+        train_partitioned, PartitionedTree, SplidtConfig,
+    };
+    pub use splidt_core::baselines::{
+        Ideal, Leo, LeoParams, NetBeacon, NetBeaconParams, PerPacket,
+    };
+    pub use splidt_dataplane::resources::TargetSpec;
+    pub use splidt_flow::{
+        catalog, generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId,
+        Environment, FlowTrace,
+    };
+    pub use splidt_search::{optimize, BoOptions, Objectives, ParamSpace};
+}

@@ -1,0 +1,73 @@
+//! Cross-crate integration: train → compile → simulate → verify that the
+//! data plane reproduces software inference exactly, for several datasets
+//! and configurations. This is the reproduction's core fidelity claim.
+
+use splidt::prelude::*;
+use splidt::flow::windowed_dataset;
+
+fn run_case(id: DatasetId, partitions: Vec<usize>, k: usize, n_flows: usize, seed: u64) {
+    let n_classes = spec(id).n_classes as usize;
+    let flows = generate(id, n_flows, seed);
+    let (tr, te) = stratified_split(&flows, 0.3, seed ^ 1);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    let p = partitions.len();
+    let cfg = SplidtConfig { partitions, k, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, p, n_classes);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    assert!(model.validate().is_ok());
+    assert!(model.max_features_per_subtree() <= k);
+
+    let report = run_flows(&model, &test_flows, 1 << 16, 2_000).unwrap();
+    assert_eq!(report.collisions_skipped, 0);
+    for (i, o) in report.flows.iter().enumerate() {
+        assert_eq!(o.digests, 1, "{}: flow {i} emitted {} digests", id.tag(), o.digests);
+        assert_eq!(
+            o.predicted,
+            Some(o.software),
+            "{}: flow {i} dataplane {:?} != software {}",
+            id.tag(),
+            o.predicted,
+            o.software
+        );
+        assert!(o.ttd_us.is_some());
+    }
+    // recirculations bounded by p per flow (p−1 boundaries + possible
+    // early-exit terminal resubmission)
+    assert!(report.recirc_per_flow <= p as f64 + 1e-9);
+}
+
+#[test]
+fn d2_three_partitions() {
+    run_case(DatasetId::D2, vec![2, 2, 2], 4, 240, 1);
+}
+
+#[test]
+fn d3_four_partitions_small_k() {
+    run_case(DatasetId::D3, vec![2, 2, 2, 2], 2, 220, 2);
+}
+
+#[test]
+fn d6_two_partitions_large_k() {
+    run_case(DatasetId::D6, vec![3, 3], 6, 220, 3);
+}
+
+#[test]
+fn d7_single_partition_one_shot() {
+    run_case(DatasetId::D7, vec![4], 4, 200, 4);
+}
+
+#[test]
+fn quantized_16bit_model_still_exact() {
+    let id = DatasetId::D2;
+    let n_classes = spec(id).n_classes as usize;
+    let flows = generate(id, 200, 9);
+    let (tr, te) = stratified_split(&flows, 0.3, 5);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+    let cfg = SplidtConfig { partitions: vec![2, 2], k: 3, feature_bits: 24, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, 2, n_classes);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let report = run_flows(&model, &test_flows, 1 << 16, 2_000).unwrap();
+    assert!((report.software_agreement - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,95 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use proptest::prelude::*;
+use splidt::dt::{train_classifier, Dataset, TrainParams};
+use splidt::flow::window_bounds;
+use splidt::ranging::{generate_rules, range_to_prefixes, ThermometerEncoder};
+
+proptest! {
+    /// Prefix covers are exact and disjoint for arbitrary ranges.
+    #[test]
+    fn prefix_cover_exact(lo in 0u64..4096, span in 0u64..4096, probe in 0u64..65536) {
+        let hi = (lo + span).min(65535);
+        let prefixes = range_to_prefixes(lo, hi, 16);
+        let hits = prefixes.iter().filter(|p| p.matches(probe)).count();
+        let inside = probe >= lo && probe <= hi;
+        prop_assert_eq!(hits, usize::from(inside));
+    }
+
+    /// Thermometer marks are monotone in the value and agree with the
+    /// elementary-range table.
+    #[test]
+    fn thermometer_monotone(mut ts in proptest::collection::vec(0u64..1000, 1..12), v in 0u64..1024) {
+        ts.sort_unstable();
+        let enc = ThermometerEncoder::new(ts, 16);
+        let m1 = enc.mark_of(v);
+        let m2 = enc.mark_of(v + 1);
+        prop_assert!(m2 >= m1, "marks must be monotone");
+        let range = enc
+            .elementary_ranges()
+            .into_iter()
+            .find(|r| r.lo <= v && v <= r.hi)
+            .expect("ranges cover domain");
+        prop_assert_eq!(range.mark, m1);
+    }
+
+    /// Range-Marking rules reproduce the tree exactly on random integer
+    /// datasets (the TCAM encoding is lossless).
+    #[test]
+    fn rules_equal_tree(seed in 0u64..500) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 120;
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let r: Vec<f32> = (0..4).map(|_| rng.random_range(0..5000) as f32).collect();
+            let y = (u16::from(r[0] > 2000.0) + 2 * u16::from(r[1] > 900.0)) % 3;
+            rows.push(r);
+            labels.push(y);
+        }
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(&ds, &TrainParams { max_depth: 5, ..Default::default() });
+        let rules = generate_rules(&tree, 24);
+        for _ in 0..50 {
+            let probe: Vec<f32> = (0..4).map(|_| rng.random_range(0..(1 << 20)) as f32).collect();
+            prop_assert_eq!(rules.classify(&probe), Some(tree.predict(&probe)));
+        }
+    }
+
+    /// Window bounds partition every flow for every partition count.
+    #[test]
+    fn windows_partition(n in 1usize..600, p in 1usize..8) {
+        let w = window_bounds(n, p);
+        prop_assert_eq!(w[0].0, 0);
+        prop_assert_eq!(w.last().unwrap().1, n);
+        for pair in w.windows(2) {
+            prop_assert_eq!(pair[0].1, pair[1].0);
+        }
+        prop_assert!(w.len() <= p);
+    }
+
+    /// The distinct-feature budget holds for arbitrary budgets and depths.
+    #[test]
+    fn feature_budget_respected(seed in 0u64..200, k in 1usize..5, depth in 1usize..7) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..150 {
+            let r: Vec<f32> = (0..8).map(|_| rng.random_range(0..100) as f32).collect();
+            let y = ((r[0] as u16 / 25) + (r[3] as u16 / 30)) % 4;
+            rows.push(r);
+            labels.push(y);
+        }
+        let ds = Dataset::from_rows(&rows, &labels, None).unwrap();
+        let tree = train_classifier(
+            &ds,
+            &TrainParams { max_depth: depth, feature_budget: Some(k), ..Default::default() },
+        );
+        prop_assert!(tree.features_used().len() <= k);
+        prop_assert!(tree.depth() <= depth);
+    }
+}

@@ -1,0 +1,130 @@
+//! System-level property checks spanning crates: the orderings and
+//! invariants the paper's evaluation rests on.
+
+use splidt::core::baselines::{Ideal, Leo, LeoParams, NetBeacon, NetBeaconParams, PerPacket};
+use splidt::core::{
+    evaluate_partitioned, max_flows, model_rules, splidt_footprint, train_partitioned,
+};
+use splidt::prelude::*;
+use splidt::flow::windowed_dataset;
+use splidt::ranging::generate_rules;
+
+fn split(id: DatasetId, n: usize, seed: u64) -> (Vec<FlowTrace>, Vec<FlowTrace>, usize) {
+    let flows = generate(id, n, seed);
+    let (tr, te) = stratified_split(&flows, 0.3, seed);
+    (
+        select_flows(&flows, &tr),
+        select_flows(&flows, &te),
+        spec(id).n_classes as usize,
+    )
+}
+
+/// The paper's headline ordering at a register-comparable budget:
+/// per-packet < one-shot top-k (Leo) < SpliDT windows < ideal.
+#[test]
+fn accuracy_ordering_holds() {
+    let (tr, te, nc) = split(DatasetId::D2, 1200, 1);
+    let pp = PerPacket::train(&tr, nc, 8).evaluate(&te);
+    let leo = Leo::train(&tr, nc, &LeoParams { k: 4, depth: 10, ..Default::default() })
+        .evaluate(&te);
+    let wd = windowed_dataset(&tr, 4, nc);
+    let wd_te = windowed_dataset(&te, 4, nc);
+    let cfg = SplidtConfig { partitions: vec![3, 3, 2, 2], k: 4, ..Default::default() };
+    let sp = evaluate_partitioned(&train_partitioned(&wd, &cfg, &catalog().hardware_eligible()), &wd_te);
+    let ideal = Ideal::train(&tr, nc, 16).evaluate(&te);
+    assert!(pp < leo, "per-packet {pp} < leo {leo}");
+    assert!(leo < sp, "leo {leo} < splidt {sp}");
+    assert!(sp <= ideal + 0.05, "splidt {sp} ≲ ideal {ideal}");
+}
+
+/// SpliDT's total feature count scales past k while per-subtree stays ≤ k
+/// and register cost stays flat — the crux of Figures 3 and 11.
+#[test]
+fn feature_scaling_with_flat_registers() {
+    let (tr, _, nc) = split(DatasetId::D5, 900, 2);
+    let mut prev_total = 0usize;
+    for p in [1usize, 3, 5] {
+        let cfg = SplidtConfig { partitions: vec![3; p], k: 4, ..Default::default() };
+        let wd = windowed_dataset(&tr, p, nc);
+        let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+        let fp = splidt_footprint(&model);
+        assert_eq!(fp.feature_register_bits(), 4 * 32, "flat register cost");
+        assert!(model.max_features_per_subtree() <= 4);
+        let total = model.total_features().len();
+        assert!(total + 1 >= prev_total, "feature count should tend to grow: {total} vs {prev_total}");
+        prev_total = prev_total.max(total);
+    }
+    assert!(prev_total > 4, "total features must exceed k: {prev_total}");
+}
+
+/// Range-Marking rules classify identically to the tree they encode —
+/// across every subtree of a trained partitioned model.
+#[test]
+fn rules_equal_trees_for_all_subtrees() {
+    let (tr, te, nc) = split(DatasetId::D3, 700, 3);
+    let wd = windowed_dataset(&tr, 3, nc);
+    let cfg = SplidtConfig { partitions: vec![3, 2, 2], k: 4, ..Default::default() };
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let wd_te = windowed_dataset(&te, 3, nc);
+    for st in &model.subtrees {
+        let rules = generate_rules(&st.tree, 24);
+        let ds = &wd_te.per_window[st.partition];
+        for i in 0..ds.n_samples().min(150) {
+            let row = ds.row(i);
+            assert_eq!(rules.classify(row), Some(st.tree.predict(row)), "sid {}", st.sid);
+        }
+    }
+}
+
+/// Feasibility is monotone: more flows can never make an infeasible model
+/// feasible, and capacity falls as k rises.
+#[test]
+fn capacity_monotonicity() {
+    let (tr, _, nc) = split(DatasetId::D2, 500, 4);
+    let target = TargetSpec::tofino1();
+    let mut last_cap = u64::MAX;
+    for k in [1usize, 3, 6] {
+        let cfg = SplidtConfig { partitions: vec![2, 2], k, ..Default::default() };
+        let wd = windowed_dataset(&tr, 2, nc);
+        let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+        let fp = splidt_footprint(&model);
+        let cap = max_flows(&fp, &target);
+        assert!(cap <= last_cap, "capacity must not grow with k");
+        assert!(cap > 0);
+        last_cap = cap;
+    }
+}
+
+/// TCAM accounting is consistent between the summary and the compiled
+/// program: installed ternary entries ≥ canonical entries (the compiled
+/// model table carries flow-end duplicates).
+#[test]
+fn tcam_accounting_consistent() {
+    let (tr, _, nc) = split(DatasetId::D6, 500, 5);
+    let wd = windowed_dataset(&tr, 3, nc);
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let summary = model_rules(&model);
+    let compiled = compile(&model, 1 << 14).unwrap();
+    assert!(compiled.program.tcam_entries() >= summary.tcam_entries);
+    // and the program fits the simulator's block-level Tofino1 model
+    let report =
+        splidt::dataplane::resources::check(&compiled.program, &TargetSpec::tofino1());
+    assert!(report.feasible(), "{:?}", report.violations);
+}
+
+/// NetBeacon and Leo behave sanely on every dataset (trained models beat
+/// chance, footprints are positive).
+#[test]
+fn baselines_sane_on_all_datasets() {
+    for id in [DatasetId::D1, DatasetId::D4, DatasetId::D7] {
+        let (tr, te, nc) = split(id, 700, 6);
+        let nb = NetBeacon::train(&tr, nc, &NetBeaconParams { k: 4, depth: 8, ..Default::default() });
+        let leo = Leo::train(&tr, nc, &LeoParams { k: 4, depth: 8, ..Default::default() });
+        let chance = 1.5 / nc as f64;
+        assert!(nb.evaluate(&te) > chance, "{}", id.tag());
+        assert!(leo.evaluate(&te) > chance, "{}", id.tag());
+        assert!(nb.footprint().tcam_entries > 0);
+        assert!(leo.footprint().per_flow_bits() > 0);
+    }
+}
