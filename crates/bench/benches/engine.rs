@@ -1,0 +1,48 @@
+//! Engine throughput: packets/sec through the streaming engine at shard
+//! counts {1, 2, 4, 8}. This is the perf trajectory's throughput
+//! benchmark — the `elem/s` column is pipeline packets per second
+//! (resubmission passes excluded; they are metered separately).
+//!
+//! Shards are driven on OS threads, so the scaling curve tracks the
+//! machine: on a single-core runner all counts report ~equal throughput;
+//! speedup appears as cores do.
+//!
+//! Run with: `cargo bench --bench engine`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use splidt_core::engine::EngineBuilder;
+use splidt_core::{train_partitioned, SplidtConfig};
+use splidt_flow::{catalog, generate, select_flows, stratified_split, windowed_dataset, DatasetId};
+
+fn bench_engine(c: &mut Criterion) {
+    let flows = generate(DatasetId::D2, 600, 5);
+    let (tr, te) = stratified_split(&flows, 0.4, 2);
+    let train_flows = select_flows(&flows, &tr);
+    let traffic = select_flows(&flows, &te);
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, 3, 4);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let total_packets: u64 = traffic.iter().map(|f| f.size_pkts() as u64).sum();
+
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(total_packets));
+    for shards in [1usize, 2, 4, 8] {
+        // Compile once per shard count; the measured loop only resets
+        // register state and streams packets.
+        let mut engine = EngineBuilder::new(&model)
+            .flow_slots(1 << 16)
+            .stagger_us(1_000)
+            .build_sharded(shards)
+            .expect("compiles");
+        group.bench_with_input(BenchmarkId::new("packets", shards), &shards, |b, _| {
+            b.iter(|| {
+                engine.reset();
+                engine.run(&traffic).expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -9,20 +9,11 @@ fn bench_features(c: &mut Criterion) {
     let flows = generate(DatasetId::D2, 50, 1);
     let cat = catalog();
     c.bench_function("features/extract_windows_p4", |b| {
-        b.iter(|| {
-            flows
-                .iter()
-                .map(|f| extract_windows(f, 4, cat).len())
-                .sum::<usize>()
-        })
+        b.iter(|| flows.iter().map(|f| extract_windows(f, 4, cat).len()).sum::<usize>())
     });
-    let prog = *cat
-        .slot_program(cat.index_of("iat_max").unwrap())
-        .unwrap();
+    let prog = *cat.slot_program(cat.index_of("iat_max").unwrap()).unwrap();
     let pkts = &flows[0].packets;
-    c.bench_function("features/slot_program_iat_max", |b| {
-        b.iter(|| run_slot_program(&prog, pkts))
-    });
+    c.bench_function("features/slot_program_iat_max", |b| b.iter(|| run_slot_program(&prog, pkts)));
 }
 
 criterion_group!(benches, bench_features);

@@ -15,10 +15,8 @@ fn bench_pipeline(c: &mut Criterion) {
     let compiled = compile(&model, 1 << 14).unwrap();
     let fields = compiled.io.fields;
     let mut pipe = Pipeline::new(compiled.program);
-    let frame = PacketBuilder::tcp(0x0a000001, 0xc0a80001, 40000, 443)
-        .payload(200)
-        .flow_size(1000)
-        .build();
+    let frame =
+        PacketBuilder::tcp(0x0a000001, 0xc0a80001, 40000, 443).payload(200).flow_size(1000).build();
     let mut ts = 0u64;
     c.bench_function("pipeline/feature_collection_pass", |b| {
         b.iter(|| {

@@ -22,13 +22,17 @@ fn main() {
             early += 1;
         }
     }
-    let early_prob =
-        (early as f64 / bundle.test.len() as f64 / (p as f64 - 1.0)).clamp(0.0, 1.0);
+    let early_prob = (early as f64 / bundle.test.len() as f64 / (p as f64 - 1.0)).clamp(0.0, 1.0);
     println!("SpliDT model: F1 {:.2}, early-exit/boundary prob {:.3}", f1, early_prob);
 
     let n = 6000;
     for env in Environment::both() {
-        let sp = sample_ttd_ms(TtdSystem::Splidt { partitions: p, early_exit_prob: early_prob }, &env, n, 1);
+        let sp = sample_ttd_ms(
+            TtdSystem::Splidt { partitions: p, early_exit_prob: early_prob },
+            &env,
+            n,
+            1,
+        );
         let nb = sample_ttd_ms(TtdSystem::NetBeacon { phases: 8 }, &env, n, 2);
         let leo = sample_ttd_ms(TtdSystem::Leo, &env, n, 3);
         let mut rows = Vec::new();

@@ -1,9 +1,11 @@
 //! Figure 2: F1 vs #flows — top-k (≤7) vs SpliDT vs ideal, datasets D1–D3.
 //! Per-packet model peaks printed alongside (the paper reports them in the
-//! caption).
+//! caption). Baselines train and evaluate through the backend-agnostic
+//! `Classifier` contract.
 
 use splidt_bench::*;
 use splidt_core::baselines::{Ideal, PerPacket};
+use splidt_core::engine::{Classifier, Trainable};
 use splidt_flow::DatasetId;
 use splidt_search::ParamSpace;
 
@@ -13,8 +15,15 @@ fn main() {
     let results = for_datasets(&ids, |id| {
         let bundle = DatasetBundle::load(id, scale);
         let search = search_dataset(&bundle, scale, &ParamSpace::default(), 42);
-        let ideal = Ideal::train(&bundle.train, bundle.n_classes, 16).evaluate(&bundle.test);
-        let pp = PerPacket::train(&bundle.train, bundle.n_classes, 8).evaluate(&bundle.test);
+        let unconstrained: Vec<Box<dyn Classifier>> = vec![
+            Box::new(Ideal::fit(&bundle.train, bundle.n_classes, &16).expect("ideal trains")),
+            Box::new(PerPacket::fit(&bundle.train, bundle.n_classes, &8).expect("pp trains")),
+        ];
+        let cmp = compare_classifiers(
+            &unconstrained.iter().map(|m| m.as_ref()).collect::<Vec<_>>(),
+            &bundle.test,
+        );
+        let (ideal, pp) = (cmp[0].f1, cmp[1].f1);
         let mut rows = Vec::new();
         for &t in &FLOW_TARGETS {
             let splidt = search.best_at_flows(t).map(|(_, f1)| f1);

@@ -42,11 +42,21 @@ fn main() {
             rows.push(vec![
                 id.tag().to_string(),
                 flows_fmt(t),
-                nb_f1, leo_f1, sp_f1,
-                nb_d, leo_d, sp_d,
-                nb_k.to_string(), leo_k.to_string(), sp_k.to_string(),
-                nb_t.to_string(), leo_t.to_string(), sp_t.to_string(),
-                nb_r.to_string(), leo_r.to_string(), sp_r.to_string(),
+                nb_f1,
+                leo_f1,
+                sp_f1,
+                nb_d,
+                leo_d,
+                sp_d,
+                nb_k.to_string(),
+                leo_k.to_string(),
+                sp_k.to_string(),
+                nb_t.to_string(),
+                leo_t.to_string(),
+                sp_t.to_string(),
+                nb_r.to_string(),
+                leo_r.to_string(),
+                sp_r.to_string(),
             ]);
         }
         rows
@@ -55,12 +65,8 @@ fn main() {
     print_table(
         "Table 3 / Figure 6: F1 + resources vs flow target (NB | Leo | SpliDT)",
         &[
-            "Data", "#Flows",
-            "F1:NB", "F1:Leo", "F1:Sp",
-            "D:NB", "D:Leo", "D/P:Sp",
-            "#F:NB", "#F:Leo", "#F:Sp",
-            "TCAM:NB", "TCAM:Leo", "TCAM:Sp",
-            "Reg:NB", "Reg:Leo", "Reg:Sp",
+            "Data", "#Flows", "F1:NB", "F1:Leo", "F1:Sp", "D:NB", "D:Leo", "D/P:Sp", "#F:NB",
+            "#F:Leo", "#F:Sp", "TCAM:NB", "TCAM:Leo", "TCAM:Sp", "Reg:NB", "Reg:Leo", "Reg:Sp",
         ],
         &rows,
     );

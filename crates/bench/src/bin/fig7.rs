@@ -14,11 +14,7 @@ fn main() {
     let mut rows = Vec::new();
     for (id, iters) in traces {
         for it in iters {
-            rows.push(vec![
-                id.tag().to_string(),
-                it.evaluations.to_string(),
-                f2(it.best_f1),
-            ]);
+            rows.push(vec![id.tag().to_string(), it.evaluations.to_string(), f2(it.best_f1)]);
         }
     }
     print_table("Figure 7: BO convergence (best F1 so far)", &["Data", "Evals", "BestF1"], &rows);

@@ -1,8 +1,10 @@
 //! Figure 9: #TCAM entries vs F1 — SpliDT search history vs NB/Leo grid
-//! points, D1–D7.
+//! points, D1–D7. Baseline grid points flow through the backend-agnostic
+//! `Classifier` contract (name, footprint, evaluation in one loop).
 
 use splidt_bench::*;
 use splidt_core::baselines::{Leo, LeoParams, NetBeacon, NetBeaconParams};
+use splidt_core::engine::{Classifier, Trainable};
 use splidt_core::model_rules;
 use splidt_flow::DatasetId;
 use splidt_search::ParamSpace;
@@ -32,22 +34,39 @@ fn main() {
                 rows.push(vec![id.tag().into(), "SpliDT".into(), e.to_string(), f2(f1)]);
             }
         }
+        // Baseline grid through the trait-based comparison loop.
         for k in [2usize, 4, 6] {
             for d in [6usize, 10] {
-                let nb = NetBeacon::train(&bundle.train, bundle.n_classes,
-                    &NetBeaconParams { k, depth: d, n_phases: 5, feature_bits: 24 });
-                rows.push(vec![
-                    id.tag().into(), "NB".into(),
-                    nb.footprint().tcam_entries.to_string(),
-                    f2(nb.evaluate(&bundle.test)),
-                ]);
-                let leo = Leo::train(&bundle.train, bundle.n_classes,
-                    &LeoParams { k, depth: d, feature_bits: 24 });
-                rows.push(vec![
-                    id.tag().into(), "Leo".into(),
-                    leo.tcam_entries().to_string(),
-                    f2(leo.evaluate(&bundle.test)),
-                ]);
+                let grid: Vec<Box<dyn Classifier>> = vec![
+                    Box::new(
+                        NetBeacon::fit(
+                            &bundle.train,
+                            bundle.n_classes,
+                            &NetBeaconParams { k, depth: d, n_phases: 5, feature_bits: 24 },
+                        )
+                        .expect("nb trains"),
+                    ),
+                    Box::new(
+                        Leo::fit(
+                            &bundle.train,
+                            bundle.n_classes,
+                            &LeoParams { k, depth: d, feature_bits: 24 },
+                        )
+                        .expect("leo trains"),
+                    ),
+                ];
+                let cmp = compare_classifiers(
+                    &grid.iter().map(|m| m.as_ref()).collect::<Vec<_>>(),
+                    &bundle.test,
+                );
+                for r in cmp {
+                    rows.push(vec![
+                        id.tag().into(),
+                        r.name.into(),
+                        r.tcam_entries.map(|e| e.to_string()).unwrap_or_else(|| "-".into()),
+                        f2(r.f1),
+                    ]);
+                }
             }
         }
         rows

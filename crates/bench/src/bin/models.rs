@@ -1,0 +1,34 @@
+//! Backend comparison: trains the paper's five-model suite (SpliDT +
+//! NetBeacon + Leo + per-packet + ideal) on each dataset through the
+//! uniform `Trainable::fit` entry point and prints one table per dataset
+//! via the shared `Classifier` comparison loop — the quickest way to see
+//! every backend side by side.
+//!
+//! Run with: `SPLIDT_SCALE=0.1 cargo run --release --bin models`
+
+use splidt_bench::*;
+use splidt_core::SplidtConfig;
+use splidt_flow::DatasetId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ids = [DatasetId::D1, DatasetId::D2, DatasetId::D3];
+    let per_ds = for_datasets(&ids, |id| {
+        let bundle = DatasetBundle::load(id, scale);
+        // A representative mid-Pareto SpliDT configuration.
+        let cfg = SplidtConfig { partitions: vec![3, 3, 2], k: 4, ..Default::default() };
+        let suite = classifier_suite(&bundle, &cfg);
+        let rows = compare_classifiers(
+            &suite.iter().map(|m| m.as_ref()).collect::<Vec<_>>(),
+            &bundle.test,
+        );
+        (id, comparison_table(&rows))
+    });
+    for (id, rows) in per_ds {
+        print_table(
+            &format!("Model suite on {} (uniform Classifier contract)", id.tag()),
+            &["Model", "F1", "MaxFlows", "TCAM", "RegBits"],
+            &rows,
+        );
+    }
+}

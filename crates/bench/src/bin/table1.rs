@@ -15,11 +15,8 @@ fn main() {
         let cfg = SplidtConfig { partitions: vec![3, 3, 3, 2, 2], k: 4, ..Default::default() };
         let (model, _f1) = bundle.train_splidt(&cfg);
         // per-subtree density
-        let per_subtree: Vec<f64> = model
-            .subtrees
-            .iter()
-            .map(|s| s.features().len() as f64 / n_total * 100.0)
-            .collect();
+        let per_subtree: Vec<f64> =
+            model.subtrees.iter().map(|s| s.features().len() as f64 / n_total * 100.0).collect();
         // per-partition density (union of subtree features per partition)
         let mut per_partition = Vec::new();
         for p in 0..model.n_partitions() {
@@ -33,8 +30,8 @@ fn main() {
         }
         let ms = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
-            let s = (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64)
-                .sqrt();
+            let s =
+                (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len().max(1) as f64).sqrt();
             format!("{m:.2} ± {s:.2}")
         };
         let ws = recirc::model_recirc(&model, &Environment::webserver(), 500_000, 7);

@@ -8,7 +8,8 @@
 //! can run quickly on small machines.
 
 use parking_lot::Mutex;
-use splidt_core::baselines::{Leo, LeoParams, NetBeacon, NetBeaconParams};
+use splidt_core::baselines::{Ideal, Leo, LeoParams, NetBeacon, NetBeaconParams, PerPacket};
+use splidt_core::engine::{Classifier, Trainable};
 use splidt_core::{
     evaluate_partitioned, max_flows, splidt_footprint, train_partitioned, PartitionedTree,
     SplidtConfig,
@@ -39,10 +40,7 @@ pub struct Scale {
 impl Scale {
     /// Reads `SPLIDT_SCALE` (default 1.0).
     pub fn from_env() -> Self {
-        let s: f64 = std::env::var("SPLIDT_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0);
+        let s: f64 = std::env::var("SPLIDT_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
         Self {
             flows: ((2400.0 * s) as usize).max(300),
             bo_budget: ((56.0 * s) as usize).max(12),
@@ -50,6 +48,9 @@ impl Scale {
         }
     }
 }
+
+/// Cached per-partition-count (train, test) windowed matrices.
+type WindowCache = Mutex<HashMap<(usize, u8), Arc<(WindowedDataset, WindowedDataset)>>>;
 
 /// A dataset with split flows and cached windowed matrices.
 pub struct DatasetBundle {
@@ -63,7 +64,7 @@ pub struct DatasetBundle {
     pub train: Vec<FlowTrace>,
     /// Held-out test flows.
     pub test: Vec<FlowTrace>,
-    cache: Mutex<HashMap<(usize, u8), Arc<(WindowedDataset, WindowedDataset)>>>,
+    cache: WindowCache,
 }
 
 impl DatasetBundle {
@@ -110,6 +111,70 @@ impl DatasetBundle {
         let f1 = evaluate_partitioned(&model, &wd.1);
         (model, f1)
     }
+}
+
+/// One row of a backend-agnostic model comparison (see
+/// [`compare_classifiers`]). Footprint-derived columns are `None` for
+/// models with no deployable footprint (ideal, per-packet).
+pub struct ComparisonRow {
+    /// Model name (from [`Classifier::name`]).
+    pub name: &'static str,
+    /// Test macro-F1.
+    pub f1: f64,
+    /// Max concurrent flows on Tofino1, if the model has a footprint.
+    pub max_flows: Option<u64>,
+    /// Installed TCAM entries.
+    pub tcam_entries: Option<usize>,
+    /// Per-flow feature-register bits.
+    pub reg_bits: Option<usize>,
+}
+
+/// Evaluates any set of models through the [`Classifier`] contract — the
+/// single comparison loop every fig/table binary shares.
+pub fn compare_classifiers(models: &[&dyn Classifier], test: &[FlowTrace]) -> Vec<ComparisonRow> {
+    let target = TargetSpec::tofino1();
+    models
+        .iter()
+        .map(|m| {
+            let fp = m.footprint();
+            ComparisonRow {
+                name: m.name(),
+                f1: m.evaluate_flows(test),
+                max_flows: fp.as_ref().map(|fp| max_flows(fp, &target)),
+                tcam_entries: fp.as_ref().map(|fp| fp.tcam_entries),
+                reg_bits: fp.as_ref().map(|fp| fp.feature_register_bits()),
+            }
+        })
+        .collect()
+}
+
+/// Trains the paper's five-model suite (SpliDT + four baselines) on a
+/// bundle through the uniform [`Trainable::fit`] entry point.
+pub fn classifier_suite(bundle: &DatasetBundle, cfg: &SplidtConfig) -> Vec<Box<dyn Classifier>> {
+    let (tr, nc) = (&bundle.train, bundle.n_classes);
+    vec![
+        Box::new(PartitionedTree::fit(tr, nc, cfg).expect("splidt trains")),
+        Box::new(NetBeacon::fit(tr, nc, &NetBeaconParams::default()).expect("nb trains")),
+        Box::new(Leo::fit(tr, nc, &LeoParams::default()).expect("leo trains")),
+        Box::new(PerPacket::fit(tr, nc, &8).expect("pp trains")),
+        Box::new(Ideal::fit(tr, nc, &14).expect("ideal trains")),
+    ]
+}
+
+/// Renders comparison rows for [`print_table`].
+pub fn comparison_table(rows: &[ComparisonRow]) -> Vec<Vec<String>> {
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "-".into());
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                f2(r.f1),
+                opt(r.max_flows.map(flows_fmt)),
+                opt(r.tcam_entries.map(|v| v.to_string())),
+                opt(r.reg_bits.map(|v| v.to_string())),
+            ]
+        })
+        .collect()
 }
 
 /// The BO evaluator: train, score, fit-check on a target.
@@ -212,11 +277,8 @@ pub fn best_leo(
     let mut best: Option<BaselinePick<Leo>> = None;
     for k in [2usize, 4, 6] {
         for depth in [3usize, 6, 10] {
-            let leo = Leo::train(
-                &bundle.train,
-                bundle.n_classes,
-                &LeoParams { k, depth, feature_bits },
-            );
+            let leo =
+                Leo::train(&bundle.train, bundle.n_classes, &LeoParams { k, depth, feature_bits });
             let fp = leo.footprint();
             if max_flows(&fp, &target) < target_flows {
                 continue;
@@ -265,18 +327,17 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Runs one closure per dataset in parallel, preserving order.
 pub fn for_datasets<T: Send, F: Fn(DatasetId) -> T + Sync>(ids: &[DatasetId], f: F) -> Vec<T> {
     let mut out: Vec<Option<T>> = ids.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (i, &id) in ids.iter().enumerate() {
             let f = &f;
-            handles.push(s.spawn(move |_| (i, f(id))));
+            handles.push(s.spawn(move || (i, f(id))));
         }
         for h in handles {
             let (i, v) = h.join().expect("dataset job");
             out[i] = Some(v);
         }
-    })
-    .expect("scope");
+    });
     out.into_iter().map(|v| v.expect("filled")).collect()
 }
 

@@ -8,8 +8,8 @@
 
 use crate::resources::{slot_bits_for, ModelFootprint};
 use splidt_dt::{
-    metrics::macro_f1, top_k_features, train_classifier, train_classifier_on, Dataset,
-    TrainParams, Tree,
+    metrics::macro_f1, top_k_features, train_classifier, train_classifier_on, Dataset, TrainParams,
+    Tree,
 };
 use splidt_flow::features::{catalog, DepRegister};
 use splidt_flow::{
@@ -315,6 +315,11 @@ pub struct Ideal {
 }
 
 impl Ideal {
+    /// Number of classes the model separates.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
     /// Trains the unrestricted model on flow-level ⧺ per-window features.
     pub fn train(flows: &[FlowTrace], n_classes: usize, depth: usize) -> Self {
         let windows = 4usize;
@@ -322,10 +327,8 @@ impl Ideal {
         let labels: Vec<u16> = flows.iter().map(|f| f.label).collect();
         let mut ds = Dataset::from_rows(&rows, &labels, None).expect("consistent");
         ds.set_n_classes(n_classes);
-        let tree = train_classifier(
-            &ds,
-            &TrainParams { max_depth: depth, ..TrainParams::default() },
-        );
+        let tree =
+            train_classifier(&ds, &TrainParams { max_depth: depth, ..TrainParams::default() });
         Self { tree, windows, n_classes }
     }
 

@@ -107,8 +107,7 @@ pub fn model_rules(model: &PartitionedTree) -> RulesSummary {
         model_entries += rules.model.len();
         subtree_rules.push((st.sid, rules));
     }
-    let model_key_bits =
-        2 + 8 + slot_mark_bits.iter().map(|&b| b as usize).sum::<usize>();
+    let model_key_bits = 2 + 8 + slot_mark_bits.iter().map(|&b| b as usize).sum::<usize>();
     RulesSummary {
         subtree_rules,
         slot_mark_bits,
@@ -126,12 +125,15 @@ pub struct CompiledIo {
     pub fields: StandardFields,
     /// Flow-slot count (register depth).
     pub flow_slots: usize,
-    /// Digest layout: `[ipv4.src, ipv4.dst, class, sid]`.
+    /// Digest layout: `[ipv4.src, ipv4.dst, class, sid, flow_idx]`.
     pub digest_src: usize,
     /// Index of class within digest values.
     pub digest_class: usize,
     /// Index of sid within digest values.
     pub digest_sid: usize,
+    /// Index of the canonical register slot within digest values — the
+    /// collation key the runtime uses to attribute digests to flows.
+    pub digest_flow_idx: usize,
     /// The model table id (hit statistics).
     pub model_table: TableId,
 }
@@ -262,7 +264,10 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     for d in &deps {
         let DepRegister::LastTs(s) = d;
         let tag = scope_tag(*s);
-        r_last.insert(*s, b.add_register(RegisterSpec::new(format!("r.last_{tag}"), 32, flow_slots), 2));
+        r_last.insert(
+            *s,
+            b.add_register(RegisterSpec::new(format!("r.last_{tag}"), 32, flow_slots), 2),
+        );
     }
 
     // --- stage 0: prep + direction
@@ -533,11 +538,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     b.set_default(t_first, Action::new("not_first").with(Primitive::set_const(m_win_first, 0)));
 
     let t_boundary = b.add_table(
-        TableSpec::ternary(
-            "boundary",
-            vec![fields.is_resubmit, m_diff_win, m_diff_flow],
-            4,
-        ),
+        TableSpec::ternary("boundary", vec![fields.is_resubmit, m_diff_win, m_diff_flow], 4),
         3,
     );
     b.add_ternary_entry(
@@ -564,8 +565,15 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     );
 
     // --- stage 4: feature slots (registers + operator-selection MATs)
-    let mut slot_key: Vec<FieldId> =
-        vec![fields.is_resubmit, m_sid, m_dir, fields.tcp_flags, fields.frame_len, m_payload, m_win_first];
+    let mut slot_key: Vec<FieldId> = vec![
+        fields.is_resubmit,
+        m_sid,
+        m_dir,
+        fields.tcp_flags,
+        fields.frame_len,
+        m_payload,
+        m_win_first,
+    ];
     for d in &deps {
         let DepRegister::LastTs(s) = d;
         slot_key.push(m_valid[s]);
@@ -586,7 +594,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     let mut slot_entries: Vec<Vec<PendingEntry>> = vec![Vec::new(); k];
 
     let mut slots: Vec<SlotMeta> = Vec::with_capacity(k);
-    for slot in 0..k {
+    for (slot, entries) in slot_entries.iter_mut().enumerate() {
         let fval = b.add_meta(format!("m.fval_{slot}"), 32);
         let mark_bits = summary.slot_mark_bits[slot].max(1);
         let mark = b.add_meta(format!("m.mark_{slot}"), mark_bits);
@@ -594,7 +602,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         // reset on resubmission
         let mut key = vec![Ternary::ANY; slot_key.len()];
         key[0] = Ternary::exact(1, 1);
-        slot_entries[slot].push((
+        entries.push((
             key,
             1_000_000,
             Action::new("reset").with(Primitive::RegRmw {
@@ -657,10 +665,8 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
 
     for slot in 0..k {
         let n = slot_entries[slot].len().min(MAX_SLOT_TABLE_ENTRIES);
-        let table = b.add_table(
-            TableSpec::ternary(format!("slot_{slot}"), slot_key.clone(), n.max(1)),
-            4,
-        );
+        let table =
+            b.add_table(TableSpec::ternary(format!("slot_{slot}"), slot_key.clone(), n.max(1)), 4);
         b.set_default(
             table,
             Action::new("load").with(Primitive::RegRmw {
@@ -812,7 +818,10 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         b.add_ternary_entry(t_model, key, prio, action)?;
     }
 
-    b.set_digest_fields(vec![fields.ipv4_src, fields.ipv4_dst, m_class, m_sid]);
+    // The canonical register slot (m.flow_idx) rides in the digest so the
+    // controller can attribute verdicts exactly, even when initiator IPs
+    // repeat across flows.
+    b.set_digest_fields(vec![fields.ipv4_src, fields.ipv4_dst, m_class, m_sid, m_flow_idx]);
     b.set_resubmit_limit(4);
 
     let program = b.build()?;
@@ -824,6 +833,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
             digest_src: 0,
             digest_class: 2,
             digest_sid: 3,
+            digest_flow_idx: 4,
             model_table: t_model,
         },
         summary,
@@ -918,16 +928,15 @@ mod tests {
     use super::*;
     use crate::config::SplidtConfig;
     use crate::train::train_partitioned;
-    use splidt_flow::{generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId};
+    use splidt_flow::{
+        generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId,
+    };
 
     fn small_model() -> PartitionedTree {
         let flows = generate(DatasetId::D2, 300, 21);
         let (tr, _) = stratified_split(&flows, 0.3, 5);
-        let wd = windowed_dataset(
-            &select_flows(&flows, &tr),
-            3,
-            spec(DatasetId::D2).n_classes as usize,
-        );
+        let wd =
+            windowed_dataset(&select_flows(&flows, &tr), 3, spec(DatasetId::D2).n_classes as usize);
         let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
         train_partitioned(&wd, &cfg, &catalog().hardware_eligible())
     }
@@ -951,8 +960,7 @@ mod tests {
         let s = model_rules(&model);
         assert_eq!(s.subtree_rules.len(), model.n_subtrees());
         assert_eq!(s.tcam_entries, s.feature_entries + s.model_entries);
-        let total_leaves: usize =
-            model.subtrees.iter().map(|st| st.tree.n_leaves() as usize).sum();
+        let total_leaves: usize = model.subtrees.iter().map(|st| st.tree.n_leaves() as usize).sum();
         assert_eq!(s.model_entries, total_leaves);
         assert!(s.model_key_bits >= 10);
     }

@@ -57,7 +57,7 @@ impl SplidtConfig {
         if self.partitions.is_empty() {
             return Err("at least one partition".into());
         }
-        if self.partitions.iter().any(|&d| d == 0) {
+        if self.partitions.contains(&0) {
             return Err("partition depths must be ≥ 1".into());
         }
         if self.partitions.len() > 16 {

@@ -1,0 +1,708 @@
+//! The streaming inference engine: the canonical way to run traffic
+//! through a compiled SpliDT pipeline, plus the backend-agnostic
+//! [`Classifier`] contract shared by SpliDT and every baseline.
+//!
+//! Three layers (paper analogy in parentheses):
+//!
+//! 1. [`Classifier`] / [`Trainable`] — one train/classify/footprint
+//!    contract implemented by [`PartitionedTree`], NetBeacon, Leo,
+//!    per-packet and ideal, so benches and tables compare models through a
+//!    single loop (the paper's Table 3 / Figure 2 comparisons).
+//! 2. [`EngineBuilder`] → [`Engine`] — compile once, then *stream*:
+//!    [`Engine::admit`] registers a flow, [`Engine::ingest`] pushes frames
+//!    at timestamps, [`Engine::drain_digests`] lifts verdicts off the
+//!    pipeline, [`Engine::report`] scores against ground truth (the
+//!    MoonGen → Tofino → digest-collector loop of the testbed).
+//! 3. [`ShardedEngine`] — N independent pipeline shards addressed by
+//!    canonical flow hash, driven on OS threads: the throughput-scaling
+//!    knob (one shard ≙ one hardware pipe; Tofino1 has 4).
+//!
+//! Digest collation is keyed by the flow's **canonical register slot**
+//! (the same index the data plane's `HashFlow` primitive computes), not by
+//! any IP heuristic, so attribution is exact even when initiator addresses
+//! repeat across flows.
+
+use crate::compile::{compile, CompiledIo, CompiledModel, RulesSummary};
+use crate::error::SplidtError;
+use crate::model::PartitionedTree;
+use crate::resources::{splidt_footprint, ModelFootprint};
+use crate::runtime::{canonical_flow_index, FlowOutcome, RuntimeReport};
+use splidt_dataplane::packet::PacketBuilder;
+use splidt_dataplane::pipeline::{Digest, Meters, Pipeline, ProcessOutcome};
+use splidt_dataplane::program::Program;
+use splidt_dt::metrics::macro_f1;
+use splidt_flow::features::catalog;
+use splidt_flow::{extract_windows, FlowTrace};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------- verdicts
+
+/// A classification verdict for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Predicted class.
+    pub class: u16,
+}
+
+impl From<u16> for Verdict {
+    fn from(class: u16) -> Self {
+        Self { class }
+    }
+}
+
+// ------------------------------------------------------------- classifiers
+
+/// The backend-agnostic inference contract: every model the paper compares
+/// (SpliDT and the four baselines) classifies whole flows and reports a
+/// resource footprint through this trait, so evaluation loops are written
+/// once against `&dyn Classifier`.
+pub trait Classifier {
+    /// Short stable name ("splidt", "netbeacon", …) for tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Number of classes the model separates.
+    fn n_classes(&self) -> usize;
+
+    /// Classifies one flow in software.
+    fn classify_flow(&self, flow: &FlowTrace) -> Verdict;
+
+    /// Per-flow register/TCAM footprint; `None` for models with no
+    /// deployable footprint (the resource-unlimited ideal, the stateless
+    /// per-packet model).
+    fn footprint(&self) -> Option<ModelFootprint>;
+
+    /// Macro-F1 over labelled flows.
+    fn evaluate_flows(&self, flows: &[FlowTrace]) -> f64 {
+        let truth: Vec<u16> = flows.iter().map(|f| f.label).collect();
+        let preds: Vec<u16> = flows.iter().map(|f| self.classify_flow(f).class).collect();
+        macro_f1(&truth, &preds, self.n_classes())
+    }
+}
+
+/// Models trainable from labelled flows through a uniform entry point.
+pub trait Trainable: Classifier + Sized {
+    /// Hyper-parameters of the model family.
+    type Params;
+
+    /// Trains on labelled flows.
+    fn fit(
+        flows: &[FlowTrace],
+        n_classes: usize,
+        params: &Self::Params,
+    ) -> Result<Self, SplidtError>;
+}
+
+impl Classifier for PartitionedTree {
+    fn name(&self) -> &'static str {
+        "splidt"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn classify_flow(&self, flow: &FlowTrace) -> Verdict {
+        let windows = extract_windows(flow, self.n_partitions(), catalog());
+        Verdict { class: self.predict(&windows).class }
+    }
+
+    fn footprint(&self) -> Option<ModelFootprint> {
+        Some(splidt_footprint(self))
+    }
+}
+
+impl Trainable for PartitionedTree {
+    type Params = crate::config::SplidtConfig;
+
+    fn fit(
+        flows: &[FlowTrace],
+        n_classes: usize,
+        params: &Self::Params,
+    ) -> Result<Self, SplidtError> {
+        let wd = splidt_flow::windowed_dataset(flows, params.n_partitions(), n_classes);
+        let model = crate::train::train_partitioned(&wd, params, &catalog().hardware_eligible());
+        model.validate().map_err(SplidtError::Model)?;
+        Ok(model)
+    }
+}
+
+impl Classifier for crate::baselines::NetBeacon {
+    fn name(&self) -> &'static str {
+        "netbeacon"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn classify_flow(&self, flow: &FlowTrace) -> Verdict {
+        Verdict { class: self.predict(flow) }
+    }
+
+    fn footprint(&self) -> Option<ModelFootprint> {
+        Some(crate::baselines::NetBeacon::footprint(self))
+    }
+}
+
+impl Trainable for crate::baselines::NetBeacon {
+    type Params = crate::baselines::NetBeaconParams;
+
+    fn fit(
+        flows: &[FlowTrace],
+        n_classes: usize,
+        params: &Self::Params,
+    ) -> Result<Self, SplidtError> {
+        Ok(Self::train(flows, n_classes, params))
+    }
+}
+
+impl Classifier for crate::baselines::Leo {
+    fn name(&self) -> &'static str {
+        "leo"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn classify_flow(&self, flow: &FlowTrace) -> Verdict {
+        Verdict { class: self.predict(flow) }
+    }
+
+    fn footprint(&self) -> Option<ModelFootprint> {
+        Some(crate::baselines::Leo::footprint(self))
+    }
+}
+
+impl Trainable for crate::baselines::Leo {
+    type Params = crate::baselines::LeoParams;
+
+    fn fit(
+        flows: &[FlowTrace],
+        n_classes: usize,
+        params: &Self::Params,
+    ) -> Result<Self, SplidtError> {
+        Ok(Self::train(flows, n_classes, params))
+    }
+}
+
+impl Classifier for crate::baselines::PerPacket {
+    fn name(&self) -> &'static str {
+        "per-packet"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn classify_flow(&self, flow: &FlowTrace) -> Verdict {
+        Verdict { class: self.predict(flow) }
+    }
+
+    fn footprint(&self) -> Option<ModelFootprint> {
+        None // stateless: no per-flow registers to account
+    }
+}
+
+impl Trainable for crate::baselines::PerPacket {
+    type Params = usize; // tree depth
+
+    fn fit(
+        flows: &[FlowTrace],
+        n_classes: usize,
+        params: &Self::Params,
+    ) -> Result<Self, SplidtError> {
+        Ok(Self::train(flows, n_classes, *params))
+    }
+}
+
+impl Classifier for crate::baselines::Ideal {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn n_classes(&self) -> usize {
+        crate::baselines::Ideal::n_classes(self)
+    }
+
+    fn classify_flow(&self, flow: &FlowTrace) -> Verdict {
+        Verdict { class: self.predict(flow) }
+    }
+
+    fn footprint(&self) -> Option<ModelFootprint> {
+        None // resource-unlimited upper bound: deliberately unaccounted
+    }
+}
+
+impl Trainable for crate::baselines::Ideal {
+    type Params = usize; // tree depth
+
+    fn fit(
+        flows: &[FlowTrace],
+        n_classes: usize,
+        params: &Self::Params,
+    ) -> Result<Self, SplidtError> {
+        Ok(Self::train(flows, n_classes, *params))
+    }
+}
+
+// ------------------------------------------------------------------ engine
+
+/// Default register depth (64K flow slots).
+pub const DEFAULT_FLOW_SLOTS: usize = 1 << 16;
+
+/// Default inter-flow stagger when batching flows onto one timeline (µs).
+pub const DEFAULT_STAGGER_US: u64 = 5_000;
+
+/// Builds [`Engine`]s and [`ShardedEngine`]s: configure → compile once →
+/// instantiate as many times as needed.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder<'m> {
+    model: &'m PartitionedTree,
+    flow_slots: usize,
+    stagger_us: u64,
+}
+
+impl<'m> EngineBuilder<'m> {
+    /// Starts a builder for `model` with default slots/stagger.
+    pub fn new(model: &'m PartitionedTree) -> Self {
+        Self { model, flow_slots: DEFAULT_FLOW_SLOTS, stagger_us: DEFAULT_STAGGER_US }
+    }
+
+    /// Register depth (must be a power of two).
+    pub fn flow_slots(mut self, slots: usize) -> Self {
+        self.flow_slots = slots;
+        self
+    }
+
+    /// Inter-flow stagger for batched timelines (µs).
+    pub fn stagger_us(mut self, us: u64) -> Self {
+        self.stagger_us = us;
+        self
+    }
+
+    /// Compiles the model and instantiates a single-pipeline engine.
+    pub fn build(self) -> Result<Engine, SplidtError> {
+        let compiled = compile(self.model, self.flow_slots)?;
+        Ok(Engine::from_compiled(self.model.clone(), compiled, self.stagger_us))
+    }
+
+    /// Compiles once and instantiates `n_shards` independent pipelines.
+    pub fn build_sharded(self, n_shards: usize) -> Result<ShardedEngine, SplidtError> {
+        if n_shards == 0 {
+            return Err(SplidtError::Config("ShardedEngine needs ≥ 1 shard".into()));
+        }
+        let compiled = compile(self.model, self.flow_slots)?;
+        let shards = (0..n_shards)
+            .map(|_| {
+                Engine::from_parts(
+                    self.model.clone(),
+                    compiled.program.clone(),
+                    compiled.io.clone(),
+                    compiled.summary.clone(),
+                    self.stagger_us,
+                )
+            })
+            .collect();
+        Ok(ShardedEngine {
+            shards,
+            flow_slots: self.flow_slots,
+            collisions_skipped: 0,
+            slot_owner: HashMap::new(),
+            placement: Vec::new(),
+        })
+    }
+}
+
+/// A flow admitted into an engine session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Dense per-session flow id (index into the engine's admitted list).
+    pub id: usize,
+    /// Timeline offset assigned to the flow's first packet (µs).
+    pub base_us: u64,
+    /// Canonical register slot the data plane will hash the flow to.
+    pub slot: usize,
+}
+
+struct AdmittedFlow {
+    flow: FlowTrace,
+    base_us: u64,
+    slot: usize,
+}
+
+/// A session-oriented streaming engine over one compiled pipeline.
+///
+/// Lifecycle: [`EngineBuilder::build`] (compile) → [`Engine::admit`] /
+/// [`Engine::ingest`] (feed) → [`Engine::report`] (score) →
+/// [`Engine::reset`] (reuse the compiled program for a fresh session).
+pub struct Engine {
+    model: PartitionedTree,
+    io: CompiledIo,
+    summary: RulesSummary,
+    pipeline: Pipeline,
+    stagger_us: u64,
+    admitted: Vec<AdmittedFlow>,
+    /// How many admitted flows [`Engine::ingest_admitted`] has already fed
+    /// (so repeated calls feed only newly admitted flows, never replay).
+    fed: usize,
+    slot_owner: HashMap<usize, usize>,
+    collisions_skipped: usize,
+    /// Digest collation keyed by canonical register slot.
+    collated: HashMap<u64, Vec<(u64, u16)>>,
+}
+
+impl Engine {
+    /// Wraps an already-compiled model (the compile-once path).
+    pub fn from_compiled(model: PartitionedTree, compiled: CompiledModel, stagger_us: u64) -> Self {
+        Self::from_parts(model, compiled.program, compiled.io, compiled.summary, stagger_us)
+    }
+
+    fn from_parts(
+        model: PartitionedTree,
+        program: Program,
+        io: CompiledIo,
+        summary: RulesSummary,
+        stagger_us: u64,
+    ) -> Self {
+        Self {
+            model,
+            io,
+            summary,
+            pipeline: Pipeline::new(program),
+            stagger_us,
+            admitted: Vec::new(),
+            fed: 0,
+            slot_owner: HashMap::new(),
+            collisions_skipped: 0,
+            collated: HashMap::new(),
+        }
+    }
+
+    /// The model this engine executes.
+    pub fn model(&self) -> &PartitionedTree {
+        &self.model
+    }
+
+    /// Compiled-program IO handles (digest layout, standard fields).
+    pub fn io(&self) -> &CompiledIo {
+        &self.io
+    }
+
+    /// Rule accounting of the compiled program.
+    pub fn summary(&self) -> &RulesSummary {
+        &self.summary
+    }
+
+    /// Live pipeline meters.
+    pub fn meters(&self) -> &Meters {
+        self.pipeline.meters()
+    }
+
+    /// The executing program (tables, registers, hit statistics).
+    pub fn program(&self) -> &Program {
+        self.pipeline.program()
+    }
+
+    /// Register depth of the compiled program.
+    pub fn flow_slots(&self) -> usize {
+        self.io.flow_slots
+    }
+
+    /// Flows admitted so far (collision-skipped flows excluded).
+    pub fn admitted_flows(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Flows rejected because their register slot was already owned.
+    pub fn collisions_skipped(&self) -> usize {
+        self.collisions_skipped
+    }
+
+    /// Admits a flow at the next staggered timeline offset. Returns `None`
+    /// (and counts a collision) when the flow's canonical register slot is
+    /// already owned by an earlier admitted flow — shared state would
+    /// corrupt both, so colliding flows are surfaced, not silently merged.
+    pub fn admit(&mut self, flow: &FlowTrace) -> Option<Admission> {
+        let base = 1_000 + self.admitted.len() as u64 * self.stagger_us;
+        self.admit_at(flow, base)
+    }
+
+    /// Admits a flow at an explicit timeline offset (used by
+    /// [`ShardedEngine`] to preserve the global schedule within a shard).
+    pub fn admit_at(&mut self, flow: &FlowTrace, base_us: u64) -> Option<Admission> {
+        let slot = canonical_flow_index(flow, self.io.flow_slots);
+        if self.slot_owner.contains_key(&slot) {
+            self.collisions_skipped += 1;
+            return None;
+        }
+        let id = self.admitted.len();
+        self.slot_owner.insert(slot, id);
+        self.admitted.push(AdmittedFlow { flow: flow.clone(), base_us, slot });
+        Some(Admission { id, base_us, slot })
+    }
+
+    /// Serializes packet `j` of a flow into an on-wire frame (Ethernet +
+    /// flow-size shim + IPv4 + TCP), exactly as the testbed generator would.
+    pub fn frame_for(flow: &FlowTrace, j: usize) -> Vec<u8> {
+        let p = &flow.packets[j];
+        let wt = flow.wire_tuple(j);
+        let payload = p.frame_len.saturating_sub(58);
+        PacketBuilder::tcp(wt.src_ip, wt.dst_ip, wt.src_port, wt.dst_port)
+            .flags(p.tcp_flags)
+            .payload(payload)
+            .flow_size(flow.size_pkts() as u16)
+            .build()
+            .to_vec()
+    }
+
+    /// Pushes one frame through the pipeline at `ts_us`. Malformed frames
+    /// are recoverable errors, not panics.
+    pub fn ingest(&mut self, frame: &[u8], ts_us: u64) -> Result<ProcessOutcome, SplidtError> {
+        let fields = self.io.fields;
+        Ok(self.pipeline.process_packet(frame, ts_us, &fields)?)
+    }
+
+    /// Feeds every packet of every admitted-but-not-yet-fed flow, merged
+    /// into one time-ordered timeline (so many flows are in flight
+    /// concurrently and register-state separation is genuinely exercised).
+    /// Incremental: calling again after further [`Engine::admit`]s feeds
+    /// only the new flows — already-fed packets are never replayed.
+    pub fn ingest_admitted(&mut self) -> Result<(), SplidtError> {
+        let mut events: Vec<(u64, usize, usize)> = Vec::new();
+        for (i, a) in self.admitted.iter().enumerate().skip(self.fed) {
+            for (j, p) in a.flow.packets.iter().enumerate() {
+                events.push((a.base_us + p.ts_us, i, j));
+            }
+        }
+        self.fed = self.admitted.len();
+        events.sort_unstable();
+        for (ts, i, j) in events {
+            let frame = Self::frame_for(&self.admitted[i].flow, j);
+            self.ingest(&frame, ts)?;
+        }
+        Ok(())
+    }
+
+    /// Drains digests off the pipeline, collating them by canonical
+    /// register slot for scoring, and returns them to the caller.
+    pub fn drain_digests(&mut self) -> Vec<Digest> {
+        let digests = self.pipeline.take_digests();
+        for d in &digests {
+            let slot = d.values[self.io.digest_flow_idx];
+            let class = d.values[self.io.digest_class] as u16;
+            self.collated.entry(slot).or_default().push((d.ts_us, class));
+        }
+        digests
+    }
+
+    /// Scores the admitted flows against collected digests: per-flow
+    /// verdicts, macro-F1, software agreement, meters.
+    pub fn report(&mut self) -> RuntimeReport {
+        self.drain_digests();
+        let cat = catalog();
+        let p = self.model.n_partitions();
+        let mut outcomes = Vec::with_capacity(self.admitted.len());
+        let mut truth = Vec::new();
+        let mut preds = Vec::new();
+        let mut agree = 0usize;
+        for a in &self.admitted {
+            let ds = self.collated.get(&(a.slot as u64));
+            let first = ds.and_then(|v| v.iter().min_by_key(|(ts, _)| *ts).copied());
+            let windows = extract_windows(&a.flow, p, cat);
+            let software = self.model.predict(&windows).class;
+            let outcome = FlowOutcome {
+                label: a.flow.label,
+                predicted: first.map(|(_, c)| c),
+                software,
+                digests: ds.map(|v| v.len()).unwrap_or(0),
+                ttd_us: first.map(|(ts, _)| ts.saturating_sub(a.base_us + a.flow.packets[0].ts_us)),
+            };
+            if let Some(c) = outcome.predicted {
+                truth.push(a.flow.label);
+                preds.push(c);
+                if c == software {
+                    agree += 1;
+                }
+            }
+            outcomes.push(outcome);
+        }
+        let f1 =
+            if truth.is_empty() { 0.0 } else { macro_f1(&truth, &preds, self.model.n_classes) };
+        let software_agreement =
+            if outcomes.is_empty() { 1.0 } else { agree as f64 / outcomes.len() as f64 };
+        let meters = self.pipeline.meters().clone();
+        let recirc_per_flow = if self.admitted.is_empty() {
+            0.0
+        } else {
+            meters.resubmissions as f64 / self.admitted.len() as f64
+        };
+        RuntimeReport {
+            f1,
+            software_agreement,
+            flows: outcomes,
+            meters,
+            recirc_per_flow,
+            collisions_skipped: self.collisions_skipped,
+        }
+    }
+
+    /// Convenience batch driver: admit, feed, score — the one-shot
+    /// equivalent of the old `run_flows`, minus the per-call recompile.
+    pub fn run(&mut self, flows: &[FlowTrace]) -> Result<RuntimeReport, SplidtError> {
+        for f in flows {
+            self.admit(f);
+        }
+        self.ingest_admitted()?;
+        Ok(self.report())
+    }
+
+    /// Clears session state in place (registers, digests, meters, table
+    /// stats, admissions), keeping the (expensive) compilation.
+    pub fn reset(&mut self) {
+        self.pipeline.reset_state();
+        self.admitted.clear();
+        self.fed = 0;
+        self.slot_owner.clear();
+        self.collisions_skipped = 0;
+        self.collated.clear();
+    }
+}
+
+// ---------------------------------------------------------------- sharding
+
+/// N independent pipeline shards addressed by canonical flow hash and
+/// driven on OS threads — the first real throughput-scaling knob. Flows
+/// never share registers across shards (each shard owns a full register
+/// file), so per-flow verdicts are identical to a single-shard engine.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+    flow_slots: usize,
+    collisions_skipped: usize,
+    /// Global slot → owner filter, persistent across `run` calls (mirrors
+    /// the single-shard engine's cumulative admission semantics).
+    slot_owner: HashMap<usize, usize>,
+    /// Shard of each admitted flow, in global admission order — persistent
+    /// so repeated `run` calls merge cumulative shard reports correctly.
+    placement: Vec<usize>,
+}
+
+impl ShardedEngine {
+    /// Shard count.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a flow hashes to: canonical register slot modulo N, so
+    /// assignment agrees with the data plane's `HashFlow` and is stable
+    /// across runs.
+    pub fn shard_of(&self, flow: &FlowTrace) -> usize {
+        canonical_flow_index(flow, self.flow_slots) % self.shards.len()
+    }
+
+    /// Per-shard live meters.
+    pub fn shard_meters(&self) -> Vec<&Meters> {
+        self.shards.iter().map(|s| s.meters()).collect()
+    }
+
+    /// Batch driver: globally schedule flows (identical collision
+    /// filtering and stagger bases to a single-shard engine), partition
+    /// them by flow hash, feed every shard on its own thread, then merge
+    /// the per-shard reports back into one [`RuntimeReport`] whose
+    /// per-flow outcomes are in global admission order.
+    ///
+    /// Cumulative like [`Engine::run`]: a second `run` without
+    /// [`ShardedEngine::reset`] admits only new flows (repeats are counted
+    /// as collisions) and reports over every flow admitted so far.
+    pub fn run(&mut self, flows: &[FlowTrace]) -> Result<RuntimeReport, SplidtError> {
+        let n = self.shards.len();
+        let stagger = self.shards[0].stagger_us;
+        // Global admission: collision filter + stagger base exactly as the
+        // single-shard engine assigns them, so outcomes match flow-for-flow.
+        for f in flows {
+            let slot = canonical_flow_index(f, self.flow_slots);
+            if self.slot_owner.contains_key(&slot) {
+                self.collisions_skipped += 1;
+                continue;
+            }
+            let order = self.placement.len();
+            self.slot_owner.insert(slot, order);
+            let base = 1_000 + order as u64 * stagger;
+            let shard = slot % n;
+            self.shards[shard].admit_at(f, base);
+            self.placement.push(shard);
+        }
+        // Feed shards in parallel and collect their reports.
+        let mut results: Vec<Option<Result<RuntimeReport, SplidtError>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (idx, shard) in self.shards.iter_mut().enumerate() {
+                handles.push(s.spawn(move || {
+                    let fed = shard.ingest_admitted();
+                    (idx, fed.map(|()| shard.report()))
+                }));
+            }
+            for h in handles {
+                let (idx, r) = h.join().expect("shard worker panicked");
+                results[idx] = Some(r);
+            }
+        });
+        let mut reports = Vec::with_capacity(n);
+        for r in results {
+            reports.push(r.expect("all shards joined")?);
+        }
+
+        // Merge: outcomes back into global admission order.
+        let mut cursors = vec![0usize; n];
+        let mut outcomes: Vec<FlowOutcome> = Vec::with_capacity(self.placement.len());
+        for &shard in &self.placement {
+            let k = cursors[shard];
+            outcomes.push(reports[shard].flows[k].clone());
+            cursors[shard] += 1;
+        }
+        let mut meters = Meters::default();
+        for r in &reports {
+            meters.merge(&r.meters);
+        }
+        let mut truth = Vec::new();
+        let mut preds = Vec::new();
+        let mut agree = 0usize;
+        for o in &outcomes {
+            if let Some(c) = o.predicted {
+                truth.push(o.label);
+                preds.push(c);
+                if c == o.software {
+                    agree += 1;
+                }
+            }
+        }
+        let n_classes = self.shards[0].model.n_classes;
+        let f1 = if truth.is_empty() { 0.0 } else { macro_f1(&truth, &preds, n_classes) };
+        let software_agreement =
+            if outcomes.is_empty() { 1.0 } else { agree as f64 / outcomes.len() as f64 };
+        let recirc_per_flow = if outcomes.is_empty() {
+            0.0
+        } else {
+            meters.resubmissions as f64 / outcomes.len() as f64
+        };
+        Ok(RuntimeReport {
+            f1,
+            software_agreement,
+            flows: outcomes,
+            meters,
+            recirc_per_flow,
+            collisions_skipped: self.collisions_skipped,
+        })
+    }
+
+    /// Resets every shard (keeps compiled programs).
+    pub fn reset(&mut self) {
+        for s in &mut self.shards {
+            s.reset();
+        }
+        self.collisions_skipped = 0;
+        self.slot_owner.clear();
+        self.placement.clear();
+    }
+}

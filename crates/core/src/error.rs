@@ -1,0 +1,62 @@
+//! Crate-level error type for the SpliDT runtime surfaces.
+//!
+//! The engine API is fallible end to end: compilation, packet parsing, and
+//! model/config validation all report through [`SplidtError`] instead of
+//! panicking (the old runtime `expect("well-formed frame")` in the packet
+//! loop is now a recoverable [`SplidtError::Parse`]).
+
+use crate::compile::CompileError;
+use splidt_dataplane::parser::ParseError;
+use splidt_dataplane::program::ProgramError;
+
+/// Any error surfaced by the SpliDT engine and its wrappers.
+#[derive(Debug)]
+pub enum SplidtError {
+    /// Model → pipeline compilation failed.
+    Compile(CompileError),
+    /// A frame could not be parsed by the pipeline's parser.
+    Parse(ParseError),
+    /// The model is structurally invalid for the requested operation.
+    Model(String),
+    /// The engine was configured inconsistently (e.g. zero shards).
+    Config(String),
+}
+
+impl std::fmt::Display for SplidtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplidtError::Compile(e) => write!(f, "compile: {e}"),
+            SplidtError::Parse(e) => write!(f, "parse: {e}"),
+            SplidtError::Model(m) => write!(f, "model: {m}"),
+            SplidtError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SplidtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SplidtError::Compile(e) => Some(e),
+            SplidtError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for SplidtError {
+    fn from(e: CompileError) -> Self {
+        SplidtError::Compile(e)
+    }
+}
+
+impl From<ParseError> for SplidtError {
+    fn from(e: ParseError) -> Self {
+        SplidtError::Parse(e)
+    }
+}
+
+impl From<ProgramError> for SplidtError {
+    fn from(e: ProgramError) -> Self {
+        SplidtError::Compile(CompileError::Program(e))
+    }
+}

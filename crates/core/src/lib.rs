@@ -9,7 +9,11 @@
 //! * [`compile`] — partitioned tree → match-action pipeline program
 //!   (operator-selection MATs, key-generator MATs, the Range-Marking model
 //!   MAT, register allocation, resubmission protocol);
-//! * [`runtime`] — packet-level execution on the simulator with
+//! * [`engine`] — the session-oriented streaming engine: the [`Classifier`]
+//!   contract shared by SpliDT and every baseline, compile-once
+//!   [`Engine`]s, and thread-per-shard [`ShardedEngine`]s;
+//! * [`error`] — the crate-level [`SplidtError`];
+//! * [`runtime`] — batch wrappers over the engine with
 //!   digest-vs-software equivalence checking;
 //! * [`resources`] — the analytic feasibility model (flows ↔ registers ↔
 //!   TCAM ↔ stages) driving the design search;
@@ -20,6 +24,8 @@
 pub mod baselines;
 pub mod compile;
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod model;
 pub mod recirc;
 pub mod resources;
@@ -32,7 +38,9 @@ pub const FEATURE_BITS_DEFAULT: u8 = splidt_flow::FEATURE_BITS;
 
 pub use compile::{compile, model_rules, CompiledModel, RulesSummary};
 pub use config::SplidtConfig;
+pub use engine::{Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict};
+pub use error::SplidtError;
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
 pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};
-pub use runtime::{run_flows, RuntimeReport};
+pub use runtime::{run_flows, run_flows_compiled, RuntimeReport};
 pub use train::{evaluate_partitioned, train_partitioned};

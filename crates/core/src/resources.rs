@@ -121,26 +121,21 @@ pub const REGISTER_STAGE_FRACTION: f64 = 0.67;
 pub fn estimate(fp: &ModelFootprint, target: &TargetSpec, n_flows: u64) -> Estimate {
     let mut violations = Vec::new();
     let state_bits = fp.per_flow_bits() * n_flows;
-    let state_budget_bits = (target.total_sram_bits() as f64
-        * REGISTER_STAGE_FRACTION
-        * target.pipes as f64) as u64;
+    let state_budget_bits =
+        (target.total_sram_bits() as f64 * REGISTER_STAGE_FRACTION * target.pipes as f64) as u64;
     if state_bits > state_budget_bits {
         violations.push(format!(
             "stateful SRAM: {state_bits} bits exceed register budget {state_budget_bits}"
         ));
     }
-    let tcam_blocks = target.tcam_blocks_for_ternary(fp.tcam_entries.max(1), fp.max_key_bits.max(8));
+    let tcam_blocks =
+        target.tcam_blocks_for_ternary(fp.tcam_entries.max(1), fp.max_key_bits.max(8));
     let tcam_budget_blocks = target.n_stages * target.tcam_blocks_per_stage;
     if tcam_blocks > tcam_budget_blocks {
-        violations.push(format!(
-            "TCAM: {tcam_blocks} blocks exceed budget {tcam_budget_blocks}"
-        ));
+        violations.push(format!("TCAM: {tcam_blocks} blocks exceed budget {tcam_budget_blocks}"));
     }
     if fp.stages > target.n_stages {
-        violations.push(format!(
-            "stages: {} exceed target {}",
-            fp.stages, target.n_stages
-        ));
+        violations.push(format!("stages: {} exceed target {}", fp.stages, target.n_stages));
     }
     if fp.max_key_bits > target.max_key_bits {
         violations.push(format!(
@@ -164,9 +159,8 @@ pub fn max_flows(fp: &ModelFootprint, target: &TargetSpec) -> u64 {
     if !estimate(fp, target, 1).feasible() {
         return 0;
     }
-    let budget = (target.total_sram_bits() as f64
-        * REGISTER_STAGE_FRACTION
-        * target.pipes as f64) as u64;
+    let budget =
+        (target.total_sram_bits() as f64 * REGISTER_STAGE_FRACTION * target.pipes as f64) as u64;
     budget / fp.per_flow_bits()
 }
 

@@ -1,24 +1,27 @@
-//! Data-plane runtime: serialize flow traces into frames, interleave them
-//! on a shared timeline, push them through the compiled pipeline, and
-//! score the digests against ground truth.
+//! Batch runtime wrappers over the streaming [`engine`](crate::engine):
+//! serialize flow traces into frames, interleave them on a shared
+//! timeline, push them through the compiled pipeline, and score the
+//! digests against ground truth.
 //!
 //! This is the reproduction's equivalent of the paper's testbed run
 //! (MoonGen → Tofino1 → digest collection), and the place where the core
 //! fidelity invariant is checked: *data-plane inference must equal the
 //! software reference* ([`PartitionedTree::predict`]) flow-for-flow.
+//!
+//! [`run_flows`] compiles per call; hot paths should hold an
+//! [`Engine`](crate::engine::Engine) and reuse it (`compile once, run
+//! many` — see `docs/engine.md`).
 
-use crate::compile::{compile, CompileError, CompiledModel};
+use crate::compile::CompiledModel;
+use crate::engine::{Engine, EngineBuilder};
+use crate::error::SplidtError;
 use crate::model::PartitionedTree;
 use splidt_dataplane::hash::flow_index;
-use splidt_dataplane::packet::PacketBuilder;
-use splidt_dataplane::pipeline::{Meters, Pipeline};
-use splidt_dt::metrics::macro_f1;
-use splidt_flow::features::catalog;
-use splidt_flow::{extract_windows, FlowTrace};
-use std::collections::HashMap;
+use splidt_dataplane::pipeline::Meters;
+use splidt_flow::FlowTrace;
 
 /// Per-flow result of a data-plane run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowOutcome {
     /// Ground truth.
     pub label: u16,
@@ -67,14 +70,17 @@ pub fn canonical_flow_index(f: &FlowTrace, slots: usize) -> usize {
 /// Flows are staggered `stagger_us` apart and their packets merged into one
 /// timeline, so many flows are in flight concurrently and register-state
 /// separation is genuinely exercised.
+///
+/// Thin wrapper over [`EngineBuilder`]: it compiles on every call. Hold an
+/// [`Engine`] (or a [`ShardedEngine`](crate::engine::ShardedEngine)) to
+/// compile once and stream instead.
 pub fn run_flows(
     model: &PartitionedTree,
     flows: &[FlowTrace],
     flow_slots: usize,
     stagger_us: u64,
-) -> Result<RuntimeReport, CompileError> {
-    let compiled: CompiledModel = compile(model, flow_slots)?;
-    run_flows_compiled(model, compiled, flows, stagger_us)
+) -> Result<RuntimeReport, SplidtError> {
+    EngineBuilder::new(model).flow_slots(flow_slots).stagger_us(stagger_us).build()?.run(flows)
 }
 
 /// Like [`run_flows`] but reusing an already-compiled model.
@@ -83,111 +89,8 @@ pub fn run_flows_compiled(
     compiled: CompiledModel,
     flows: &[FlowTrace],
     stagger_us: u64,
-) -> Result<RuntimeReport, CompileError> {
-    let mut pipe = Pipeline::new(compiled.program);
-    let fields = compiled.io.fields;
-    let slots = compiled.io.flow_slots;
-
-    // Drop flows whose canonical register slot collides with an earlier
-    // flow: shared state would corrupt both (the paper sizes registers so
-    // collisions are negligible; we surface them instead of hiding them).
-    let mut slot_owner: HashMap<usize, usize> = HashMap::new();
-    let mut kept: Vec<usize> = Vec::new();
-    let mut collisions = 0usize;
-    for (i, f) in flows.iter().enumerate() {
-        let idx = canonical_flow_index(f, slots);
-        if slot_owner.contains_key(&idx) {
-            collisions += 1;
-        } else {
-            slot_owner.insert(idx, i);
-            kept.push(i);
-        }
-    }
-
-    // Build the merged timeline: (ts, flow, packet index).
-    let mut events: Vec<(u64, usize, usize)> = Vec::new();
-    for (order, &i) in kept.iter().enumerate() {
-        let base = 1_000 + order as u64 * stagger_us;
-        for (j, p) in flows[i].packets.iter().enumerate() {
-            events.push((base + p.ts_us, i, j));
-        }
-    }
-    events.sort_unstable();
-
-    // Process packets.
-    for &(ts, i, j) in &events {
-        let f = &flows[i];
-        let p = &f.packets[j];
-        let wt = f.wire_tuple(j);
-        let payload = p.frame_len.saturating_sub(58);
-        let frame = PacketBuilder::tcp(wt.src_ip, wt.dst_ip, wt.src_port, wt.dst_port)
-            .flags(p.tcp_flags)
-            .payload(payload)
-            .flow_size(f.size_pkts() as u16)
-            .build();
-        pipe.process_packet(&frame, ts, &fields).expect("well-formed frame");
-    }
-
-    // Collate digests by initiator IP (unique per flow in our traces).
-    let mut digests_by_flow: HashMap<u32, Vec<(u64, u16)>> = HashMap::new();
-    for d in pipe.take_digests() {
-        let src = d.values[compiled.io.digest_src] as u32;
-        let dst = d.values[1] as u32;
-        // The initiator IP (10.0.0.0/8 pool) is unique per flow and always
-        // the numerically smaller of the pair in our traces.
-        let key = src.min(dst);
-        let class = d.values[compiled.io.digest_class] as u16;
-        digests_by_flow.entry(key).or_default().push((d.ts_us, class));
-    }
-
-    let cat = catalog();
-    let p = model.n_partitions();
-    let mut outcomes = Vec::with_capacity(kept.len());
-    let mut truth = Vec::new();
-    let mut preds = Vec::new();
-    let mut agree = 0usize;
-    for (order, &i) in kept.iter().enumerate() {
-        let f = &flows[i];
-        let base = 1_000 + order as u64 * stagger_us;
-        let key = f.tuple.src_ip.min(f.tuple.dst_ip);
-        let ds = digests_by_flow.get(&key);
-        let first = ds.and_then(|v| v.iter().min_by_key(|(ts, _)| *ts).copied());
-        let windows = extract_windows(f, p, cat);
-        let software = model.predict(&windows).class;
-        let outcome = FlowOutcome {
-            label: f.label,
-            predicted: first.map(|(_, c)| c),
-            software,
-            digests: ds.map(|v| v.len()).unwrap_or(0),
-            ttd_us: first.map(|(ts, _)| ts.saturating_sub(base + f.packets[0].ts_us)),
-        };
-        if let Some(c) = outcome.predicted {
-            truth.push(f.label);
-            preds.push(c);
-            if c == software {
-                agree += 1;
-            }
-        }
-        outcomes.push(outcome);
-    }
-
-    let f1 = if truth.is_empty() { 0.0 } else { macro_f1(&truth, &preds, model.n_classes) };
-    let software_agreement =
-        if outcomes.is_empty() { 1.0 } else { agree as f64 / outcomes.len() as f64 };
-    let meters = pipe.meters().clone();
-    let recirc_per_flow = if kept.is_empty() {
-        0.0
-    } else {
-        meters.resubmissions as f64 / kept.len() as f64
-    };
-    Ok(RuntimeReport {
-        f1,
-        software_agreement,
-        flows: outcomes,
-        meters,
-        recirc_per_flow,
-        collisions_skipped: collisions,
-    })
+) -> Result<RuntimeReport, SplidtError> {
+    Engine::from_compiled(model.clone(), compiled, stagger_us).run(flows)
 }
 
 #[cfg(test)]
@@ -195,7 +98,11 @@ mod tests {
     use super::*;
     use crate::config::SplidtConfig;
     use crate::train::train_partitioned;
-    use splidt_flow::{generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId};
+    use splidt_flow::features::catalog;
+    use splidt_flow::{
+        generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId, Dir,
+        FiveTuple, TracePacket,
+    };
 
     fn model_and_flows() -> (PartitionedTree, Vec<FlowTrace>) {
         let flows = generate(DatasetId::D2, 260, 33);
@@ -238,5 +145,44 @@ mod tests {
         assert!(report.meters.resubmissions > 0);
         // TTD recorded and positive
         assert!(report.flows.iter().all(|o| o.ttd_us.is_some()));
+    }
+
+    /// Builds a synthetic TCP flow with a chosen tuple: enough packets in
+    /// both directions to cross every window boundary.
+    fn flow_with_tuple(src_ip: u32, src_port: u16, dst_ip: u32, label: u16) -> FlowTrace {
+        let packets = (0..12u64)
+            .map(|i| TracePacket {
+                ts_us: i * 120,
+                frame_len: 80 + (i as u16 % 5) * 100,
+                hdr_len: 58,
+                tcp_flags: if i == 0 { 0x02 } else { 0x10 },
+                dir: if i % 3 == 2 { Dir::Bwd } else { Dir::Fwd },
+            })
+            .collect();
+        FlowTrace {
+            tuple: FiveTuple { src_ip, dst_ip, src_port, dst_port: 443, proto: 6 },
+            packets,
+            label,
+        }
+    }
+
+    /// Regression: digests used to be collated by `src.min(dst)` IP, which
+    /// silently merged any two flows sharing an initiator IP. Collation is
+    /// now keyed by canonical register slot, so flows that differ only in
+    /// ports (very common: one client, many connections) stay separate.
+    #[test]
+    fn shared_initiator_ip_flows_stay_separate() {
+        let (model, _) = model_and_flows();
+        // Same initiator IP (and even the same responder): only the
+        // ephemeral source port differs.
+        let a = flow_with_tuple(0x0a00_0001, 40_000, 0x0b00_0001, 0);
+        let b = flow_with_tuple(0x0a00_0001, 40_001, 0x0b00_0001, 1);
+        let report = run_flows(&model, &[a, b], 1 << 16, 3_000).unwrap();
+        assert_eq!(report.collisions_skipped, 0);
+        assert_eq!(report.flows.len(), 2);
+        for (i, o) in report.flows.iter().enumerate() {
+            assert_eq!(o.digests, 1, "flow {i} saw {} digests (mis-collated?)", o.digests);
+            assert_eq!(o.predicted, Some(o.software), "flow {i} mis-attributed");
+        }
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::config::SplidtConfig;
 use crate::model::{LeafTarget, PartitionedTree, Subtree};
-use splidt_flow::WindowedDataset;
 use splidt_dt::{train_classifier_on, TrainParams};
+use splidt_flow::WindowedDataset;
 use std::collections::VecDeque;
 
 /// Trains a partitioned tree on a windowed dataset.
@@ -42,12 +42,7 @@ pub fn train_partitioned(
 
     let mut subtrees: Vec<Subtree> = Vec::new();
     let mut queue = VecDeque::new();
-    queue.push_back(Job {
-        sid: 1,
-        partition: 0,
-        rows: (0..wd.n_rows()).collect(),
-        parent: None,
-    });
+    queue.push_back(Job { sid: 1, partition: 0, rows: (0..wd.n_rows()).collect(), parent: None });
     let mut next_sid: u16 = 2;
 
     while let Some(job) = queue.pop_front() {
@@ -118,11 +113,7 @@ pub fn train_partitioned(
     // subtrees arrive sorted by sid already.
     debug_assert!(subtrees.windows(2).all(|w| w[0].sid < w[1].sid));
 
-    let model = PartitionedTree {
-        config: config.clone(),
-        subtrees,
-        n_classes: wd.n_classes,
-    };
+    let model = PartitionedTree { config: config.clone(), subtrees, n_classes: wd.n_classes };
     debug_assert_eq!(model.validate(), Ok(()));
     model
 }
@@ -186,11 +177,7 @@ mod tests {
         // The whole point of SpliDT: distinct features across subtrees can
         // exceed the per-subtree budget k.
         let (tr, _) = d2_windows(4, 900);
-        let cfg = SplidtConfig {
-            partitions: vec![3, 3, 3, 2],
-            k: 3,
-            ..Default::default()
-        };
+        let cfg = SplidtConfig { partitions: vec![3, 3, 3, 2], k: 3, ..Default::default() };
         let m = train_partitioned(&tr, &cfg, &catalog().hardware_eligible());
         assert!(m.max_features_per_subtree() <= 3);
         assert!(
@@ -220,11 +207,7 @@ mod tests {
         let cfg = SplidtConfig { partitions: vec![6], k: 4, ..Default::default() };
         let m = train_partitioned(&tr, &cfg, &catalog().hardware_eligible());
         assert_eq!(m.n_subtrees(), 1);
-        assert!(m
-            .subtrees[0]
-            .leaf_targets
-            .iter()
-            .all(|t| matches!(t, LeafTarget::Class(_))));
+        assert!(m.subtrees[0].leaf_targets.iter().all(|t| matches!(t, LeafTarget::Class(_))));
         let f1 = evaluate_partitioned(&m, &te);
         assert!(f1 > 0.3);
     }

@@ -69,11 +69,7 @@ pub fn sample_ttd_ms(system: TtdSystem, env: &Environment, n: usize, seed: u64) 
 /// Empirical CDF points `(value_ms, fraction ≤ value)` from sorted samples.
 pub fn ecdf(sorted_ms: &[f64]) -> Vec<(f64, f64)> {
     let n = sorted_ms.len() as f64;
-    sorted_ms
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, (i + 1) as f64 / n))
-        .collect()
+    sorted_ms.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n)).collect()
 }
 
 /// The value at quantile `q` of sorted samples.
@@ -90,16 +86,11 @@ mod tests {
     #[test]
     fn systems_have_similar_medians() {
         let ws = Environment::webserver();
-        let sp = sample_ttd_ms(
-            TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.05 },
-            &ws,
-            4000,
-            1,
-        );
+        let sp =
+            sample_ttd_ms(TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.05 }, &ws, 4000, 1);
         let nb = sample_ttd_ms(TtdSystem::NetBeacon { phases: 8 }, &ws, 4000, 2);
         let leo = sample_ttd_ms(TtdSystem::Leo, &ws, 4000, 3);
-        let (m_sp, m_nb, m_leo) =
-            (quantile(&sp, 0.5), quantile(&nb, 0.5), quantile(&leo, 0.5));
+        let (m_sp, m_nb, m_leo) = (quantile(&sp, 0.5), quantile(&nb, 0.5), quantile(&leo, 0.5));
         // within a small factor of each other (the paper's Figure 10 shape)
         for (a, b) in [(m_sp, m_leo), (m_nb, m_leo)] {
             let ratio = a / b;
@@ -118,18 +109,10 @@ mod tests {
     #[test]
     fn early_exit_shortens_ttd() {
         let ws = Environment::webserver();
-        let none = sample_ttd_ms(
-            TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.0 },
-            &ws,
-            4000,
-            6,
-        );
-        let lots = sample_ttd_ms(
-            TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.5 },
-            &ws,
-            4000,
-            6,
-        );
+        let none =
+            sample_ttd_ms(TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.0 }, &ws, 4000, 6);
+        let lots =
+            sample_ttd_ms(TtdSystem::Splidt { partitions: 4, early_exit_prob: 0.5 }, &ws, 4000, 6);
         assert!(quantile(&lots, 0.5) < quantile(&none, 0.5));
     }
 

@@ -95,11 +95,7 @@ fn be32(b: &[u8], off: usize) -> u32 {
 }
 
 /// Parses a frame into a fresh PHV using the standard field set.
-pub fn parse(
-    frame: &[u8],
-    layout: &PhvLayout,
-    fields: &StandardFields,
-) -> Result<Phv, ParseError> {
+pub fn parse(frame: &[u8], layout: &PhvLayout, fields: &StandardFields) -> Result<Phv, ParseError> {
     let mut phv = layout.new_phv();
     if frame.len() < 14 {
         return Err(ParseError::TooShort { header: "ethernet" });
@@ -195,10 +191,7 @@ mod tests {
     #[test]
     fn short_frame_rejected() {
         let (l, f) = layout();
-        assert_eq!(
-            parse(&[0u8; 10], &l, &f),
-            Err(ParseError::TooShort { header: "ethernet" })
-        );
+        assert_eq!(parse(&[0u8; 10], &l, &f), Err(ParseError::TooShort { header: "ethernet" }));
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl PhvLayout {
     pub fn add_field(&mut self, name: impl Into<String>, bits: u8) -> FieldId {
         let name = name.into();
         assert!((1..=64).contains(&bits), "field {name}: width {bits} out of range");
-        assert!(
-            self.fields.iter().all(|f| f.name != name),
-            "duplicate field name: {name}"
-        );
+        assert!(self.fields.iter().all(|f| f.name != name), "duplicate field name: {name}");
         assert!(self.fields.len() < u16::MAX as usize, "too many PHV fields");
         let id = FieldId(self.fields.len() as u16);
         self.fields.push(FieldSpec { name, bits });

@@ -8,11 +8,11 @@
 //! pipeline meters every resubmission so recirculation bandwidth is
 //! directly observable.
 
+use crate::action::{Action, AluOut, Primitive, Source};
 use crate::parser::{parse, ParseError, StandardFields};
 use crate::phv::Phv;
 use crate::program::Program;
 use crate::register::RegisterArray;
-use crate::action::{Action, AluOut, Primitive, Source};
 
 /// What happened to a packet after its final pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +52,20 @@ pub struct Meters {
     pub drops: u64,
     /// Digests emitted.
     pub digests: u64,
+}
+
+impl Meters {
+    /// Accumulates another meter set into this one — used when merging
+    /// per-shard pipelines into one aggregate report.
+    pub fn merge(&mut self, other: &Meters) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.passes += other.passes;
+        self.resubmissions += other.resubmissions;
+        self.resubmit_bytes += other.resubmit_bytes;
+        self.drops += other.drops;
+        self.digests += other.digests;
+    }
 }
 
 /// Result of processing one packet to completion (including resubmissions).
@@ -109,6 +123,22 @@ impl Pipeline {
     /// Aggregate meters.
     pub fn meters(&self) -> &Meters {
         &self.meters
+    }
+
+    /// Returns the pipeline to a fresh session in place: zeroes every
+    /// register array, clears pending digests, meters, and table
+    /// statistics. The program and its installed entries are untouched —
+    /// this is the cheap alternative to re-instantiating from the
+    /// compiled template (no table/entry clones).
+    pub fn reset_state(&mut self) {
+        for r in &mut self.regs {
+            r.clear();
+        }
+        for t in self.program.tables_mut() {
+            t.reset_stats();
+        }
+        self.digests.clear();
+        self.meters = Meters::default();
     }
 
     /// Parses a frame and processes it at time `ts_us`.
@@ -225,9 +255,8 @@ impl Pipeline {
                     // Requires standard fields; programs using HashFlow are
                     // built via `standard_fields()`.
                     let l = self.program.layout();
-                    let get = |name: &str| {
-                        phv.get(l.by_name(name).expect("standard fields registered"))
-                    };
+                    let get =
+                        |name: &str| phv.get(l.by_name(name).expect("standard fields registered"));
                     let (mut sip, mut dip) = (get("ipv4.src") as u32, get("ipv4.dst") as u32);
                     let (mut sp, mut dp) = (get("l4.sport") as u16, get("l4.dport") as u16);
                     if (sip, sp) > (dip, dp) {
@@ -258,12 +287,7 @@ impl Pipeline {
                 }
                 Primitive::Resubmit => effects.resubmit = true,
                 Primitive::Digest => {
-                    let values = self
-                        .program
-                        .digest_fields()
-                        .iter()
-                        .map(|&f| phv.get(f))
-                        .collect();
+                    let values = self.program.digest_fields().iter().map(|&f| phv.get(f)).collect();
                     self.digests.push(Digest { ts_us, values });
                     self.meters.digests += 1;
                 }
@@ -372,9 +396,7 @@ mod tests {
             t,
             vec![Ternary::ANY],
             0,
-            Action::new("d")
-                .with(Primitive::set_const(c, 9))
-                .with(Primitive::Digest),
+            Action::new("d").with(Primitive::set_const(c, 9)).with(Primitive::Digest),
         )
         .unwrap();
         let p = b.build().unwrap();
@@ -416,14 +438,13 @@ mod tests {
             t1,
             vec![Ternary::ANY],
             0,
-            Action::new("write")
-                .with(Primitive::RegRmw {
-                    reg: r,
-                    index: Source::Const(0),
-                    op: AluOp::Write,
-                    operand: Source::Const(42),
-                    out: Some((old_f, AluOut::Old)),
-                }),
+            Action::new("write").with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Const(0),
+                op: AluOp::Write,
+                operand: Source::Const(42),
+                out: Some((old_f, AluOut::Old)),
+            }),
         )
         .unwrap();
         let t2 = b.add_table(TableSpec::ternary("r", vec![trigger], 4), 0);

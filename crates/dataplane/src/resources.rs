@@ -293,10 +293,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let _f = b.add_meta("f", 16);
         // 2^25 × 64 b = 2 Gb in one stage: far beyond 80 × 128 Kb.
-        b.add_register(
-            RegisterSpec::new("huge", 64, 1 << 25),
-            0,
-        );
+        b.add_register(RegisterSpec::new("huge", 64, 1 << 25), 0);
         let p = b.build().unwrap();
         let report = check(&p, &TargetSpec::tofino1());
         assert!(!report.feasible());

@@ -243,8 +243,7 @@ impl Table {
                 let mut best: Option<(u32, usize)> = None;
                 for (i, e) in self.entries.iter().enumerate() {
                     if let EntryKey::Range { fields, priority } = &e.key {
-                        if fields.iter().zip(&key_vals).all(|(&(lo, hi), &v)| lo <= v && v <= hi)
-                        {
+                        if fields.iter().zip(&key_vals).all(|(&(lo, hi), &v)| lo <= v && v <= hi) {
                             let better = match best {
                                 None => true,
                                 Some((bp, _)) => *priority > bp,
@@ -257,6 +256,14 @@ impl Table {
                 }
                 best.map(|(_, i)| i)
             }
+        }
+    }
+
+    /// Zeroes hit/miss statistics (fresh-session reset; entries stay).
+    pub fn reset_stats(&mut self) {
+        self.misses = 0;
+        for e in &mut self.entries {
+            e.hits = 0;
         }
     }
 
@@ -371,10 +378,7 @@ mod tests {
         let (_l, a, _b) = setup();
         let mut t = Table::new(TableSpec::exact("t", vec![a], 4));
         let err = t
-            .install(
-                EntryKey::Ternary { fields: vec![Ternary::ANY], priority: 0 },
-                Action::nop(),
-            )
+            .install(EntryKey::Ternary { fields: vec![Ternary::ANY], priority: 0 }, Action::nop())
             .unwrap_err();
         assert!(matches!(err, TableError::KeyMismatch { .. }));
     }

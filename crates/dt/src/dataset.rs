@@ -83,8 +83,8 @@ impl Dataset {
             x.extend_from_slice(row);
         }
         let n_classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
-        let feature_names = feature_names
-            .unwrap_or_else(|| (0..n_features).map(|i| format!("f{i}")).collect());
+        let feature_names =
+            feature_names.unwrap_or_else(|| (0..n_features).map(|i| format!("f{i}")).collect());
         if feature_names.len() != n_features {
             return Err(DatasetError::ShapeMismatch {
                 expected: format!("{n_features} feature names"),
@@ -111,8 +111,8 @@ impl Dataset {
             });
         }
         let n_classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
-        let feature_names = feature_names
-            .unwrap_or_else(|| (0..n_features).map(|i| format!("f{i}")).collect());
+        let feature_names =
+            feature_names.unwrap_or_else(|| (0..n_features).map(|i| format!("f{i}")).collect());
         if feature_names.len() != n_features {
             return Err(DatasetError::ShapeMismatch {
                 expected: format!("{n_features} feature names"),
@@ -280,10 +280,7 @@ impl<'a> DatasetView<'a> {
 
     /// A sub-view keeping the view-relative positions in `keep`.
     pub fn subview(&self, keep: &[usize]) -> DatasetView<'a> {
-        DatasetView {
-            data: self.data,
-            indices: keep.iter().map(|&p| self.indices[p]).collect(),
-        }
+        DatasetView { data: self.data, indices: keep.iter().map(|&p| self.indices[p]).collect() }
     }
 }
 

@@ -30,11 +30,7 @@ impl Default for ForestParams {
     }
 }
 
-fn features_for_tree(
-    rng: &mut SmallRng,
-    n_features: usize,
-    per_tree: usize,
-) -> Vec<usize> {
+fn features_for_tree(rng: &mut SmallRng, n_features: usize, per_tree: usize) -> Vec<usize> {
     let m = if per_tree == 0 {
         (n_features as f64).sqrt().ceil() as usize
     } else {
@@ -180,9 +176,7 @@ mod tests {
     fn classifier_beats_chance() {
         let ds = noisy_grid(1);
         let f = ForestClassifier::train(&ds, &ForestParams { n_trees: 16, ..Default::default() });
-        let correct = (0..ds.n_samples())
-            .filter(|&i| f.predict(ds.row(i)) == ds.label(i))
-            .count();
+        let correct = (0..ds.n_samples()).filter(|&i| f.predict(ds.row(i)) == ds.label(i)).count();
         assert!(correct as f64 / ds.n_samples() as f64 > 0.9, "{correct}/400");
         assert_eq!(f.n_trees(), 16);
     }
@@ -242,7 +236,7 @@ mod tests {
         assert_eq!(f.len(), 5);
         let f = features_for_tree(&mut rng, 3, 10);
         assert_eq!(f.len(), 3); // clamped
-        // no duplicates
+                                // no duplicates
         let mut g = f.clone();
         g.dedup();
         assert_eq!(f.len(), g.len());

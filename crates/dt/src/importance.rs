@@ -50,8 +50,8 @@ pub fn feature_importance(tree: &Tree, data: &DatasetView<'_>) -> Vec<f64> {
             let g = gini(&node_counts[id], n);
             let gl = gini(&node_counts[*left as usize], nl);
             let gr = gini(&node_counts[*right as usize], nr);
-            let decrease =
-                (n as f64 / total) * (g - (nl as f64 / n as f64) * gl - (nr as f64 / n as f64) * gr);
+            let decrease = (n as f64 / total)
+                * (g - (nl as f64 / n as f64) * gl - (nr as f64 / n as f64) * gr);
             imp[*feature] += decrease.max(0.0);
         }
     }
@@ -85,9 +85,7 @@ pub fn top_k_features(
     let mut order: Vec<usize> = (0..imp.len()).collect();
     // Sort by importance descending; ties broken by feature index for
     // determinism.
-    order.sort_by(|&a, &b| {
-        imp[b].partial_cmp(&imp[a]).expect("finite importance").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).expect("finite importance").then(a.cmp(&b)));
     let mut top: Vec<usize> = order.into_iter().take(k).collect();
     top.sort_unstable();
     top

@@ -89,8 +89,7 @@ impl ConfusionMatrix {
 
     /// Macro-F1 over classes **present in the ground truth**.
     pub fn macro_f1(&self) -> f64 {
-        let present: Vec<usize> =
-            (0..self.n_classes).filter(|&c| self.support(c) > 0).collect();
+        let present: Vec<usize> = (0..self.n_classes).filter(|&c| self.support(c) > 0).collect();
         if present.is_empty() {
             return 0.0;
         }

@@ -50,12 +50,7 @@ pub struct RegressParams {
 
 impl Default for RegressParams {
     fn default() -> Self {
-        Self {
-            max_depth: 10,
-            min_samples_split: 4,
-            min_samples_leaf: 2,
-            allowed_features: None,
-        }
+        Self { max_depth: 10, min_samples_split: 4, min_samples_leaf: 2, allowed_features: None }
     }
 }
 
@@ -162,8 +157,7 @@ impl RegBuilder<'_> {
                     None => sse < sse_parent - 1e-12,
                     Some((bf, bt, bs)) => {
                         let (bf, bt, bs) = (*bf, *bt, *bs);
-                        sse < bs - 1e-12
-                            || (sse < bs + 1e-12 && (feature, threshold) < (bf, bt))
+                        sse < bs - 1e-12 || (sse < bs + 1e-12 && (feature, threshold) < (bf, bt))
                     }
                 };
                 if better {
@@ -224,7 +218,12 @@ mod tests {
             &x,
             2,
             &y,
-            &RegressParams { max_depth: 8, min_samples_split: 2, min_samples_leaf: 1, ..Default::default() },
+            &RegressParams {
+                max_depth: 8,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
         );
         let mut max_err: f64 = 0.0;
         for i in 0..8 {
@@ -249,12 +248,7 @@ mod tests {
     fn depth_limit_respected() {
         let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let y: Vec<f64> = (0..64).map(|i| (i * i) as f64).collect();
-        let t = train_regressor(
-            &x,
-            1,
-            &y,
-            &RegressParams { max_depth: 2, ..Default::default() },
-        );
+        let t = train_regressor(&x, 1, &y, &RegressParams { max_depth: 2, ..Default::default() });
         // depth 2 => at most 4 leaves => at most 7 nodes
         assert!(t.n_nodes() <= 7);
     }

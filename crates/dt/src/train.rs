@@ -72,10 +72,7 @@ pub fn train_classifier_on(view: &DatasetView<'_>, params: &TrainParams) -> Tree
             let mut fs = fs.clone();
             fs.sort_unstable();
             fs.dedup();
-            assert!(
-                fs.iter().all(|&f| f < view.n_features()),
-                "allowed feature out of range"
-            );
+            assert!(fs.iter().all(|&f| f < view.n_features()), "allowed feature out of range");
             fs
         }
         None => (0..view.n_features()).collect(),
@@ -122,10 +119,7 @@ impl Builder<'_> {
         let majority = majority(&counts);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
 
-        if depth >= self.params.max_depth
-            || total < self.params.min_samples_split
-            || pure
-        {
+        if depth >= self.params.max_depth || total < self.params.min_samples_split || pure {
             return self.push_leaf(majority, total as u32);
         }
 
@@ -134,9 +128,8 @@ impl Builder<'_> {
             return self.push_leaf(majority, total as u32);
         };
 
-        let (left_pos, right_pos): (Vec<usize>, Vec<usize>) = positions
-            .iter()
-            .partition(|&&p| view.row(p)[split.feature] <= split.threshold);
+        let (left_pos, right_pos): (Vec<usize>, Vec<usize>) =
+            positions.iter().partition(|&&p| view.row(p)[split.feature] <= split.threshold);
         if left_pos.len() < self.params.min_samples_leaf
             || right_pos.len() < self.params.min_samples_leaf
         {
@@ -144,10 +137,7 @@ impl Builder<'_> {
         }
 
         self.used.insert(split.feature);
-        self.used_thresholds
-            .entry(split.feature)
-            .or_default()
-            .insert(split.threshold.to_bits());
+        self.used_thresholds.entry(split.feature).or_default().insert(split.threshold.to_bits());
         let node_id = self.nodes.len() as NodeId;
         // Reserve the slot so children get consecutive ids after it.
         self.nodes.push(Node::Leaf { label: 0, n_samples: 0, leaf_index: u32::MAX });
@@ -187,10 +177,8 @@ impl Builder<'_> {
 
         for &feature in &self.eligible() {
             // Gather (value, label) pairs and sort by value.
-            let mut pairs: Vec<(f32, u16)> = positions
-                .iter()
-                .map(|&p| (view.row(p)[feature], view.label(p)))
-                .collect();
+            let mut pairs: Vec<(f32, u16)> =
+                positions.iter().map(|&p| (view.row(p)[feature], view.label(p))).collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
             if pairs.first().map(|p| p.0) == pairs.last().map(|p| p.0) {
                 continue; // constant feature on this node
@@ -198,10 +186,7 @@ impl Builder<'_> {
 
             // Candidate boundaries: positions i where value changes between
             // pairs[i-1] and pairs[i]; optionally sub-sampled to quantiles.
-            let boundaries = candidate_boundaries(
-                &pairs,
-                self.params.max_thresholds_per_feature,
-            );
+            let boundaries = candidate_boundaries(&pairs, self.params.max_thresholds_per_feature);
 
             let mut left_counts = vec![0usize; self.n_classes];
             let mut cursor = 0usize;
@@ -225,8 +210,7 @@ impl Builder<'_> {
                 if let Some(budget) = self.params.threshold_budget_per_feature {
                     let used = self.used_thresholds.get(&feature);
                     let n_used = used.map(|s| s.len()).unwrap_or(0);
-                    let is_reuse =
-                        used.is_some_and(|s| s.contains(&threshold.to_bits()));
+                    let is_reuse = used.is_some_and(|s| s.contains(&threshold.to_bits()));
                     if n_used >= budget && !is_reuse {
                         continue;
                     }
@@ -358,8 +342,7 @@ mod tests {
     fn max_depth_is_respected() {
         let ds = grid_dataset();
         for d in 0..5 {
-            let tree =
-                train_classifier(&ds, &TrainParams { max_depth: d, ..Default::default() });
+            let tree = train_classifier(&ds, &TrainParams { max_depth: d, ..Default::default() });
             assert!(tree.depth() <= d, "depth {} exceeds max {}", tree.depth(), d);
         }
     }
@@ -394,11 +377,7 @@ mod tests {
         let ds = grid_dataset();
         let tree = train_classifier(
             &ds,
-            &TrainParams {
-                max_depth: 4,
-                allowed_features: Some(vec![1]),
-                ..Default::default()
-            },
+            &TrainParams { max_depth: 4, allowed_features: Some(vec![1]), ..Default::default() },
         );
         assert!(tree.features_used().iter().all(|&f| f == 1));
     }
@@ -433,9 +412,8 @@ mod tests {
         );
         // With only 3 candidate thresholds the tree may be slightly worse but
         // must still beat the 25% majority baseline by a wide margin.
-        let correct = (0..ds.n_samples())
-            .filter(|&i| tree.predict(ds.row(i)) == ds.label(i))
-            .count();
+        let correct =
+            (0..ds.n_samples()).filter(|&i| tree.predict(ds.row(i)) == ds.label(i)).count();
         assert!(correct >= 75, "only {correct}/100 correct");
     }
 

@@ -53,10 +53,7 @@ impl Tree {
     /// arena must form a proper tree (checked with debug assertions by
     /// [`Tree::validate`]).
     pub fn from_arena(nodes: Vec<Node>, root: NodeId, n_features: usize) -> Self {
-        let n_leaves = nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Leaf { .. }))
-            .count() as u32;
+        let n_leaves = nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count() as u32;
         let t = Self { nodes, root, n_leaves, n_features };
         debug_assert!(t.validate().is_ok(), "invalid tree: {:?}", t.validate());
         t

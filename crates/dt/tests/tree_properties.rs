@@ -9,13 +9,10 @@ fn arb_dataset() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<u16>)> {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..nf).map(|_| rng.random_range(0..200) as f32).collect())
-            .collect();
-        let labels: Vec<u16> = rows
-            .iter()
-            .map(|r| (u16::from(r[0] > 100.0) + u16::from(r[1] > 60.0)) % 3)
-            .collect();
+        let rows: Vec<Vec<f32>> =
+            (0..n).map(|_| (0..nf).map(|_| rng.random_range(0..200) as f32).collect()).collect();
+        let labels: Vec<u16> =
+            rows.iter().map(|r| (u16::from(r[0] > 100.0) + u16::from(r[1] > 60.0)) % 3).collect();
         (rows, labels)
     })
 }

@@ -173,13 +173,9 @@ pub fn quantize_dataset(ds: &Dataset, bits: u8) -> Dataset {
             flat.push(quantize(*v, bits));
         }
     }
-    let mut out = Dataset::from_flat(
-        flat,
-        f,
-        ds.labels().to_vec(),
-        Some(ds.feature_names().to_vec()),
-    )
-    .expect("consistent");
+    let mut out =
+        Dataset::from_flat(flat, f, ds.labels().to_vec(), Some(ds.feature_names().to_vec()))
+            .expect("consistent");
     out.set_n_classes(ds.n_classes());
     out
 }

@@ -202,8 +202,7 @@ mod tests {
         let ws = Environment::webserver();
         let mut rng = SmallRng::seed_from_u64(7);
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| ws.sample_duration_s(&mut rng)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| ws.sample_duration_s(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean / ws.mean_duration_s - 1.0).abs() < 0.15, "mean {mean}");
     }
 

@@ -37,9 +37,7 @@ pub const FEATURE_BITS: u8 = 24;
 pub const FEATURE_CAP: u64 = (1 << FEATURE_BITS) - 1;
 
 /// Direction scope of a stateful feature.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Scope {
     /// Both directions.
     All,
@@ -52,10 +50,7 @@ pub enum Scope {
 impl Scope {
     /// Whether a packet direction falls in this scope.
     pub fn admits(self, dir: Dir) -> bool {
-        matches!(
-            (self, dir),
-            (Scope::All, _) | (Scope::Fwd, Dir::Fwd) | (Scope::Bwd, Dir::Bwd)
-        )
+        matches!((self, dir), (Scope::All, _) | (Scope::Fwd, Dir::Fwd) | (Scope::Bwd, Dir::Bwd))
     }
 
     /// Short name used in feature names.
@@ -371,12 +366,54 @@ impl FeatureCatalog {
         // --- deployable stateful (45)
         for s in [Scope::All, Scope::Fwd, Scope::Bwd] {
             let t = s.tag();
-            defs.push(slot(format!("{t}pkt_count"), Guard::scope(s), Add, One, CappedAccum, Identity));
-            defs.push(slot(format!("{t}byte_count"), Guard::scope(s), Add, FrameLen, CappedAccum, Identity));
-            defs.push(slot(format!("{t}len_max"), Guard::scope(s), Max, FrameLen, CappedAccum, Identity));
-            defs.push(slot(format!("{t}len_min"), Guard::scope(s), Max, NegFrameLen, CappedAccum, NegCap));
-            defs.push(slot(format!("{t}len_last"), Guard::scope(s), Write, FrameLen, CappedAccum, Identity));
-            defs.push(slot(format!("{t}payload_bytes"), Guard::scope(s), Add, PayloadLen, CappedAccum, Identity));
+            defs.push(slot(
+                format!("{t}pkt_count"),
+                Guard::scope(s),
+                Add,
+                One,
+                CappedAccum,
+                Identity,
+            ));
+            defs.push(slot(
+                format!("{t}byte_count"),
+                Guard::scope(s),
+                Add,
+                FrameLen,
+                CappedAccum,
+                Identity,
+            ));
+            defs.push(slot(
+                format!("{t}len_max"),
+                Guard::scope(s),
+                Max,
+                FrameLen,
+                CappedAccum,
+                Identity,
+            ));
+            defs.push(slot(
+                format!("{t}len_min"),
+                Guard::scope(s),
+                Max,
+                NegFrameLen,
+                CappedAccum,
+                NegCap,
+            ));
+            defs.push(slot(
+                format!("{t}len_last"),
+                Guard::scope(s),
+                Write,
+                FrameLen,
+                CappedAccum,
+                Identity,
+            ));
+            defs.push(slot(
+                format!("{t}payload_bytes"),
+                Guard::scope(s),
+                Add,
+                PayloadLen,
+                CappedAccum,
+                Identity,
+            ));
             let gp = Guard { require_prev: Some(s), ..Guard::scope(s) };
             defs.push(slot(format!("{t}iat_max"), gp, Max, Iat(s), CappedAccum, Identity));
             defs.push(slot(format!("{t}iat_min"), gp, Max, NegIat(s), CappedAccum, NegCap));
@@ -679,8 +716,7 @@ fn window_stats(pkts: &[TracePacket]) -> WindowStats {
     let mut prev = PrevState::default();
     for pkt in pkts {
         let len = pkt.frame_len as u64;
-        let scopes: [usize; 2] =
-            [0, if pkt.dir == Dir::Fwd { 1 } else { 2 }];
+        let scopes: [usize; 2] = [0, if pkt.dir == Dir::Fwd { 1 } else { 2 }];
         for &s in &scopes {
             st.n[s] += 1;
             st.len_sum[s] += len;
@@ -709,11 +745,7 @@ fn window_stats(pkts: &[TracePacket]) -> WindowStats {
 }
 
 fn ratio(num: u64, den: u64) -> u64 {
-    if den == 0 {
-        0
-    } else {
-        num / den
-    }
+    num.checked_div(den).unwrap_or(0)
 }
 
 fn software_value(kind: SoftwareKind, st: &WindowStats) -> u64 {
@@ -721,11 +753,12 @@ fn software_value(kind: SoftwareKind, st: &WindowStats) -> u64 {
         SoftwareKind::LenMean(s) => ratio(st.len_sum[scope_idx(s)], st.n[scope_idx(s)]),
         SoftwareKind::LenVar | SoftwareKind::LenStd => {
             let n = st.n[0];
-            let var = if n == 0 {
-                0
-            } else {
-                let mean = st.len_sum[0] / n;
-                (st.len_sumsq / n).saturating_sub(mean * mean)
+            let var = match n {
+                0 => 0,
+                _ => {
+                    let mean = st.len_sum[0] / n;
+                    (st.len_sumsq / n).saturating_sub(mean * mean)
+                }
             };
             if matches!(kind, SoftwareKind::LenVar) {
                 var
@@ -736,11 +769,12 @@ fn software_value(kind: SoftwareKind, st: &WindowStats) -> u64 {
         SoftwareKind::IatMean(s) => ratio(st.iat_sum[scope_idx(s)], st.iat_n[scope_idx(s)]),
         SoftwareKind::IatVar | SoftwareKind::IatStd => {
             let n = st.iat_n[0];
-            let var = if n == 0 {
-                0
-            } else {
-                let mean = st.iat_sum[0] / n;
-                (st.iat_sumsq / n).saturating_sub(mean * mean)
+            let var = match n {
+                0 => 0,
+                _ => {
+                    let mean = st.iat_sum[0] / n;
+                    (st.iat_sumsq / n).saturating_sub(mean * mean)
+                }
             };
             if matches!(kind, SoftwareKind::IatVar) {
                 var
@@ -751,9 +785,7 @@ fn software_value(kind: SoftwareKind, st: &WindowStats) -> u64 {
         SoftwareKind::BytesPerSec => {
             ratio(st.bytes.saturating_mul(1_000_000), st.duration_us.max(1))
         }
-        SoftwareKind::PktsPerSec => {
-            ratio(st.n[0].saturating_mul(1_000_000), st.duration_us.max(1))
-        }
+        SoftwareKind::PktsPerSec => ratio(st.n[0].saturating_mul(1_000_000), st.duration_us.max(1)),
         SoftwareKind::DownUpByteRatio => ratio(st.len_sum[2] * 100, st.len_sum[1].max(1)),
         SoftwareKind::DownUpPktRatio => ratio(st.n[2] * 100, st.n[1].max(1)),
         SoftwareKind::PayloadMean => ratio(st.payload_sum, st.n[0]),
@@ -832,7 +864,7 @@ pub fn extract_packet(flow: &FlowTrace, i: usize, cat: &FeatureCatalog) -> Vec<f
 /// Quantizes a feature value to `bits` of precision (Figure 12's
 /// experiment): keeps the top `bits` of the 24-bit domain.
 pub fn quantize(v: f32, bits: u8) -> f32 {
-    assert!(bits >= 1 && bits <= FEATURE_BITS);
+    assert!((1..=FEATURE_BITS).contains(&bits));
     let shift = FEATURE_BITS - bits;
     (((v as u64).min(FEATURE_CAP)) >> shift) as f32
 }
@@ -844,13 +876,7 @@ mod tests {
 
     fn mk_flow(pkts: Vec<TracePacket>) -> FlowTrace {
         FlowTrace {
-            tuple: FiveTuple {
-                src_ip: 1,
-                dst_ip: 2,
-                src_port: 40000,
-                dst_port: 80,
-                proto: 6,
-            },
+            tuple: FiveTuple { src_ip: 1, dst_ip: 2, src_port: 40000, dst_port: 80, proto: 6 },
             packets: pkts,
             label: 0,
         }
@@ -1054,19 +1080,11 @@ mod tests {
     #[test]
     fn all_values_capped_and_f32_exact() {
         let c = catalog();
-        let f = mk_flow(
-            (0..200)
-                .map(|i| pkt(i * 30_000_000, 1514, flags::ACK, Dir::Fwd))
-                .collect(),
-        );
+        let f =
+            mk_flow((0..200).map(|i| pkt(i * 30_000_000, 1514, flags::ACK, Dir::Fwd)).collect());
         let row = extract_flow_level(&f, c);
         for (i, v) in row.iter().enumerate() {
-            assert!(
-                *v <= FEATURE_CAP as f32,
-                "feature {} = {} exceeds cap",
-                c.defs()[i].name,
-                v
-            );
+            assert!(*v <= FEATURE_CAP as f32, "feature {} = {} exceeds cap", c.defs()[i].name, v);
             assert_eq!(*v, (*v as u64) as f32, "feature {} not integer-exact", c.defs()[i].name);
         }
     }

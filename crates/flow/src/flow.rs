@@ -124,7 +124,13 @@ mod tests {
             packets: vec![
                 TracePacket { ts_us: 0, frame_len: 100, hdr_len: 54, tcp_flags: 2, dir: Dir::Fwd },
                 TracePacket { ts_us: 50, frame_len: 80, hdr_len: 54, tcp_flags: 18, dir: Dir::Bwd },
-                TracePacket { ts_us: 90, frame_len: 1500, hdr_len: 54, tcp_flags: 16, dir: Dir::Fwd },
+                TracePacket {
+                    ts_us: 90,
+                    frame_len: 1500,
+                    hdr_len: 54,
+                    tcp_flags: 16,
+                    dir: Dir::Fwd,
+                },
             ],
             label: 3,
         }

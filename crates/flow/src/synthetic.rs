@@ -99,15 +99,7 @@ pub fn spec(id: DatasetId) -> DatasetSpec {
         DatasetId::D6 => ("CIC-IDS2017 analog", 10, 1.90, 0.008, 9, 106),
         DatasetId::D7 => ("CIC-IDS2018 analog", 10, 2.20, 0.003, 9, 107),
     };
-    DatasetSpec {
-        id,
-        name: name.to_string(),
-        n_classes,
-        knob_spread,
-        label_noise,
-        sig_knobs,
-        seed,
-    }
+    DatasetSpec { id, name: name.to_string(), n_classes, knob_spread, label_noise, sig_knobs, seed }
 }
 
 /// The per-phase traffic knobs a class signature perturbs.
@@ -237,9 +229,7 @@ const SERVER_PORTS: [u16; 8] = [80, 443, 53, 22, 25, 123, 110, 993];
 pub fn generate(id: DatasetId, n_flows: usize, seed: u64) -> Vec<FlowTrace> {
     let spec = spec(id);
     let profiles = class_profiles(&spec);
-    (0..n_flows)
-        .map(|i| generate_flow(&spec, &profiles, i, seed))
-        .collect()
+    (0..n_flows).map(|i| generate_flow(&spec, &profiles, i, seed)).collect()
 }
 
 fn generate_flow(
@@ -411,7 +401,7 @@ mod tests {
         // Mean frame length should differ measurably across at least one
         // pair of classes (coarse sanity that signatures do something).
         let flows = generate(DatasetId::D2, 400, 9);
-        let mut mean_len = vec![(0u64, 0u64); 4];
+        let mut mean_len = [(0u64, 0u64); 4];
         for f in &flows {
             let e = &mut mean_len[f.label as usize];
             e.0 += f.total_bytes();

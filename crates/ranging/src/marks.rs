@@ -96,11 +96,7 @@ impl ThermometerEncoder {
 
     /// The `m + 1` elementary ranges with marks and prefix expansions.
     pub fn elementary_ranges(&self) -> Vec<ElementaryRange> {
-        let max = if self.domain_bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.domain_bits) - 1
-        };
+        let max = if self.domain_bits == 64 { u64::MAX } else { (1u64 << self.domain_bits) - 1 };
         let mut out = Vec::with_capacity(self.thresholds.len() + 1);
         let mut lo = 0u64;
         for (i, &t) in self.thresholds.iter().enumerate() {
@@ -113,11 +109,7 @@ impl ThermometerEncoder {
             });
             lo = t + 1;
         }
-        let mark = if self.thresholds.is_empty() {
-            0
-        } else {
-            (1u64 << self.thresholds.len()) - 1
-        };
+        let mark = if self.thresholds.is_empty() { 0 } else { (1u64 << self.thresholds.len()) - 1 };
         out.push(ElementaryRange {
             lo,
             hi: max,

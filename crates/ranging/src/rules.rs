@@ -83,10 +83,7 @@ impl SubtreeRules {
         self.model
             .iter()
             .find(|m| {
-                m.mark_patterns
-                    .iter()
-                    .zip(&marks)
-                    .all(|(&(val, mask), &mk)| mk & mask == val)
+                m.mark_patterns.iter().zip(&marks).all(|(&(val, mask), &mk)| mk & mask == val)
             })
             .map(|m| m.label)
     }
@@ -98,8 +95,7 @@ pub fn generate_rules(tree: &Tree, feature_bits: u8) -> SubtreeRules {
     // Collect integer thresholds per feature.
     let mut thresholds: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
     for &f in &tree.features_used() {
-        let ts: Vec<u64> =
-            tree.thresholds_for(f).into_iter().map(integer_threshold).collect();
+        let ts: Vec<u64> = tree.thresholds_for(f).into_iter().map(integer_threshold).collect();
         thresholds.insert(f, ts);
     }
     let features: Vec<usize> = thresholds.keys().copied().collect();
@@ -111,9 +107,7 @@ pub fn generate_rules(tree: &Tree, feature_bits: u8) -> SubtreeRules {
                 .elementary_ranges()
                 .into_iter()
                 .flat_map(|r| {
-                    r.prefixes
-                        .into_iter()
-                        .map(move |prefix| FeatureRule { prefix, mark: r.mark })
+                    r.prefixes.into_iter().map(move |prefix| FeatureRule { prefix, mark: r.mark })
                 })
                 .collect();
             FeatureTable { feature: f, encoder, rules }
@@ -161,8 +155,7 @@ mod tests {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..n {
-            let row: Vec<f32> =
-                (0..n_features).map(|_| rng.random_range(0..1000) as f32).collect();
+            let row: Vec<f32> = (0..n_features).map(|_| rng.random_range(0..1000) as f32).collect();
             // nontrivial label rule over integer features
             let y = (u16::from(row[0] > 300.0)
                 + u16::from(row[1] > 600.0) * 2
@@ -198,8 +191,7 @@ mod tests {
         let rules = generate_rules(&tree, 24);
         let mut rng = SmallRng::seed_from_u64(7);
         for _ in 0..2000 {
-            let row: Vec<f32> =
-                (0..3).map(|_| rng.random_range(0..(1 << 24)) as f32).collect();
+            let row: Vec<f32> = (0..3).map(|_| rng.random_range(0..(1 << 24)) as f32).collect();
             assert_eq!(rules.classify(&row), Some(tree.predict(&row)));
         }
     }
@@ -215,8 +207,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..500 {
-            let row: Vec<f32> =
-                (0..4).map(|_| rng.random_range(0..100000) as f32).collect();
+            let row: Vec<f32> = (0..4).map(|_| rng.random_range(0..100000) as f32).collect();
             let marks: Vec<u64> = rules
                 .feature_tables
                 .iter()
@@ -229,10 +220,7 @@ mod tests {
                 .model
                 .iter()
                 .filter(|m| {
-                    m.mark_patterns
-                        .iter()
-                        .zip(&marks)
-                        .all(|(&(val, mask), &mk)| mk & mask == val)
+                    m.mark_patterns.iter().zip(&marks).all(|(&(val, mask), &mk)| mk & mask == val)
                 })
                 .count();
             assert_eq!(hits, 1);
@@ -255,14 +243,10 @@ mod tests {
         let tree = train_classifier(&ds, &TrainParams { max_depth: 6, ..Default::default() });
         let rules = generate_rules(&tree, 24);
         let expected_entries: usize =
-            rules.feature_tables.iter().map(|t| t.rules.len()).sum::<usize>()
-                + rules.model.len();
+            rules.feature_tables.iter().map(|t| t.rules.len()).sum::<usize>() + rules.model.len();
         assert_eq!(rules.tcam_entries(), expected_entries);
-        let expected_bits: usize = rules
-            .feature_tables
-            .iter()
-            .map(|t| t.encoder.mark_bits() as usize)
-            .sum();
+        let expected_bits: usize =
+            rules.feature_tables.iter().map(|t| t.encoder.mark_bits() as usize).sum();
         assert_eq!(rules.mark_bits(), expected_bits);
         assert!(rules.mark_bits() > 0);
     }

@@ -27,7 +27,7 @@ impl Prefix {
 /// # Panics
 /// Panics if `lo > hi` or `hi` does not fit in `bits`.
 pub fn range_to_prefixes(lo: u64, hi: u64, bits: u8) -> Vec<Prefix> {
-    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    assert!((1..=64).contains(&bits), "bits out of range");
     let domain_max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
     assert!(lo <= hi, "lo {lo} > hi {hi}");
     assert!(hi <= domain_max, "hi {hi} exceeds {bits}-bit domain");

@@ -4,8 +4,8 @@
 //! feasibility forest; candidates are scored by an upper-confidence
 //! acquisition under random Chebyshev scalarization — HyperMapper's recipe
 //! for producing a Pareto *frontier* rather than a single optimum. Batches
-//! evaluate in parallel on crossbeam scoped threads (the paper runs 16
-//! parallel evaluations per iteration).
+//! evaluate in parallel on scoped threads (the paper runs 16 parallel
+//! evaluations per iteration).
 
 use crate::pareto::{pareto_front, Point};
 use crate::space::ParamSpace;
@@ -105,17 +105,16 @@ fn evaluate_batch<E: Evaluator>(
     batch: Vec<SplidtConfig>,
 ) -> Vec<(SplidtConfig, Objectives)> {
     let mut out: Vec<Option<(SplidtConfig, Objectives)>> = vec![None; batch.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (i, cfg) in batch.into_iter().enumerate() {
-            handles.push(s.spawn(move |_| (i, cfg.clone(), evaluator.evaluate(&cfg))));
+            handles.push(s.spawn(move || (i, cfg.clone(), evaluator.evaluate(&cfg))));
         }
         for h in handles {
             let (i, cfg, obj) = h.join().expect("evaluator panicked");
             out[i] = Some((cfg, obj));
         }
-    })
-    .expect("scope");
+    });
     out.into_iter().flatten().collect()
 }
 
@@ -127,11 +126,8 @@ pub fn optimize<E: Evaluator>(space: &ParamSpace, evaluator: &E, opts: &BoOption
     let mut seen: Vec<SplidtConfig> = Vec::new();
 
     let record = |hist: &Vec<(SplidtConfig, Objectives)>, iters: &mut Vec<IterStats>| {
-        let best = hist
-            .iter()
-            .filter(|(_, o)| o.feasible)
-            .map(|(_, o)| o.f1)
-            .fold(0.0f64, f64::max);
+        let best =
+            hist.iter().filter(|(_, o)| o.feasible).map(|(_, o)| o.f1).fold(0.0f64, f64::max);
         iters.push(IterStats { evaluations: hist.len(), best_f1: best });
     };
 
@@ -167,7 +163,13 @@ pub fn optimize<E: Evaluator>(space: &ParamSpace, evaluator: &E, opts: &BoOption
         };
         let dim = space.encoded_len();
         let flat: Vec<f64> = xs.iter().flatten().copied().collect();
-        let fp = ForestParams { n_trees: 24, max_depth: 8, sample_frac: 0.9, seed: opts.seed, ..Default::default() };
+        let fp = ForestParams {
+            n_trees: 24,
+            max_depth: 8,
+            sample_frac: 0.9,
+            seed: opts.seed,
+            ..Default::default()
+        };
         let sur_f1 = ForestRegressor::train(&flat, dim, &f1s, &fp);
         let sur_fl = ForestRegressor::train(&flat, dim, &flows, &fp);
         let sur_ok = ForestRegressor::train(&flat, dim, &feas, &fp);
@@ -218,8 +220,7 @@ pub fn optimize<E: Evaluator>(space: &ParamSpace, evaluator: &E, opts: &BoOption
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
         let take = opts.batch.min(opts.budget - history.len());
-        let batch: Vec<SplidtConfig> =
-            scored.into_iter().take(take).map(|(_, c)| c).collect();
+        let batch: Vec<SplidtConfig> = scored.into_iter().take(take).map(|(_, c)| c).collect();
         if batch.is_empty() {
             break;
         }
@@ -230,15 +231,9 @@ pub fn optimize<E: Evaluator>(space: &ParamSpace, evaluator: &E, opts: &BoOption
 
     let pts: Vec<Point> = history
         .iter()
-        .map(|(_, o)| Point {
-            f1: if o.feasible { o.f1 } else { -1.0 },
-            flows: o.max_flows as f64,
-        })
+        .map(|(_, o)| Point { f1: if o.feasible { o.f1 } else { -1.0 }, flows: o.max_flows as f64 })
         .collect();
-    let pareto = pareto_front(&pts)
-        .into_iter()
-        .filter(|&i| history[i].1.feasible)
-        .collect();
+    let pareto = pareto_front(&pts).into_iter().filter(|&i| history[i].1.feasible).collect();
     BoResult { history, pareto, iterations }
 }
 
@@ -275,7 +270,8 @@ mod tests {
     #[test]
     fn pareto_entries_are_feasible() {
         let space = ParamSpace::default();
-        let res = optimize(&space, &toy_eval, &BoOptions { budget: 32, seed: 2, ..Default::default() });
+        let res =
+            optimize(&space, &toy_eval, &BoOptions { budget: 32, seed: 2, ..Default::default() });
         for &i in &res.pareto {
             assert!(res.history[i].1.feasible);
         }
@@ -295,7 +291,8 @@ mod tests {
     #[test]
     fn best_at_flows_filters() {
         let space = ParamSpace::default();
-        let res = optimize(&space, &toy_eval, &BoOptions { budget: 32, seed: 4, ..Default::default() });
+        let res =
+            optimize(&space, &toy_eval, &BoOptions { budget: 32, seed: 4, ..Default::default() });
         if let Some((_, f1_small)) = res.best_at_flows(100_000) {
             if let Some((_, f1_big)) = res.best_at_flows(400_000) {
                 assert!(f1_big <= f1_small + 1e-9, "bigger flow targets can't do better");

@@ -67,7 +67,7 @@ mod tests {
             Point { f1: 0.9, flows: 1e5 },
             Point { f1: 0.8, flows: 5e5 },
             Point { f1: 0.7, flows: 1e6 },
-            Point { f1: 0.6, flows: 5e5 }, // dominated by #1
+            Point { f1: 0.6, flows: 5e5 },  // dominated by #1
             Point { f1: 0.85, flows: 9e4 }, // dominated by #0
         ]
     }

@@ -87,9 +87,7 @@ impl ParamSpace {
             }
             2 => {
                 // add a partition
-                if c.partitions.len() < self.partitions.1
-                    && c.total_depth() + 1 <= self.depth.1
-                {
+                if c.partitions.len() < self.partitions.1 && c.total_depth() < self.depth.1 {
                     c.partitions.push(1);
                 }
             }

@@ -12,11 +12,8 @@ fn tiny_space_terminates() {
         max_flows: 1_000_000,
         feasible: true,
     };
-    let res = optimize(
-        &space,
-        &eval,
-        &BoOptions { budget: 64, batch: 8, init: 8, pool: 512, seed: 1 },
-    );
+    let res =
+        optimize(&space, &eval, &BoOptions { budget: 64, batch: 8, init: 8, pool: 512, seed: 1 });
     // Cannot evaluate more configs than the space holds, and must finish.
     assert!(!res.history.is_empty());
     assert!(res.history.len() <= 64);

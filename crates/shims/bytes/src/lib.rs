@@ -1,0 +1,106 @@
+//! In-tree shim for the subset of the `bytes` API the workspace uses: a
+//! growable byte buffer with network-order (big-endian) append methods.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer (a `Vec<u8>` wrapper mirroring `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Consumes the buffer into its backing vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+/// Append methods in network byte order (`bytes::BufMut` subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+    /// Appends `count` copies of `byte`.
+    fn put_bytes(&mut self, byte: u8, count: usize);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_bytes(&mut self, byte: u8, count: usize) {
+        self.buf.resize(self.buf.len() + count, byte);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xAB);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_slice(&[9, 9]);
+        b.put_bytes(0, 3);
+        assert_eq!(&b[..], &[0xAB, 1, 2, 3, 4, 5, 6, 9, 9, 0, 0, 0]);
+        assert_eq!(b.len(), 12);
+    }
+}

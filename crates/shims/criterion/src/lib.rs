@@ -1,0 +1,207 @@
+//! In-tree shim for the subset of the `criterion` API the workspace's
+//! benches use: `Criterion`, `Bencher::iter`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology is deliberately simple — warm up, then run timed batches
+//! until a wall-clock budget is spent, and report mean time per iteration
+//! (plus derived element throughput when declared). No statistics engine,
+//! no HTML reports; swap in the real crate when a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (override with `CRITERION_SHIM_MS`).
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(500);
+    Duration::from_millis(ms)
+}
+
+/// Benchmark identifier: a function name plus a parameter tag.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id (group context supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Declared per-iteration work, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. packets) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        black_box(f());
+        let budget = budget();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    group: Option<String>,
+    throughput: Option<Throughput>,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed / (b.iters as u32).max(1);
+        let full = match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        let mut line =
+            format!("{full:<48} {:>12}/iter ({} iters)", fmt_duration(per_iter), b.iters);
+        if let Some(tp) = self.throughput {
+            let per_sec = |n: u64| n as f64 * b.iters as f64 / b.elapsed.as_secs_f64();
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.0} B/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Benchmarks a closure parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.c.group = Some(self.name.clone());
+        self.c.throughput = self.throughput;
+        self.c.run_one(&id.to_string(), f);
+        self.c.group = None;
+        self.c.throughput = None;
+        self
+    }
+
+    /// Benchmarks a closure parameterized by `input` under this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

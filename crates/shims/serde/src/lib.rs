@@ -1,0 +1,6 @@
+//! In-tree shim for `serde`: re-exports the no-op derives so
+//! `use serde::{Deserialize, Serialize}` and `#[derive(Serialize,
+//! Deserialize)]` compile without the real crate. See
+//! `crates/shims/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

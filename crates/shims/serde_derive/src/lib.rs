@@ -1,0 +1,24 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace annotates model/flow types with serde derives so they are
+//! serialization-ready, but nothing in-tree serializes yet and the build
+//! environment cannot fetch the real `serde`. These derives accept the
+//! attribute grammar and emit nothing; swap in the real crates by deleting
+//! the `crates/shims/serde*` entries from the workspace `[patch]`-free
+//! path deps once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example feature_scaling`
 
 use splidt::core::{splidt_footprint, train_partitioned};
-use splidt::prelude::*;
 use splidt::flow::windowed_dataset;
+use splidt::prelude::*;
 
 fn main() {
     let id = DatasetId::D5;
@@ -16,7 +16,10 @@ fn main() {
     let (tr, _) = stratified_split(&flows, 0.3, 1);
     let train_flows = select_flows(&flows, &tr);
     println!("dataset: {} — k = 4 feature slots per flow\n", spec(id).name);
-    println!("{:<12} {:>14} {:>18} {:>16}", "partitions", "subtrees", "distinct features", "reg bits/flow");
+    println!(
+        "{:<12} {:>14} {:>18} {:>16}",
+        "partitions", "subtrees", "distinct features", "reg bits/flow"
+    );
     for p in 1..=6 {
         let cfg = SplidtConfig { partitions: vec![3; p], k: 4, ..Default::default() };
         let wd = windowed_dataset(&train_flows, p, n_classes);

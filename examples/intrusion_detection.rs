@@ -60,7 +60,10 @@ fn main() {
     // TTD medians (Figure 10's point: all three systems detect equally fast).
     let env = Environment::hadoop();
     for (name, sys) in [
-        ("SpliDT", ttd::TtdSystem::Splidt { partitions: model.n_partitions(), early_exit_prob: 0.05 }),
+        (
+            "SpliDT",
+            ttd::TtdSystem::Splidt { partitions: model.n_partitions(), early_exit_prob: 0.05 },
+        ),
         ("NetBeacon", ttd::TtdSystem::NetBeacon { phases: 8 }),
         ("Leo", ttd::TtdSystem::Leo),
     ] {

@@ -1,6 +1,7 @@
 //! Quickstart: train a partitioned decision tree on an IoT-classification
-//! dataset, inspect it, compile it to the data-plane simulator, and verify
-//! the pipeline classifies exactly like the software model.
+//! dataset, compile it **once** into a streaming engine, run traffic
+//! through the data-plane simulator, and verify the pipeline classifies
+//! exactly like the software model — then scale it across shards.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -16,12 +17,12 @@ fn main() {
     let test_flows = select_flows(&flows, &te);
     println!("dataset: {} ({n_classes} classes, {} flows)", spec(id).name, flows.len());
 
-    // 2. Configure and train: 3 partitions of depths [3,3,2], k = 4
-    //    feature slots per subtree (Algorithm 1 of the paper).
+    // 2. Train through the uniform `Trainable::fit` entry point: 3
+    //    partitions of depths [3,3,2], k = 4 feature slots per subtree
+    //    (Algorithm 1 of the paper). Every baseline (NetBeacon, Leo,
+    //    per-packet, ideal) trains through the same contract.
     let cfg = SplidtConfig { partitions: vec![3, 3, 2], k: 4, ..Default::default() };
-    let wd = windowed_dataset(&train_flows, cfg.n_partitions(), n_classes);
-    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
-    let wd_test = windowed_dataset(&test_flows, cfg.n_partitions(), n_classes);
+    let model = PartitionedTree::fit(&train_flows, n_classes, &cfg).expect("trains");
     println!(
         "model: {} subtrees across {} partitions; ≤{} features/subtree, {} distinct features total",
         model.n_subtrees(),
@@ -29,10 +30,10 @@ fn main() {
         model.max_features_per_subtree(),
         model.total_features().len()
     );
-    println!("software test F1: {:.3}", evaluate_partitioned(&model, &wd_test));
+    println!("software test F1: {:.3}", model.evaluate_flows(&test_flows));
 
     // 3. Resources: would it fit a Tofino1, and at how many flows?
-    let fp = splidt_footprint(&model);
+    let fp = model.footprint().expect("splidt has a deployable footprint");
     let rules = model_rules(&model);
     println!(
         "footprint: {} reg bits/flow ({} feature bits), {} TCAM entries, model key {} bits",
@@ -43,8 +44,12 @@ fn main() {
     );
     println!("max concurrent flows on Tofino1: {}", max_flows(&fp, &TargetSpec::tofino1()));
 
-    // 4. Compile to the pipeline and replay the test flows packet by packet.
-    let report = run_flows(&model, &test_flows, 1 << 16, 5_000).expect("compiles");
+    // 4. Compile once into a streaming engine and replay the test flows
+    //    packet by packet. `engine.run` batches admit → ingest → report;
+    //    live traffic would call `admit`/`ingest`/`drain_digests` itself.
+    let mut engine =
+        EngineBuilder::new(&model).flow_slots(1 << 16).stagger_us(5_000).build().expect("compiles");
+    let report = engine.run(&test_flows).expect("runs");
     println!(
         "data plane: F1 {:.3}, software agreement {:.1}%, {:.2} recirculations/flow",
         report.f1,
@@ -52,5 +57,19 @@ fn main() {
         report.recirc_per_flow
     );
     assert!((report.software_agreement - 1.0).abs() < 1e-9, "pipeline must match software");
+
+    // 5. The compiled program is reusable: reset and run again — or shard
+    //    it across threads for throughput (verdicts stay identical).
+    engine.reset();
+    let mut sharded =
+        EngineBuilder::new(&model).build_sharded(4).expect("compiles once, shards 4×");
+    let sharded_report = sharded.run(&test_flows).expect("runs");
+    assert_eq!(report.flows.len(), sharded_report.flows.len());
+    println!(
+        "4-shard engine: {} packets across {} shards, verdicts identical: {}",
+        sharded_report.meters.packets,
+        sharded.n_shards(),
+        report.flows == sharded_report.flows,
+    );
     println!("ok: pipeline inference is bit-exact with the software model");
 }

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example vpn_dse`
 
 use splidt::core::{evaluate_partitioned, max_flows, splidt_footprint, train_partitioned};
-use splidt::prelude::*;
 use splidt::flow::windowed_dataset;
+use splidt::prelude::*;
 
 fn main() {
     let id = DatasetId::D3;
@@ -40,7 +40,7 @@ fn main() {
 
     println!("\nPareto frontier (F1 vs supported flows):");
     let mut entries: Vec<_> = res.pareto.iter().map(|&i| &res.history[i]).collect();
-    entries.sort_by(|a, b| b.1.max_flows.cmp(&a.1.max_flows));
+    entries.sort_by_key(|e| std::cmp::Reverse(e.1.max_flows));
     for (cfg, obj) in entries {
         println!(
             "  F1 {:.3} @ {:>9} flows — D={} partitions={:?} k={}",

@@ -11,7 +11,7 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`core`](splidt_core) | the partitioned model, Algorithm-1 training, pipeline compiler, runtime, resource models, baselines |
+//! | [`core`](splidt_core) | the partitioned model, Algorithm-1 training, pipeline compiler, the streaming [`engine`], resource models, baselines |
 //! | [`dataplane`](splidt_dataplane) | Tofino1-class RMT pipeline simulator |
 //! | [`flow`](splidt_flow) | traffic substrate: flows, window features, D1–D7 dataset analogs, datacenter workloads |
 //! | [`dt`](splidt_dt) | decision trees (CART with feature budgets), forests, metrics |
@@ -19,6 +19,12 @@
 //! | [`search`](splidt_search) | multi-objective Bayesian-optimization design search |
 //!
 //! ## Quickstart
+//!
+//! The canonical entry point is the streaming engine: train a model (any
+//! [`Classifier`](engine::Classifier) backend), compile it **once** with
+//! [`EngineBuilder`](engine::EngineBuilder), then feed traffic and collect
+//! verdicts — batched here; incrementally via
+//! [`Engine::ingest`](engine::Engine::ingest) when driving live frames.
 //!
 //! ```
 //! use splidt::prelude::*;
@@ -29,17 +35,31 @@
 //! let train_flows = select_flows(&flows, &tr);
 //! let test_flows = select_flows(&flows, &te);
 //!
-//! // 2. train a partitioned tree: 3 partitions of depth 2, 4 features/subtree
+//! // 2. train a partitioned tree through the uniform fit() entry point:
+//! //    3 partitions of depth 2, 4 feature slots per subtree
 //! let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
-//! let wd = windowed_dataset(&train_flows, 3, 4);
-//! let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+//! let model = PartitionedTree::fit(&train_flows, 4, &cfg).unwrap();
 //!
-//! // 3. run it in the data plane and check it against software inference
-//! let report = run_flows(&model, &test_flows, 1 << 16, 5_000).unwrap();
+//! // 3. compile once, stream the test flows through the data plane, and
+//! //    check the digests against software inference
+//! let mut engine = EngineBuilder::new(&model).flow_slots(1 << 16).build().unwrap();
+//! let report = engine.run(&test_flows).unwrap();
 //! assert!((report.software_agreement - 1.0).abs() < 1e-9);
+//!
+//! // 4. the same compiled engine serves the next session
+//! engine.reset();
+//! let again = engine.run(&test_flows).unwrap();
+//! assert_eq!(report.flows, again.flows);
 //! ```
+//!
+//! To scale throughput across cores, swap `build()` for
+//! `build_sharded(n)`: a [`ShardedEngine`](engine::ShardedEngine)
+//! partitions flows across `n` independent pipeline shards by canonical
+//! flow hash and drives them on OS threads, with per-flow verdicts
+//! identical to the single-shard engine. See `docs/engine.md`.
 
 pub use splidt_core as core;
+pub use splidt_core::engine;
 pub use splidt_dataplane as dataplane;
 pub use splidt_dt as dt;
 pub use splidt_flow as flow;
@@ -48,12 +68,15 @@ pub use splidt_search as search;
 
 /// One-stop imports for examples and quick experiments.
 pub mod prelude {
-    pub use splidt_core::{
-        compile, evaluate_partitioned, max_flows, model_rules, run_flows, splidt_footprint,
-        train_partitioned, PartitionedTree, SplidtConfig,
-    };
     pub use splidt_core::baselines::{
         Ideal, Leo, LeoParams, NetBeacon, NetBeaconParams, PerPacket,
+    };
+    pub use splidt_core::engine::{
+        Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
+    };
+    pub use splidt_core::{
+        compile, evaluate_partitioned, max_flows, model_rules, run_flows, splidt_footprint,
+        train_partitioned, PartitionedTree, SplidtConfig, SplidtError,
     };
     pub use splidt_dataplane::resources::TargetSpec;
     pub use splidt_flow::{

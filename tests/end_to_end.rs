@@ -2,8 +2,8 @@
 //! data plane reproduces software inference exactly, for several datasets
 //! and configurations. This is the reproduction's core fidelity claim.
 
-use splidt::prelude::*;
 use splidt::flow::windowed_dataset;
+use splidt::prelude::*;
 
 fn run_case(id: DatasetId, partitions: Vec<usize>, k: usize, n_flows: usize, seed: u64) {
     let n_classes = spec(id).n_classes as usize;

@@ -1,0 +1,232 @@
+//! Integration tests for the streaming engine API: batch-wrapper
+//! equivalence, shard-count invariance, streaming ingestion, and the
+//! backend-agnostic `Classifier` contract across all five model types.
+
+use splidt::engine::DEFAULT_STAGGER_US;
+use splidt::prelude::*;
+
+fn model_and_flows(n_flows: usize, seed: u64) -> (PartitionedTree, Vec<FlowTrace>) {
+    let id = DatasetId::D2;
+    let nc = spec(id).n_classes as usize;
+    let flows = generate(id, n_flows, seed);
+    let (tr, te) = stratified_split(&flows, 0.4, seed ^ 3);
+    let train_flows = select_flows(&flows, &tr);
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let model = PartitionedTree::fit(&train_flows, nc, &cfg).expect("trains");
+    (model, select_flows(&flows, &te))
+}
+
+/// The old one-shot `run_flows` and an explicit `EngineBuilder` session
+/// must produce identical reports — `run_flows` is now a thin wrapper.
+#[test]
+fn engine_matches_run_flows() {
+    let (model, test_flows) = model_and_flows(260, 11);
+    let wrapper = run_flows(&model, &test_flows, 1 << 16, 2_500).unwrap();
+    let mut engine =
+        EngineBuilder::new(&model).flow_slots(1 << 16).stagger_us(2_500).build().unwrap();
+    let direct = engine.run(&test_flows).unwrap();
+    assert_eq!(wrapper.flows, direct.flows);
+    assert_eq!(wrapper.meters, direct.meters);
+    assert_eq!(wrapper.collisions_skipped, direct.collisions_skipped);
+    assert!((wrapper.f1 - direct.f1).abs() < 1e-12);
+    assert!((wrapper.software_agreement - direct.software_agreement).abs() < 1e-12);
+}
+
+/// Acceptance: a 4-shard engine produces per-flow verdicts identical to
+/// the single-shard engine on ≥200 staggered flows, with merged meters.
+#[test]
+fn sharded_engine_matches_single_shard() {
+    let (model, _) = model_and_flows(260, 21);
+    // ≥200 staggered flows through both engines.
+    let traffic = generate(DatasetId::D2, 230, 77);
+    assert!(traffic.len() >= 200);
+    let builder = || EngineBuilder::new(&model).flow_slots(1 << 16).stagger_us(1_500);
+    let single = builder().build_sharded(1).unwrap().run(&traffic).unwrap();
+    let mut quad_engine = builder().build_sharded(4).unwrap();
+    assert_eq!(quad_engine.n_shards(), 4);
+    let quad = quad_engine.run(&traffic).unwrap();
+
+    assert_eq!(single.flows.len(), quad.flows.len());
+    assert!(single.flows.len() + single.collisions_skipped == traffic.len());
+    // Per-flow verdicts identical, flow for flow.
+    for (i, (a, b)) in single.flows.iter().zip(&quad.flows).enumerate() {
+        assert_eq!(a, b, "flow {i} diverged between 1 and 4 shards");
+    }
+    // Merged meters equal the single pipeline's (every packet processed
+    // exactly once on exactly one shard).
+    assert_eq!(single.meters, quad.meters);
+    assert!((single.f1 - quad.f1).abs() < 1e-12);
+    assert_eq!(single.collisions_skipped, quad.collisions_skipped);
+    // Work actually spread: with 4 shards no shard saw everything.
+    let per_shard: Vec<u64> = quad_engine.shard_meters().iter().map(|m| m.packets).collect();
+    assert_eq!(per_shard.iter().sum::<u64>(), quad.meters.packets);
+    assert!(per_shard.iter().all(|&p| p > 0), "a shard sat idle: {per_shard:?}");
+    assert!(per_shard.iter().all(|&p| p < quad.meters.packets));
+}
+
+/// The sharded engine also matches the plain single-pipeline engine.
+#[test]
+fn sharded_one_equals_engine() {
+    let (model, test_flows) = model_and_flows(220, 31);
+    let plain = EngineBuilder::new(&model).build().unwrap().run(&test_flows).unwrap();
+    let sharded = EngineBuilder::new(&model).build_sharded(1).unwrap().run(&test_flows).unwrap();
+    assert_eq!(plain.flows, sharded.flows);
+    assert_eq!(plain.meters, sharded.meters);
+}
+
+/// Streaming ingestion (admit → per-frame ingest → drain → report) equals
+/// the batch driver: the engine is genuinely incremental.
+#[test]
+fn streaming_ingest_equals_batch_run() {
+    let (model, test_flows) = model_and_flows(200, 41);
+    let mut batch = EngineBuilder::new(&model).build().unwrap();
+    let batch_report = batch.run(&test_flows).unwrap();
+
+    let mut streaming = EngineBuilder::new(&model).build().unwrap();
+    // Admit flows one by one, then feed their frames in timestamp order,
+    // draining digests mid-stream to prove collation survives draining.
+    let mut events: Vec<(u64, usize, usize)> = Vec::new();
+    let mut kept: Vec<&FlowTrace> = Vec::new();
+    for f in &test_flows {
+        if let Some(a) = streaming.admit(f) {
+            kept.push(f);
+            let idx = kept.len() - 1;
+            for (j, p) in f.packets.iter().enumerate() {
+                events.push((a.base_us + p.ts_us, idx, j));
+            }
+        }
+    }
+    events.sort_unstable();
+    let mut drained = 0usize;
+    for (n, (ts, i, j)) in events.iter().enumerate() {
+        let frame = Engine::frame_for(kept[*i], *j);
+        streaming.ingest(&frame, *ts).unwrap();
+        if n % 97 == 0 {
+            drained += streaming.drain_digests().len();
+        }
+    }
+    drained += streaming.drain_digests().len();
+    let stream_report = streaming.report();
+    assert_eq!(drained as u64, stream_report.meters.digests);
+    assert_eq!(batch_report.flows, stream_report.flows);
+    assert_eq!(batch_report.meters, stream_report.meters);
+}
+
+/// A reset engine reuses its compiled program and reproduces the run.
+#[test]
+fn reset_reuses_compilation() {
+    let (model, test_flows) = model_and_flows(200, 51);
+    let mut engine = EngineBuilder::new(&model).build().unwrap();
+    let first = engine.run(&test_flows).unwrap();
+    engine.reset();
+    assert_eq!(engine.admitted_flows(), 0);
+    let second = engine.run(&test_flows).unwrap();
+    assert_eq!(first.flows, second.flows);
+    assert_eq!(first.meters, second.meters);
+}
+
+/// Sessions are cumulative: a second `run` without `reset` admits nothing
+/// new for repeated flows, never replays packets, and the sharded engine
+/// agrees with the single-shard one on the merged report.
+#[test]
+fn repeated_run_without_reset_is_cumulative() {
+    let (model, test_flows) = model_and_flows(210, 91);
+    let mut single = EngineBuilder::new(&model).build().unwrap();
+    let first = single.run(&test_flows).unwrap();
+    let second = single.run(&test_flows).unwrap();
+    assert_eq!(first.flows, second.flows, "re-run must not change outcomes");
+    assert_eq!(first.meters, second.meters, "re-run must not replay packets");
+    assert_eq!(second.collisions_skipped, first.collisions_skipped + test_flows.len());
+
+    let mut sharded = EngineBuilder::new(&model).build_sharded(3).unwrap();
+    let s1 = sharded.run(&test_flows).unwrap();
+    let s2 = sharded.run(&test_flows).unwrap();
+    assert_eq!(s1.flows, s2.flows);
+    assert_eq!(s1.meters, s2.meters);
+    assert_eq!(s2.collisions_skipped, s1.collisions_skipped + test_flows.len());
+    assert_eq!(s1.flows, first.flows, "sharded and single shard diverged");
+}
+
+/// Malformed frames are recoverable errors, not panics.
+#[test]
+fn malformed_frames_are_recoverable() {
+    let (model, test_flows) = model_and_flows(200, 61);
+    let mut engine = EngineBuilder::new(&model).build().unwrap();
+    assert!(matches!(engine.ingest(&[0u8; 9], 1_000), Err(SplidtError::Parse(_))));
+    // The engine keeps working after the error.
+    let report = engine.run(&test_flows).unwrap();
+    assert!((report.software_agreement - 1.0).abs() < 1e-9);
+}
+
+/// Invalid configurations surface as typed errors.
+#[test]
+fn builder_rejects_bad_config() {
+    let (model, _) = model_and_flows(200, 71);
+    assert!(matches!(
+        EngineBuilder::new(&model).flow_slots(1000).build(),
+        Err(SplidtError::Compile(_))
+    ));
+    assert!(matches!(EngineBuilder::new(&model).build_sharded(0), Err(SplidtError::Config(_))));
+}
+
+/// All five model families train and classify through the uniform
+/// `Trainable`/`Classifier` contract.
+#[test]
+fn classifier_round_trip_over_all_backends() {
+    let id = DatasetId::D2;
+    let nc = spec(id).n_classes as usize;
+    let flows = generate(id, 600, 17);
+    let (tr, te) = stratified_split(&flows, 0.3, 3);
+    let train_flows = select_flows(&flows, &tr);
+    let test_flows = select_flows(&flows, &te);
+
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let models: Vec<Box<dyn Classifier>> = vec![
+        Box::new(PartitionedTree::fit(&train_flows, nc, &cfg).unwrap()),
+        Box::new(NetBeacon::fit(&train_flows, nc, &NetBeaconParams::default()).unwrap()),
+        Box::new(Leo::fit(&train_flows, nc, &LeoParams::default()).unwrap()),
+        Box::new(PerPacket::fit(&train_flows, nc, &8).unwrap()),
+        Box::new(Ideal::fit(&train_flows, nc, &14).unwrap()),
+    ];
+    let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    assert_eq!(names, vec!["splidt", "netbeacon", "leo", "per-packet", "ideal"]);
+    for m in &models {
+        assert_eq!(m.n_classes(), nc);
+        // classify every test flow; verdicts must be valid classes
+        for f in &test_flows {
+            assert!((m.classify_flow(f).class as usize) < nc, "{} out of range", m.name());
+        }
+        let f1 = m.evaluate_flows(&test_flows);
+        assert!((0.0..=1.0).contains(&f1), "{}: f1 {f1}", m.name());
+        assert!(f1 > 0.15, "{}: above chance, got {f1}", m.name());
+    }
+    // Deployable models report footprints; unconstrained ones don't.
+    assert!(models[0].footprint().is_some());
+    assert!(models[1].footprint().is_some());
+    assert!(models[2].footprint().is_some());
+    assert!(models[3].footprint().is_none());
+    assert!(models[4].footprint().is_none());
+    // SpliDT's verdicts through the trait equal direct software inference
+    // (training is deterministic, so refitting yields the same model).
+    let splidt = &models[0];
+    let direct = PartitionedTree::fit(&train_flows, nc, &cfg).unwrap();
+    for f in test_flows.iter().take(40) {
+        assert_eq!(
+            splidt.classify_flow(f).class,
+            direct.classify_flow(f).class,
+            "trait and direct inference diverged"
+        );
+    }
+}
+
+/// Defaults are sane and exported.
+#[test]
+fn builder_defaults() {
+    let (model, test_flows) = model_and_flows(200, 81);
+    let mut engine = EngineBuilder::new(&model).build().unwrap();
+    assert_eq!(engine.flow_slots(), 1 << 16);
+    assert_eq!(DEFAULT_STAGGER_US, 5_000);
+    let report = engine.run(&test_flows).unwrap();
+    assert_eq!(report.collisions_skipped, 0);
+    assert!(report.flows.iter().all(|o| o.digests == 1));
+}

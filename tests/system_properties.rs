@@ -5,18 +5,14 @@ use splidt::core::baselines::{Ideal, Leo, LeoParams, NetBeacon, NetBeaconParams,
 use splidt::core::{
     evaluate_partitioned, max_flows, model_rules, splidt_footprint, train_partitioned,
 };
-use splidt::prelude::*;
 use splidt::flow::windowed_dataset;
+use splidt::prelude::*;
 use splidt::ranging::generate_rules;
 
 fn split(id: DatasetId, n: usize, seed: u64) -> (Vec<FlowTrace>, Vec<FlowTrace>, usize) {
     let flows = generate(id, n, seed);
     let (tr, te) = stratified_split(&flows, 0.3, seed);
-    (
-        select_flows(&flows, &tr),
-        select_flows(&flows, &te),
-        spec(id).n_classes as usize,
-    )
+    (select_flows(&flows, &tr), select_flows(&flows, &te), spec(id).n_classes as usize)
 }
 
 /// The paper's headline ordering at a register-comparable budget:
@@ -25,12 +21,13 @@ fn split(id: DatasetId, n: usize, seed: u64) -> (Vec<FlowTrace>, Vec<FlowTrace>,
 fn accuracy_ordering_holds() {
     let (tr, te, nc) = split(DatasetId::D2, 1200, 1);
     let pp = PerPacket::train(&tr, nc, 8).evaluate(&te);
-    let leo = Leo::train(&tr, nc, &LeoParams { k: 4, depth: 10, ..Default::default() })
-        .evaluate(&te);
+    let leo =
+        Leo::train(&tr, nc, &LeoParams { k: 4, depth: 10, ..Default::default() }).evaluate(&te);
     let wd = windowed_dataset(&tr, 4, nc);
     let wd_te = windowed_dataset(&te, 4, nc);
     let cfg = SplidtConfig { partitions: vec![3, 3, 2, 2], k: 4, ..Default::default() };
-    let sp = evaluate_partitioned(&train_partitioned(&wd, &cfg, &catalog().hardware_eligible()), &wd_te);
+    let sp =
+        evaluate_partitioned(&train_partitioned(&wd, &cfg, &catalog().hardware_eligible()), &wd_te);
     let ideal = Ideal::train(&tr, nc, 16).evaluate(&te);
     assert!(pp < leo, "per-packet {pp} < leo {leo}");
     assert!(leo < sp, "leo {leo} < splidt {sp}");
@@ -51,7 +48,10 @@ fn feature_scaling_with_flat_registers() {
         assert_eq!(fp.feature_register_bits(), 4 * 32, "flat register cost");
         assert!(model.max_features_per_subtree() <= 4);
         let total = model.total_features().len();
-        assert!(total + 1 >= prev_total, "feature count should tend to grow: {total} vs {prev_total}");
+        assert!(
+            total + 1 >= prev_total,
+            "feature count should tend to grow: {total} vs {prev_total}"
+        );
         prev_total = prev_total.max(total);
     }
     assert!(prev_total > 4, "total features must exceed k: {prev_total}");
@@ -108,8 +108,7 @@ fn tcam_accounting_consistent() {
     let compiled = compile(&model, 1 << 14).unwrap();
     assert!(compiled.program.tcam_entries() >= summary.tcam_entries);
     // and the program fits the simulator's block-level Tofino1 model
-    let report =
-        splidt::dataplane::resources::check(&compiled.program, &TargetSpec::tofino1());
+    let report = splidt::dataplane::resources::check(&compiled.program, &TargetSpec::tofino1());
     assert!(report.feasible(), "{:?}", report.violations);
 }
 
@@ -119,7 +118,8 @@ fn tcam_accounting_consistent() {
 fn baselines_sane_on_all_datasets() {
     for id in [DatasetId::D1, DatasetId::D4, DatasetId::D7] {
         let (tr, te, nc) = split(id, 700, 6);
-        let nb = NetBeacon::train(&tr, nc, &NetBeaconParams { k: 4, depth: 8, ..Default::default() });
+        let nb =
+            NetBeacon::train(&tr, nc, &NetBeaconParams { k: 4, depth: 8, ..Default::default() });
         let leo = Leo::train(&tr, nc, &LeoParams { k: 4, depth: 8, ..Default::default() });
         let chance = 1.5 / nc as f64;
         assert!(nb.evaluate(&te) > chance, "{}", id.tag());
