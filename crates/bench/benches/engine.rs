@@ -3,6 +3,14 @@
 //! benchmark — the `elem/s` column is pipeline packets per second
 //! (resubmission passes excluded; they are metered separately).
 //!
+//! Two drivers per shard count:
+//!
+//! * `packets/N` — the full `run` path (admission, per-flow frame
+//!   serialization, feeding, scoring), i.e. a whole session;
+//! * `batch/N` — pre-serialized frames through `ingest_batch`, the
+//!   steady-state zero-allocation hot path with digests drained once per
+//!   batch. The gap between the two is the session-bookkeeping overhead.
+//!
 //! Shards are driven on OS threads, so the scaling curve tracks the
 //! machine: on a single-core runner all counts report ~equal throughput;
 //! speedup appears as cores do.
@@ -10,6 +18,7 @@
 //! Run with: `cargo bench --bench engine`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use splidt_bench::hotpath::serialize_schedule;
 use splidt_core::engine::EngineBuilder;
 use splidt_core::{train_partitioned, SplidtConfig};
 use splidt_flow::{catalog, generate, select_flows, stratified_split, windowed_dataset, DatasetId};
@@ -23,21 +32,32 @@ fn bench_engine(c: &mut Criterion) {
     let wd = windowed_dataset(&train_flows, 3, 4);
     let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
     let total_packets: u64 = traffic.iter().map(|f| f.size_pkts() as u64).sum();
+    let frames = serialize_schedule(&model, &traffic);
 
     let mut group = c.benchmark_group("engine");
     group.throughput(Throughput::Elements(total_packets));
     for shards in [1usize, 2, 4, 8] {
         // Compile once per shard count; the measured loop only resets
         // register state and streams packets.
-        let mut engine = EngineBuilder::new(&model)
-            .flow_slots(1 << 16)
-            .stagger_us(1_000)
-            .build_sharded(shards)
-            .expect("compiles");
+        let builder = || {
+            EngineBuilder::new(&model)
+                .flow_slots(1 << 16)
+                .stagger_us(1_000)
+                .build_sharded(shards)
+                .expect("compiles")
+        };
+        let mut engine = builder();
         group.bench_with_input(BenchmarkId::new("packets", shards), &shards, |b, _| {
             b.iter(|| {
                 engine.reset();
                 engine.run(&traffic).expect("runs")
+            })
+        });
+        let mut engine = builder();
+        group.bench_with_input(BenchmarkId::new("batch", shards), &shards, |b, _| {
+            b.iter(|| {
+                engine.reset();
+                engine.ingest_batch(&frames).expect("ingests")
             })
         });
     }

@@ -1,0 +1,55 @@
+//! A counting global allocator for allocations-per-packet accounting.
+//!
+//! The hot-path acceptance criterion — *zero heap allocations per packet
+//! on the steady-state path* — is only credible if it is measured, not
+//! asserted. [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation (plus reallocs, which are how `Vec` growth shows up); a
+//! binary opts in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: splidt_bench::CountingAlloc = splidt_bench::CountingAlloc;
+//! ```
+//!
+//! and then brackets a measured region with [`allocation_count`]. The
+//! counter is a single relaxed atomic: nanoseconds of overhead per
+//! allocation and none at all for allocation-free code, so throughput
+//! numbers measured under it remain meaningful.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts allocations (alloc / alloc_zeroed / realloc) on top of the
+/// system allocator. Deallocations are intentionally not counted: the
+/// metric is "how often does the hot loop touch the heap".
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocations since process start. Meaningful only when
+/// [`CountingAlloc`] is installed as the global allocator; otherwise it
+/// stays at zero.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}

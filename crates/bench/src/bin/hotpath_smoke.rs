@@ -1,0 +1,103 @@
+//! CI bench-smoke: a short, fixed-seed hot-path run that (a) asserts the
+//! steady-state packet path performs **zero heap allocations per packet**
+//! under a counting global allocator, (b) measures engine throughput, (c)
+//! writes `BENCH_hotpath.json`, and (d) optionally gates against a
+//! committed baseline.
+//!
+//! ```text
+//! hotpath_smoke [--out BENCH_hotpath.json] [--baseline bench/baseline.json]
+//!               [--max-drop-pct 15] [--seconds 2.0]
+//! ```
+//!
+//! Exit codes: `0` ok · `1` throughput regressed past the threshold ·
+//! `2` the zero-allocation invariant broke.
+//!
+//! Locally, diff two result files with `scripts/bench_diff.sh`.
+
+use splidt_bench::hotpath::{
+    fixture, measure_engine_throughput, probe_hot_loop_allocs, read_metric, write_json,
+};
+use splidt_bench::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    max_drop_pct: f64,
+    seconds: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { out: "BENCH_hotpath.json".into(), baseline: None, max_drop_pct: 15.0, seconds: 2.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = val("--out"),
+            "--baseline" => args.baseline = Some(val("--baseline")),
+            "--max-drop-pct" => {
+                args.max_drop_pct = val("--max-drop-pct").parse().expect("numeric pct")
+            }
+            "--seconds" => args.seconds = val("--seconds").parse().expect("numeric seconds"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // 1. The strict invariant probe: a digest-free steady-state loop must
+    //    not touch the heap at all. 20K packets after warm-up. The verdict
+    //    is enforced after the results JSON is written, so the CI artifact
+    //    exists (with the real allocation count) even on failure.
+    const PROBE_PACKETS: u64 = 20_000;
+    let hot_allocs = probe_hot_loop_allocs(PROBE_PACKETS);
+    let hot_per_packet = hot_allocs as f64 / PROBE_PACKETS as f64;
+    println!(
+        "hot-loop probe: {hot_allocs} allocations over {PROBE_PACKETS} packets \
+         ({hot_per_packet:.6}/packet)"
+    );
+
+    // 2. Fixed-seed end-to-end throughput through the engine batch path.
+    let (model, frames) = fixture();
+    let mut engine = splidt_bench::hotpath::engine_for(&model);
+    let mut stats = measure_engine_throughput(&mut engine, &frames, args.seconds);
+    stats.hot_loop_allocs_per_packet = hot_per_packet;
+    println!(
+        "throughput: {:.0} packets/sec ({} packets in {:.2}s), {:.4} allocs/packet \
+         (boundary digests included)",
+        stats.pps, stats.packets, stats.elapsed_s, stats.allocs_per_packet
+    );
+
+    write_json(&args.out, &stats).expect("writes results json");
+    println!("wrote {}", args.out);
+
+    if hot_allocs != 0 {
+        eprintln!("FAIL: steady-state hot loop allocated ({hot_allocs} allocations)");
+        std::process::exit(2);
+    }
+
+    // 3. Regression gate vs the committed baseline.
+    if let Some(baseline) = &args.baseline {
+        let base_pps =
+            read_metric(baseline, "pps").unwrap_or_else(|| panic!("no pps in baseline {baseline}"));
+        let floor = base_pps * (1.0 - args.max_drop_pct / 100.0);
+        println!(
+            "baseline: {base_pps:.0} pps ({baseline}); floor at -{:.0}%: {floor:.0} pps",
+            args.max_drop_pct
+        );
+        if stats.pps < floor {
+            eprintln!(
+                "FAIL: throughput {:.0} pps is >{:.0}% below baseline {base_pps:.0} pps",
+                stats.pps, args.max_drop_pct
+            );
+            std::process::exit(1);
+        }
+        println!("throughput within budget");
+    }
+}

@@ -1,0 +1,217 @@
+//! The hot-path measurement harness: fixed-seed traffic, steady-state
+//! throughput, and allocations-per-packet — shared by the `hotpath`
+//! criterion bench, the `hotpath_smoke` CI binary, and local pre-push
+//! checks via `scripts/bench_diff.sh`.
+//!
+//! Two measurements matter:
+//!
+//! 1. **Throughput** (packets/sec) through [`Engine::ingest_batch`] on a
+//!    compiled SpliDT model — the end-to-end number the CI `bench-smoke`
+//!    job gates on (>15% drop vs `bench/baseline.json` fails the build).
+//! 2. **Allocations per packet**, measured with the
+//!    [`CountingAlloc`](crate::CountingAlloc) global allocator. The
+//!    steady-state pipeline path must perform **zero** heap allocations
+//!    per packet; [`probe_hot_loop_allocs`] drives a digest-free program
+//!    so even boundary-event allocations are excluded and the assertion
+//!    is exact.
+//!
+//! Everything is deterministic: fixed dataset seed, fixed flow schedule,
+//! fixed frame serialization — so two runs differ only by machine speed.
+
+use crate::alloc_count::allocation_count;
+use splidt_core::engine::{Engine, EngineBuilder};
+use splidt_core::{train_partitioned, PartitionedTree, SplidtConfig};
+use splidt_dataplane::action::{Action, AluOp, Primitive, Source};
+use splidt_dataplane::packet::PacketBuilder;
+use splidt_dataplane::pipeline::Pipeline;
+use splidt_dataplane::program::ProgramBuilder;
+use splidt_dataplane::register::RegisterSpec;
+use splidt_dataplane::table::TableSpec;
+use splidt_flow::{
+    catalog, generate, select_flows, stratified_split, windowed_dataset, DatasetId, FlowTrace,
+};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Flow count of the standard fixture (SPLIDT_SCALE-independent: the CI
+/// gate needs run-to-run determinism, not configurability).
+pub const FIXTURE_FLOWS: usize = 220;
+/// Dataset seed of the standard fixture.
+pub const FIXTURE_SEED: u64 = 7;
+
+/// One hot-path measurement, serialized to `BENCH_hotpath.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathStats {
+    /// Packets pushed through the engine during the measured region.
+    pub packets: u64,
+    /// Wall-clock seconds of the measured region.
+    pub elapsed_s: f64,
+    /// Packets per second.
+    pub pps: f64,
+    /// Heap allocations per packet across the full engine batch path
+    /// (boundary packets emitting digests may allocate; steady-state
+    /// packets must not). Zero unless the counting allocator is installed.
+    pub allocs_per_packet: f64,
+    /// Heap allocations per packet over the digest-free probe program —
+    /// the strict zero-allocation criterion.
+    pub hot_loop_allocs_per_packet: f64,
+}
+
+/// Trains the standard fixed-seed model and pre-serializes its admitted
+/// traffic as `(frame, ts_us)` pairs in timeline order.
+pub fn fixture() -> (PartitionedTree, Vec<(Vec<u8>, u64)>) {
+    let flows = generate(DatasetId::D2, FIXTURE_FLOWS, FIXTURE_SEED);
+    let (tr, te) = stratified_split(&flows, 0.4, 2);
+    let train_flows = select_flows(&flows, &tr);
+    let traffic = select_flows(&flows, &te);
+    let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+    let wd = windowed_dataset(&train_flows, 3, 4);
+    let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+    let frames = serialize_schedule(&model, &traffic);
+    (model, frames)
+}
+
+/// Serializes `traffic` exactly as an engine run would feed it: admitted
+/// with collision filtering, staggered, merged into one timeline.
+pub fn serialize_schedule(model: &PartitionedTree, traffic: &[FlowTrace]) -> Vec<(Vec<u8>, u64)> {
+    let mut engine = engine_for(model);
+    let mut events: Vec<(u64, usize, usize)> = Vec::new();
+    let mut kept: Vec<&FlowTrace> = Vec::new();
+    for f in traffic {
+        if let Some(a) = engine.admit(f) {
+            kept.push(f);
+            let idx = kept.len() - 1;
+            for (j, p) in f.packets.iter().enumerate() {
+                events.push((a.base_us + p.ts_us, idx, j));
+            }
+        }
+    }
+    events.sort_unstable();
+    events.into_iter().map(|(ts, i, j)| (Engine::frame_for(kept[i], j), ts)).collect()
+}
+
+/// A fresh compiled engine for the fixture model (1K µs stagger, 64K
+/// slots — the same shape the engine bench uses).
+pub fn engine_for(model: &PartitionedTree) -> Engine {
+    EngineBuilder::new(model).flow_slots(1 << 16).stagger_us(1_000).build().expect("compiles")
+}
+
+/// Streams `frames` through the engine's batch path repeatedly (resetting
+/// session state between rounds) until `min_elapsed_s` of measured work
+/// has accumulated. Returns the filled [`HotpathStats`] — with
+/// allocations-per-packet populated when the counting allocator is the
+/// global allocator, zero otherwise.
+pub fn measure_engine_throughput(
+    engine: &mut Engine,
+    frames: &[(Vec<u8>, u64)],
+    min_elapsed_s: f64,
+) -> HotpathStats {
+    // Warm-up round: populate scratch capacities and collation maps.
+    engine.reset();
+    engine.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).expect("ingests");
+
+    let mut packets = 0u64;
+    let allocs_before = allocation_count();
+    let start = Instant::now();
+    loop {
+        engine.reset();
+        let report =
+            engine.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).expect("ingests");
+        packets += report.packets;
+        if start.elapsed().as_secs_f64() >= min_elapsed_s {
+            break;
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let allocs = allocation_count() - allocs_before;
+    HotpathStats {
+        packets,
+        elapsed_s,
+        pps: packets as f64 / elapsed_s,
+        allocs_per_packet: allocs as f64 / packets as f64,
+        hot_loop_allocs_per_packet: 0.0,
+    }
+}
+
+/// Builds a digest-free probe program — flow hash, one stateful
+/// accumulator, an exact table and a default action — and drives
+/// `n_packets` through [`Pipeline::process_frame`] after a warm-up round.
+/// Returns total heap allocations observed in the steady-state region:
+/// **must be zero** (and is asserted to be by `hotpath_smoke`) when the
+/// counting allocator is installed.
+pub fn probe_hot_loop_allocs(n_packets: u64) -> u64 {
+    let slots: usize = 1 << 10;
+    let mut b = ProgramBuilder::new();
+    let fields = b.standard_fields();
+    let idx = b.add_meta("m.idx", 10);
+    let r = b.add_register(RegisterSpec::new("r.bytes", 32, slots), 0);
+    let t = b.add_table(TableSpec::exact("acct", vec![fields.ip_proto], 4), 0);
+    b.add_exact_entry(
+        t,
+        vec![6],
+        Action::new("account")
+            .with(Primitive::HashFlow { dst: idx, mask: (slots - 1) as u64 })
+            .with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Field(idx),
+                op: AluOp::Add,
+                operand: Source::Field(fields.frame_len),
+                out: None,
+            }),
+    )
+    .expect("installs");
+    let program = b.build().expect("builds");
+    let mut pipe = Pipeline::new(program);
+
+    // A few distinct 5-tuples so lookups and hashes do real work.
+    let frames: Vec<Vec<u8>> = (0u32..16)
+        .map(|i| {
+            PacketBuilder::tcp(0x0a00_0000 + i, 0x0b00_0000 + (i % 5), 40_000 + i as u16, 443)
+                .payload(64 + (i as u16 % 7) * 100)
+                .flow_size(64)
+                .build()
+                .to_vec()
+        })
+        .collect();
+
+    // Warm-up: scratch buffers reach steady capacity.
+    for (i, f) in frames.iter().enumerate() {
+        pipe.process_frame(f, i as u64, &fields).expect("parses");
+    }
+
+    let before = allocation_count();
+    for i in 0..n_packets {
+        let f = &frames[(i % frames.len() as u64) as usize];
+        pipe.process_frame(f, i, &fields).expect("parses");
+    }
+    allocation_count() - before
+}
+
+/// Writes stats as the flat JSON the CI artifact and `bench_diff.sh`
+/// consume.
+pub fn write_json(path: &str, stats: &HotpathStats) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "{{\n  \"bench\": \"hotpath\",\n  \"packets\": {},\n  \"elapsed_s\": {:.6},\n  \
+         \"pps\": {:.1},\n  \"allocs_per_packet\": {:.6},\n  \
+         \"hot_loop_allocs_per_packet\": {:.6}\n}}",
+        stats.packets,
+        stats.elapsed_s,
+        stats.pps,
+        stats.allocs_per_packet,
+        stats.hot_loop_allocs_per_packet,
+    )
+}
+
+/// Reads one numeric field back out of a `BENCH_*.json` file (minimal
+/// parser for the flat format [`write_json`] emits).
+pub fn read_metric(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end =
+        rest.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -27,8 +27,10 @@ use crate::error::SplidtError;
 use crate::model::PartitionedTree;
 use crate::resources::{splidt_footprint, ModelFootprint};
 use crate::runtime::{canonical_flow_index, FlowOutcome, RuntimeReport};
+use splidt_dataplane::hash::flow_index;
 use splidt_dataplane::packet::PacketBuilder;
-use splidt_dataplane::pipeline::{Digest, Meters, Pipeline, ProcessOutcome};
+use splidt_dataplane::parser::peek_flow_tuple;
+use splidt_dataplane::pipeline::{Digest, Disposition, Meters, Pipeline, ProcessOutcome};
 use splidt_dataplane::program::Program;
 use splidt_dt::metrics::macro_f1;
 use splidt_flow::features::catalog;
@@ -314,6 +316,31 @@ impl<'m> EngineBuilder<'m> {
     }
 }
 
+/// Summary of one batch pushed through [`Engine::ingest_batch`] (or the
+/// sharded equivalent): dispositions tallied per batch instead of
+/// returned per packet, digests drained once at the end.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Frames ingested.
+    pub packets: u64,
+    /// Frames dropped by pipeline actions.
+    pub drops: u64,
+    /// Frames that hit the resubmission safety stop.
+    pub resubmit_limited: u64,
+    /// Digests the batch produced (already collated for scoring).
+    pub digests: Vec<Digest>,
+}
+
+impl BatchReport {
+    /// Accumulates another batch (shard merge).
+    pub fn merge(&mut self, other: BatchReport) {
+        self.packets += other.packets;
+        self.drops += other.drops;
+        self.resubmit_limited += other.resubmit_limited;
+        self.digests.extend(other.digests);
+    }
+}
+
 /// A flow admitted into an engine session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Admission {
@@ -445,6 +472,14 @@ impl Engine {
     /// Serializes packet `j` of a flow into an on-wire frame (Ethernet +
     /// flow-size shim + IPv4 + TCP), exactly as the testbed generator would.
     pub fn frame_for(flow: &FlowTrace, j: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        Self::frame_for_into(flow, j, &mut out);
+        out
+    }
+
+    /// Like [`Engine::frame_for`], but serializing into a reusable buffer
+    /// so batch loops allocate nothing per packet.
+    pub fn frame_for_into(flow: &FlowTrace, j: usize, out: &mut Vec<u8>) {
         let p = &flow.packets[j];
         let wt = flow.wire_tuple(j);
         let payload = p.frame_len.saturating_sub(58);
@@ -452,15 +487,39 @@ impl Engine {
             .flags(p.tcp_flags)
             .payload(payload)
             .flow_size(flow.size_pkts() as u16)
-            .build()
-            .to_vec()
+            .build_into(out);
     }
 
     /// Pushes one frame through the pipeline at `ts_us`. Malformed frames
-    /// are recoverable errors, not panics.
+    /// are recoverable errors, not panics. Allocates the returned PHV;
+    /// throughput loops use [`Engine::ingest_batch`].
     pub fn ingest(&mut self, frame: &[u8], ts_us: u64) -> Result<ProcessOutcome, SplidtError> {
         let fields = self.io.fields;
         Ok(self.pipeline.process_packet(frame, ts_us, &fields)?)
+    }
+
+    /// Pushes a whole batch of `(frame, ts_us)` pairs through the
+    /// pipeline's allocation-free path, amortizing per-packet dispatch:
+    /// dispositions are tallied instead of returned one-by-one, and
+    /// digests are drained (and collated for scoring) **once per batch**
+    /// rather than per packet. Stops at the first malformed frame.
+    pub fn ingest_batch<'a, I>(&mut self, frames: I) -> Result<BatchReport, SplidtError>
+    where
+        I: IntoIterator<Item = (&'a [u8], u64)>,
+    {
+        let fields = self.io.fields;
+        let mut report = BatchReport::default();
+        for (frame, ts_us) in frames {
+            let out = self.pipeline.process_frame(frame, ts_us, &fields)?;
+            report.packets += 1;
+            match out.disposition {
+                Disposition::Drop => report.drops += 1,
+                Disposition::ResubmitLimit => report.resubmit_limited += 1,
+                Disposition::Forward => {}
+            }
+        }
+        report.digests = self.drain_digests();
+        Ok(report)
     }
 
     /// Feeds every packet of every admitted-but-not-yet-fed flow, merged
@@ -468,6 +527,9 @@ impl Engine {
     /// concurrently and register-state separation is genuinely exercised).
     /// Incremental: calling again after further [`Engine::admit`]s feeds
     /// only the new flows — already-fed packets are never replayed.
+    ///
+    /// Runs on the batch hot path: one reusable frame buffer, the
+    /// pipeline's reusable PHV, digests collated once at the end.
     pub fn ingest_admitted(&mut self) -> Result<(), SplidtError> {
         let mut events: Vec<(u64, usize, usize)> = Vec::new();
         for (i, a) in self.admitted.iter().enumerate().skip(self.fed) {
@@ -477,10 +539,13 @@ impl Engine {
         }
         self.fed = self.admitted.len();
         events.sort_unstable();
+        let fields = self.io.fields;
+        let mut frame = Vec::new();
         for (ts, i, j) in events {
-            let frame = Self::frame_for(&self.admitted[i].flow, j);
-            self.ingest(&frame, ts)?;
+            Self::frame_for_into(&self.admitted[i].flow, j, &mut frame);
+            self.pipeline.process_frame(&frame, ts, &fields)?;
         }
+        self.drain_digests();
         Ok(())
     }
 
@@ -603,6 +668,55 @@ impl ShardedEngine {
     /// Per-shard live meters.
     pub fn shard_meters(&self) -> Vec<&Meters> {
         self.shards.iter().map(|s| s.meters()).collect()
+    }
+
+    /// The shard a raw frame hashes to, read straight off the wire bytes
+    /// (same canonical ordering and hash as the data plane's `HashFlow`),
+    /// so batch dispatch agrees with [`ShardedEngine::shard_of`].
+    pub fn shard_of_frame(&self, frame: &[u8]) -> Result<usize, SplidtError> {
+        let t = peek_flow_tuple(frame)?;
+        let ((sip, sp), (dip, dp)) = if (t.src_ip, t.sport) > (t.dst_ip, t.dport) {
+            ((t.dst_ip, t.dport), (t.src_ip, t.sport))
+        } else {
+            ((t.src_ip, t.sport), (t.dst_ip, t.dport))
+        };
+        Ok(flow_index(sip, dip, sp, dp, t.proto, self.flow_slots) % self.shards.len())
+    }
+
+    /// Batch ingest across shards: frames are routed by canonical flow
+    /// hash (agreeing with the single-shard engine flow-for-flow), each
+    /// shard drains its sub-batch on its own OS thread over the
+    /// allocation-free pipeline path, and the per-shard [`BatchReport`]s
+    /// are merged in shard order. Digests are drained once per shard per
+    /// batch — not once per packet.
+    pub fn ingest_batch(&mut self, frames: &[(Vec<u8>, u64)]) -> Result<BatchReport, SplidtError> {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, (frame, _)) in frames.iter().enumerate() {
+            buckets[self.shard_of_frame(frame)?].push(i);
+        }
+        let mut results: Vec<Option<Result<BatchReport, SplidtError>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (idx, (shard, bucket)) in self.shards.iter_mut().zip(&buckets).enumerate() {
+                handles.push(s.spawn(move || {
+                    let fed = shard.ingest_batch(
+                        bucket.iter().map(|&i| (frames[i].0.as_slice(), frames[i].1)),
+                    );
+                    (idx, fed)
+                }));
+            }
+            for h in handles {
+                let (idx, r) = h.join().expect("shard worker panicked");
+                results[idx] = Some(r);
+            }
+        });
+        let mut merged = BatchReport::default();
+        for r in results {
+            merged.merge(r.expect("all shards joined")?);
+        }
+        Ok(merged)
     }
 
     /// Batch driver: globally schedule flows (identical collision

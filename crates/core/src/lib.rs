@@ -6,7 +6,7 @@
 //! * [`config`] / [`model`] — partitioned-tree configurations and the model
 //!   itself (subtrees, SIDs, per-subtree feature sets, early exits);
 //! * [`train`] — Algorithm 1, the recursive per-partition training;
-//! * [`compile`] — partitioned tree → match-action pipeline program
+//! * [`mod@compile`] — partitioned tree → match-action pipeline program
 //!   (operator-selection MATs, key-generator MATs, the Range-Marking model
 //!   MAT, register allocation, resubmission protocol);
 //! * [`engine`] — the session-oriented streaming engine: the [`Classifier`]
@@ -38,7 +38,9 @@ pub const FEATURE_BITS_DEFAULT: u8 = splidt_flow::FEATURE_BITS;
 
 pub use compile::{compile, model_rules, CompiledModel, RulesSummary};
 pub use config::SplidtConfig;
-pub use engine::{Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict};
+pub use engine::{
+    BatchReport, Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
+};
 pub use error::SplidtError;
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
 pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};

@@ -9,8 +9,11 @@
 //! software reference* ([`PartitionedTree::predict`]) flow-for-flow.
 //!
 //! [`run_flows`] compiles per call; hot paths should hold an
-//! [`Engine`](crate::engine::Engine) and reuse it (`compile once, run
-//! many` — see `docs/engine.md`).
+//! [`Engine`] and reuse it (`compile once, run
+//! many` — see `docs/engine.md`). Feeding runs on the engine's batch path
+//! (`ingest_admitted` → `Pipeline::process_frame`), which executes the
+//! compiled [`ExecPlan`](splidt_dataplane::plan::ExecPlan) with zero heap
+//! allocations per steady-state packet.
 
 use crate::compile::CompiledModel;
 use crate::engine::{Engine, EngineBuilder};

@@ -12,7 +12,7 @@ use crate::register::{RegAluOp, RegId};
 use serde::{Deserialize, Serialize};
 
 /// An operand: a constant or a PHV field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Source {
     /// Immediate constant.
     Const(u64),
@@ -21,7 +21,7 @@ pub enum Source {
 }
 
 /// Which value a register RMW exports to the PHV.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AluOut {
     /// The value before the update.
     Old,
@@ -33,7 +33,7 @@ pub enum AluOut {
 pub type AluOp = RegAluOp;
 
 /// One action primitive.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Primitive {
     /// `dst = src` (masked to `dst` width).
     Set {
@@ -137,7 +137,7 @@ impl Primitive {
 }
 
 /// A named action: a sequence of primitives executed on a hit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Action {
     /// Name (for debugging and rule dumps).
     pub name: String,

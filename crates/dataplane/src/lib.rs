@@ -53,6 +53,7 @@ pub mod packet;
 pub mod parser;
 pub mod phv;
 pub mod pipeline;
+pub mod plan;
 pub mod program;
 pub mod register;
 pub mod resources;
@@ -62,9 +63,10 @@ pub mod tcam;
 pub use action::{Action, AluOp, AluOut, Primitive, Source};
 pub use hash::crc32;
 pub use packet::{PacketBuilder, TcpFlags, FLOW_SHIM_ETHERTYPE};
-pub use parser::{parse, ParseError, StandardFields};
+pub use parser::{parse, parse_into, peek_flow_tuple, FlowTupleView, ParseError, StandardFields};
 pub use phv::{FieldId, Phv, PhvLayout};
-pub use pipeline::{Digest, Disposition, Meters, Pipeline};
+pub use pipeline::{Digest, Disposition, FrameOutcome, Meters, Pipeline};
+pub use plan::{ActionId, ExecPlan};
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use register::RegisterArray;
 pub use resources::{ResourceReport, TargetSpec};

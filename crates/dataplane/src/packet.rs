@@ -120,13 +120,27 @@ impl PacketBuilder {
 
     /// Serializes the frame.
     pub fn build(&self) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(self.frame_len());
+        self.serialize(&mut buf);
+        buf
+    }
+
+    /// Serializes the frame into a reusable buffer (cleared first). After
+    /// the buffer has grown to the largest frame in a batch, subsequent
+    /// calls allocate nothing — the hot-loop companion to [`Self::build`].
+    pub fn build_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.frame_len());
+        self.serialize(out);
+    }
+
+    fn serialize<B: BufMut>(&self, buf: &mut B) {
         let l4_len: u16 = match self.proto {
             IPPROTO_TCP => 20,
             IPPROTO_UDP => 8,
             _ => 0,
         };
         let ip_total = 20 + l4_len + self.payload_len;
-        let mut buf = BytesMut::with_capacity(14 + 4 + ip_total as usize);
         // Ethernet
         buf.put_slice(&[0x02, 0, 0, 0, 0, 0x01]); // dst MAC
         buf.put_slice(&[0x02, 0, 0, 0, 0, 0x02]); // src MAC
@@ -168,7 +182,6 @@ impl PacketBuilder {
             _ => {}
         }
         buf.put_bytes(0, self.payload_len as usize);
-        buf
     }
 
     /// Total frame length this builder will produce.

@@ -86,6 +86,62 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A frame's 5-tuple read without building a PHV — for pre-pipeline
+/// dispatch (batch shard routing) that must agree with the full parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTupleView {
+    /// IPv4 source address.
+    pub src_ip: u32,
+    /// IPv4 destination address.
+    pub dst_ip: u32,
+    /// L4 source port.
+    pub sport: u16,
+    /// L4 destination port.
+    pub dport: u16,
+    /// IPv4 protocol.
+    pub proto: u8,
+}
+
+/// Reads a frame's 5-tuple with the same header walk (and the same
+/// errors) as [`parse`], but touching only the tuple bytes.
+pub fn peek_flow_tuple(frame: &[u8]) -> Result<FlowTupleView, ParseError> {
+    if frame.len() < 14 {
+        return Err(ParseError::TooShort { header: "ethernet" });
+    }
+    let mut off = 12;
+    let mut ethertype = be16(frame, off);
+    off += 2;
+    if ethertype == FLOW_SHIM_ETHERTYPE {
+        if frame.len() < off + 4 {
+            return Err(ParseError::TooShort { header: "flow shim" });
+        }
+        ethertype = be16(frame, off + 2);
+        off += 4;
+    }
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::UnsupportedEtherType(ethertype));
+    }
+    if frame.len() < off + 20 {
+        return Err(ParseError::TooShort { header: "ipv4" });
+    }
+    let ihl = (frame[off] & 0x0F) as usize * 4;
+    let proto = frame[off + 9];
+    let src_ip = be32(frame, off + 12);
+    let dst_ip = be32(frame, off + 16);
+    let l4 = off + ihl;
+    let l4_min = match proto {
+        IPPROTO_TCP => 20,
+        IPPROTO_UDP => 8,
+        other => return Err(ParseError::UnsupportedProtocol(other)),
+    };
+    if frame.len() < l4 + l4_min {
+        return Err(ParseError::TooShort {
+            header: if proto == IPPROTO_TCP { "tcp" } else { "udp" },
+        });
+    }
+    Ok(FlowTupleView { src_ip, dst_ip, sport: be16(frame, l4), dport: be16(frame, l4 + 2), proto })
+}
+
 fn be16(b: &[u8], off: usize) -> u16 {
     u16::from_be_bytes([b[off], b[off + 1]])
 }
@@ -95,8 +151,26 @@ fn be32(b: &[u8], off: usize) -> u32 {
 }
 
 /// Parses a frame into a fresh PHV using the standard field set.
+///
+/// Allocates the returned PHV; batch loops reuse one via [`parse_into`].
 pub fn parse(frame: &[u8], layout: &PhvLayout, fields: &StandardFields) -> Result<Phv, ParseError> {
     let mut phv = layout.new_phv();
+    parse_into(frame, layout, fields, &mut phv)?;
+    Ok(phv)
+}
+
+/// Parses a frame into a caller-provided PHV (zeroed first) — the
+/// allocation-free path for packet batch loops. The PHV must come from
+/// `layout` (same field count). On error the PHV is left zeroed/partially
+/// filled; callers treat its contents as unspecified.
+pub fn parse_into(
+    frame: &[u8],
+    layout: &PhvLayout,
+    fields: &StandardFields,
+    phv: &mut Phv,
+) -> Result<(), ParseError> {
+    debug_assert_eq!(phv.len(), layout.n_fields(), "PHV does not match layout");
+    phv.zero();
     if frame.len() < 14 {
         return Err(ParseError::TooShort { header: "ethernet" });
     }
@@ -144,7 +218,7 @@ pub fn parse(frame: &[u8], layout: &PhvLayout, fields: &StandardFields) -> Resul
         other => return Err(ParseError::UnsupportedProtocol(other)),
     }
     phv.set(fields.frame_len, frame.len() as u64);
-    Ok(phv)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -186,6 +260,24 @@ mod tests {
         assert_eq!(phv.get(f.flow_size), 0);
         assert_eq!(phv.get(f.tcp_flags), 0);
         assert_eq!(phv.get(f.sport), 53);
+    }
+
+    #[test]
+    fn peek_agrees_with_full_parse() {
+        let (l, f) = layout();
+        for frame in [
+            PacketBuilder::tcp(0x0a000001, 0x0a000002, 4321, 443).flow_size(9).build(),
+            PacketBuilder::udp(7, 8, 53, 5353).payload(16).build(),
+        ] {
+            let phv = parse(&frame, &l, &f).unwrap();
+            let t = peek_flow_tuple(&frame).unwrap();
+            assert_eq!(t.src_ip as u64, phv.get(f.ipv4_src));
+            assert_eq!(t.dst_ip as u64, phv.get(f.ipv4_dst));
+            assert_eq!(t.sport as u64, phv.get(f.sport));
+            assert_eq!(t.dport as u64, phv.get(f.dport));
+            assert_eq!(t.proto as u64, phv.get(f.ip_proto));
+        }
+        assert!(peek_flow_tuple(&[0u8; 6]).is_err());
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl PhvLayout {
 }
 
 /// A concrete per-packet header vector. All fields start at zero.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Default` instance carries no fields — it exists so hot paths can
+/// `std::mem::take` a scratch PHV out of a struct without allocating.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phv {
     values: Vec<u64>,
 }
@@ -123,6 +126,12 @@ impl Phv {
     /// Writes a field masked to `spec`'s width.
     pub fn set_masked(&mut self, id: FieldId, value: u64, layout: &PhvLayout) {
         self.values[id.index()] = value & layout.spec(id).mask();
+    }
+
+    /// Resets every field to zero in place (no allocation) so one PHV can
+    /// be reused across packets.
+    pub fn zero(&mut self) {
+        self.values.fill(0);
     }
 
     /// Number of fields.

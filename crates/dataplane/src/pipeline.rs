@@ -7,10 +7,25 @@
 //! updates the subtree-id register and clears the feature registers. The
 //! pipeline meters every resubmission so recirculation bandwidth is
 //! directly observable.
+//!
+//! ## Execution model
+//!
+//! At instantiation the pipeline compiles its program's fixed schedule into
+//! an [`ExecPlan`] — a flat slab of table indices and interned action ids —
+//! and the steady-state packet path ([`Pipeline::process_frame`], which
+//! [`Pipeline::process_packet`] and [`Pipeline::process_phv`] share) walks
+//! that slab with **zero heap allocations per packet**: lookups fill a
+//! reusable key scratch buffer, parsed headers land in a reusable PHV, and
+//! actions execute by [`ActionId`](crate::plan::ActionId) reference with
+//! split borrows for hit/miss counters instead of cloning an [`Action`]
+//! per table visit. The original entry-walking interpreter survives as
+//! [`Pipeline::process_phv_entrywalk`], the reference implementation the
+//! differential proptests compare the plan against.
 
 use crate::action::{Action, AluOut, Primitive, Source};
-use crate::parser::{parse, ParseError, StandardFields};
-use crate::phv::Phv;
+use crate::parser::{parse, parse_into, ParseError, StandardFields};
+use crate::phv::{FieldId, Phv, PhvLayout};
+use crate::plan::ExecPlan;
 use crate::program::Program;
 use crate::register::RegisterArray;
 
@@ -79,25 +94,68 @@ pub struct ProcessOutcome {
     pub passes: u32,
 }
 
-/// An executing pipeline: a program plus live register state.
+/// Result of processing one frame on the allocation-free batch path, which
+/// recycles the PHV instead of returning it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameOutcome {
+    /// Final disposition.
+    pub disposition: Disposition,
+    /// Number of passes the packet took (1 = no resubmission).
+    pub passes: u32,
+}
+
+/// Which interpreter executes a pass (plan-driven vs the reference).
+#[derive(Debug, Clone, Copy)]
+enum ExecMode {
+    /// The compiled [`ExecPlan`] slab (steady-state, allocation-free).
+    Plan,
+    /// The original entry-walking interpreter (clones per lookup) — kept as
+    /// the reference implementation for differential testing.
+    EntryWalk,
+}
+
+/// An executing pipeline: a program, its compiled execution plan, and live
+/// register state.
 #[derive(Debug)]
 pub struct Pipeline {
     program: Program,
+    plan: ExecPlan,
     regs: Vec<RegisterArray>,
     digests: Vec<Digest>,
     meters: Meters,
+    /// Reusable table-key buffer (sized to the widest key in the plan).
+    key_scratch: Vec<u64>,
+    /// Reusable PHV for the frame batch path.
+    phv_scratch: Phv,
 }
 
 impl Pipeline {
-    /// Instantiates register state for a program.
+    /// Instantiates register state for a program and compiles its
+    /// execution plan.
     pub fn new(program: Program) -> Self {
         let regs = program.registers().iter().cloned().map(RegisterArray::new).collect();
-        Self { program, regs, digests: Vec::new(), meters: Meters::default() }
+        let plan = ExecPlan::build(&program);
+        let key_scratch = Vec::with_capacity(plan.max_key_fields());
+        let phv_scratch = program.layout().new_phv();
+        Self {
+            program,
+            plan,
+            regs,
+            digests: Vec::new(),
+            meters: Meters::default(),
+            key_scratch,
+            phv_scratch,
+        }
     }
 
     /// The program being executed.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The compiled execution plan.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// Live register arrays (for assertions and controller-style reads).
@@ -127,9 +185,9 @@ impl Pipeline {
 
     /// Returns the pipeline to a fresh session in place: zeroes every
     /// register array, clears pending digests, meters, and table
-    /// statistics. The program and its installed entries are untouched —
-    /// this is the cheap alternative to re-instantiating from the
-    /// compiled template (no table/entry clones).
+    /// statistics. The program, its installed entries, and the compiled
+    /// execution plan are untouched — this is the cheap alternative to
+    /// re-instantiating from the compiled template (no table/entry clones).
     pub fn reset_state(&mut self) {
         for r in &mut self.regs {
             r.clear();
@@ -141,7 +199,9 @@ impl Pipeline {
         self.meters = Meters::default();
     }
 
-    /// Parses a frame and processes it at time `ts_us`.
+    /// Parses a frame and processes it at time `ts_us`, returning the final
+    /// PHV. Allocates the returned PHV; batch loops that do not need the
+    /// PHV back should use [`Pipeline::process_frame`] instead.
     pub fn process_packet(
         &mut self,
         frame: &[u8],
@@ -152,44 +212,152 @@ impl Pipeline {
         phv.set(fields.ts_us, ts_us);
         self.meters.packets += 1;
         self.meters.bytes += frame.len() as u64;
-        Ok(self.run(phv, ts_us, Some(fields)))
+        let (disposition, passes) = self.run_inplace(&mut phv, ts_us, Some(fields), ExecMode::Plan);
+        Ok(ProcessOutcome { phv, disposition, passes })
+    }
+
+    /// Parses a frame into the pipeline's reusable PHV and processes it at
+    /// time `ts_us` — the steady-state batch entry point: **zero heap
+    /// allocations per packet** once scratch capacities are warm (boundary
+    /// packets that emit digests still allocate the digest record).
+    pub fn process_frame(
+        &mut self,
+        frame: &[u8],
+        ts_us: u64,
+        fields: &StandardFields,
+    ) -> Result<FrameOutcome, ParseError> {
+        // Take the scratch PHV out of `self` (a pointer swap, no
+        // allocation) so it can be threaded through `run_inplace` while
+        // `self` stays mutably borrowable.
+        let mut phv = std::mem::take(&mut self.phv_scratch);
+        let parsed = parse_into(frame, self.program.layout(), fields, &mut phv);
+        if let Err(e) = parsed {
+            self.phv_scratch = phv;
+            return Err(e);
+        }
+        phv.set(fields.ts_us, ts_us);
+        self.meters.packets += 1;
+        self.meters.bytes += frame.len() as u64;
+        let (disposition, passes) = self.run_inplace(&mut phv, ts_us, Some(fields), ExecMode::Plan);
+        self.phv_scratch = phv;
+        Ok(FrameOutcome { disposition, passes })
     }
 
     /// Processes a pre-built PHV (no parsing; useful for unit tests and
     /// synthetic control packets).
-    pub fn process_phv(&mut self, phv: Phv, ts_us: u64) -> ProcessOutcome {
+    pub fn process_phv(&mut self, mut phv: Phv, ts_us: u64) -> ProcessOutcome {
         self.meters.packets += 1;
-        self.run(phv, ts_us, None)
+        let (disposition, passes) = self.run_inplace(&mut phv, ts_us, None, ExecMode::Plan);
+        ProcessOutcome { phv, disposition, passes }
     }
 
-    fn run(&mut self, mut phv: Phv, ts_us: u64, fields: Option<&StandardFields>) -> ProcessOutcome {
+    /// Processes a pre-built PHV with the original **entry-walking
+    /// interpreter** (re-reads the stage schedule and clones the matched
+    /// action on every table visit). Kept as the reference implementation:
+    /// the equivalence proptests assert it is observationally identical —
+    /// dispositions, digests, meters, registers — to the plan-driven path.
+    pub fn process_phv_entrywalk(&mut self, mut phv: Phv, ts_us: u64) -> ProcessOutcome {
+        self.meters.packets += 1;
+        let (disposition, passes) = self.run_inplace(&mut phv, ts_us, None, ExecMode::EntryWalk);
+        ProcessOutcome { phv, disposition, passes }
+    }
+
+    /// Parses a frame and processes it with the entry-walking reference
+    /// interpreter (see [`Pipeline::process_phv_entrywalk`]).
+    pub fn process_packet_entrywalk(
+        &mut self,
+        frame: &[u8],
+        ts_us: u64,
+        fields: &StandardFields,
+    ) -> Result<ProcessOutcome, ParseError> {
+        let mut phv = parse(frame, self.program.layout(), fields)?;
+        phv.set(fields.ts_us, ts_us);
+        self.meters.packets += 1;
+        self.meters.bytes += frame.len() as u64;
+        let (disposition, passes) =
+            self.run_inplace(&mut phv, ts_us, Some(fields), ExecMode::EntryWalk);
+        Ok(ProcessOutcome { phv, disposition, passes })
+    }
+
+    /// Runs the resubmission loop on `phv` in place.
+    fn run_inplace(
+        &mut self,
+        phv: &mut Phv,
+        ts_us: u64,
+        fields: Option<&StandardFields>,
+        mode: ExecMode,
+    ) -> (Disposition, u32) {
         let limit = self.program.resubmit_limit();
         let mut passes = 0u32;
         loop {
             passes += 1;
             self.meters.passes += 1;
-            let effects = self.one_pass(&mut phv, ts_us);
+            let effects = match mode {
+                ExecMode::Plan => self.one_pass(phv, ts_us),
+                ExecMode::EntryWalk => self.one_pass_entrywalk(phv, ts_us),
+            };
             if effects.drop {
                 self.meters.drops += 1;
-                return ProcessOutcome { phv, disposition: Disposition::Drop, passes };
+                return (Disposition::Drop, passes);
             }
             if effects.resubmit {
                 if passes as usize > limit {
-                    return ProcessOutcome { phv, disposition: Disposition::ResubmitLimit, passes };
+                    return (Disposition::ResubmitLimit, passes);
                 }
                 self.meters.resubmissions += 1;
-                let frame_len = fields.map(|f| phv.get(f.frame_len)).unwrap_or(64);
-                self.meters.resubmit_bytes += frame_len.max(64);
+                // Meter the frame's actual length; the Ethernet minimum
+                // floor applies only when a parsed frame supplied one.
+                // PHV-only passes carry no wire length to charge.
+                self.meters.resubmit_bytes +=
+                    fields.map(|f| phv.get(f.frame_len).max(64)).unwrap_or(0);
                 if let Some(f) = fields {
                     phv.set(f.is_resubmit, 1);
                 }
                 continue;
             }
-            return ProcessOutcome { phv, disposition: Disposition::Forward, passes };
+            return (Disposition::Forward, passes);
         }
     }
 
+    /// One pass over the compiled plan: iterate slots by index, look up
+    /// with the reusable key buffer, bump counters via split borrows, and
+    /// execute the interned action by reference. No heap allocation.
     fn one_pass(&mut self, phv: &mut Phv, ts_us: u64) -> PassEffects {
+        let mut effects = PassEffects::default();
+        for si in 0..self.plan.slots().len() {
+            let slot = self.plan.slots()[si];
+            let ti = slot.table as usize;
+            let hit = self.program.tables()[ti].lookup_into(phv, &mut self.key_scratch);
+            let aid = match hit {
+                Some(i) => {
+                    self.program.tables_mut()[ti].record_hit(i);
+                    self.plan.entry_action(&slot, i)
+                }
+                None => {
+                    self.program.tables_mut()[ti].record_miss();
+                    slot.default_action
+                }
+            };
+            exec_action(
+                self.plan.action(aid),
+                &self.plan,
+                self.program.layout(),
+                self.program.digest_fields(),
+                &mut self.regs,
+                &mut self.digests,
+                &mut self.meters,
+                phv,
+                ts_us,
+                &mut effects,
+            );
+        }
+        effects
+    }
+
+    /// One pass with the original interpreter: re-reads each stage's table
+    /// list and clones the matched action before executing it. Reference
+    /// implementation only — allocates per table visit.
+    fn one_pass_entrywalk(&mut self, phv: &mut Phv, ts_us: u64) -> PassEffects {
         let mut effects = PassEffects::default();
         let n_stages = self.program.stages().len();
         for stage in 0..n_stages {
@@ -210,89 +378,114 @@ impl Pipeline {
                         t.default_action().clone()
                     }
                 };
-                self.execute(&action, phv, ts_us, &mut effects);
+                exec_action(
+                    &action,
+                    &self.plan,
+                    self.program.layout(),
+                    self.program.digest_fields(),
+                    &mut self.regs,
+                    &mut self.digests,
+                    &mut self.meters,
+                    phv,
+                    ts_us,
+                    &mut effects,
+                );
             }
         }
         effects
     }
+}
 
-    fn resolve(&self, src: Source, phv: &Phv) -> u64 {
-        match src {
-            Source::Const(c) => c,
-            Source::Field(f) => phv.get(f),
-        }
+fn resolve(src: Source, phv: &Phv) -> u64 {
+    match src {
+        Source::Const(c) => c,
+        Source::Field(f) => phv.get(f),
     }
+}
 
-    fn execute(&mut self, action: &Action, phv: &mut Phv, ts_us: u64, effects: &mut PassEffects) {
-        for p in &action.prims {
-            match p {
-                Primitive::Set { dst, src } => {
-                    let v = self.resolve(*src, phv);
-                    phv.set_masked(*dst, v, self.program.layout());
-                }
-                Primitive::Add { dst, a, b } => {
-                    let v = self.resolve(*a, phv).wrapping_add(self.resolve(*b, phv));
-                    phv.set_masked(*dst, v, self.program.layout());
-                }
-                Primitive::Sub { dst, a, b } => {
-                    let v = self.resolve(*a, phv).wrapping_sub(self.resolve(*b, phv));
-                    phv.set_masked(*dst, v, self.program.layout());
-                }
-                Primitive::Min { dst, a, b } => {
-                    let v = self.resolve(*a, phv).min(self.resolve(*b, phv));
-                    phv.set_masked(*dst, v, self.program.layout());
-                }
-                Primitive::Max { dst, a, b } => {
-                    let v = self.resolve(*a, phv).max(self.resolve(*b, phv));
-                    phv.set_masked(*dst, v, self.program.layout());
-                }
-                Primitive::DivConst { dst, a, divisor } => {
-                    debug_assert!(*divisor > 0, "DivConst divisor must be positive");
-                    let v = self.resolve(*a, phv) / divisor.max(&1);
-                    phv.set_masked(*dst, v, self.program.layout());
-                }
-                Primitive::HashFlow { dst, mask } => {
-                    // Requires standard fields; programs using HashFlow are
-                    // built via `standard_fields()`.
-                    let l = self.program.layout();
-                    let get =
-                        |name: &str| phv.get(l.by_name(name).expect("standard fields registered"));
-                    let (mut sip, mut dip) = (get("ipv4.src") as u32, get("ipv4.dst") as u32);
-                    let (mut sp, mut dp) = (get("l4.sport") as u16, get("l4.dport") as u16);
-                    if (sip, sp) > (dip, dp) {
-                        std::mem::swap(&mut sip, &mut dip);
-                        std::mem::swap(&mut sp, &mut dp);
-                    }
-                    let idx = crate::hash::flow_index(
-                        sip,
-                        dip,
-                        sp,
-                        dp,
-                        get("ipv4.proto") as u8,
-                        (*mask as usize) + 1,
-                    );
-                    phv.set_masked(*dst, idx as u64, self.program.layout());
-                }
-                Primitive::RegRmw { reg, index, op, operand, out } => {
-                    let idx = self.resolve(*index, phv) as usize;
-                    let opv = self.resolve(*operand, phv);
-                    let (old, new) = self.regs[reg.index()].rmw(idx, *op, opv);
-                    if let Some((dst, which)) = out {
-                        let v = match which {
-                            AluOut::Old => old,
-                            AluOut::New => new,
-                        };
-                        phv.set_masked(*dst, v, self.program.layout());
-                    }
-                }
-                Primitive::Resubmit => effects.resubmit = true,
-                Primitive::Digest => {
-                    let values = self.program.digest_fields().iter().map(|&f| phv.get(f)).collect();
-                    self.digests.push(Digest { ts_us, values });
-                    self.meters.digests += 1;
-                }
-                Primitive::Drop => effects.drop = true,
+/// Executes one action against explicitly split pipeline state. A free
+/// function (not a `Pipeline` method) so the caller can hold the action by
+/// reference out of the plan arena — or a table entry — while the mutable
+/// register/digest/meter borrows stay disjoint.
+#[allow(clippy::too_many_arguments)]
+fn exec_action(
+    action: &Action,
+    plan: &ExecPlan,
+    layout: &PhvLayout,
+    digest_fields: &[FieldId],
+    regs: &mut [RegisterArray],
+    digests: &mut Vec<Digest>,
+    meters: &mut Meters,
+    phv: &mut Phv,
+    ts_us: u64,
+    effects: &mut PassEffects,
+) {
+    for p in &action.prims {
+        match p {
+            Primitive::Set { dst, src } => {
+                let v = resolve(*src, phv);
+                phv.set_masked(*dst, v, layout);
             }
+            Primitive::Add { dst, a, b } => {
+                let v = resolve(*a, phv).wrapping_add(resolve(*b, phv));
+                phv.set_masked(*dst, v, layout);
+            }
+            Primitive::Sub { dst, a, b } => {
+                let v = resolve(*a, phv).wrapping_sub(resolve(*b, phv));
+                phv.set_masked(*dst, v, layout);
+            }
+            Primitive::Min { dst, a, b } => {
+                let v = resolve(*a, phv).min(resolve(*b, phv));
+                phv.set_masked(*dst, v, layout);
+            }
+            Primitive::Max { dst, a, b } => {
+                let v = resolve(*a, phv).max(resolve(*b, phv));
+                phv.set_masked(*dst, v, layout);
+            }
+            Primitive::DivConst { dst, a, divisor } => {
+                debug_assert!(*divisor > 0, "DivConst divisor must be positive");
+                let v = resolve(*a, phv) / divisor.max(&1);
+                phv.set_masked(*dst, v, layout);
+            }
+            Primitive::HashFlow { dst, mask } => {
+                // Field ids pre-resolved at plan build; programs using
+                // HashFlow are built via `standard_fields()`.
+                let hf = plan.hash_flow().expect("standard fields registered");
+                let (mut sip, mut dip) = (phv.get(hf.src_ip) as u32, phv.get(hf.dst_ip) as u32);
+                let (mut sp, mut dp) = (phv.get(hf.sport) as u16, phv.get(hf.dport) as u16);
+                if (sip, sp) > (dip, dp) {
+                    std::mem::swap(&mut sip, &mut dip);
+                    std::mem::swap(&mut sp, &mut dp);
+                }
+                let idx = crate::hash::flow_index(
+                    sip,
+                    dip,
+                    sp,
+                    dp,
+                    phv.get(hf.proto) as u8,
+                    (*mask as usize) + 1,
+                );
+                phv.set_masked(*dst, idx as u64, layout);
+            }
+            Primitive::RegRmw { reg, index, op, operand, out } => {
+                let idx = resolve(*index, phv) as usize;
+                let opv = resolve(*operand, phv);
+                let (old, new) = regs[reg.index()].rmw(idx, *op, opv);
+                if let Some((dst, which)) = out {
+                    let v = match which {
+                        AluOut::Old => old,
+                        AluOut::New => new,
+                    };
+                    phv.set_masked(*dst, v, layout);
+                }
+            }
+            Primitive::Resubmit => effects.resubmit = true,
+            Primitive::Digest => {
+                let values = digest_fields.iter().map(|&f| phv.get(f)).collect();
+                digests.push(Digest { ts_us, values });
+                meters.digests += 1;
+            }
+            Primitive::Drop => effects.drop = true,
         }
     }
 }
@@ -362,6 +555,40 @@ mod tests {
         assert!(pipe.meters().resubmit_bytes >= 64);
         assert_eq!(pipe.meters().passes, 2);
         assert_eq!(pipe.meters().packets, 1);
+    }
+
+    #[test]
+    fn resubmit_bytes_meter_actual_frame_length() {
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let t = b.add_table(TableSpec::exact("go", vec![fields.is_resubmit], 4), 0);
+        b.add_exact_entry(t, vec![0], Action::new("resub").with(Primitive::Resubmit)).unwrap();
+        b.add_exact_entry(t, vec![1], Action::nop()).unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        // A frame well above the Ethernet minimum: the resubmitted pass is
+        // charged its actual length, not a 64-byte floor.
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).payload(400).build();
+        assert!(frame.len() > 64);
+        pipe.process_packet(&frame, 0, &fields).unwrap();
+        assert_eq!(pipe.meters().resubmit_bytes, frame.len() as u64);
+    }
+
+    #[test]
+    fn resubmit_bytes_unmetered_without_parsed_frame() {
+        let mut b = ProgramBuilder::new();
+        let f = b.add_meta("f", 8);
+        b.set_resubmit_limit(1);
+        let t = b.add_table(TableSpec::ternary("always", vec![f], 4), 0);
+        b.add_ternary_entry(t, vec![Ternary::ANY], 0, Action::new("r").with(Primitive::Resubmit))
+            .unwrap();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        let phv = pipe.program().layout().new_phv();
+        // PHV-only passes have no wire length: nothing to charge.
+        pipe.process_phv(phv, 0);
+        assert!(pipe.meters().resubmissions > 0);
+        assert_eq!(pipe.meters().resubmit_bytes, 0);
     }
 
     #[test]
@@ -484,5 +711,89 @@ mod tests {
         let out = pipe.process_phv(phv, 0);
         assert_eq!(out.phv.get(out_f), 7);
         assert_eq!(pipe.program().table(t).misses(), 1);
+    }
+
+    #[test]
+    fn process_frame_matches_process_packet() {
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let idx = b.add_meta("idx", 16);
+        let r = b.add_register(RegisterSpec::new("cnt", 32, 16), 0);
+        let t = b.add_table(TableSpec::exact("count", vec![fields.ip_proto], 4), 0);
+        b.add_exact_entry(
+            t,
+            vec![6],
+            Action::new("bump").with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Field(idx),
+                op: AluOp::Add,
+                operand: Source::Const(1),
+                out: None,
+            }),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let mut a = Pipeline::new(p.clone());
+        let mut bpipe = Pipeline::new(p);
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).payload(32).build();
+        for i in 0..6 {
+            let oa = a.process_packet(&frame, i, &fields).unwrap();
+            let ob = bpipe.process_frame(&frame, i, &fields).unwrap();
+            assert_eq!(oa.disposition, ob.disposition);
+            assert_eq!(oa.passes, ob.passes);
+        }
+        assert_eq!(a.meters(), bpipe.meters());
+        assert_eq!(a.registers()[0].read(0), bpipe.registers()[0].read(0));
+    }
+
+    #[test]
+    fn process_frame_recovers_from_parse_errors() {
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let p = b.build().unwrap();
+        let mut pipe = Pipeline::new(p);
+        assert!(pipe.process_frame(&[0u8; 5], 0, &fields).is_err());
+        // the scratch PHV survives the error and the next frame processes
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).build();
+        assert!(pipe.process_frame(&frame, 1, &fields).is_ok());
+        assert_eq!(pipe.meters().packets, 1);
+    }
+
+    #[test]
+    fn entrywalk_reference_matches_plan() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 16);
+        let out_f = b.add_meta("out", 16);
+        let r = b.add_register(RegisterSpec::new("acc", 16, 8), 0);
+        let t = b.add_table(TableSpec::ternary("t", vec![a], 8), 0);
+        b.add_ternary_entry(
+            t,
+            vec![Ternary::exact(3, 16)],
+            5,
+            Action::new("hit").with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Const(1),
+                op: AluOp::Add,
+                operand: Source::Field(a),
+                out: Some((out_f, AluOut::New)),
+            }),
+        )
+        .unwrap();
+        b.set_default(t, Action::new("miss").with(Primitive::set_const(out_f, 9)));
+        let p = b.build().unwrap();
+        let mut plan_pipe = Pipeline::new(p.clone());
+        let mut walk_pipe = Pipeline::new(p);
+        for v in [3u64, 4, 3, 0] {
+            let mut phv1 = plan_pipe.program().layout().new_phv();
+            phv1.set(a, v);
+            let phv2 = phv1.clone();
+            let o1 = plan_pipe.process_phv(phv1, v);
+            let o2 = walk_pipe.process_phv_entrywalk(phv2, v);
+            assert_eq!(o1.phv, o2.phv);
+            assert_eq!(o1.disposition, o2.disposition);
+        }
+        assert_eq!(plan_pipe.meters(), walk_pipe.meters());
+        assert_eq!(plan_pipe.registers()[0].read(1), walk_pipe.registers()[0].read(1));
+        assert_eq!(plan_pipe.program().table(t).misses(), walk_pipe.program().table(t).misses());
     }
 }

@@ -1,0 +1,231 @@
+//! The compiled execution plan: the per-packet schedule of a [`Program`],
+//! flattened once at pipeline instantiation so the hot path never touches
+//! the heap.
+//!
+//! A match-action program's schedule is fixed at compile time — the set of
+//! tables a packet visits, their order, and the action bound to every entry
+//! never change while the pipeline runs (pForest makes the same
+//! observation for P4 programs; NeuroCuts for software classifiers). The
+//! interpreter used to re-discover that schedule per packet: it cloned each
+//! stage's table-id vector and heap-cloned an [`Action`] out of the matched
+//! entry on **every lookup of every packet**. [`ExecPlan`] hoists all of
+//! that to construction time:
+//!
+//! * the stage→table schedule flattens into a contiguous slab of
+//!   [`PlanSlot`]s walked by index;
+//! * every distinct action (entry actions and per-table defaults) is
+//!   interned once into an action arena and referenced by [`ActionId`];
+//! * per-slot entry→action maps live in one flat `entry_actions` slab
+//!   (slot offsets, no nested `Vec`s);
+//! * the PHV fields the `HashFlow` primitive needs are resolved from the
+//!   layout by name once, not per packet.
+//!
+//! The pipeline executes actions *by reference* into the arena with split
+//! borrows for the hit/miss counters, so the steady-state packet path
+//! performs zero heap allocations (verified by the counting-allocator
+//! harness in `splidt-bench`).
+
+use crate::action::Action;
+use crate::phv::FieldId;
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// Index of an interned action in an [`ExecPlan`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionId(u32);
+
+impl ActionId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One table application in the flattened schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanSlot {
+    /// Index of the table in the program's table list.
+    pub table: u32,
+    /// Interned id of the table's default (miss) action.
+    pub default_action: ActionId,
+    /// Offset of this slot's entry→action ids in the plan's flat
+    /// entry-action slab (resolved via [`ExecPlan::entry_action`]).
+    pub entries_start: u32,
+    /// Number of entry→action ids (== the table's installed entry count).
+    pub entries_len: u32,
+}
+
+/// Pre-resolved PHV field ids for the `HashFlow` primitive (the canonical
+/// 5-tuple). `None` when the program's layout lacks the standard fields —
+/// legal as long as no `HashFlow` action ever executes.
+#[derive(Debug, Clone, Copy)]
+pub struct HashFlowFields {
+    /// `ipv4.src`.
+    pub src_ip: FieldId,
+    /// `ipv4.dst`.
+    pub dst_ip: FieldId,
+    /// `l4.sport`.
+    pub sport: FieldId,
+    /// `l4.dport`.
+    pub dport: FieldId,
+    /// `ipv4.proto`.
+    pub proto: FieldId,
+}
+
+/// A compiled, immutable execution schedule for one [`Program`].
+///
+/// Built once by [`ExecPlan::build`] (the pipeline does this at
+/// instantiation); thereafter the packet loop only indexes into it.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    slots: Vec<PlanSlot>,
+    entry_actions: Vec<ActionId>,
+    actions: Vec<Action>,
+    hash_flow: Option<HashFlowFields>,
+    max_key_fields: usize,
+}
+
+impl ExecPlan {
+    /// Flattens `program`'s stage→table schedule and interns every action.
+    pub fn build(program: &Program) -> Self {
+        let mut actions: Vec<Action> = Vec::new();
+        let mut entry_actions: Vec<ActionId> = Vec::new();
+        let mut slots: Vec<PlanSlot> = Vec::new();
+        // Structural interning: identical actions (compilers emit the same
+        // action under thousands of expanded ternary keys) share one arena
+        // entry.
+        let mut interned: HashMap<Action, ActionId> = HashMap::new();
+        let mut intern = |a: &Action, actions: &mut Vec<Action>| -> ActionId {
+            *interned.entry(a.clone()).or_insert_with(|| {
+                actions.push(a.clone());
+                ActionId(actions.len() as u32 - 1)
+            })
+        };
+        let mut max_key_fields = 0usize;
+        for stage in program.stages() {
+            for &tid in &stage.tables {
+                let table = program.table(tid);
+                max_key_fields = max_key_fields.max(table.spec().key.len());
+                let entries_start = entry_actions.len() as u32;
+                for e in table.entries() {
+                    let id = intern(&e.action, &mut actions);
+                    entry_actions.push(id);
+                }
+                slots.push(PlanSlot {
+                    table: tid.index() as u32,
+                    default_action: intern(table.default_action(), &mut actions),
+                    entries_start,
+                    entries_len: table.n_entries() as u32,
+                });
+            }
+        }
+        let layout = program.layout();
+        let hash_flow = match (
+            layout.by_name("ipv4.src"),
+            layout.by_name("ipv4.dst"),
+            layout.by_name("l4.sport"),
+            layout.by_name("l4.dport"),
+            layout.by_name("ipv4.proto"),
+        ) {
+            (Some(src_ip), Some(dst_ip), Some(sport), Some(dport), Some(proto)) => {
+                Some(HashFlowFields { src_ip, dst_ip, sport, dport, proto })
+            }
+            _ => None,
+        };
+        Self { slots, entry_actions, actions, hash_flow, max_key_fields }
+    }
+
+    /// The flattened schedule, in execution order.
+    pub fn slots(&self) -> &[PlanSlot] {
+        &self.slots
+    }
+
+    /// The interned action arena.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// An interned action by id.
+    pub fn action(&self, id: ActionId) -> &Action {
+        &self.actions[id.index()]
+    }
+
+    /// The action bound to entry `entry` of slot `slot`.
+    pub fn entry_action(&self, slot: &PlanSlot, entry: usize) -> ActionId {
+        debug_assert!(entry < slot.entries_len as usize);
+        self.entry_actions[slot.entries_start as usize + entry]
+    }
+
+    /// Pre-resolved `HashFlow` fields (if the layout carries them).
+    pub fn hash_flow(&self) -> Option<HashFlowFields> {
+        self.hash_flow
+    }
+
+    /// Widest table key (fields) in the schedule — the capacity the
+    /// pipeline's reusable key scratch buffer needs.
+    pub fn max_key_fields(&self) -> usize {
+        self.max_key_fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Primitive;
+    use crate::program::ProgramBuilder;
+    use crate::table::TableSpec;
+
+    #[test]
+    fn flattens_schedule_in_stage_order() {
+        let mut b = ProgramBuilder::new();
+        let f = b.add_meta("f", 8);
+        let t1 = b.add_table(TableSpec::exact("later", vec![f], 4), 1);
+        let t0 = b.add_table(TableSpec::exact("earlier", vec![f], 4), 0);
+        b.add_exact_entry(t0, vec![1], Action::new("a")).unwrap();
+        b.add_exact_entry(t1, vec![2], Action::new("b")).unwrap();
+        let p = b.build().unwrap();
+        let plan = ExecPlan::build(&p);
+        // stage 0's table first even though it was declared second
+        assert_eq!(plan.slots().len(), 2);
+        assert_eq!(plan.slots()[0].table as usize, t0.index());
+        assert_eq!(plan.slots()[1].table as usize, t1.index());
+        assert_eq!(plan.max_key_fields(), 1);
+    }
+
+    #[test]
+    fn interns_identical_actions_once() {
+        let mut b = ProgramBuilder::new();
+        let f = b.add_meta("f", 8);
+        let out = b.add_meta("out", 8);
+        let t = b.add_table(TableSpec::exact("t", vec![f], 8), 0);
+        // Three entries sharing one structurally identical action.
+        for v in 0..3 {
+            b.add_exact_entry(t, vec![v], Action::new("same").with(Primitive::set_const(out, 7)))
+                .unwrap();
+        }
+        let p = b.build().unwrap();
+        let plan = ExecPlan::build(&p);
+        let slot = plan.slots()[0];
+        let first = plan.entry_action(&slot, 0);
+        assert_eq!(plan.entry_action(&slot, 1), first);
+        assert_eq!(plan.entry_action(&slot, 2), first);
+        // arena: the shared action + the nop default
+        assert_eq!(plan.actions().len(), 2);
+    }
+
+    #[test]
+    fn resolves_hash_flow_fields_only_with_standard_layout() {
+        let mut b = ProgramBuilder::new();
+        b.add_meta("f", 8);
+        let plain = ExecPlan::build(&b.build().unwrap());
+        assert!(plain.hash_flow().is_none());
+
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let p = b.build().unwrap();
+        let std_plan = ExecPlan::build(&p);
+        let hf = std_plan.hash_flow().expect("standard fields resolve");
+        assert_eq!(hf.src_ip, fields.ipv4_src);
+        assert_eq!(hf.proto, fields.ip_proto);
+    }
+}

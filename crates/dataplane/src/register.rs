@@ -132,7 +132,7 @@ impl RegisterArray {
 }
 
 /// The stateful-ALU operation applied on a register visit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RegAluOp {
     /// Read without modifying.
     Read,

@@ -217,16 +217,27 @@ impl Table {
 
     /// Looks up the PHV; returns the matched entry index (for hit counting)
     /// or `None` on miss. Does **not** bump counters — the pipeline does,
-    /// so read-only lookups stay cheap.
+    /// so read-only lookups stay cheap. Allocates a key buffer per call;
+    /// hot loops use [`Table::lookup_into`] with a reusable buffer.
     pub fn lookup(&self, phv: &Phv) -> Option<usize> {
-        let key_vals: Vec<u64> = self.spec.key.iter().map(|&f| phv.get(f)).collect();
+        let mut key_vals = Vec::with_capacity(self.spec.key.len());
+        self.lookup_into(phv, &mut key_vals)
+    }
+
+    /// Allocation-free lookup: the key is materialized into `key_scratch`
+    /// (cleared first), so a caller-held buffer is reused across lookups.
+    /// Semantics are identical to [`Table::lookup`].
+    pub fn lookup_into(&self, phv: &Phv, key_scratch: &mut Vec<u64>) -> Option<usize> {
+        key_scratch.clear();
+        key_scratch.extend(self.spec.key.iter().map(|&f| phv.get(f)));
+        let key_vals: &[u64] = key_scratch;
         match self.spec.kind {
-            MatchKind::Exact => self.exact_index.get(&key_vals).copied(),
+            MatchKind::Exact => self.exact_index.get(key_vals).copied(),
             MatchKind::Ternary => {
                 let mut best: Option<(u32, usize)> = None;
                 for (i, e) in self.entries.iter().enumerate() {
                     if let EntryKey::Ternary { fields, priority } = &e.key {
-                        if fields.iter().zip(&key_vals).all(|(t, &v)| t.matches(v)) {
+                        if fields.iter().zip(key_vals).all(|(t, &v)| t.matches(v)) {
                             let better = match best {
                                 None => true,
                                 Some((bp, _)) => *priority > bp,
@@ -243,7 +254,7 @@ impl Table {
                 let mut best: Option<(u32, usize)> = None;
                 for (i, e) in self.entries.iter().enumerate() {
                     if let EntryKey::Range { fields, priority } = &e.key {
-                        if fields.iter().zip(&key_vals).all(|(&(lo, hi), &v)| lo <= v && v <= hi) {
+                        if fields.iter().zip(key_vals).all(|(&(lo, hi), &v)| lo <= v && v <= hi) {
                             let better = match best {
                                 None => true,
                                 Some((bp, _)) => *priority > bp,

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Diffs two hot-path result files (the flat JSON `hotpath_smoke` emits)
+# and fails when throughput regressed past the threshold — the local
+# pre-push twin of CI's bench-smoke gate.
+#
+# Usage:
+#   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
+#
+# Typical flow:
+#   cargo run --release -p splidt-bench --bin hotpath_smoke -- --out /tmp/before.json
+#   ... hack on the hot path ...
+#   cargo run --release -p splidt-bench --bin hotpath_smoke -- --out /tmp/after.json
+#   scripts/bench_diff.sh /tmp/before.json /tmp/after.json
+#
+# (With the real criterion crate installed, `cargo bench --bench hotpath
+# -- --save-baseline main` / `-- --baseline main` gives per-benchmark
+# statistical comparisons; the in-tree shim has no baseline store, so this
+# script compares the smoke bin's JSON instead.)
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [max_drop_pct]" >&2
+    exit 64
+fi
+
+baseline=$1
+candidate=$2
+max_drop=${3:-15}
+
+metric() { # metric FILE KEY
+    awk -v key="\"$2\":" '
+        index($0, key) {
+            sub(".*" key "[ \t]*", "");
+            sub("[,}].*", "");
+            print $0; exit
+        }' "$1"
+}
+
+for f in "$baseline" "$candidate"; do
+    [ -r "$f" ] || { echo "cannot read $f" >&2; exit 66; }
+    [ -n "$(metric "$f" pps)" ] || { echo "no pps metric in $f" >&2; exit 65; }
+done
+
+printf '%-28s %14s %14s %9s\n' metric baseline candidate delta%
+fail=0
+for key in pps allocs_per_packet hot_loop_allocs_per_packet; do
+    b=$(metric "$baseline" "$key")
+    c=$(metric "$candidate" "$key")
+    [ -n "$b" ] && [ -n "$c" ] || continue
+    delta=$(awk -v b="$b" -v c="$c" 'BEGIN { if (b == 0) print "n/a"; else printf "%+.1f", (c - b) / b * 100 }')
+    printf '%-28s %14s %14s %9s\n' "$key" "$b" "$c" "$delta"
+done
+
+pps_ok=$(awk -v b="$(metric "$baseline" pps)" -v c="$(metric "$candidate" pps)" -v m="$max_drop" \
+    'BEGIN { print (c >= b * (1 - m / 100)) ? 1 : 0 }')
+if [ "$pps_ok" != 1 ]; then
+    echo "FAIL: pps dropped more than ${max_drop}% vs baseline" >&2
+    fail=1
+fi
+
+hot=$(metric "$candidate" hot_loop_allocs_per_packet)
+if [ -n "$hot" ]; then
+    hot_ok=$(awk -v h="$hot" 'BEGIN { print (h == 0) ? 1 : 0 }')
+    if [ "$hot_ok" != 1 ]; then
+        echo "FAIL: steady-state hot loop allocates ($hot allocs/packet)" >&2
+        fail=1
+    fi
+fi
+
+exit $fail

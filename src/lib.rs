@@ -11,12 +11,12 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`core`](splidt_core) | the partitioned model, Algorithm-1 training, pipeline compiler, the streaming [`engine`], resource models, baselines |
-//! | [`dataplane`](splidt_dataplane) | Tofino1-class RMT pipeline simulator |
-//! | [`flow`](splidt_flow) | traffic substrate: flows, window features, D1–D7 dataset analogs, datacenter workloads |
-//! | [`dt`](splidt_dt) | decision trees (CART with feature budgets), forests, metrics |
-//! | [`ranging`](splidt_ranging) | the Range-Marking TCAM encoding |
-//! | [`search`](splidt_search) | multi-objective Bayesian-optimization design search |
+//! | [`core`] | the partitioned model, Algorithm-1 training, pipeline compiler, the streaming [`engine`], resource models, baselines |
+//! | [`dataplane`] | Tofino1-class RMT pipeline simulator |
+//! | [`flow`] | traffic substrate: flows, window features, D1–D7 dataset analogs, datacenter workloads |
+//! | [`dt`] | decision trees (CART with feature budgets), forests, metrics |
+//! | [`ranging`] | the Range-Marking TCAM encoding |
+//! | [`search`] | multi-objective Bayesian-optimization design search |
 //!
 //! ## Quickstart
 //!
@@ -72,7 +72,7 @@ pub mod prelude {
         Ideal, Leo, LeoParams, NetBeacon, NetBeaconParams, PerPacket,
     };
     pub use splidt_core::engine::{
-        Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
+        BatchReport, Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
     };
     pub use splidt_core::{
         compile, evaluate_partitioned, max_flows, model_rules, run_flows, splidt_footprint,

@@ -112,6 +112,85 @@ fn streaming_ingest_equals_batch_run() {
     assert_eq!(batch_report.meters, stream_report.meters);
 }
 
+/// `ingest_batch` is observationally identical to per-frame `ingest` —
+/// same meters, same collated digests, same final report — while draining
+/// digests once per batch on the allocation-free pipeline path.
+#[test]
+fn ingest_batch_equals_per_frame_ingest() {
+    let (model, test_flows) = model_and_flows(210, 45);
+    let build = || EngineBuilder::new(&model).stagger_us(2_000).build().unwrap();
+
+    // Schedule identically on both engines.
+    let mut per_frame = build();
+    let mut batched = build();
+    let mut events: Vec<(u64, usize, usize)> = Vec::new();
+    let mut kept: Vec<&FlowTrace> = Vec::new();
+    for f in &test_flows {
+        let a = per_frame.admit(f);
+        let b = batched.admit(f);
+        assert_eq!(a, b);
+        if let Some(a) = a {
+            kept.push(f);
+            let idx = kept.len() - 1;
+            for (j, p) in f.packets.iter().enumerate() {
+                events.push((a.base_us + p.ts_us, idx, j));
+            }
+        }
+    }
+    events.sort_unstable();
+    let frames: Vec<(Vec<u8>, u64)> =
+        events.iter().map(|&(ts, i, j)| (Engine::frame_for(kept[i], j), ts)).collect();
+
+    for (frame, ts) in &frames {
+        per_frame.ingest(frame, *ts).unwrap();
+    }
+    let batch = batched.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).unwrap();
+
+    assert_eq!(batch.packets as usize, frames.len());
+    assert_eq!(batch.digests.len() as u64, batched.meters().digests);
+    assert_eq!(per_frame.meters(), batched.meters());
+    assert_eq!(per_frame.report().flows, batched.report().flows);
+}
+
+/// Sharded batch ingest routes every frame to the shard its flow hashes
+/// to and produces the same aggregate state as a single-shard engine.
+#[test]
+fn sharded_ingest_batch_matches_single() {
+    let (model, test_flows) = model_and_flows(220, 55);
+    let mut single = EngineBuilder::new(&model).build().unwrap();
+    let mut frames: Vec<(Vec<u8>, u64)> = Vec::new();
+    for f in &test_flows {
+        if let Some(a) = single.admit(f) {
+            for (j, p) in f.packets.iter().enumerate() {
+                frames.push((Engine::frame_for(f, j), a.base_us + p.ts_us));
+            }
+        }
+    }
+    frames.sort_by_key(|&(_, ts)| ts);
+    let single_batch =
+        single.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).unwrap();
+
+    let mut sharded = EngineBuilder::new(&model).build_sharded(4).unwrap();
+    let sharded_batch = sharded.ingest_batch(&frames).unwrap();
+
+    assert_eq!(single_batch.packets, sharded_batch.packets);
+    assert_eq!(single_batch.drops, sharded_batch.drops);
+    // Digest contents (slots, classes, timestamps) must match, not just
+    // the count — a shard-routing bug would corrupt values first. Order
+    // differs across shards, so compare as sorted multisets.
+    let digest_key = |d: &splidt::dataplane::Digest| (d.ts_us, d.values.clone());
+    let mut single_digests: Vec<_> = single_batch.digests.iter().map(digest_key).collect();
+    let mut sharded_digests: Vec<_> = sharded_batch.digests.iter().map(digest_key).collect();
+    single_digests.sort();
+    sharded_digests.sort();
+    assert_eq!(single_digests, sharded_digests);
+    let mut merged = splidt::dataplane::Meters::default();
+    for m in sharded.shard_meters() {
+        merged.merge(m);
+    }
+    assert_eq!(&merged, single.meters());
+}
+
 /// A reset engine reuses its compiled program and reproduces the run.
 #[test]
 fn reset_reuses_compilation() {

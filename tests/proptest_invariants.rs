@@ -1,9 +1,123 @@
 //! Property-based tests over the reproduction's core invariants.
 
 use proptest::prelude::*;
+use splidt::dataplane::action::{Action, AluOp, AluOut, Primitive, Source};
+use splidt::dataplane::phv::FieldId;
+use splidt::dataplane::pipeline::Pipeline;
+use splidt::dataplane::program::{Program, ProgramBuilder};
+use splidt::dataplane::register::RegisterSpec;
+use splidt::dataplane::table::TableSpec;
+use splidt::dataplane::tcam::Ternary;
 use splidt::dt::{train_classifier, Dataset, TrainParams};
 use splidt::flow::window_bounds;
 use splidt::ranging::{generate_rules, range_to_prefixes, ThermometerEncoder};
+
+/// Builds a random small pipeline program: 1–3 stages, 1–2 tables per
+/// stage (exact or ternary), one register per stage, and entries whose
+/// actions draw from the full primitive set (arithmetic, register RMW,
+/// digest, resubmit, drop). Returns the program and its metadata fields.
+fn random_program(rng: &mut rand::rngs::SmallRng) -> (Program, Vec<FieldId>) {
+    use rand::Rng;
+    let mut b = ProgramBuilder::new();
+    let widths = [8u8, 16, 16];
+    let fields: Vec<FieldId> =
+        widths.iter().enumerate().map(|(i, &w)| b.add_meta(format!("f{i}"), w)).collect();
+    b.set_digest_fields(vec![fields[0], fields[1]]);
+    b.set_resubmit_limit(3);
+    let n_stages = rng.random_range(1usize..4);
+    let regs: Vec<_> = (0..n_stages)
+        .map(|s| b.add_register(RegisterSpec::new(format!("r{s}"), 16, 16), s))
+        .collect();
+
+    let random_action = |rng: &mut rand::rngs::SmallRng, stage: usize| -> Action {
+        let mut a = Action::new("a");
+        for _ in 0..rng.random_range(0usize..4) {
+            let dst = fields[rng.random_range(0usize..fields.len())];
+            let src = |rng: &mut rand::rngs::SmallRng| {
+                if rng.random::<bool>() {
+                    Source::Const(rng.random_range(0u64..64))
+                } else {
+                    Source::Field(fields[rng.random_range(0usize..fields.len())])
+                }
+            };
+            let p = match rng.random_range(0u8..10) {
+                0 => Primitive::Set { dst, src: src(rng) },
+                1 => Primitive::Add { dst, a: src(rng), b: src(rng) },
+                2 => Primitive::Sub { dst, a: src(rng), b: src(rng) },
+                3 => Primitive::Min { dst, a: src(rng), b: src(rng) },
+                4 => Primitive::Max { dst, a: src(rng), b: src(rng) },
+                5 => Primitive::DivConst { dst, a: src(rng), divisor: rng.random_range(1u64..8) },
+                6 | 7 => Primitive::RegRmw {
+                    reg: regs[stage],
+                    index: Source::Const(rng.random_range(0u64..16)),
+                    op: [AluOp::Add, AluOp::Write, AluOp::Max, AluOp::Read]
+                        [rng.random_range(0usize..4)],
+                    operand: src(rng),
+                    out: if rng.random::<bool>() {
+                        Some((dst, if rng.random::<bool>() { AluOut::Old } else { AluOut::New }))
+                    } else {
+                        None
+                    },
+                },
+                8 => Primitive::Digest,
+                _ => {
+                    if rng.random_range(0u8..4) == 0 {
+                        Primitive::Drop
+                    } else {
+                        Primitive::Resubmit
+                    }
+                }
+            };
+            a = a.with(p);
+        }
+        a
+    };
+
+    for stage in 0..n_stages {
+        for t in 0..rng.random_range(1usize..3) {
+            let key: Vec<FieldId> = (0..rng.random_range(1usize..3))
+                .map(|_| fields[rng.random_range(0usize..fields.len())])
+                .collect();
+            let n_entries = rng.random_range(1usize..4);
+            if rng.random::<bool>() {
+                let tid =
+                    b.add_table(TableSpec::exact(format!("e{stage}_{t}"), key.clone(), 8), stage);
+                for _ in 0..n_entries {
+                    let vals: Vec<u64> = key.iter().map(|_| rng.random_range(0u64..4)).collect();
+                    let action = random_action(rng, stage);
+                    b.add_exact_entry(tid, vals, action).unwrap();
+                }
+                if rng.random::<bool>() {
+                    let d = random_action(rng, stage);
+                    b.set_default(tid, d);
+                }
+            } else {
+                let tid =
+                    b.add_table(TableSpec::ternary(format!("t{stage}_{t}"), key.clone(), 8), stage);
+                for _ in 0..n_entries {
+                    let pats: Vec<Ternary> = key
+                        .iter()
+                        .map(|_| {
+                            if rng.random::<bool>() {
+                                Ternary::ANY
+                            } else {
+                                Ternary::exact(rng.random_range(0u64..4), 8)
+                            }
+                        })
+                        .collect();
+                    let prio = rng.random_range(0u32..10);
+                    let action = random_action(rng, stage);
+                    b.add_ternary_entry(tid, pats, prio, action).unwrap();
+                }
+                if rng.random::<bool>() {
+                    let d = random_action(rng, stage);
+                    b.set_default(tid, d);
+                }
+            }
+        }
+    }
+    (b.build().unwrap(), fields)
+}
 
 proptest! {
     /// Prefix covers are exact and disjoint for arbitrary ranges.
@@ -56,6 +170,44 @@ proptest! {
             let probe: Vec<f32> = (0..4).map(|_| rng.random_range(0..(1 << 20)) as f32).collect();
             prop_assert_eq!(rules.classify(&probe), Some(tree.predict(&probe)));
         }
+    }
+
+    /// Plan-driven execution is observationally identical to the
+    /// entry-walking reference interpreter: for random small programs and
+    /// random packet sequences, both produce the same dispositions, pass
+    /// counts, final PHVs, digests, meters, register contents, and table
+    /// hit/miss statistics.
+    #[test]
+    fn plan_execution_equals_entrywalk(seed in 0u64..400) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (program, fields) = random_program(&mut rng);
+        let mut plan_pipe = Pipeline::new(program.clone());
+        let mut walk_pipe = Pipeline::new(program);
+        for n in 0..rng.random_range(4usize..14) {
+            let mut phv = plan_pipe.program().layout().new_phv();
+            for &f in &fields {
+                phv.set(f, rng.random_range(0u64..6));
+            }
+            let ts = n as u64 * 10;
+            let a = plan_pipe.process_phv(phv.clone(), ts);
+            let b = walk_pipe.process_phv_entrywalk(phv, ts);
+            prop_assert_eq!(a.disposition, b.disposition, "seed {} packet {}", seed, n);
+            prop_assert_eq!(a.passes, b.passes, "seed {} packet {}", seed, n);
+            prop_assert_eq!(a.phv, b.phv, "seed {} packet {}", seed, n);
+        }
+        prop_assert_eq!(plan_pipe.meters(), walk_pipe.meters());
+        prop_assert_eq!(plan_pipe.digests(), walk_pipe.digests());
+        prop_assert_eq!(
+            format!("{:?}", plan_pipe.registers()),
+            format!("{:?}", walk_pipe.registers())
+        );
+        // table statistics (hits per entry, misses per table)
+        prop_assert_eq!(
+            format!("{:?}", plan_pipe.program().tables()),
+            format!("{:?}", walk_pipe.program().tables())
+        );
     }
 
     /// Window bounds partition every flow for every partition count.
