@@ -1,0 +1,32 @@
+//! Table-lookup microbenchmark: the compiled `MatchIndex` vs the linear
+//! reference scan, swept over entry counts {16, 256, 4096} for every
+//! match kind. Element throughput is probes (lookups) per second.
+//!
+//! The CI twin (`lookup_smoke`) runs the same harness, writes
+//! `BENCH_lookup.json`, and enforces the ≥5× floor for ternary/range at
+//! 4096 entries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use splidt_bench::lookup::{build_case, indexed_pass, kind_tag, linear_pass, PROBES, SWEEP_SIZES};
+use splidt_dataplane::table::MatchKind;
+
+fn bench_lookup(c: &mut Criterion) {
+    for kind in [MatchKind::Exact, MatchKind::Ternary, MatchKind::Range] {
+        let mut group = c.benchmark_group(format!("lookup/{}", kind_tag(kind)));
+        group.throughput(Throughput::Elements(PROBES as u64));
+        for n in SWEEP_SIZES {
+            let case = build_case(kind, n, 42);
+            let mut scratch = Vec::new();
+            group.bench_with_input(BenchmarkId::new("indexed", n), &case, |b, case| {
+                b.iter(|| indexed_pass(case, &mut scratch))
+            });
+            group.bench_with_input(BenchmarkId::new("linear", n), &case, |b, case| {
+                b.iter(|| linear_pass(case))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -15,7 +15,8 @@
 //! Locally, diff two result files with `scripts/bench_diff.sh`.
 
 use splidt_bench::hotpath::{
-    fixture, measure_engine_throughput, probe_hot_loop_allocs, read_metric, write_json,
+    fixture, measure_engine_throughput, probe_digest_ring_allocs, probe_hot_loop_allocs,
+    read_metric, write_json,
 };
 use splidt_bench::CountingAlloc;
 
@@ -63,11 +64,23 @@ fn main() {
          ({hot_per_packet:.6}/packet)"
     );
 
+    // 1b. The digest-ring probe: a steady-state loop in which **every**
+    //     packet emits a digest (disposed per batch) must not touch the
+    //     heap either — the flat DigestBuf ring replaced the per-event
+    //     Vec allocation.
+    let ring_allocs = probe_digest_ring_allocs(PROBE_PACKETS);
+    let ring_per_packet = ring_allocs as f64 / PROBE_PACKETS as f64;
+    println!(
+        "digest-ring probe: {ring_allocs} allocations over {PROBE_PACKETS} digest-emitting \
+         packets ({ring_per_packet:.6}/packet)"
+    );
+
     // 2. Fixed-seed end-to-end throughput through the engine batch path.
     let (model, frames) = fixture();
     let mut engine = splidt_bench::hotpath::engine_for(&model);
     let mut stats = measure_engine_throughput(&mut engine, &frames, args.seconds);
     stats.hot_loop_allocs_per_packet = hot_per_packet;
+    stats.digest_ring_allocs_per_packet = ring_per_packet;
     println!(
         "throughput: {:.0} packets/sec ({} packets in {:.2}s), {:.4} allocs/packet \
          (boundary digests included)",
@@ -79,6 +92,10 @@ fn main() {
 
     if hot_allocs != 0 {
         eprintln!("FAIL: steady-state hot loop allocated ({hot_allocs} allocations)");
+        std::process::exit(2);
+    }
+    if ring_allocs != 0 {
+        eprintln!("FAIL: digest-emitting steady state allocated ({ring_allocs} allocations)");
         std::process::exit(2);
     }
 

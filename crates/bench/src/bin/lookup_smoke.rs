@@ -1,0 +1,79 @@
+//! CI lookup-bench smoke: runs the {16, 256, 4096} × {Exact, Ternary,
+//! Range} indexed-vs-linear sweep, writes `BENCH_lookup.json`, and
+//! enforces the acceptance floor — indexed Ternary and Range lookup must
+//! beat the linear oracle by at least `--min-speedup` (default 5×) at
+//! 4096 entries.
+//!
+//! ```text
+//! lookup_smoke [--out BENCH_lookup.json] [--seconds 0.2] [--min-speedup 5]
+//! ```
+//!
+//! Exit codes: `0` ok · `1` the speedup floor was missed. (Equivalence
+//! between the two paths is asserted inside the harness before timing.)
+
+use splidt_bench::lookup::{kind_tag, sweep, write_json, SWEEP_SIZES};
+use splidt_dataplane::table::MatchKind;
+
+struct Args {
+    out: String,
+    seconds: f64,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_lookup.json".into(), seconds: 0.2, min_speedup: 5.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = val("--out"),
+            "--seconds" => args.seconds = val("--seconds").parse().expect("numeric seconds"),
+            "--min-speedup" => {
+                args.min_speedup = val("--min-speedup").parse().expect("numeric ratio")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let stats = sweep(42, args.seconds);
+
+    println!("{:<16} {:>14} {:>14} {:>9}", "case", "indexed l/s", "linear l/s", "speedup");
+    for s in &stats {
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>8.1}x",
+            format!("{}/{}", kind_tag(s.kind), s.n_entries),
+            s.indexed_lps,
+            s.linear_lps,
+            s.speedup()
+        );
+    }
+
+    write_json(&args.out, &stats).expect("writes results json");
+    println!("wrote {}", args.out);
+
+    let top = *SWEEP_SIZES.last().expect("sweep sizes");
+    let mut fail = false;
+    for kind in [MatchKind::Ternary, MatchKind::Range] {
+        let s = stats
+            .iter()
+            .find(|s| s.kind == kind && s.n_entries == top)
+            .expect("swept case present");
+        if s.speedup() < args.min_speedup {
+            eprintln!(
+                "FAIL: {}/{top} indexed speedup {:.1}x is below the {:.0}x floor",
+                kind_tag(kind),
+                s.speedup(),
+                args.min_speedup
+            );
+            fail = true;
+        }
+    }
+    if fail {
+        std::process::exit(1);
+    }
+    println!("speedup floor met (>= {:.0}x at {top} entries)", args.min_speedup);
+}

@@ -9,6 +9,7 @@
 
 pub mod alloc_count;
 pub mod hotpath;
+pub mod lookup;
 
 pub use alloc_count::{allocation_count, CountingAlloc};
 

@@ -1,0 +1,270 @@
+//! The table-lookup measurement harness: deterministic synthetic tables
+//! at swept entry counts, measured through both the compiled
+//! [`MatchIndex`] and the linear reference scan — shared by the `lookup`
+//! criterion bench and the `lookup_smoke` CI binary (which writes
+//! `BENCH_lookup.json` and enforces the indexed-vs-linear speedup floor).
+//!
+//! Table shapes follow what SpliDT's compiler actually emits:
+//!
+//! * **Exact** — 2-field keys (subtree id × feature value), the shape of
+//!   the feature load tables;
+//! * **Ternary** — subtree-id exact bits crossed with prefix expansions
+//!   of random value ranges (`splidt_ranging::range_to_prefixes`), the
+//!   shape of the keygen/model TCAM tables, priorities descending with
+//!   prefix specificity;
+//! * **Range** — 2-field interval boxes with random priorities, the
+//!   range-capable-TCAM variant.
+//!
+//! Probe keys mix values drawn from installed entries (hits) with
+//! uniform draws (mostly misses), so both early-exit and full-scan
+//! behavior are represented.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use splidt_dataplane::action::Action;
+use splidt_dataplane::index::MatchIndex;
+use splidt_dataplane::phv::PhvLayout;
+use splidt_dataplane::table::{EntryKey, MatchKind, Table, TableSpec};
+use splidt_dataplane::tcam::Ternary;
+use splidt_ranging::range_to_prefixes;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Entry counts every kind is swept at.
+pub const SWEEP_SIZES: [usize; 3] = [16, 256, 4096];
+
+/// Probe keys per measured pass.
+pub const PROBES: usize = 512;
+
+/// One prepared measurement case: a populated table, its compiled index,
+/// and a flat probe-key stream (`n_fields` values per probe).
+pub struct LookupCase {
+    /// Match kind under test.
+    pub kind: MatchKind,
+    /// Installed entry count.
+    pub n_entries: usize,
+    /// The populated table (linear oracle side).
+    pub table: Table,
+    /// The compiled index (hot-path side).
+    pub index: MatchIndex,
+    /// Flat probe keys, `n_fields` per probe.
+    pub keys: Vec<u64>,
+    /// Key width in fields.
+    pub n_fields: usize,
+}
+
+/// Measured lookups/sec for one case, indexed vs linear.
+#[derive(Debug, Clone, Copy)]
+pub struct LookupStats {
+    /// Match kind under test.
+    pub kind: MatchKind,
+    /// Installed entry count.
+    pub n_entries: usize,
+    /// Lookups/sec through the compiled index.
+    pub indexed_lps: f64,
+    /// Lookups/sec through the linear reference scan.
+    pub linear_lps: f64,
+}
+
+impl LookupStats {
+    /// Indexed-over-linear throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.indexed_lps / self.linear_lps
+    }
+}
+
+/// Lowercase kind tag used in JSON keys and bench ids.
+pub fn kind_tag(kind: MatchKind) -> &'static str {
+    match kind {
+        MatchKind::Exact => "exact",
+        MatchKind::Ternary => "ternary",
+        MatchKind::Range => "range",
+    }
+}
+
+fn two_field_layout() -> PhvLayout {
+    let mut l = PhvLayout::new();
+    l.add_field("k0", 16);
+    l.add_field("k1", 32);
+    l
+}
+
+/// Builds the deterministic case for `(kind, n_entries)`.
+pub fn build_case(kind: MatchKind, n_entries: usize, seed: u64) -> LookupCase {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (n_entries as u64) << 8);
+    let layout = two_field_layout();
+    let f0 = layout.by_name("k0").expect("k0");
+    let f1 = layout.by_name("k1").expect("k1");
+    let key = vec![f0, f1];
+    let n_fields = key.len();
+    let mut table = Table::new(TableSpec {
+        name: format!("{}_{n_entries}", kind_tag(kind)),
+        kind,
+        key,
+        max_entries: n_entries,
+    });
+
+    match kind {
+        MatchKind::Exact => {
+            while table.n_entries() < n_entries {
+                let k = vec![rng.random_range(0u64..1 << 16), rng.random_range(0u64..1 << 32)];
+                // Colliding draws are rejected (DuplicateKey) — retry.
+                let _ = table.install(EntryKey::Exact(k), Action::new("e"));
+            }
+        }
+        MatchKind::Ternary => {
+            // Subtree-id exact bits × prefix expansion of a random value
+            // range — what `range_to_prefixes` cross products produce.
+            'outer: loop {
+                let sid = rng.random_range(0u64..64);
+                let lo = rng.random_range(0u64..1 << 30);
+                let hi = (lo + rng.random_range(1u64..1 << 22)).min((1 << 32) - 1);
+                for p in range_to_prefixes(lo, hi, 32) {
+                    if table.n_entries() >= n_entries {
+                        break 'outer;
+                    }
+                    table
+                        .install(
+                            EntryKey::Ternary {
+                                fields: vec![
+                                    Ternary::exact(sid, 16),
+                                    Ternary::new(p.value, p.mask),
+                                ],
+                                priority: p.mask.count_ones(),
+                            },
+                            Action::new("e"),
+                        )
+                        .expect("installs");
+                }
+            }
+        }
+        MatchKind::Range => {
+            for _ in 0..n_entries {
+                let lo0 = rng.random_range(0u64..1 << 16);
+                let lo1 = rng.random_range(0u64..1 << 32);
+                table
+                    .install(
+                        EntryKey::Range {
+                            fields: vec![
+                                (lo0, (lo0 + rng.random_range(0u64..1 << 10)).min((1 << 16) - 1)),
+                                (lo1, (lo1 + rng.random_range(0u64..1 << 24)).min((1 << 32) - 1)),
+                            ],
+                            priority: rng.random_range(0u32..64),
+                        },
+                        Action::new("e"),
+                    )
+                    .expect("installs");
+            }
+        }
+    }
+
+    // Probe stream: half snapped to installed entries (hits), half
+    // uniform (mostly misses).
+    let mut keys = Vec::with_capacity(PROBES * n_fields);
+    for i in 0..PROBES {
+        if i % 2 == 0 && table.n_entries() > 0 {
+            let e = &table.entries()[rng.random_range(0..table.n_entries())];
+            match &e.key {
+                EntryKey::Exact(v) => keys.extend_from_slice(v),
+                EntryKey::Ternary { fields, .. } => {
+                    keys.extend(fields.iter().map(|t| t.value));
+                }
+                EntryKey::Range { fields, .. } => {
+                    keys.extend(fields.iter().map(|&(lo, hi)| rng.random_range(lo..=hi)));
+                }
+            }
+        } else {
+            keys.push(rng.random_range(0u64..1 << 16));
+            keys.push(rng.random_range(0u64..1 << 32));
+        }
+    }
+
+    let index = MatchIndex::build(&table);
+    LookupCase { kind, n_entries, table, index, keys, n_fields }
+}
+
+/// One indexed pass over the probe stream (returns a hit checksum so the
+/// work cannot be optimized out).
+pub fn indexed_pass(case: &LookupCase, scratch: &mut Vec<u64>) -> u64 {
+    let mut acc = 0u64;
+    for key in case.keys.chunks_exact(case.n_fields) {
+        if let Some(i) = case.index.lookup(key, scratch) {
+            acc = acc.wrapping_add(i as u64 + 1);
+        }
+    }
+    acc
+}
+
+/// One linear-oracle pass over the probe stream.
+pub fn linear_pass(case: &LookupCase) -> u64 {
+    let mut acc = 0u64;
+    for key in case.keys.chunks_exact(case.n_fields) {
+        if let Some(i) = case.table.lookup_linear_key(key) {
+            acc = acc.wrapping_add(i as u64 + 1);
+        }
+    }
+    acc
+}
+
+/// Measures one case: equal-work passes through both paths until
+/// `min_elapsed_s` each, after asserting the two paths agree on every
+/// probe (the in-harness equivalence check).
+pub fn measure_case(case: &LookupCase, min_elapsed_s: f64) -> LookupStats {
+    let mut scratch = Vec::new();
+    for key in case.keys.chunks_exact(case.n_fields) {
+        assert_eq!(
+            case.index.lookup(key, &mut scratch),
+            case.table.lookup_linear_key(key),
+            "index diverged from linear oracle on {key:?}"
+        );
+    }
+    let time = |mut pass: Box<dyn FnMut() -> u64>| -> f64 {
+        black_box(pass()); // warm-up
+        let start = Instant::now();
+        let mut lookups = 0u64;
+        loop {
+            black_box(pass());
+            lookups += PROBES as u64;
+            if start.elapsed().as_secs_f64() >= min_elapsed_s {
+                break;
+            }
+        }
+        lookups as f64 / start.elapsed().as_secs_f64()
+    };
+    let indexed_lps = time(Box::new(|| indexed_pass(case, &mut scratch)));
+    let linear_lps = time(Box::new(|| linear_pass(case)));
+    LookupStats { kind: case.kind, n_entries: case.n_entries, indexed_lps, linear_lps }
+}
+
+/// Runs the full {16, 256, 4096} × {Exact, Ternary, Range} sweep.
+pub fn sweep(seed: u64, min_elapsed_s: f64) -> Vec<LookupStats> {
+    let mut out = Vec::new();
+    for kind in [MatchKind::Exact, MatchKind::Ternary, MatchKind::Range] {
+        for n in SWEEP_SIZES {
+            let case = build_case(kind, n, seed);
+            out.push(measure_case(&case, min_elapsed_s));
+        }
+    }
+    out
+}
+
+/// Writes sweep results as the flat JSON `bench_diff.sh` and the CI
+/// artifact consume: `<kind>_<n>_{indexed_lps,linear_lps,speedup}` keys.
+pub fn write_json(path: &str, stats: &[LookupStats]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{\n  \"bench\": \"lookup\",")?;
+    for (i, s) in stats.iter().enumerate() {
+        let tag = format!("{}_{}", kind_tag(s.kind), s.n_entries);
+        let sep = if i + 1 == stats.len() { "" } else { "," };
+        writeln!(
+            f,
+            "  \"{tag}_indexed_lps\": {:.1},\n  \"{tag}_linear_lps\": {:.1},\n  \
+             \"{tag}_speedup\": {:.3}{sep}",
+            s.indexed_lps,
+            s.linear_lps,
+            s.speedup(),
+        )?;
+    }
+    writeln!(f, "}}")
+}

@@ -551,14 +551,31 @@ impl Engine {
 
     /// Drains digests off the pipeline, collating them by canonical
     /// register slot for scoring, and returns them to the caller.
+    /// Collation reads the pipeline's flat digest ring by reference; only
+    /// the returned owned records allocate (once per batch, never per
+    /// packet).
     pub fn drain_digests(&mut self) -> Vec<Digest> {
-        let digests = self.pipeline.take_digests();
-        for d in &digests {
+        for d in self.pipeline.digests().iter() {
             let slot = d.values[self.io.digest_flow_idx];
             let class = d.values[self.io.digest_class] as u16;
             self.collated.entry(slot).or_default().push((d.ts_us, class));
         }
-        digests
+        self.pipeline.take_digests()
+    }
+
+    /// Installs a rule into a table of the running pipeline (the
+    /// controller-style runtime update). The pipeline invalidates and
+    /// rebuilds its compiled execution plan — match indexes included —
+    /// so the next ingested packet sees the rule.
+    pub fn install_entry(
+        &mut self,
+        table: splidt_dataplane::table::TableId,
+        key: splidt_dataplane::table::EntryKey,
+        action: splidt_dataplane::Action,
+    ) -> Result<(), SplidtError> {
+        self.pipeline
+            .install_entry(table, key, action)
+            .map_err(|e| SplidtError::Compile(crate::compile::CompileError::Program(e.into())))
     }
 
     /// Scores the admitted flows against collected digests: per-flow

@@ -1,0 +1,720 @@
+//! Compiled per-table match indexes: sub-linear lookup structures built
+//! once by the [`ExecPlan`](crate::plan::ExecPlan) when the pipeline is
+//! instantiated.
+//!
+//! SpliDT's compiled programs lean on two table shapes whose reference
+//! lookup ([`Table::lookup_linear`]) is an O(n) scan over every installed
+//! entry: **Range** tables (feature thresholds → elementary ranges) and
+//! **Ternary** tables (range marks expanded via prefix cross products,
+//! hundreds-to-thousands of entries). A [`MatchIndex`] replaces that scan
+//! on the plan-driven hot path:
+//!
+//! * **Exact** — keys of ≤ 2 components pack into a `u128` hashed with
+//!   FxHash (one multiply per word, no per-process random state; table
+//!   contents are control-plane installed, so DoS-resistant hashing buys
+//!   nothing here). Wider keys keep a `Vec<u64>`-keyed map, still FxHash.
+//! * **Range** — decision-tree thresholds partition each field's domain,
+//!   so the index cuts every field into *elementary intervals* (reusing
+//!   `splidt_ranging::elementary_cuts`) resolved by binary search.
+//!   Single-field tables precompute the winning entry per interval —
+//!   lookup is one `partition_point`. Multi-field tables store a
+//!   fixed-width entry bitmask per interval; candidate sets intersect
+//!   with `u64` words and the lowest surviving bit is the winner.
+//! * **Ternary** — entries are ranked by descending priority (ties:
+//!   lowest install index) so a scan can exit on the first match. Tables
+//!   at or above [`TERNARY_FILTER_MIN`] entries additionally build
+//!   per-field bucketed bitmaps: the bits **all** non-wildcard patterns
+//!   care about (*exact-bits bucketing*) key a bucket map from masked
+//!   value to candidate bitmask, with fully-wildcard entries in an
+//!   always-on mask; per-field candidates intersect like the range index
+//!   and survivors are verified in rank order.
+//!
+//! Bit `r` of every bitmask is the entry of **rank** `r` (priority
+//! order), so the first set bit of an intersection is already the
+//! highest-priority survivor — no per-candidate priority comparison.
+//!
+//! Every structure here is an over- or exactly-approximating *filter*
+//! followed by (for ternary) a verifying match against the real pattern,
+//! so index results equal the linear oracle bit-for-bit; the
+//! `indexed_lookup_equals_linear` proptest holds the two paths equivalent
+//! over random table contents, priorities (including ties) and key
+//! streams.
+//!
+//! [`Table::lookup_linear`]: crate::table::Table::lookup_linear
+
+use crate::table::{EntryKey, MatchKind, Table};
+use crate::tcam::Ternary;
+use rustc_hash::FxHashMap;
+use splidt_ranging::{elementary_cuts, interval_of};
+use std::cmp::Reverse;
+
+/// Sentinel for "no entry" in precomputed winner arrays.
+const NONE: u32 = u32::MAX;
+
+/// Ternary tables below this entry count skip the bucketed-bitmap
+/// prefilter: a rank-ordered early-exit scan already beats the filter's
+/// per-field hash + word intersection at small n.
+pub const TERNARY_FILTER_MIN: usize = 64;
+
+/// Multi-field range tables below this entry count use a rank-ordered
+/// early-exit scan instead of per-field interval bitmasks, for the same
+/// reason as [`TERNARY_FILTER_MIN`]. (Single-field range tables always
+/// take the precomputed-winner binary search — it wins at any size.)
+pub const RANGE_BITMAP_MIN: usize = 32;
+
+/// A compiled lookup index for one table. See the module docs for the
+/// structure per [`MatchKind`].
+#[derive(Debug, Clone)]
+pub enum MatchIndex {
+    /// Exact keys of ≤ 2 components, packed into a `u128`.
+    ExactPacked {
+        /// Key component count (1 or 2).
+        fields: usize,
+        /// Packed key → entry index.
+        map: FxHashMap<u128, u32>,
+    },
+    /// Exact keys wider than 2 components.
+    ExactWide {
+        /// Key values → entry index.
+        map: FxHashMap<Vec<u64>, u32>,
+    },
+    /// Ternary entries in priority-rank order, with optional per-field
+    /// bucketed-bitmap prefilters.
+    Ternary(TernaryIndex),
+    /// Range entries over elementary intervals.
+    Range(RangeIndex),
+}
+
+/// Priority-ranked ternary index. `entry_of`, `patterns` and every bitmask
+/// are rank-major: rank 0 is the entry the linear oracle would prefer over
+/// all others it ties or beats.
+#[derive(Debug, Clone)]
+pub struct TernaryIndex {
+    n_fields: usize,
+    /// Bitmask width in `u64` words (⌈n_entries / 64⌉).
+    words: usize,
+    /// Rank → original entry index (what the pipeline hit-counts).
+    entry_of: Vec<u32>,
+    /// Rank-major flattened patterns (`n_fields` per rank) for
+    /// verification.
+    patterns: Vec<Ternary>,
+    /// All-ranks mask (top word trimmed), the intersection's identity.
+    full: Vec<u64>,
+    /// Per-field prefilters (only fields where bucketing can narrow).
+    filters: Vec<TernaryFieldFilter>,
+}
+
+/// One field's exact-bits bucket filter.
+#[derive(Debug, Clone)]
+struct TernaryFieldFilter {
+    /// Key component this filter reads.
+    field: usize,
+    /// The bits every non-wildcard pattern of this field cares about.
+    mask: u64,
+    /// Ranks fully wildcard on this field — candidates for every value.
+    always_on: Vec<u64>,
+    /// `value & mask` → offset into `bucket_masks` (in words).
+    buckets: FxHashMap<u64, u32>,
+    /// Flattened candidate bitmasks, `words` per bucket.
+    bucket_masks: Vec<u64>,
+}
+
+/// Elementary-interval range index.
+#[derive(Debug, Clone)]
+pub enum RangeIndex {
+    /// One key field: the winner of every elementary interval is
+    /// precomputed, lookup is a single binary search.
+    Single {
+        /// Elementary cut points (`splidt_ranging::elementary_cuts`).
+        cuts: Vec<u64>,
+        /// Interval → winning entry index (`u32::MAX` = miss);
+        /// `cuts.len() + 1` long.
+        winners: Vec<u32>,
+    },
+    /// Multiple key fields, few entries: rank-ordered early-exit scan
+    /// over flattened bounds.
+    Scan {
+        /// Key width in fields.
+        n_fields: usize,
+        /// Rank → original entry index.
+        entry_of: Vec<u32>,
+        /// Rank-major flattened `(lo, hi)` bounds, `n_fields` per rank.
+        bounds: Vec<(u64, u64)>,
+    },
+    /// Multiple key fields: per-field interval bitmasks intersected via
+    /// fixed-width `u64` words.
+    Multi {
+        /// Bitmask width in words.
+        words: usize,
+        /// Rank → original entry index.
+        entry_of: Vec<u32>,
+        /// Per key field, in match order.
+        fields: Vec<RangeFieldIntervals>,
+    },
+}
+
+/// One field's elementary intervals and their candidate bitmasks.
+#[derive(Debug, Clone)]
+pub struct RangeFieldIntervals {
+    cuts: Vec<u64>,
+    /// `(cuts.len() + 1) * words`, interval-major.
+    masks: Vec<u64>,
+}
+
+impl MatchIndex {
+    /// Compiles the index for `table`'s current entries.
+    pub fn build(table: &Table) -> Self {
+        match table.spec().kind {
+            MatchKind::Exact => build_exact(table),
+            MatchKind::Ternary => MatchIndex::Ternary(TernaryIndex::build(table)),
+            MatchKind::Range => MatchIndex::Range(RangeIndex::build(table)),
+        }
+    }
+
+    /// Looks up pre-materialized key values (one per key field, in match
+    /// order). Returns the winning entry index under the same semantics
+    /// as [`Table::lookup_linear_key`](crate::table::Table::lookup_linear_key):
+    /// highest priority, ties to the lowest install index.
+    ///
+    /// `scratch` is the caller's reusable intersection buffer (only
+    /// touched by multi-field range and filtered ternary lookups); size
+    /// it with [`MatchIndex::mask_words`] to keep the call
+    /// allocation-free.
+    #[inline]
+    pub fn lookup(&self, key: &[u64], scratch: &mut Vec<u64>) -> Option<usize> {
+        match self {
+            MatchIndex::ExactPacked { fields, map } => {
+                debug_assert_eq!(key.len(), *fields);
+                let packed = pack_key(key);
+                map.get(&packed).map(|&i| i as usize)
+            }
+            MatchIndex::ExactWide { map } => map.get(key).map(|&i| i as usize),
+            MatchIndex::Ternary(t) => t.lookup(key, scratch),
+            MatchIndex::Range(r) => r.lookup(key, scratch),
+        }
+    }
+
+    /// Words of intersection scratch this index needs (0 when the lookup
+    /// never touches the scratch buffer).
+    pub fn mask_words(&self) -> usize {
+        match self {
+            MatchIndex::ExactPacked { .. } | MatchIndex::ExactWide { .. } => 0,
+            MatchIndex::Ternary(t) => {
+                if t.filters.is_empty() {
+                    0
+                } else {
+                    t.words
+                }
+            }
+            MatchIndex::Range(r) => match r {
+                RangeIndex::Single { .. } | RangeIndex::Scan { .. } => 0,
+                RangeIndex::Multi { words, .. } => *words,
+            },
+        }
+    }
+}
+
+/// Packs ≤ 2 key components into a `u128` (64 bits per lane, so packing
+/// never changes equality semantics vs the `Vec<u64>` representation).
+#[inline]
+fn pack_key(key: &[u64]) -> u128 {
+    let mut packed = key[0] as u128;
+    if key.len() == 2 {
+        packed |= (key[1] as u128) << 64;
+    }
+    packed
+}
+
+fn build_exact(table: &Table) -> MatchIndex {
+    let fields = table.spec().key.len();
+    // 0-field keys (the always-hit / default-only idiom) take the wide
+    // path, whose empty-slice map probe is well-defined; pack_key would
+    // index key[0].
+    if (1..=2).contains(&fields) {
+        let mut map = FxHashMap::default();
+        for (i, e) in table.entries().iter().enumerate() {
+            let EntryKey::Exact(v) = &e.key else { unreachable!("exact table") };
+            map.insert(pack_key(v), i as u32);
+        }
+        MatchIndex::ExactPacked { fields, map }
+    } else {
+        let mut map = FxHashMap::default();
+        for (i, e) in table.entries().iter().enumerate() {
+            let EntryKey::Exact(v) = &e.key else { unreachable!("exact table") };
+            map.insert(v.clone(), i as u32);
+        }
+        MatchIndex::ExactWide { map }
+    }
+}
+
+/// Entry indices sorted into rank (preference) order: priority
+/// descending, install index ascending.
+fn rank_order(priorities: &[u32]) -> Vec<u32> {
+    let mut ranks: Vec<u32> = (0..priorities.len() as u32).collect();
+    ranks.sort_by_key(|&i| (Reverse(priorities[i as usize]), i));
+    ranks
+}
+
+/// The all-ones mask over `n` rank bits, trimmed in the top word.
+fn full_mask(n: usize, words: usize) -> Vec<u64> {
+    let mut full = vec![!0u64; words];
+    if !n.is_multiple_of(64) {
+        full[words - 1] = (1u64 << (n % 64)) - 1;
+    }
+    full
+}
+
+impl TernaryIndex {
+    fn build(table: &Table) -> Self {
+        let n_fields = table.spec().key.len();
+        let entries = table.entries();
+        let n = entries.len();
+        let priorities: Vec<u32> = entries
+            .iter()
+            .map(|e| match &e.key {
+                EntryKey::Ternary { priority, .. } => *priority,
+                _ => unreachable!("ternary table"),
+            })
+            .collect();
+        let entry_of = rank_order(&priorities);
+        let mut patterns = Vec::with_capacity(n * n_fields);
+        for &i in &entry_of {
+            let EntryKey::Ternary { fields, .. } = &entries[i as usize].key else {
+                unreachable!("ternary table")
+            };
+            patterns.extend_from_slice(fields);
+        }
+        let words = n.div_ceil(64);
+        let full = if n == 0 { Vec::new() } else { full_mask(n, words) };
+
+        let mut filters = Vec::new();
+        if n >= TERNARY_FILTER_MIN {
+            for field in 0..n_fields {
+                let pat = |rank: usize| patterns[rank * n_fields + field];
+                // The bits shared by every non-wildcard pattern: each such
+                // pattern's mask contains this AND, so its value over these
+                // bits is fixed and the entry lands in exactly one bucket.
+                let mut any_nonwild = false;
+                let mut mask = u64::MAX;
+                for r in 0..n {
+                    let m = pat(r).mask;
+                    if m != 0 {
+                        any_nonwild = true;
+                        mask &= m;
+                    }
+                }
+                if !any_nonwild || mask == 0 {
+                    // All-wildcard field, or the non-wildcard patterns
+                    // share no care bit — the field cannot narrow
+                    // candidates.
+                    continue;
+                }
+                let mut always_on = vec![0u64; words];
+                let mut grouped: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+                for r in 0..n {
+                    let p = pat(r);
+                    if p.mask == 0 {
+                        always_on[r / 64] |= 1 << (r % 64);
+                    } else {
+                        grouped.entry(p.value & mask).or_insert_with(|| vec![0u64; words])
+                            [r / 64] |= 1 << (r % 64);
+                    }
+                }
+                let mut buckets = FxHashMap::default();
+                let mut bucket_masks = Vec::with_capacity(grouped.len() * words);
+                for (v, bits) in grouped {
+                    buckets.insert(v, bucket_masks.len() as u32);
+                    bucket_masks.extend_from_slice(&bits);
+                }
+                filters.push(TernaryFieldFilter { field, mask, always_on, buckets, bucket_masks });
+            }
+        }
+        Self { n_fields, words, entry_of, patterns, full, filters }
+    }
+
+    #[inline]
+    fn verify(&self, rank: usize, key: &[u64]) -> bool {
+        let pats = &self.patterns[rank * self.n_fields..(rank + 1) * self.n_fields];
+        pats.iter().zip(key).all(|(t, &v)| t.matches(v))
+    }
+
+    #[inline]
+    fn lookup(&self, key: &[u64], scratch: &mut Vec<u64>) -> Option<usize> {
+        let n = self.entry_of.len();
+        if n == 0 {
+            return None;
+        }
+        if self.filters.is_empty() {
+            // Small table: rank-ordered scan, first match wins.
+            for rank in 0..n {
+                if self.verify(rank, key) {
+                    return Some(self.entry_of[rank] as usize);
+                }
+            }
+            return None;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(&self.full);
+        for f in &self.filters {
+            let masked = key[f.field] & f.mask;
+            match f.buckets.get(&masked) {
+                Some(&off) => {
+                    let bucket = &f.bucket_masks[off as usize..off as usize + self.words];
+                    for (s, (&a, &b)) in scratch.iter_mut().zip(f.always_on.iter().zip(bucket)) {
+                        *s &= a | b;
+                    }
+                }
+                None => {
+                    for (s, &a) in scratch.iter_mut().zip(&f.always_on) {
+                        *s &= a;
+                    }
+                }
+            }
+        }
+        // Survivors in rank order; the first that verifies is the
+        // highest-priority true match.
+        for (w, &word) in scratch.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let rank = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.verify(rank, key) {
+                    return Some(self.entry_of[rank] as usize);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl RangeIndex {
+    fn build(table: &Table) -> Self {
+        let n_fields = table.spec().key.len();
+        let entries = table.entries();
+        let n = entries.len();
+        let priorities: Vec<u32> = entries
+            .iter()
+            .map(|e| match &e.key {
+                EntryKey::Range { priority, .. } => *priority,
+                _ => unreachable!("range table"),
+            })
+            .collect();
+        let entry_of = rank_order(&priorities);
+        let field_range = |entry: usize, field: usize| -> (u64, u64) {
+            let EntryKey::Range { fields, .. } = &entries[entry].key else {
+                unreachable!("range table")
+            };
+            fields[field]
+        };
+        // Interval start of elementary interval `i` over `cuts`.
+        let start_of = |cuts: &[u64], i: usize| if i == 0 { 0 } else { cuts[i - 1] };
+
+        if n_fields == 1 {
+            let cuts = elementary_cuts((0..n).map(|e| field_range(e, 0)));
+            let winners = (0..=cuts.len())
+                .map(|i| {
+                    let s = start_of(&cuts, i);
+                    entry_of
+                        .iter()
+                        .copied()
+                        .find(|&e| {
+                            let (lo, hi) = field_range(e as usize, 0);
+                            lo <= s && s <= hi
+                        })
+                        .unwrap_or(NONE)
+                })
+                .collect();
+            return RangeIndex::Single { cuts, winners };
+        }
+
+        if n < RANGE_BITMAP_MIN {
+            let mut bounds = Vec::with_capacity(n * n_fields);
+            for &e in &entry_of {
+                for f in 0..n_fields {
+                    bounds.push(field_range(e as usize, f));
+                }
+            }
+            return RangeIndex::Scan { n_fields, entry_of, bounds };
+        }
+
+        let words = n.div_ceil(64);
+        let fields = (0..n_fields)
+            .map(|f| {
+                let cuts = elementary_cuts((0..n).map(|e| field_range(e, f)));
+                let mut masks = vec![0u64; (cuts.len() + 1) * words];
+                for i in 0..=cuts.len() {
+                    let s = start_of(&cuts, i);
+                    let iv = &mut masks[i * words..(i + 1) * words];
+                    for (rank, &e) in entry_of.iter().enumerate() {
+                        let (lo, hi) = field_range(e as usize, f);
+                        // Elementary intervals never straddle an entry
+                        // boundary, so covering the start covers it all.
+                        if lo <= s && s <= hi {
+                            iv[rank / 64] |= 1 << (rank % 64);
+                        }
+                    }
+                }
+                RangeFieldIntervals { cuts, masks }
+            })
+            .collect();
+        RangeIndex::Multi { words, entry_of, fields }
+    }
+
+    #[inline]
+    fn lookup(&self, key: &[u64], scratch: &mut Vec<u64>) -> Option<usize> {
+        match self {
+            RangeIndex::Single { cuts, winners } => {
+                let w = winners[interval_of(cuts, key[0])];
+                (w != NONE).then_some(w as usize)
+            }
+            RangeIndex::Scan { n_fields, entry_of, bounds } => {
+                for (rank, &e) in entry_of.iter().enumerate() {
+                    let bs = &bounds[rank * n_fields..(rank + 1) * n_fields];
+                    if bs.iter().zip(key).all(|(&(lo, hi), &v)| lo <= v && v <= hi) {
+                        return Some(e as usize);
+                    }
+                }
+                None
+            }
+            RangeIndex::Multi { words, entry_of, fields } => {
+                if entry_of.is_empty() {
+                    return None;
+                }
+                let i0 = interval_of(&fields[0].cuts, key[0]);
+                scratch.clear();
+                scratch.extend_from_slice(&fields[0].masks[i0 * words..(i0 + 1) * words]);
+                for (f, &v) in fields[1..].iter().zip(&key[1..]) {
+                    let i = interval_of(&f.cuts, v);
+                    let iv = &f.masks[i * words..(i + 1) * words];
+                    for (s, &m) in scratch.iter_mut().zip(iv) {
+                        *s &= m;
+                    }
+                }
+                // Interval membership is exact per field, so the
+                // intersection needs no verification: lowest rank bit is
+                // the winner.
+                for (w, &word) in scratch.iter().enumerate() {
+                    if word != 0 {
+                        let rank = w * 64 + word.trailing_zeros() as usize;
+                        return Some(entry_of[rank] as usize);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::phv::PhvLayout;
+    use crate::table::TableSpec;
+
+    fn layout2() -> (PhvLayout, crate::phv::FieldId, crate::phv::FieldId) {
+        let mut l = PhvLayout::new();
+        let a = l.add_field("a", 16);
+        let b = l.add_field("b", 16);
+        (l, a, b)
+    }
+
+    /// Indexed lookup must agree with the linear oracle for every probe.
+    fn assert_equivalent(t: &Table, probes: impl Iterator<Item = Vec<u64>>) {
+        let idx = MatchIndex::build(t);
+        let mut scratch = Vec::new();
+        for key in probes {
+            assert_eq!(idx.lookup(&key, &mut scratch), t.lookup_linear_key(&key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn exact_packed_and_wide() {
+        let (_l, a, b) = layout2();
+        // 2 fields → packed path.
+        let mut t = Table::new(TableSpec::exact("p", vec![a, b], 64));
+        for i in 0..20u64 {
+            t.install(EntryKey::Exact(vec![i, i * 3]), Action::new("e")).unwrap();
+        }
+        assert!(matches!(MatchIndex::build(&t), MatchIndex::ExactPacked { .. }));
+        assert_equivalent(&t, (0..25u64).flat_map(|i| [vec![i, i * 3], vec![i, i]]));
+
+        // 3 fields → wide path.
+        let mut l = PhvLayout::new();
+        let ks: Vec<_> = (0..3).map(|i| l.add_field(format!("k{i}"), 16)).collect();
+        let mut t = Table::new(TableSpec::exact("w", ks, 64));
+        for i in 0..20u64 {
+            t.install(EntryKey::Exact(vec![i, i + 1, i + 2]), Action::new("e")).unwrap();
+        }
+        assert!(matches!(MatchIndex::build(&t), MatchIndex::ExactWide { .. }));
+        assert_equivalent(&t, (0..25u64).flat_map(|i| [vec![i, i + 1, i + 2], vec![i, i, i]]));
+    }
+
+    #[test]
+    fn ternary_priority_ties_keep_lowest_install_index() {
+        let (_l, a, _b) = layout2();
+        let mut t = Table::new(TableSpec::ternary("t", vec![a], 8));
+        t.install(EntryKey::Ternary { fields: vec![Ternary::ANY], priority: 5 }, Action::new("x"))
+            .unwrap();
+        t.install(EntryKey::Ternary { fields: vec![Ternary::ANY], priority: 5 }, Action::new("y"))
+            .unwrap();
+        t.install(
+            EntryKey::Ternary { fields: vec![Ternary::exact(7, 16)], priority: 5 },
+            Action::new("z"),
+        )
+        .unwrap();
+        let idx = MatchIndex::build(&t);
+        let mut s = Vec::new();
+        // All three tie at priority 5 on key 7; entry 0 wins.
+        assert_eq!(idx.lookup(&[7], &mut s), Some(0));
+        assert_equivalent(&t, (0..16u64).map(|v| vec![v]));
+    }
+
+    #[test]
+    fn ternary_all_wildcard_entries() {
+        let (_l, a, b) = layout2();
+        let mut t = Table::new(TableSpec::ternary("t", vec![a, b], 8));
+        for p in [1u32, 9, 4] {
+            t.install(
+                EntryKey::Ternary { fields: vec![Ternary::ANY, Ternary::ANY], priority: p },
+                Action::new("w"),
+            )
+            .unwrap();
+        }
+        let idx = MatchIndex::build(&t);
+        let mut s = Vec::new();
+        // Highest priority (9) is entry 1, for any key at all.
+        assert_eq!(idx.lookup(&[0, 0], &mut s), Some(1));
+        assert_eq!(idx.lookup(&[u64::MAX, 12345], &mut s), Some(1));
+    }
+
+    #[test]
+    fn ternary_bucketed_filter_kicks_in_at_scale() {
+        let (_l, a, b) = layout2();
+        let mut t = Table::new(TableSpec::ternary("t", vec![a, b], TERNARY_FILTER_MIN * 4));
+        // Exact-on-low-byte patterns plus a few wildcards — the exact-bits
+        // AND keeps the low byte, so bucketing activates.
+        for i in 0..(TERNARY_FILTER_MIN * 2) as u64 {
+            let fields = if i % 17 == 0 {
+                vec![Ternary::ANY, Ternary::exact(i % 7, 16)]
+            } else {
+                vec![Ternary::new(i % 251, 0xFF), Ternary::ANY]
+            };
+            t.install(EntryKey::Ternary { fields, priority: (i % 11) as u32 }, Action::new("e"))
+                .unwrap();
+        }
+        let idx = MatchIndex::build(&t);
+        match &idx {
+            MatchIndex::Ternary(ti) => {
+                assert!(!ti.filters.is_empty(), "large table must build prefilters")
+            }
+            _ => panic!("ternary index expected"),
+        }
+        assert_equivalent(&t, (0..600u64).map(|v| vec![v % 259, v % 13]));
+    }
+
+    #[test]
+    fn range_single_field_binary_search() {
+        let (_l, a, _b) = layout2();
+        let mut t = Table::new(TableSpec::range("t", vec![a], 8));
+        t.install(EntryKey::Range { fields: vec![(10, 20)], priority: 1 }, Action::new("lo"))
+            .unwrap();
+        t.install(EntryKey::Range { fields: vec![(15, 30)], priority: 2 }, Action::new("hi"))
+            .unwrap();
+        let idx = MatchIndex::build(&t);
+        assert!(matches!(&idx, MatchIndex::Range(RangeIndex::Single { .. })));
+        let mut s = Vec::new();
+        assert_eq!(idx.lookup(&[9], &mut s), None);
+        assert_eq!(idx.lookup(&[12], &mut s), Some(0));
+        assert_eq!(idx.lookup(&[15], &mut s), Some(1), "overlap resolves by priority");
+        assert_eq!(idx.lookup(&[30], &mut s), Some(1));
+        assert_eq!(idx.lookup(&[31], &mut s), None);
+        assert_equivalent(&t, (0..40u64).map(|v| vec![v]));
+    }
+
+    #[test]
+    fn range_degenerate_single_point() {
+        let (_l, a, b) = layout2();
+        let mut t = Table::new(TableSpec::range("t", vec![a, b], 8));
+        // A degenerate [v, v] point range and an enclosing lower-priority
+        // box.
+        t.install(
+            EntryKey::Range { fields: vec![(7, 7), (3, 3)], priority: 9 },
+            Action::new("point"),
+        )
+        .unwrap();
+        t.install(
+            EntryKey::Range { fields: vec![(0, 100), (0, 100)], priority: 1 },
+            Action::new("box"),
+        )
+        .unwrap();
+        let idx = MatchIndex::build(&t);
+        let mut s = Vec::new();
+        assert_eq!(idx.lookup(&[7, 3], &mut s), Some(0));
+        assert_eq!(idx.lookup(&[7, 4], &mut s), Some(1));
+        assert_eq!(idx.lookup(&[101, 3], &mut s), None);
+        assert_equivalent(&t, (0..110u64).flat_map(|v| [vec![v, 3], vec![7, v]]));
+    }
+
+    #[test]
+    fn range_multi_field_intersection() {
+        let (_l, a, b) = layout2();
+        let mut t = Table::new(TableSpec::range("t", vec![a, b], 128));
+        for i in 0..100u64 {
+            t.install(
+                EntryKey::Range {
+                    fields: vec![(i, i + 10), (i * 2, i * 2 + 5)],
+                    priority: (i % 7) as u32,
+                },
+                Action::new("e"),
+            )
+            .unwrap();
+        }
+        assert_equivalent(&t, (0..240u64).map(|v| vec![v / 2, v]));
+    }
+
+    #[test]
+    fn exact_empty_key_table() {
+        // A keyless exact table (always-hit idiom): every lookup resolves
+        // to the single installable entry; no panic packing a 0-wide key.
+        let mut t = Table::new(TableSpec::exact("t", vec![], 4));
+        let idx = MatchIndex::build(&t);
+        let mut s = Vec::new();
+        assert_eq!(idx.lookup(&[], &mut s), None);
+        t.install(EntryKey::Exact(vec![]), Action::new("always")).unwrap();
+        let idx = MatchIndex::build(&t);
+        assert_eq!(idx.lookup(&[], &mut s), Some(0));
+        assert_eq!(t.lookup_linear_key(&[]), Some(0));
+    }
+
+    #[test]
+    fn empty_tables_always_miss() {
+        let (_l, a, b) = layout2();
+        let mut s = Vec::new();
+        for spec in [
+            TableSpec::exact("e", vec![a], 4),
+            TableSpec::ternary("t", vec![a], 4),
+            TableSpec::range("r", vec![a], 4),
+            TableSpec::range("r2", vec![a, b], 4),
+        ] {
+            let t = Table::new(spec);
+            let idx = MatchIndex::build(&t);
+            assert_eq!(idx.lookup(&[0, 0][..t.spec().key.len()], &mut s), None);
+        }
+    }
+
+    #[test]
+    fn mask_words_sizes_scratch() {
+        let (_l, a, b) = layout2();
+        let mut t = Table::new(TableSpec::range("t", vec![a, b], 256));
+        for i in 0..130u64 {
+            t.install(
+                EntryKey::Range { fields: vec![(i, i), (0, i)], priority: 0 },
+                Action::new("e"),
+            )
+            .unwrap();
+        }
+        let idx = MatchIndex::build(&t);
+        assert_eq!(idx.mask_words(), 3, "130 entries need 3 words");
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod action;
 pub mod hash;
+pub mod index;
 pub mod packet;
 pub mod parser;
 pub mod phv;
@@ -62,10 +63,11 @@ pub mod tcam;
 
 pub use action::{Action, AluOp, AluOut, Primitive, Source};
 pub use hash::crc32;
+pub use index::MatchIndex;
 pub use packet::{PacketBuilder, TcpFlags, FLOW_SHIM_ETHERTYPE};
 pub use parser::{parse, parse_into, peek_flow_tuple, FlowTupleView, ParseError, StandardFields};
 pub use phv::{FieldId, Phv, PhvLayout};
-pub use pipeline::{Digest, Disposition, FrameOutcome, Meters, Pipeline};
+pub use pipeline::{Digest, DigestBuf, Disposition, FrameOutcome, Meters, Pipeline};
 pub use plan::{ActionId, ExecPlan};
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use register::RegisterArray;

@@ -28,6 +28,7 @@ use crate::phv::{FieldId, Phv, PhvLayout};
 use crate::plan::ExecPlan;
 use crate::program::Program;
 use crate::register::RegisterArray;
+use crate::table::{EntryKey, TableError, TableId};
 
 /// What happened to a packet after its final pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,13 +42,101 @@ pub enum Disposition {
     ResubmitLimit,
 }
 
-/// A digest record pushed to the controller.
+/// A digest record pushed to the controller (the materialized, owned
+/// form — what [`Pipeline::take_digests`] hands out per batch).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Digest {
     /// Ingress timestamp (µs) of the pass that emitted the digest.
     pub ts_us: u64,
     /// Values of the program's digest fields, in declaration order.
     pub values: Vec<u64>,
+}
+
+/// A borrowed view of one pending digest inside a [`DigestBuf`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestRef<'a> {
+    /// Ingress timestamp (µs) of the pass that emitted the digest.
+    pub ts_us: u64,
+    /// Values of the program's digest fields, in declaration order.
+    pub values: &'a [u64],
+}
+
+/// The pipeline's pending-digest ring: a flat structure-of-arrays buffer
+/// (one timestamp lane plus one contiguous `values` arena with a fixed
+/// per-record stride — the program's digest-field count).
+///
+/// Boundary packets used to allocate a `Vec<u64>` per emitted digest
+/// (~0.03 allocs/packet on the fixture); pushing into this buffer is
+/// allocation-free once its capacity is warm, and the warm capacity
+/// survives [`DigestBuf::clear`] — so a drain-per-batch regime reaches a
+/// zero-allocation steady state, digests included (asserted by the
+/// `hotpath_smoke` digest probe).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DigestBuf {
+    /// Values per record (the digest-field count; may be 0).
+    stride: usize,
+    /// Per-record emission timestamps.
+    ts: Vec<u64>,
+    /// Flat value arena, `stride` per record.
+    values: Vec<u64>,
+}
+
+impl DigestBuf {
+    /// An empty buffer for records of `stride` values.
+    pub fn with_stride(stride: usize) -> Self {
+        Self { stride, ts: Vec::new(), values: Vec::new() }
+    }
+
+    /// Values per record.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Pending record count.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether no digests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Timestamp of record `i`.
+    pub fn ts_us(&self, i: usize) -> u64 {
+        self.ts[i]
+    }
+
+    /// Values of record `i`.
+    pub fn values(&self, i: usize) -> &[u64] {
+        &self.values[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Iterates pending records as borrowed views (no allocation).
+    pub fn iter(&self) -> impl Iterator<Item = DigestRef<'_>> {
+        (0..self.len()).map(move |i| DigestRef { ts_us: self.ts_us(i), values: self.values(i) })
+    }
+
+    /// Drops all pending records, keeping the warm capacity.
+    pub fn clear(&mut self) {
+        self.ts.clear();
+        self.values.clear();
+    }
+
+    /// Materializes pending records as owned [`Digest`]s (allocates; the
+    /// per-batch drain path, not the per-packet push path).
+    pub fn to_vec(&self) -> Vec<Digest> {
+        (0..self.len())
+            .map(|i| Digest { ts_us: self.ts_us(i), values: self.values(i).to_vec() })
+            .collect()
+    }
+
+    /// Appends one record. Allocation-free once capacity is warm.
+    pub(crate) fn push(&mut self, ts_us: u64, values: impl IntoIterator<Item = u64>) {
+        self.ts.push(ts_us);
+        self.values.extend(values);
+        debug_assert_eq!(self.values.len(), self.ts.len() * self.stride);
+    }
 }
 
 /// Aggregate pipeline meters.
@@ -121,31 +210,56 @@ pub struct Pipeline {
     program: Program,
     plan: ExecPlan,
     regs: Vec<RegisterArray>,
-    digests: Vec<Digest>,
+    digests: DigestBuf,
     meters: Meters,
     /// Reusable table-key buffer (sized to the widest key in the plan).
     key_scratch: Vec<u64>,
+    /// Reusable candidate-bitmask buffer for the compiled match indexes
+    /// (sized to the widest intersection any index needs).
+    mask_scratch: Vec<u64>,
     /// Reusable PHV for the frame batch path.
     phv_scratch: Phv,
 }
 
 impl Pipeline {
     /// Instantiates register state for a program and compiles its
-    /// execution plan.
+    /// execution plan (schedule, action arena, and per-table match
+    /// indexes).
     pub fn new(program: Program) -> Self {
         let regs = program.registers().iter().cloned().map(RegisterArray::new).collect();
         let plan = ExecPlan::build(&program);
         let key_scratch = Vec::with_capacity(plan.max_key_fields());
+        let mask_scratch = Vec::with_capacity(plan.max_mask_words());
         let phv_scratch = program.layout().new_phv();
+        let digests = DigestBuf::with_stride(program.digest_fields().len());
         Self {
             program,
             plan,
             regs,
-            digests: Vec::new(),
+            digests,
             meters: Meters::default(),
             key_scratch,
+            mask_scratch,
             phv_scratch,
         }
+    }
+
+    /// Installs an entry into a table of the **running** pipeline — the
+    /// controller-style runtime rule update. The compiled execution plan
+    /// (entry→action arena and the table's match index) is invalidated
+    /// and rebuilt, so the next packet sees the new rule; this is a
+    /// control-plane cost (full plan rebuild), never a per-packet one.
+    pub fn install_entry(
+        &mut self,
+        table: TableId,
+        key: EntryKey,
+        action: Action,
+    ) -> Result<(), TableError> {
+        self.program.tables_mut()[table.index()].install(key, action)?;
+        self.plan = ExecPlan::build(&self.program);
+        self.key_scratch = Vec::with_capacity(self.plan.max_key_fields());
+        self.mask_scratch = Vec::with_capacity(self.plan.max_mask_words());
+        Ok(())
     }
 
     /// The program being executed.
@@ -168,14 +282,26 @@ impl Pipeline {
         &mut self.regs
     }
 
-    /// Digests emitted so far.
-    pub fn digests(&self) -> &[Digest] {
+    /// Pending digests (the flat ring buffer; iterate with
+    /// [`DigestBuf::iter`] for allocation-free access).
+    pub fn digests(&self) -> &DigestBuf {
         &self.digests
     }
 
-    /// Drains and returns all digests.
+    /// Drains all pending digests, materializing them as owned
+    /// [`Digest`] records (the per-batch drain path — allocates for the
+    /// returned `Vec`s, never on the per-packet push path). The ring's
+    /// warm capacity is kept.
     pub fn take_digests(&mut self) -> Vec<Digest> {
-        std::mem::take(&mut self.digests)
+        let out = self.digests.to_vec();
+        self.digests.clear();
+        out
+    }
+
+    /// Drops all pending digests without materializing them, keeping the
+    /// ring's warm capacity (allocation-free batch disposal).
+    pub fn clear_digests(&mut self) {
+        self.digests.clear();
     }
 
     /// Aggregate meters.
@@ -218,8 +344,10 @@ impl Pipeline {
 
     /// Parses a frame into the pipeline's reusable PHV and processes it at
     /// time `ts_us` — the steady-state batch entry point: **zero heap
-    /// allocations per packet** once scratch capacities are warm (boundary
-    /// packets that emit digests still allocate the digest record).
+    /// allocations per packet** once scratch capacities are warm,
+    /// including boundary packets that emit digests (records land in the
+    /// flat [`DigestBuf`] ring, whose capacity survives per-batch
+    /// drains).
     pub fn process_frame(
         &mut self,
         frame: &[u8],
@@ -319,15 +447,22 @@ impl Pipeline {
         }
     }
 
-    /// One pass over the compiled plan: iterate slots by index, look up
-    /// with the reusable key buffer, bump counters via split borrows, and
+    /// One pass over the compiled plan: iterate slots by index,
+    /// materialize the key into the reusable key buffer, resolve the hit
+    /// through the table's compiled [`MatchIndex`](crate::index::MatchIndex)
+    /// (binary search / packed hash / bitmask intersection — never a scan
+    /// over installed entries), bump counters via split borrows, and
     /// execute the interned action by reference. No heap allocation.
     fn one_pass(&mut self, phv: &mut Phv, ts_us: u64) -> PassEffects {
         let mut effects = PassEffects::default();
         for si in 0..self.plan.slots().len() {
             let slot = self.plan.slots()[si];
             let ti = slot.table as usize;
-            let hit = self.program.tables()[ti].lookup_into(phv, &mut self.key_scratch);
+            self.key_scratch.clear();
+            for &f in &self.program.tables()[ti].spec().key {
+                self.key_scratch.push(phv.get(f));
+            }
+            let hit = self.plan.match_index(ti).lookup(&self.key_scratch, &mut self.mask_scratch);
             let aid = match hit {
                 Some(i) => {
                     self.program.tables_mut()[ti].record_hit(i);
@@ -355,15 +490,17 @@ impl Pipeline {
     }
 
     /// One pass with the original interpreter: re-reads each stage's table
-    /// list and clones the matched action before executing it. Reference
-    /// implementation only — allocates per table visit.
+    /// list, resolves lookups with the linear reference scan
+    /// ([`crate::table::Table::lookup_linear`]) and clones the matched
+    /// action before executing it. Reference implementation only —
+    /// allocates per table visit.
     fn one_pass_entrywalk(&mut self, phv: &mut Phv, ts_us: u64) -> PassEffects {
         let mut effects = PassEffects::default();
         let n_stages = self.program.stages().len();
         for stage in 0..n_stages {
             let table_ids: Vec<_> = self.program.stages()[stage].tables.clone();
             for tid in table_ids {
-                let hit = self.program.table(tid).lookup(phv);
+                let hit = self.program.table(tid).lookup_linear(phv);
                 // Clone the action out so we can mutate registers/PHV while
                 // bumping counters; actions are small.
                 let action: Action = match hit {
@@ -414,7 +551,7 @@ fn exec_action(
     layout: &PhvLayout,
     digest_fields: &[FieldId],
     regs: &mut [RegisterArray],
-    digests: &mut Vec<Digest>,
+    digests: &mut DigestBuf,
     meters: &mut Meters,
     phv: &mut Phv,
     ts_us: u64,
@@ -481,8 +618,7 @@ fn exec_action(
             }
             Primitive::Resubmit => effects.resubmit = true,
             Primitive::Digest => {
-                let values = digest_fields.iter().map(|&f| phv.get(f)).collect();
-                digests.push(Digest { ts_us, values });
+                digests.push(ts_us, digest_fields.iter().map(|&f| phv.get(f)));
                 meters.digests += 1;
             }
             Primitive::Drop => effects.drop = true,
@@ -632,10 +768,66 @@ mod tests {
         phv.set(a, 1234);
         pipe.process_phv(phv, 77);
         assert_eq!(pipe.digests().len(), 1);
-        assert_eq!(pipe.digests()[0].values, vec![1234, 9]);
-        assert_eq!(pipe.digests()[0].ts_us, 77);
-        assert_eq!(pipe.take_digests().len(), 1);
+        assert_eq!(pipe.digests().values(0), &[1234, 9]);
+        assert_eq!(pipe.digests().ts_us(0), 77);
+        let drained = pipe.take_digests();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].values, vec![1234, 9]);
+        assert_eq!(drained[0].ts_us, 77);
         assert!(pipe.digests().is_empty());
+    }
+
+    #[test]
+    fn digest_buf_iterates_and_clears_keeping_capacity() {
+        let mut buf = DigestBuf::with_stride(2);
+        buf.push(1, [10, 11]);
+        buf.push(2, [20, 21]);
+        let seen: Vec<_> = buf.iter().map(|d| (d.ts_us, d.values.to_vec())).collect();
+        assert_eq!(seen, vec![(1, vec![10, 11]), (2, vec![20, 21])]);
+        let cap = (buf.ts.capacity(), buf.values.capacity());
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!((buf.ts.capacity(), buf.values.capacity()), cap);
+        // Stride-0 records (programs with no digest fields) still count.
+        let mut empty = DigestBuf::with_stride(0);
+        empty.push(5, []);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.iter().count(), 1);
+        assert_eq!(empty.values(0), &[] as &[u64]);
+    }
+
+    #[test]
+    fn install_entry_rebuilds_plan_for_running_pipeline() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 16);
+        let out_f = b.add_meta("out", 8);
+        let t = b.add_table(TableSpec::range("t", vec![a], 8), 0);
+        b.add_range_entry(
+            t,
+            vec![(0, 9)],
+            1,
+            Action::new("low").with(Primitive::set_const(out_f, 1)),
+        )
+        .unwrap();
+        let mut pipe = Pipeline::new(b.build().unwrap());
+        let probe = |pipe: &mut Pipeline, v: u64| {
+            let mut phv = pipe.program().layout().new_phv();
+            phv.set(a, v);
+            pipe.process_phv(phv, 0).phv.get(out_f)
+        };
+        assert_eq!(probe(&mut pipe, 5), 1);
+        assert_eq!(probe(&mut pipe, 15), 0, "no rule covers 15 yet");
+        // Controller installs a new rule mid-session; the compiled index
+        // must see it on the very next packet.
+        pipe.install_entry(
+            t,
+            EntryKey::Range { fields: vec![(10, 20)], priority: 5 },
+            Action::new("mid").with(Primitive::set_const(out_f, 2)),
+        )
+        .unwrap();
+        assert_eq!(probe(&mut pipe, 15), 2);
+        assert_eq!(probe(&mut pipe, 5), 1, "old rule still resolves");
+        assert_eq!(pipe.program().table(t).entries()[1].hits, 1);
     }
 
     #[test]

@@ -24,8 +24,18 @@
 //! borrows for the hit/miss counters, so the steady-state packet path
 //! performs zero heap allocations (verified by the counting-allocator
 //! harness in `splidt-bench`).
+//!
+//! Alongside the action arena the plan compiles one
+//! [`MatchIndex`] per table — the sub-linear
+//! lookup structures (packed-key exact maps, elementary-interval range
+//! indexes, priority-ranked bucketed ternary) the hot path dispatches
+//! through instead of scanning installed entries. Runtime entry
+//! installation goes through
+//! [`Pipeline::install_entry`](crate::pipeline::Pipeline::install_entry),
+//! which invalidates and rebuilds the whole plan (indexes included).
 
 use crate::action::Action;
+use crate::index::MatchIndex;
 use crate::phv::FieldId;
 use crate::program::Program;
 use std::collections::HashMap;
@@ -81,8 +91,11 @@ pub struct ExecPlan {
     slots: Vec<PlanSlot>,
     entry_actions: Vec<ActionId>,
     actions: Vec<Action>,
+    /// Compiled lookup index per table (indexed by table index).
+    indexes: Vec<MatchIndex>,
     hash_flow: Option<HashFlowFields>,
     max_key_fields: usize,
+    max_mask_words: usize,
 }
 
 impl ExecPlan {
@@ -119,6 +132,8 @@ impl ExecPlan {
                 });
             }
         }
+        let indexes: Vec<MatchIndex> = program.tables().iter().map(MatchIndex::build).collect();
+        let max_mask_words = indexes.iter().map(MatchIndex::mask_words).max().unwrap_or(0);
         let layout = program.layout();
         let hash_flow = match (
             layout.by_name("ipv4.src"),
@@ -132,7 +147,7 @@ impl ExecPlan {
             }
             _ => None,
         };
-        Self { slots, entry_actions, actions, hash_flow, max_key_fields }
+        Self { slots, entry_actions, actions, indexes, hash_flow, max_key_fields, max_mask_words }
     }
 
     /// The flattened schedule, in execution order.
@@ -165,6 +180,18 @@ impl ExecPlan {
     /// pipeline's reusable key scratch buffer needs.
     pub fn max_key_fields(&self) -> usize {
         self.max_key_fields
+    }
+
+    /// The compiled lookup index of table `table` (a raw table index, as
+    /// carried by [`PlanSlot::table`]).
+    pub fn match_index(&self, table: usize) -> &MatchIndex {
+        &self.indexes[table]
+    }
+
+    /// Widest intersection bitmask (in `u64` words) any index needs —
+    /// the capacity of the pipeline's reusable mask scratch buffer.
+    pub fn max_mask_words(&self) -> usize {
+        self.max_mask_words
     }
 }
 

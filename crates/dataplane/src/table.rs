@@ -9,7 +9,7 @@
 use crate::action::Action;
 use crate::phv::{FieldId, Phv};
 use crate::tcam::Ternary;
-use std::collections::HashMap;
+use rustc_hash::FxHashSet;
 
 /// Identifier of a table within a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -117,6 +117,16 @@ pub enum TableError {
         /// Configured capacity.
         capacity: usize,
     },
+    /// An exact entry with this key is already installed. (Silently
+    /// shadowing the old entry used to leave it in `entries` — consuming
+    /// capacity, unreachable, its hit counter frozen — while the lookup
+    /// index pointed at the new one.)
+    DuplicateKey {
+        /// Table name.
+        table: String,
+        /// The already-installed key values.
+        key: Vec<u64>,
+    },
 }
 
 impl std::fmt::Display for TableError {
@@ -126,6 +136,9 @@ impl std::fmt::Display for TableError {
             TableError::Full { table, capacity } => {
                 write!(f, "table {table} full (capacity {capacity})")
             }
+            TableError::DuplicateKey { table, key } => {
+                write!(f, "duplicate exact key {key:?} in table {table}")
+            }
         }
     }
 }
@@ -133,12 +146,20 @@ impl std::fmt::Display for TableError {
 impl std::error::Error for TableError {}
 
 /// A match-action table instance.
+///
+/// The table itself resolves lookups by the **linear reference scan**
+/// ([`Table::lookup_linear`]); the packet hot path goes through the
+/// compiled [`MatchIndex`](crate::index::MatchIndex) the
+/// [`ExecPlan`](crate::plan::ExecPlan) builds per table, which is held
+/// equivalent to the scan by the `indexed_lookup_equals_linear` proptest.
 #[derive(Debug, Clone)]
 pub struct Table {
     spec: TableSpec,
     entries: Vec<Entry>,
-    /// Exact-match index: key values → entry index.
-    exact_index: HashMap<Vec<u64>, usize>,
+    /// Installed exact keys, for O(1) duplicate rejection at install time
+    /// (never consulted by lookups — the linear scan stays the oracle and
+    /// the compiled index the hot path).
+    exact_keys: FxHashSet<Vec<u64>>,
     /// Default action on miss.
     default_action: Action,
     /// Miss counter.
@@ -151,7 +172,7 @@ impl Table {
         Self {
             spec,
             entries: Vec::new(),
-            exact_index: HashMap::new(),
+            exact_keys: FxHashSet::default(),
             default_action: Action::nop(),
             misses: 0,
         }
@@ -209,30 +230,50 @@ impl Table {
             });
         }
         if let EntryKey::Exact(v) = &key {
-            self.exact_index.insert(v.clone(), self.entries.len());
+            if !self.exact_keys.insert(v.clone()) {
+                return Err(TableError::DuplicateKey {
+                    table: self.spec.name.clone(),
+                    key: v.clone(),
+                });
+            }
         }
         self.entries.push(Entry { key, action, hits: 0 });
         Ok(())
     }
 
-    /// Looks up the PHV; returns the matched entry index (for hit counting)
-    /// or `None` on miss. Does **not** bump counters — the pipeline does,
-    /// so read-only lookups stay cheap. Allocates a key buffer per call;
-    /// hot loops use [`Table::lookup_into`] with a reusable buffer.
-    pub fn lookup(&self, phv: &Phv) -> Option<usize> {
+    /// Looks up the PHV with the **linear reference scan**; returns the
+    /// matched entry index (for hit counting) or `None` on miss. Does
+    /// **not** bump counters — the pipeline does, so read-only lookups
+    /// stay cheap. Allocates a key buffer per call; loops use
+    /// [`Table::lookup_linear_into`] with a reusable buffer.
+    ///
+    /// This walk over every installed entry is the semantic oracle the
+    /// compiled [`MatchIndex`](crate::index::MatchIndex) is tested
+    /// against; the plan-driven hot path never calls it.
+    pub fn lookup_linear(&self, phv: &Phv) -> Option<usize> {
         let mut key_vals = Vec::with_capacity(self.spec.key.len());
-        self.lookup_into(phv, &mut key_vals)
+        self.lookup_linear_into(phv, &mut key_vals)
     }
 
-    /// Allocation-free lookup: the key is materialized into `key_scratch`
-    /// (cleared first), so a caller-held buffer is reused across lookups.
-    /// Semantics are identical to [`Table::lookup`].
-    pub fn lookup_into(&self, phv: &Phv, key_scratch: &mut Vec<u64>) -> Option<usize> {
+    /// Allocation-free linear lookup: the key is materialized into
+    /// `key_scratch` (cleared first), so a caller-held buffer is reused
+    /// across lookups. Semantics are identical to
+    /// [`Table::lookup_linear`].
+    pub fn lookup_linear_into(&self, phv: &Phv, key_scratch: &mut Vec<u64>) -> Option<usize> {
         key_scratch.clear();
         key_scratch.extend(self.spec.key.iter().map(|&f| phv.get(f)));
-        let key_vals: &[u64] = key_scratch;
+        self.lookup_linear_key(key_scratch)
+    }
+
+    /// The linear scan over pre-materialized key values (one per key
+    /// field, in match order). Highest priority wins; ties keep the
+    /// lowest install index.
+    pub fn lookup_linear_key(&self, key_vals: &[u64]) -> Option<usize> {
         match self.spec.kind {
-            MatchKind::Exact => self.exact_index.get(key_vals).copied(),
+            MatchKind::Exact => self
+                .entries
+                .iter()
+                .position(|e| matches!(&e.key, EntryKey::Exact(v) if v.as_slice() == key_vals)),
             MatchKind::Ternary => {
                 let mut best: Option<(u32, usize)> = None;
                 for (i, e) in self.entries.iter().enumerate() {
@@ -315,9 +356,9 @@ mod tests {
         let mut phv = l.new_phv();
         phv.set(a, 1);
         phv.set(b, 2);
-        assert_eq!(t.lookup(&phv), Some(0));
+        assert_eq!(t.lookup_linear(&phv), Some(0));
         phv.set(b, 3);
-        assert_eq!(t.lookup(&phv), None);
+        assert_eq!(t.lookup_linear(&phv), None);
     }
 
     #[test]
@@ -336,10 +377,10 @@ mod tests {
         .unwrap();
         let mut phv = l.new_phv();
         phv.set(a, 7);
-        let hit = t.lookup(&phv).unwrap();
+        let hit = t.lookup_linear(&phv).unwrap();
         assert_eq!(t.entries()[hit].action.name, "high");
         phv.set(a, 8);
-        let hit = t.lookup(&phv).unwrap();
+        let hit = t.lookup_linear(&phv).unwrap();
         assert_eq!(t.entries()[hit].action.name, "low");
     }
 
@@ -358,7 +399,7 @@ mod tests {
         )
         .unwrap();
         let phv = l.new_phv();
-        let hit = t.lookup(&phv).unwrap();
+        let hit = t.lookup_linear(&phv).unwrap();
         assert_eq!(t.entries()[hit].action.name, "first");
     }
 
@@ -371,7 +412,7 @@ mod tests {
         let mut phv = l.new_phv();
         for (v, hit) in [(9u64, false), (10, true), (15, true), (20, true), (21, false)] {
             phv.set(a, v);
-            assert_eq!(t.lookup(&phv).is_some(), hit, "value {v}");
+            assert_eq!(t.lookup_linear(&phv).is_some(), hit, "value {v}");
         }
     }
 
@@ -382,6 +423,26 @@ mod tests {
         t.install(EntryKey::Exact(vec![1]), Action::nop()).unwrap();
         let err = t.install(EntryKey::Exact(vec![2]), Action::nop()).unwrap_err();
         assert!(matches!(err, TableError::Full { capacity: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_exact_key_rejected() {
+        // Regression: duplicates used to shadow silently — the old entry
+        // stayed installed (consuming capacity, unreachable) while the
+        // exact index pointed at the new one.
+        let (l, a, b) = setup();
+        let mut t = Table::new(TableSpec::exact("t", vec![a, b], 8));
+        t.install(EntryKey::Exact(vec![1, 2]), Action::new("first")).unwrap();
+        let err = t.install(EntryKey::Exact(vec![1, 2]), Action::new("second")).unwrap_err();
+        assert!(matches!(&err, TableError::DuplicateKey { key, .. } if key == &vec![1, 2]));
+        assert_eq!(t.n_entries(), 1, "rejected entry must not consume capacity");
+        let mut phv = l.new_phv();
+        phv.set(a, 1);
+        phv.set(b, 2);
+        let hit = t.lookup_linear(&phv).unwrap();
+        assert_eq!(t.entries()[hit].action.name, "first");
+        // A different key still installs fine.
+        t.install(EntryKey::Exact(vec![1, 3]), Action::new("other")).unwrap();
     }
 
     #[test]

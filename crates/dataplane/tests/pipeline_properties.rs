@@ -81,7 +81,7 @@ proptest! {
         let table = program.table(t);
         let mut phv = program.layout().new_phv();
         phv.set(f, probe as u64);
-        let hit = table.lookup(&phv);
+        let hit = table.lookup_linear(&phv);
         let matching: Vec<(usize, u32)> = entries
             .iter()
             .enumerate()

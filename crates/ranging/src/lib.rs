@@ -17,6 +17,9 @@ pub mod marks;
 pub mod rules;
 pub mod ternary;
 
-pub use marks::{integer_threshold, BitConstraint, ElementaryRange, ThermometerEncoder};
+pub use marks::{
+    elementary_cuts, integer_threshold, interval_of, BitConstraint, ElementaryRange,
+    ThermometerEncoder,
+};
 pub use rules::{generate_rules, FeatureRule, FeatureTable, ModelRule, SubtreeRules};
 pub use ternary::{range_to_prefixes, Prefix};

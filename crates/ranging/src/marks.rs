@@ -125,6 +125,39 @@ impl ThermometerEncoder {
     }
 }
 
+/// Elementary cut points of a set of closed intervals: the sorted, distinct
+/// values at which interval membership can change (`lo` of each range plus
+/// `hi + 1`, when in domain). Between consecutive cuts — and before the
+/// first / after the last — every input range either fully covers or fully
+/// misses the elementary interval, so per-interval matching decisions can
+/// be precomputed once and resolved by binary search ([`interval_of`]).
+///
+/// This is the same decomposition [`ThermometerEncoder::elementary_ranges`]
+/// performs for threshold sets, generalized to arbitrary (possibly
+/// overlapping) `[lo, hi]` ranges; the dataplane's compiled range index is
+/// built on it.
+pub fn elementary_cuts(ranges: impl IntoIterator<Item = (u64, u64)>) -> Vec<u64> {
+    let mut cuts = Vec::new();
+    for (lo, hi) in ranges {
+        if lo > 0 {
+            cuts.push(lo);
+        }
+        if let Some(after) = hi.checked_add(1) {
+            cuts.push(after);
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+/// Index of the elementary interval containing `v`, for `cuts` produced by
+/// [`elementary_cuts`]: interval `i` spans `[cuts[i-1], cuts[i])` (with
+/// virtual endpoints `0` and `u64::MAX + 1`).
+pub fn interval_of(cuts: &[u64], v: u64) -> usize {
+    cuts.partition_point(|&c| c <= v)
+}
+
 /// Converts a CART threshold (`f32`, `v ≤ t` goes left) into the integer
 /// threshold with identical semantics on integer-valued features.
 pub fn integer_threshold(t: f32) -> u64 {
@@ -200,6 +233,38 @@ mod tests {
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].hi, 0xFFFF);
         assert_eq!(e.table_entries(), 1);
+    }
+
+    #[test]
+    fn elementary_cuts_decompose_overlapping_ranges() {
+        // Ranges [5,10], [8,20], [0,3]: membership changes at 4, 5, 8, 11, 21.
+        let cuts = elementary_cuts([(5, 10), (8, 20), (0, 3)]);
+        assert_eq!(cuts, vec![4, 5, 8, 11, 21]);
+        // Every value in an elementary interval has the same membership set.
+        for v in 0u64..40 {
+            let idx = interval_of(&cuts, v);
+            for (lo, hi) in [(5, 10), (8, 20), (0, 3)] {
+                let start = if idx == 0 { 0 } else { cuts[idx - 1] };
+                let inside_start = lo <= start && start <= hi;
+                let inside_v = lo <= v && v <= hi;
+                assert_eq!(inside_start, inside_v, "v={v} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn elementary_cuts_handle_domain_extremes() {
+        // hi = u64::MAX must not overflow; lo = 0 adds no leading cut.
+        let cuts = elementary_cuts([(0, u64::MAX)]);
+        assert!(cuts.is_empty());
+        assert_eq!(interval_of(&cuts, 0), 0);
+        assert_eq!(interval_of(&cuts, u64::MAX), 0);
+        // Degenerate single-point range.
+        let cuts = elementary_cuts([(7, 7)]);
+        assert_eq!(cuts, vec![7, 8]);
+        assert_eq!(interval_of(&cuts, 6), 0);
+        assert_eq!(interval_of(&cuts, 7), 1);
+        assert_eq!(interval_of(&cuts, 8), 2);
     }
 
     #[test]

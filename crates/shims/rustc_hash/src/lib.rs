@@ -1,0 +1,149 @@
+//! In-tree shim for the subset of the `rustc-hash` API the workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`]/[`FxHashSet`]
+//! aliases.
+//!
+//! FxHash is the multiply-fold hash rustc uses for its interner tables: a
+//! single wrapping multiply and rotate per word, no per-process random
+//! state. It is **not** DoS-resistant — exactly the trade the compiled
+//! match indexes want, since table contents are installed by the control
+//! plane at compile time, not by adversarial packets, and lookup latency
+//! is the whole point. The constant is the golden-ratio multiplier from
+//! the upstream crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// 2^64 / φ, the Fibonacci-hashing multiplier upstream uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher: fold each word in with a rotate, xor and
+/// wrapping multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Stateless [`BuildHasher`] producing [`FxHasher`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// A `HashMap` keyed with FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u128, u32> = FxHashMap::default();
+        for i in 0..1000u128 {
+            m.insert(i << 17, i as u32);
+        }
+        for i in 0..1000u128 {
+            assert_eq!(m.get(&(i << 17)), Some(&(i as u32)));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn slice_keys_borrow() {
+        // `Vec<u64>` keys must be queryable by `&[u64]` (the wide exact
+        // path looks up with the reusable key scratch).
+        let mut m: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        let probe: &[u64] = &[1, 2, 3];
+        assert_eq!(m.get(probe), Some(&7));
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let h = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn hashes_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Diffs two hot-path result files (the flat JSON `hotpath_smoke` emits)
-# and fails when throughput regressed past the threshold — the local
-# pre-push twin of CI's bench-smoke gate.
+# Diffs two bench result files (the flat JSON `hotpath_smoke` /
+# `lookup_smoke` emit) and fails when a gated metric regressed — the
+# local pre-push twin of CI's bench-smoke gate. Works on either bench's
+# output: hotpath files gate pps and the two zero-allocation probes,
+# lookup files gate the indexed-vs-linear speedup floor at 4096 entries.
 #
 # Usage:
 #   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
@@ -38,12 +40,19 @@ metric() { # metric FILE KEY
 
 for f in "$baseline" "$candidate"; do
     [ -r "$f" ] || { echo "cannot read $f" >&2; exit 66; }
-    [ -n "$(metric "$f" pps)" ] || { echo "no pps metric in $f" >&2; exit 65; }
+    if [ -z "$(metric "$f" pps)" ] && [ -z "$(metric "$f" ternary_4096_speedup)" ]; then
+        echo "no gated metric (pps / ternary_4096_speedup) in $f" >&2
+        exit 65
+    fi
 done
 
 printf '%-28s %14s %14s %9s\n' metric baseline candidate delta%
 fail=0
-for key in pps allocs_per_packet hot_loop_allocs_per_packet; do
+for key in pps allocs_per_packet hot_loop_allocs_per_packet \
+           digest_ring_allocs_per_packet \
+           ternary_4096_speedup range_4096_speedup \
+           ternary_4096_indexed_lps range_4096_indexed_lps \
+           exact_4096_indexed_lps; do
     b=$(metric "$baseline" "$key")
     c=$(metric "$candidate" "$key")
     [ -n "$b" ] && [ -n "$c" ] || continue
@@ -51,20 +60,35 @@ for key in pps allocs_per_packet hot_loop_allocs_per_packet; do
     printf '%-28s %14s %14s %9s\n' "$key" "$b" "$c" "$delta"
 done
 
-pps_ok=$(awk -v b="$(metric "$baseline" pps)" -v c="$(metric "$candidate" pps)" -v m="$max_drop" \
-    'BEGIN { print (c >= b * (1 - m / 100)) ? 1 : 0 }')
-if [ "$pps_ok" != 1 ]; then
-    echo "FAIL: pps dropped more than ${max_drop}% vs baseline" >&2
-    fail=1
-fi
-
-hot=$(metric "$candidate" hot_loop_allocs_per_packet)
-if [ -n "$hot" ]; then
-    hot_ok=$(awk -v h="$hot" 'BEGIN { print (h == 0) ? 1 : 0 }')
-    if [ "$hot_ok" != 1 ]; then
-        echo "FAIL: steady-state hot loop allocates ($hot allocs/packet)" >&2
+if [ -n "$(metric "$candidate" pps)" ] && [ -n "$(metric "$baseline" pps)" ]; then
+    pps_ok=$(awk -v b="$(metric "$baseline" pps)" -v c="$(metric "$candidate" pps)" -v m="$max_drop" \
+        'BEGIN { print (c >= b * (1 - m / 100)) ? 1 : 0 }')
+    if [ "$pps_ok" != 1 ]; then
+        echo "FAIL: pps dropped more than ${max_drop}% vs baseline" >&2
         fail=1
     fi
 fi
+
+for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet; do
+    v=$(metric "$candidate" "$key")
+    [ -n "$v" ] || continue
+    ok=$(awk -v h="$v" 'BEGIN { print (h == 0) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: $key is nonzero ($v allocs/packet)" >&2
+        fail=1
+    fi
+done
+
+# Lookup-bench floor: indexed ternary/range must beat the linear oracle
+# by >= 5x at the top of the sweep (mirrors lookup_smoke's own gate).
+for key in ternary_4096_speedup range_4096_speedup; do
+    v=$(metric "$candidate" "$key")
+    [ -n "$v" ] || continue
+    ok=$(awk -v s="$v" 'BEGIN { print (s >= 5) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: $key is ${v}x, below the 5x floor" >&2
+        fail=1
+    fi
+done
 
 exit $fail

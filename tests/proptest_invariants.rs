@@ -13,9 +13,10 @@ use splidt::flow::window_bounds;
 use splidt::ranging::{generate_rules, range_to_prefixes, ThermometerEncoder};
 
 /// Builds a random small pipeline program: 1–3 stages, 1–2 tables per
-/// stage (exact or ternary), one register per stage, and entries whose
-/// actions draw from the full primitive set (arithmetic, register RMW,
-/// digest, resubmit, drop). Returns the program and its metadata fields.
+/// stage (exact, ternary or range), one register per stage, and entries
+/// whose actions draw from the full primitive set (arithmetic, register
+/// RMW, digest, resubmit, drop). Returns the program and its metadata
+/// fields.
 fn random_program(rng: &mut rand::rngs::SmallRng) -> (Program, Vec<FieldId>) {
     use rand::Rng;
     let mut b = ProgramBuilder::new();
@@ -79,40 +80,68 @@ fn random_program(rng: &mut rand::rngs::SmallRng) -> (Program, Vec<FieldId>) {
                 .map(|_| fields[rng.random_range(0usize..fields.len())])
                 .collect();
             let n_entries = rng.random_range(1usize..4);
+            let tid = match rng.random_range(0u8..3) {
+                0 => {
+                    let tid = b.add_table(
+                        TableSpec::exact(format!("e{stage}_{t}"), key.clone(), 8),
+                        stage,
+                    );
+                    for _ in 0..n_entries {
+                        let vals: Vec<u64> =
+                            key.iter().map(|_| rng.random_range(0u64..4)).collect();
+                        let action = random_action(rng, stage);
+                        // Duplicate exact keys are now rejected at install
+                        // (the shadowing bugfix); the generator just skips
+                        // the colliding draw, as a controller would.
+                        let _ = b.add_exact_entry(tid, vals, action);
+                    }
+                    tid
+                }
+                1 => {
+                    let tid = b.add_table(
+                        TableSpec::ternary(format!("t{stage}_{t}"), key.clone(), 8),
+                        stage,
+                    );
+                    for _ in 0..n_entries {
+                        let pats: Vec<Ternary> = key
+                            .iter()
+                            .map(|_| {
+                                if rng.random::<bool>() {
+                                    Ternary::ANY
+                                } else {
+                                    Ternary::exact(rng.random_range(0u64..4), 8)
+                                }
+                            })
+                            .collect();
+                        let prio = rng.random_range(0u32..10);
+                        let action = random_action(rng, stage);
+                        b.add_ternary_entry(tid, pats, prio, action).unwrap();
+                    }
+                    tid
+                }
+                _ => {
+                    let tid = b.add_table(
+                        TableSpec::range(format!("r{stage}_{t}"), key.clone(), 8),
+                        stage,
+                    );
+                    for _ in 0..n_entries {
+                        let ranges: Vec<(u64, u64)> = key
+                            .iter()
+                            .map(|_| {
+                                let lo = rng.random_range(0u64..6);
+                                (lo, lo + rng.random_range(0u64..4))
+                            })
+                            .collect();
+                        let prio = rng.random_range(0u32..10);
+                        let action = random_action(rng, stage);
+                        b.add_range_entry(tid, ranges, prio, action).unwrap();
+                    }
+                    tid
+                }
+            };
             if rng.random::<bool>() {
-                let tid =
-                    b.add_table(TableSpec::exact(format!("e{stage}_{t}"), key.clone(), 8), stage);
-                for _ in 0..n_entries {
-                    let vals: Vec<u64> = key.iter().map(|_| rng.random_range(0u64..4)).collect();
-                    let action = random_action(rng, stage);
-                    b.add_exact_entry(tid, vals, action).unwrap();
-                }
-                if rng.random::<bool>() {
-                    let d = random_action(rng, stage);
-                    b.set_default(tid, d);
-                }
-            } else {
-                let tid =
-                    b.add_table(TableSpec::ternary(format!("t{stage}_{t}"), key.clone(), 8), stage);
-                for _ in 0..n_entries {
-                    let pats: Vec<Ternary> = key
-                        .iter()
-                        .map(|_| {
-                            if rng.random::<bool>() {
-                                Ternary::ANY
-                            } else {
-                                Ternary::exact(rng.random_range(0u64..4), 8)
-                            }
-                        })
-                        .collect();
-                    let prio = rng.random_range(0u32..10);
-                    let action = random_action(rng, stage);
-                    b.add_ternary_entry(tid, pats, prio, action).unwrap();
-                }
-                if rng.random::<bool>() {
-                    let d = random_action(rng, stage);
-                    b.set_default(tid, d);
-                }
+                let d = random_action(rng, stage);
+                b.set_default(tid, d);
             }
         }
     }
@@ -208,6 +237,91 @@ proptest! {
             format!("{:?}", plan_pipe.program().tables()),
             format!("{:?}", walk_pipe.program().tables())
         );
+    }
+
+    /// The compiled match index resolves every lookup exactly as the
+    /// linear reference scan does — over random table contents (all three
+    /// match kinds, 0..90 entries straddling the ternary prefilter
+    /// threshold), random priorities **including ties** (lowest install
+    /// index must win), wildcards, overlapping and degenerate ranges, and
+    /// random key streams.
+    #[test]
+    fn indexed_lookup_equals_linear(seed in 0u64..600) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use splidt::dataplane::index::MatchIndex;
+        use splidt::dataplane::table::{EntryKey, Table};
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_fields = rng.random_range(1usize..4);
+        let mut layout = splidt::dataplane::PhvLayout::new();
+        let key: Vec<_> =
+            (0..n_fields).map(|i| layout.add_field(format!("k{i}"), 16)).collect();
+        let n_entries = rng.random_range(0usize..90);
+        let kind = rng.random_range(0u8..3);
+        let spec = match kind {
+            0 => TableSpec::exact("t", key, n_entries + 1),
+            1 => TableSpec::ternary("t", key, n_entries + 1),
+            _ => TableSpec::range("t", key, n_entries + 1),
+        };
+        let mut table = Table::new(spec);
+        for _ in 0..n_entries {
+            // Few distinct priorities → plenty of ties.
+            let priority = rng.random_range(0u32..4);
+            let entry = match kind {
+                0 => EntryKey::Exact(
+                    (0..n_fields).map(|_| rng.random_range(0u64..32)).collect(),
+                ),
+                1 => EntryKey::Ternary {
+                    fields: (0..n_fields)
+                        .map(|_| match rng.random_range(0u8..3) {
+                            0 => Ternary::ANY,
+                            1 => Ternary::exact(rng.random_range(0u64..32), 16),
+                            _ => Ternary::new(
+                                rng.random_range(0u64..65536),
+                                rng.random_range(0u64..65536),
+                            ),
+                        })
+                        .collect(),
+                    priority,
+                },
+                _ => EntryKey::Range {
+                    fields: (0..n_fields)
+                        .map(|_| {
+                            let lo = rng.random_range(0u64..40);
+                            // Degenerate single-point ranges included.
+                            (lo, lo + rng.random_range(0u64..12))
+                        })
+                        .collect(),
+                    priority,
+                },
+            };
+            // Exact duplicates are rejected by install — skip those draws.
+            let _ = table.install(entry, Action::new("e"));
+        }
+        let index = MatchIndex::build(&table);
+        let mut scratch = Vec::new();
+        for _ in 0..60 {
+            // Mix uniform probes with probes snapped near installed
+            // values so hits are common.
+            let probe: Vec<u64> = (0..n_fields)
+                .map(|_| {
+                    if rng.random::<bool>() {
+                        rng.random_range(0u64..64)
+                    } else {
+                        rng.random_range(0u64..65536)
+                    }
+                })
+                .collect();
+            prop_assert_eq!(
+                index.lookup(&probe, &mut scratch),
+                table.lookup_linear_key(&probe),
+                "seed {} kind {} probe {:?}",
+                seed,
+                kind,
+                probe
+            );
+        }
     }
 
     /// Window bounds partition every flow for every partition count.
