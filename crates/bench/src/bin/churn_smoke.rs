@@ -1,0 +1,140 @@
+//! CI churn smoke: drives 16× more distinct flows than register slots
+//! through one engine and gates the flow-state lifecycle's acceptance
+//! criteria:
+//!
+//! 1. ≥ 8 × `flow_slots` **distinct flows classified** in one run
+//!    (bounded register memory, slots recycled via verdict release, idle
+//!    eviction and in-band takeover);
+//! 2. lifecycle counters **reconcile exactly**
+//!    (`admitted == active + decided_pending + evictions`);
+//! 3. **zero heap allocations** per steady-state packet on the
+//!    pipeline-level churn loop (claims/takeovers/decides included);
+//! 4. packets/sec within `--max-drop-pct` of the committed baseline.
+//!
+//! ```text
+//! churn_smoke [--out BENCH_churn.json] [--baseline bench/churn_baseline.json]
+//!             [--max-drop-pct 15] [--seconds 2.0]
+//! ```
+//!
+//! Exit codes: `0` ok · `1` throughput regressed · `2` the
+//! zero-allocation invariant broke · `3` lifecycle acceptance failed
+//! (too few flows classified or counters do not reconcile).
+//!
+//! Locally, diff two result files with `scripts/bench_diff.sh`.
+
+use splidt_bench::churn::{
+    engine_for, fixture, measure_churn_outcome, measure_churn_throughput, probe_churn_allocs,
+    write_json, CHURN_CLASSIFIED_FLOOR,
+};
+use splidt_bench::hotpath::read_metric;
+use splidt_bench::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    max_drop_pct: f64,
+    seconds: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { out: "BENCH_churn.json".into(), baseline: None, max_drop_pct: 15.0, seconds: 2.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = val("--out"),
+            "--baseline" => args.baseline = Some(val("--baseline")),
+            "--max-drop-pct" => {
+                args.max_drop_pct = val("--max-drop-pct").parse().expect("numeric pct")
+            }
+            "--seconds" => args.seconds = val("--seconds").parse().expect("numeric seconds"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let (model, frames) = fixture();
+    let mut engine = engine_for(&model);
+
+    // 1. Correctness pass: classify under churn, read the lifecycle.
+    let mut stats = measure_churn_outcome(&mut engine, &frames);
+    let lc = stats.lifecycle;
+    println!(
+        "churn: {} packets, {} distinct flows over {} slots → {} classified",
+        stats.packets, stats.distinct_flows, stats.flow_slots, stats.classified_flows
+    );
+    println!(
+        "lifecycle: admitted {} = active {} + decided_pending {} + evict_idle {} + \
+         evict_decided {} (takeovers {}, live_collisions {}, post_verdict {}) — reconciled: {}",
+        lc.admitted,
+        lc.active_flows,
+        lc.decided_pending,
+        lc.evictions_idle,
+        lc.evictions_decided,
+        lc.takeovers,
+        lc.live_collisions,
+        lc.post_verdict_pkts,
+        stats.reconciled
+    );
+
+    // 2. Strict allocation probe over the same schedule at pipeline level.
+    let (allocs, probe_packets) = probe_churn_allocs(&model, &frames);
+    stats.churn_allocs_per_packet = allocs as f64 / probe_packets as f64;
+    println!(
+        "churn probe: {allocs} allocations over {probe_packets} packets \
+         ({:.6}/packet)",
+        stats.churn_allocs_per_packet
+    );
+
+    // 3. Throughput through the engine batch path.
+    measure_churn_throughput(&mut engine, &frames, args.seconds, &mut stats);
+    println!(
+        "throughput: {:.0} packets/sec ({} packets in {:.2}s), {:.4} allocs/packet \
+         (per-batch digest collation included)",
+        stats.pps, stats.packets, stats.elapsed_s, stats.allocs_per_packet
+    );
+
+    write_json(&args.out, &stats).expect("writes results json");
+    println!("wrote {}", args.out);
+
+    // Gates, ordered: lifecycle acceptance → allocations → throughput.
+    if stats.classified_flows < CHURN_CLASSIFIED_FLOOR as u64 {
+        eprintln!(
+            "FAIL: only {} distinct flows classified; floor is {} (8 × {} slots)",
+            stats.classified_flows, CHURN_CLASSIFIED_FLOOR, stats.flow_slots
+        );
+        std::process::exit(3);
+    }
+    if !stats.reconciled {
+        eprintln!("FAIL: lifecycle counters do not reconcile: {lc:?}");
+        std::process::exit(3);
+    }
+    if allocs != 0 {
+        eprintln!("FAIL: churn steady state allocated ({allocs} allocations)");
+        std::process::exit(2);
+    }
+    if let Some(baseline) = &args.baseline {
+        let base_pps =
+            read_metric(baseline, "pps").unwrap_or_else(|| panic!("no pps in baseline {baseline}"));
+        let floor = base_pps * (1.0 - args.max_drop_pct / 100.0);
+        println!(
+            "baseline: {base_pps:.0} pps ({baseline}); floor at -{:.0}%: {floor:.0} pps",
+            args.max_drop_pct
+        );
+        if stats.pps < floor {
+            eprintln!(
+                "FAIL: throughput {:.0} pps is >{:.0}% below baseline {base_pps:.0} pps",
+                stats.pps, args.max_drop_pct
+            );
+            std::process::exit(1);
+        }
+        println!("throughput within budget");
+    }
+}

@@ -155,7 +155,7 @@ pub fn probe_hot_loop_allocs(n_packets: u64) -> u64 {
         t,
         vec![6],
         Action::new("account")
-            .with(Primitive::HashFlow { dst: idx, mask: (slots - 1) as u64 })
+            .with(Primitive::HashFlow { dst: idx, mask: (slots - 1) as u64, salt: 0 })
             .with(Primitive::RegRmw {
                 reg: r,
                 index: Source::Field(idx),

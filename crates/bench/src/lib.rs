@@ -8,6 +8,7 @@
 //! can run quickly on small machines.
 
 pub mod alloc_count;
+pub mod churn;
 pub mod hotpath;
 pub mod lookup;
 

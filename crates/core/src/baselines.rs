@@ -149,6 +149,8 @@ impl NetBeacon {
             dep_registers: dep_registers_of(&feats),
             // phase id (8) + packet counter (24).
             reserved_bits: 32,
+            // baselines assume a statically pre-admitted flow set
+            lifecycle_bits: 0,
             tcam_entries: entries,
             max_key_bits: key_bits,
             stages: 6 + self.top_k.len().div_ceil(8),
@@ -243,6 +245,7 @@ impl Leo {
             slot_bits: slot_bits_for(self.feature_bits),
             dep_registers: dep_registers_of(&feats),
             reserved_bits: 24,
+            lifecycle_bits: 0,
             tcam_entries: self.tcam_entries(),
             max_key_bits: rules.mark_bits().max(8),
             stages: 5 + self.top_k.len().div_ceil(8),

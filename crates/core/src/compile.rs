@@ -1,30 +1,52 @@
 //! Compiler: a trained [`PartitionedTree`] → an executable data-plane
 //! [`Program`] (the role the paper's P4 program + bfrt controller play).
 //!
-//! Pipeline layout (8 stages, within Tofino1's 12):
+//! Pipeline layout (10 stages, within Tofino1's 12):
 //!
 //! | stage | contents |
 //! |---|---|
-//! | 0 | flow hash, direction, `window_len = flow_size / p`, payload |
-//! | 1 | SID / packet-counter / window-counter registers |
-//! | 2 | dependency-chain registers (`last_ts` per scope) |
-//! | 3 | IAT arithmetic, validity bits, window-first, boundary detection |
-//! | 4 | the `k` feature-slot registers + operator-selection MATs |
-//! | 5 | per-SID load transforms (cap / negate / since-timestamp) |
-//! | 6 | `k` match-key generator MATs (value → range mark) |
-//! | 7 | the model MAT (marks → next SID / class), resubmit, digest |
+//! | 0 | flow hash + fingerprint, direction, `window_len`, payload |
+//! | 1 | the **ownership lane** register (fingerprint ‖ last-seen ‖ decided) |
+//! | 2 | the lifecycle MAT (slot state → claim/alien bits + counters) |
+//! | 3 | SID / packet-counter / window-counter registers |
+//! | 4 | dependency-chain registers (`last_ts` per scope) |
+//! | 5 | IAT arithmetic, validity bits, window-first, boundary detection |
+//! | 6 | the `k` feature-slot registers + operator-selection MATs |
+//! | 7 | per-SID load transforms (cap / negate / since-timestamp) |
+//! | 8 | `k` match-key generator MATs (value → range mark) |
+//! | 9 | the model MAT (marks → next SID / class), resubmit, digest |
 //!
 //! Register reuse via recirculation (paper §3.1.3): the model MAT marks the
 //! boundary packet for resubmission with `next_sid` in metadata; on the
 //! resubmitted pass every stateful table matches `is_resubmit = 1` and
 //! resets its register (SID ← next_sid, counters/slots/deps ← 0).
+//!
+//! ## Flow-state lifecycle
+//!
+//! Flows are **learned on the wire**, not pre-admitted. Stage 1 probes the
+//! slot's ownership lane (one dual-ALU [`Primitive::OwnerUpdate`] per
+//! packet): a matching fingerprint refreshes recency; a free lane — or a
+//! lane whose owner is idle past `idle_timeout_us` or already decided — is
+//! claimed, and stage 2 raises the `m.claim` bit so every downstream
+//! stateful table resets its cell and applies the first-packet update in
+//! the same pass (fresh state = op(0, x), so claim entries run `Write x`).
+//! A fingerprint mismatch against a *live* lane raises `m.alien` instead:
+//! the packet's register updates and boundary detection are suppressed —
+//! counted by the lifecycle MAT, never merged into the owner's state. At a
+//! verdict (early exit *or* flow end) the model MAT resubmits with the
+//! DONE sentinel; the decide pass marks the lane, making the slot
+//! immediately reclaimable in-band and releasable by the controller (the
+//! engine compare-and-releases lanes when it drains the verdict digest,
+//! which carries the fingerprint). This is pForest's register-reuse
+//! discipline (arXiv:1909.05680), compiled.
 
 use crate::model::{LeafTarget, PartitionedTree};
-use splidt_dataplane::action::{Action, AluOp, AluOut, Primitive, Source};
+use splidt_dataplane::action::{Action, AluOp, AluOut, OwnerMode, Primitive, SlotState, Source};
+use splidt_dataplane::hash::{FP_MASK, FP_SALT};
 use splidt_dataplane::parser::StandardFields;
 use splidt_dataplane::phv::FieldId;
 use splidt_dataplane::program::{Program, ProgramBuilder, ProgramError};
-use splidt_dataplane::register::RegisterSpec;
+use splidt_dataplane::register::{RegId, RegisterSpec};
 use splidt_dataplane::table::{TableId, TableSpec};
 use splidt_dataplane::tcam::Ternary;
 use splidt_flow::features::{
@@ -118,6 +140,46 @@ pub fn model_rules(model: &PartitionedTree) -> RulesSummary {
     }
 }
 
+/// Default owner idle timeout: a live flow silent this long (µs) forfeits
+/// its slot to the next colliding arrival. Larger than any intra-flow gap
+/// the synthetic traces produce (≤ 4 s), so only genuinely dead flows are
+/// evicted under default settings.
+pub const DEFAULT_IDLE_TIMEOUT_US: u64 = 5_000_000;
+
+/// Compile-time knobs beyond the model itself.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Register depth (power of two).
+    pub flow_slots: usize,
+    /// Ownership-lane idle timeout in µs.
+    pub idle_timeout_us: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self { flow_slots: 1 << 16, idle_timeout_us: DEFAULT_IDLE_TIMEOUT_US }
+    }
+}
+
+/// Install order of the lifecycle MAT's first-pass entries — the entry
+/// hit counters are the data plane's lifecycle counters, read back by the
+/// engine through these indices.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleEntryIdx {
+    /// Owner packets (fingerprint match, lane live).
+    pub owner: usize,
+    /// Free-lane claims (first admission of the slot).
+    pub admit_free: usize,
+    /// Takeovers of idle owners.
+    pub takeover_idle: usize,
+    /// Takeovers of decided owners.
+    pub takeover_decided: usize,
+    /// Suppressed packets of flows colliding with a live owner.
+    pub live_collision: usize,
+    /// Trailing packets of an already-decided owner.
+    pub post_verdict: usize,
+}
+
 /// Handles into the compiled program the runtime needs.
 #[derive(Debug, Clone)]
 pub struct CompiledIo {
@@ -125,7 +187,9 @@ pub struct CompiledIo {
     pub fields: StandardFields,
     /// Flow-slot count (register depth).
     pub flow_slots: usize,
-    /// Digest layout: `[ipv4.src, ipv4.dst, class, sid, flow_idx]`.
+    /// Ownership-lane idle timeout the program was compiled with (µs).
+    pub idle_timeout_us: u64,
+    /// Digest layout: `[ipv4.src, ipv4.dst, class, sid, flow_idx, fp]`.
     pub digest_src: usize,
     /// Index of class within digest values.
     pub digest_class: usize,
@@ -134,8 +198,22 @@ pub struct CompiledIo {
     /// Index of the canonical register slot within digest values — the
     /// collation key the runtime uses to attribute digests to flows.
     pub digest_flow_idx: usize,
+    /// Index of the flow fingerprint within digest values — what the
+    /// controller compares before releasing a decided lane.
+    pub digest_fp: usize,
+    /// Index of the flow-end flag within digest values: 1 when the
+    /// verdict came from the flow's final packet (safe to release the
+    /// lane — no trailing traffic), 0 for early exits (the lane stays
+    /// decided so trailing packets remain inert).
+    pub digest_final: usize,
     /// The model table id (hit statistics).
     pub model_table: TableId,
+    /// The ownership-lane register array.
+    pub owner_reg: RegId,
+    /// The lifecycle MAT (entry hit counters = lifecycle counters).
+    pub lifecycle_table: TableId,
+    /// Entry indices into the lifecycle MAT.
+    pub lifecycle_entries: LifecycleEntryIdx,
 }
 
 /// A compiled model: executable program + IO handles + rule summary.
@@ -177,9 +255,36 @@ enum BindKind {
 
 const MAX_SLOT_TABLE_ENTRIES: usize = 4096;
 
+/// Fixed (non-validity) fields of the slot-table key: `[is_resubmit,
+/// claim, alien, sid, dir, tcp_flags, frame_len, payload, win_first]`.
+const SLOT_KEY_FIXED: usize = 9;
+
 /// Compiles a partitioned tree into a pipeline program with `flow_slots`
-/// register entries (power of two).
+/// register entries (power of two) and the default idle timeout.
 pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledModel, CompileError> {
+    compile_with(model, &CompileOptions { flow_slots, ..Default::default() })
+}
+
+/// Pipeline stage of each compiled layer (see the module docs).
+mod stage {
+    pub const PREP: usize = 0;
+    pub const OWN: usize = 1;
+    pub const LIFECYCLE: usize = 2;
+    pub const STATE: usize = 3;
+    pub const DEP: usize = 4;
+    pub const COMPUTE: usize = 5;
+    pub const SLOT: usize = 6;
+    pub const LOAD: usize = 7;
+    pub const KEYGEN: usize = 8;
+    pub const MODEL: usize = 9;
+}
+
+/// Compiles a partitioned tree with explicit [`CompileOptions`].
+pub fn compile_with(
+    model: &PartitionedTree,
+    opts: &CompileOptions,
+) -> Result<CompiledModel, CompileError> {
+    let flow_slots = opts.flow_slots;
     model.validate().map_err(CompileError::InvalidModel)?;
     if model.config.k > 8 {
         return Err(CompileError::Unsupported("k > 8 feature slots".into()));
@@ -227,6 +332,10 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     // --- metadata fields
     let slot_bits_log2 = flow_slots.trailing_zeros() as u8;
     let m_flow_idx = b.add_meta("m.flow_idx", slot_bits_log2.max(1));
+    let m_fp = b.add_meta("m.fp", 31);
+    let m_state = b.add_meta("m.state", SlotState::BITS);
+    let m_claim = b.add_meta("m.claim", 1);
+    let m_alien = b.add_meta("m.alien", 1);
     let m_sid = b.add_meta("m.sid", 8);
     let m_next_sid = b.add_meta("m.next_sid", 8);
     let m_next_store = b.add_meta("m.next_sid_store", 8);
@@ -257,25 +366,30 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     let m_neg_len = b.add_meta("m.neg_len", 32);
 
     // --- registers
-    let r_sid = b.add_register(RegisterSpec::new("r.sid", 8, flow_slots), 1);
-    let r_pkt = b.add_register(RegisterSpec::new("r.pkt_count", 24, flow_slots), 1);
-    let r_win = b.add_register(RegisterSpec::new("r.win_count", 16, flow_slots), 1);
+    let r_owner = b.add_register(RegisterSpec::new("r.owner", 64, flow_slots), stage::OWN);
+    let r_sid = b.add_register(RegisterSpec::new("r.sid", 8, flow_slots), stage::STATE);
+    let r_pkt = b.add_register(RegisterSpec::new("r.pkt_count", 24, flow_slots), stage::STATE);
+    let r_win = b.add_register(RegisterSpec::new("r.win_count", 16, flow_slots), stage::STATE);
     let mut r_last = BTreeMap::new();
     for d in &deps {
         let DepRegister::LastTs(s) = d;
         let tag = scope_tag(*s);
         r_last.insert(
             *s,
-            b.add_register(RegisterSpec::new(format!("r.last_{tag}"), 32, flow_slots), 2),
+            b.add_register(RegisterSpec::new(format!("r.last_{tag}"), 32, flow_slots), stage::DEP),
         );
     }
 
     // --- stage 0: prep + direction
-    let t_prep = b.add_table(TableSpec::ternary("prep", vec![fields.is_resubmit], 2), 0);
+    let t_prep = b.add_table(TableSpec::ternary("prep", vec![fields.is_resubmit], 2), stage::PREP);
     b.set_default(
         t_prep,
         Action::new("prep")
-            .with(Primitive::HashFlow { dst: m_flow_idx, mask: (flow_slots - 1) as u64 })
+            .with(Primitive::HashFlow { dst: m_flow_idx, mask: (flow_slots - 1) as u64, salt: 0 })
+            // The ownership fingerprint: an independently salted hash,
+            // forced nonzero (0 means "lane free").
+            .with(Primitive::HashFlow { dst: m_fp, mask: FP_MASK, salt: FP_SALT })
+            .with(Primitive::Max { dst: m_fp, a: Source::Field(m_fp), b: Source::Const(1) })
             .with(Primitive::Set { dst: m_now, src: Source::Field(fields.ts_us) })
             .with(Primitive::DivConst {
                 dst: m_window_len,
@@ -308,7 +422,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     );
     let m_csport = b.add_meta("m.csport", 16);
     let m_cdport = b.add_meta("m.cdport", 16);
-    let t_dir = b.add_table(TableSpec::ternary("dir", vec![fields.dport], 4), 0);
+    let t_dir = b.add_table(TableSpec::ternary("dir", vec![fields.dport], 4), stage::PREP);
     // dport < 1024 ⇒ toward the service ⇒ forward direction. Canonical
     // (initiator-oriented) ports are derived alongside.
     b.add_ternary_entry(
@@ -328,11 +442,94 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
             .with(Primitive::set_field(m_cdport, fields.sport)),
     );
 
-    // --- stage 1: sid / counters
-    let t_sid = b.add_table(TableSpec::exact("sid", vec![fields.is_resubmit], 2), 1);
+    // --- stage 1: the ownership lane. One dual-ALU probe per first pass;
+    // resubmitted passes either mark the verdict (DONE sentinel in
+    // `m.next_sid`) or leave the lane alone.
+    let t_own =
+        b.add_table(TableSpec::ternary("own", vec![fields.is_resubmit, m_next_sid], 3), stage::OWN);
+    b.add_ternary_entry(
+        t_own,
+        vec![Ternary::exact(1, 1), Ternary::exact(255, 8)],
+        10,
+        Action::new("decide").with(Primitive::OwnerUpdate {
+            reg: r_owner,
+            index: Source::Field(m_flow_idx),
+            fp: Source::Field(m_fp),
+            now: Source::Field(m_now),
+            idle_timeout_us: opts.idle_timeout_us,
+            mode: OwnerMode::Decide,
+            state_out: m_state,
+        }),
+    )?;
+    b.add_ternary_entry(t_own, vec![Ternary::exact(1, 1), Ternary::ANY], 5, Action::new("carry"))?;
+    b.set_default(
+        t_own,
+        Action::new("probe").with(Primitive::OwnerUpdate {
+            reg: r_owner,
+            index: Source::Field(m_flow_idx),
+            fp: Source::Field(m_fp),
+            now: Source::Field(m_now),
+            idle_timeout_us: opts.idle_timeout_us,
+            mode: OwnerMode::Probe,
+            state_out: m_state,
+        }),
+    );
+
+    // --- stage 2: lifecycle MAT — maps the probed slot state onto the
+    // claim/alien metadata bits the stateful tables key on. Its per-entry
+    // hit counters ARE the lifecycle counters (admissions, takeovers,
+    // live collisions), read back by the engine through
+    // `CompiledIo::lifecycle_entries`. Install order is fixed.
+    let t_life = b.add_table(
+        TableSpec::ternary("lifecycle", vec![fields.is_resubmit, m_state], 7),
+        stage::LIFECYCLE,
+    );
+    let life_entry = |claim: u64, alien: u64, name: &str| {
+        Action::new(name)
+            .with(Primitive::set_const(m_claim, claim))
+            .with(Primitive::set_const(m_alien, alien))
+    };
+    let lifecycle_states = [
+        (SlotState::Owner, 0u64, 0u64, "owner"),
+        (SlotState::ClaimFree, 1, 0, "admit_free"),
+        (SlotState::TakeoverIdle, 1, 0, "takeover_idle"),
+        (SlotState::TakeoverDecided, 1, 0, "takeover_decided"),
+        (SlotState::LiveCollision, 0, 1, "live_collision"),
+        (SlotState::OwnerDecided, 0, 0, "post_verdict"),
+    ];
+    for (state, claim, alien, name) in lifecycle_states {
+        b.add_ternary_entry(
+            t_life,
+            vec![Ternary::exact(0, 1), Ternary::exact(state.code(), SlotState::BITS)],
+            10,
+            life_entry(claim, alien, name),
+        )?;
+    }
+    // Resubmitted passes are always the owner's: clear both bits so the
+    // stage-keyed resubmit entries below stay unambiguous.
+    b.add_ternary_entry(
+        t_life,
+        vec![Ternary::exact(1, 1), Ternary::ANY],
+        5,
+        life_entry(0, 0, "resubmit_clear"),
+    )?;
+    let lifecycle_entries = LifecycleEntryIdx {
+        owner: 0,
+        admit_free: 1,
+        takeover_idle: 2,
+        takeover_decided: 3,
+        live_collision: 4,
+        post_verdict: 5,
+    };
+
+    // --- stage 3: sid / counters. Keyed on [is_resubmit, claim(, alien)]:
+    // claim packets write first-packet state in-pass (fresh = op(0, x)),
+    // alien packets read without modifying.
+    let t_sid =
+        b.add_table(TableSpec::exact("sid", vec![fields.is_resubmit, m_claim], 4), stage::STATE);
     b.add_exact_entry(
         t_sid,
-        vec![0],
+        vec![0, 0],
         Action::new("read_sid")
             .with(Primitive::RegRmw {
                 reg: r_sid,
@@ -343,23 +540,40 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
             })
             .with(Primitive::Add { dst: m_sid, a: Source::Field(m_sid), b: Source::Const(1) }),
     )?;
+    // Claiming a (possibly recycled) slot restarts it in subtree 1: the
+    // stored form is sid − 1, so write 0 and read back 1.
     b.add_exact_entry(
         t_sid,
-        vec![1],
-        Action::new("write_sid")
+        vec![0, 1],
+        Action::new("claim_sid")
             .with(Primitive::RegRmw {
                 reg: r_sid,
                 index: Source::Field(m_flow_idx),
                 op: AluOp::Write,
-                operand: Source::Field(m_next_store),
+                operand: Source::Const(0),
                 out: Some((m_sid, AluOut::New)),
             })
             .with(Primitive::Add { dst: m_sid, a: Source::Field(m_sid), b: Source::Const(1) }),
     )?;
-    let t_pkt = b.add_table(TableSpec::exact("pkt_count", vec![fields.is_resubmit], 2), 1);
+    // Resubmitted passes always carry claim = 0 (the lifecycle MAT's
+    // resubmit_clear entry), so [1, 0] is the only resubmit key.
+    let write_sid = Action::new("write_sid")
+        .with(Primitive::RegRmw {
+            reg: r_sid,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Write,
+            operand: Source::Field(m_next_store),
+            out: Some((m_sid, AluOut::New)),
+        })
+        .with(Primitive::Add { dst: m_sid, a: Source::Field(m_sid), b: Source::Const(1) });
+    b.add_exact_entry(t_sid, vec![1, 0], write_sid)?;
+    let t_pkt = b.add_table(
+        TableSpec::exact("pkt_count", vec![fields.is_resubmit, m_claim, m_alien], 4),
+        stage::STATE,
+    );
     b.add_exact_entry(
         t_pkt,
-        vec![0],
+        vec![0, 0, 0],
         Action::new("inc").with(Primitive::RegRmw {
             reg: r_pkt,
             index: Source::Field(m_flow_idx),
@@ -370,19 +584,31 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     )?;
     b.add_exact_entry(
         t_pkt,
-        vec![1],
-        Action::new("read").with(Primitive::RegRmw {
+        vec![0, 1, 0],
+        Action::new("claim").with(Primitive::RegRmw {
             reg: r_pkt,
             index: Source::Field(m_flow_idx),
-            op: AluOp::Read,
-            operand: Source::Const(0),
-            out: Some((m_pkt_count, AluOut::Old)),
+            op: AluOp::Write,
+            operand: Source::Const(1),
+            out: Some((m_pkt_count, AluOut::New)),
         }),
     )?;
-    let t_win = b.add_table(TableSpec::exact("win_count", vec![fields.is_resubmit], 2), 1);
+    let pkt_read = Action::new("read").with(Primitive::RegRmw {
+        reg: r_pkt,
+        index: Source::Field(m_flow_idx),
+        op: AluOp::Read,
+        operand: Source::Const(0),
+        out: Some((m_pkt_count, AluOut::Old)),
+    });
+    b.add_exact_entry(t_pkt, vec![0, 0, 1], pkt_read.clone())?;
+    b.add_exact_entry(t_pkt, vec![1, 0, 0], pkt_read)?;
+    let t_win = b.add_table(
+        TableSpec::exact("win_count", vec![fields.is_resubmit, m_claim, m_alien], 4),
+        stage::STATE,
+    );
     b.add_exact_entry(
         t_win,
-        vec![0],
+        vec![0, 0, 0],
         Action::new("inc").with(Primitive::RegRmw {
             reg: r_win,
             index: Source::Field(m_flow_idx),
@@ -393,7 +619,29 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     )?;
     b.add_exact_entry(
         t_win,
-        vec![1],
+        vec![0, 1, 0],
+        Action::new("claim").with(Primitive::RegRmw {
+            reg: r_win,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Write,
+            operand: Source::Const(1),
+            out: Some((m_win_count, AluOut::New)),
+        }),
+    )?;
+    b.add_exact_entry(
+        t_win,
+        vec![0, 0, 1],
+        Action::new("peek").with(Primitive::RegRmw {
+            reg: r_win,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Read,
+            operand: Source::Const(0),
+            out: Some((m_win_count, AluOut::Old)),
+        }),
+    )?;
+    b.add_exact_entry(
+        t_win,
+        vec![1, 0, 0],
         Action::new("reset").with(Primitive::RegRmw {
             reg: r_win,
             index: Source::Field(m_flow_idx),
@@ -403,88 +651,108 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         }),
     )?;
 
-    // --- stage 2: dependency registers
+    // --- stage 4: dependency registers. Claim packets overwrite the
+    // (possibly stale) cell and export 0 — exactly what a pristine slot
+    // would have exported — so validity bits downstream see a fresh flow;
+    // alien packets read without modifying.
     for d in &deps {
         let DepRegister::LastTs(s) = d;
         let tag = scope_tag(*s);
         let reg = r_last[s];
         let out = m_last[s];
+        let rmw = |op: AluOp, operand: Source, export: bool| Primitive::RegRmw {
+            reg,
+            index: Source::Field(m_flow_idx),
+            op,
+            operand,
+            out: if export { Some((out, AluOut::Old)) } else { None },
+        };
         match s {
             Scope::All => {
                 let t = b.add_table(
-                    TableSpec::exact(format!("last_{tag}"), vec![fields.is_resubmit], 2),
-                    2,
+                    TableSpec::exact(
+                        format!("last_{tag}"),
+                        vec![fields.is_resubmit, m_claim, m_alien],
+                        4,
+                    ),
+                    stage::DEP,
                 );
                 b.add_exact_entry(
                     t,
-                    vec![0],
-                    Action::new("upd").with(Primitive::RegRmw {
-                        reg,
-                        index: Source::Field(m_flow_idx),
-                        op: AluOp::Write,
-                        operand: Source::Field(m_now),
-                        out: Some((out, AluOut::Old)),
-                    }),
+                    vec![0, 0, 0],
+                    Action::new("upd").with(rmw(AluOp::Write, Source::Field(m_now), true)),
                 )?;
                 b.add_exact_entry(
                     t,
-                    vec![1],
-                    Action::new("reset").with(Primitive::RegRmw {
-                        reg,
-                        index: Source::Field(m_flow_idx),
-                        op: AluOp::Write,
-                        operand: Source::Const(0),
-                        out: None,
-                    }),
+                    vec![0, 1, 0],
+                    Action::new("claim")
+                        .with(rmw(AluOp::Write, Source::Field(m_now), false))
+                        .with(Primitive::set_const(out, 0)),
+                )?;
+                b.add_exact_entry(
+                    t,
+                    vec![0, 0, 1],
+                    Action::new("peek").with(rmw(AluOp::Read, Source::Const(0), true)),
+                )?;
+                b.add_exact_entry(
+                    t,
+                    vec![1, 0, 0],
+                    Action::new("reset").with(rmw(AluOp::Write, Source::Const(0), false)),
                 )?;
             }
             Scope::Fwd | Scope::Bwd => {
                 let want = if *s == Scope::Fwd { 1u64 } else { 0 };
                 let t = b.add_table(
-                    TableSpec::exact(format!("last_{tag}"), vec![fields.is_resubmit, m_dir], 4),
-                    2,
+                    TableSpec::exact(
+                        format!("last_{tag}"),
+                        vec![fields.is_resubmit, m_claim, m_alien, m_dir],
+                        8,
+                    ),
+                    stage::DEP,
                 );
                 b.add_exact_entry(
                     t,
-                    vec![0, want],
-                    Action::new("upd").with(Primitive::RegRmw {
-                        reg,
-                        index: Source::Field(m_flow_idx),
-                        op: AluOp::Write,
-                        operand: Source::Field(m_now),
-                        out: Some((out, AluOut::Old)),
-                    }),
+                    vec![0, 0, 0, want],
+                    Action::new("upd").with(rmw(AluOp::Write, Source::Field(m_now), true)),
                 )?;
                 b.add_exact_entry(
                     t,
-                    vec![0, 1 - want],
-                    Action::new("read").with(Primitive::RegRmw {
-                        reg,
-                        index: Source::Field(m_flow_idx),
-                        op: AluOp::Read,
-                        operand: Source::Const(0),
-                        out: Some((out, AluOut::Old)),
-                    }),
+                    vec![0, 0, 0, 1 - want],
+                    Action::new("read").with(rmw(AluOp::Read, Source::Const(0), true)),
+                )?;
+                b.add_exact_entry(
+                    t,
+                    vec![0, 1, 0, want],
+                    Action::new("claim_upd")
+                        .with(rmw(AluOp::Write, Source::Field(m_now), false))
+                        .with(Primitive::set_const(out, 0)),
+                )?;
+                b.add_exact_entry(
+                    t,
+                    vec![0, 1, 0, 1 - want],
+                    Action::new("claim_rst")
+                        .with(rmw(AluOp::Write, Source::Const(0), false))
+                        .with(Primitive::set_const(out, 0)),
                 )?;
                 for dirv in [0u64, 1] {
                     b.add_exact_entry(
                         t,
-                        vec![1, dirv],
-                        Action::new("reset").with(Primitive::RegRmw {
-                            reg,
-                            index: Source::Field(m_flow_idx),
-                            op: AluOp::Write,
-                            operand: Source::Const(0),
-                            out: None,
-                        }),
+                        vec![0, 0, 1, dirv],
+                        Action::new("peek").with(rmw(AluOp::Read, Source::Const(0), true)),
+                    )?;
+                    b.add_exact_entry(
+                        t,
+                        vec![1, 0, 0, dirv],
+                        Action::new("reset").with(rmw(AluOp::Write, Source::Const(0), false)),
                     )?;
                 }
             }
         }
     }
 
-    // --- stage 3: arithmetic, validity, window-first, boundary
-    let t_compute = b.add_table(TableSpec::ternary("compute", vec![fields.is_resubmit], 2), 3);
+    // --- stage 5: arithmetic, validity, window-first, boundary
+    let t_compute =
+        b.add_table(TableSpec::ternary("compute", vec![fields.is_resubmit], 2), stage::COMPUTE);
     let mut compute = Action::new("compute")
         .with(Primitive::Sub {
             dst: m_diff_win,
@@ -519,7 +787,10 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     for d in &deps {
         let DepRegister::LastTs(s) = d;
         let tag = scope_tag(*s);
-        let t = b.add_table(TableSpec::ternary(format!("valid_{tag}"), vec![m_last[s]], 2), 3);
+        let t = b.add_table(
+            TableSpec::ternary(format!("valid_{tag}"), vec![m_last[s]], 2),
+            stage::COMPUTE,
+        );
         b.add_ternary_entry(
             t,
             vec![Ternary::exact(0, 32)],
@@ -528,7 +799,8 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         )?;
         b.set_default(t, Action::new("valid").with(Primitive::set_const(m_valid[s], 1)));
     }
-    let t_first = b.add_table(TableSpec::ternary("win_first", vec![m_win_count], 2), 3);
+    let t_first =
+        b.add_table(TableSpec::ternary("win_first", vec![m_win_count], 2), stage::COMPUTE);
     b.add_ternary_entry(
         t_first,
         vec![Ternary::exact(1, 16)],
@@ -538,12 +810,27 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     b.set_default(t_first, Action::new("not_first").with(Primitive::set_const(m_win_first, 0)));
 
     let t_boundary = b.add_table(
-        TableSpec::ternary("boundary", vec![fields.is_resubmit, m_diff_win, m_diff_flow], 4),
-        3,
+        TableSpec::ternary(
+            "boundary",
+            vec![fields.is_resubmit, m_alien, m_diff_win, m_diff_flow],
+            5,
+        ),
+        stage::COMPUTE,
     );
+    // Alien packets never reach the model MAT: their counters were not
+    // advanced, so any boundary they would signal is the owner's, not
+    // theirs.
     b.add_ternary_entry(
         t_boundary,
-        vec![Ternary::exact(0, 1), Ternary::ANY, Ternary::exact(0, 24)],
+        vec![Ternary::ANY, Ternary::exact(1, 1), Ternary::ANY, Ternary::ANY],
+        20,
+        Action::new("alien_none")
+            .with(Primitive::set_const(m_boundary, 0))
+            .with(Primitive::set_const(m_final, 0)),
+    )?;
+    b.add_ternary_entry(
+        t_boundary,
+        vec![Ternary::exact(0, 1), Ternary::ANY, Ternary::ANY, Ternary::exact(0, 24)],
         10,
         Action::new("final")
             .with(Primitive::set_const(m_boundary, 1))
@@ -551,7 +838,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
     )?;
     b.add_ternary_entry(
         t_boundary,
-        vec![Ternary::exact(0, 1), Ternary::exact(0, 16), Ternary::ANY],
+        vec![Ternary::exact(0, 1), Ternary::ANY, Ternary::exact(0, 16), Ternary::ANY],
         5,
         Action::new("window")
             .with(Primitive::set_const(m_boundary, 1))
@@ -564,9 +851,13 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
             .with(Primitive::set_const(m_final, 0)),
     );
 
-    // --- stage 4: feature slots (registers + operator-selection MATs)
+    // --- stage 6: feature slots (registers + operator-selection MATs).
+    // Key layout: `[is_resubmit, claim, alien, sid, dir, tcp_flags,
+    // frame_len, payload, win_first, valid…]` (see `guard_keys`).
     let mut slot_key: Vec<FieldId> = vec![
         fields.is_resubmit,
+        m_claim,
+        m_alien,
         m_sid,
         m_dir,
         fields.tcp_flags,
@@ -583,7 +874,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         .enumerate()
         .map(|(i, d)| {
             let DepRegister::LastTs(s) = d;
-            (*s, 7 + i)
+            (*s, SLOT_KEY_FIXED + i)
         })
         .collect();
 
@@ -598,19 +889,48 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         let fval = b.add_meta(format!("m.fval_{slot}"), 32);
         let mark_bits = summary.slot_mark_bits[slot].max(1);
         let mark = b.add_meta(format!("m.mark_{slot}"), mark_bits);
-        let reg = b.add_register(RegisterSpec::new(format!("r.slot_{slot}"), 32, flow_slots), 4);
+        let reg = b
+            .add_register(RegisterSpec::new(format!("r.slot_{slot}"), 32, flow_slots), stage::SLOT);
+        let reset = Action::new("reset").with(Primitive::RegRmw {
+            reg,
+            index: Source::Field(m_flow_idx),
+            op: AluOp::Write,
+            operand: Source::Const(0),
+            out: None,
+        });
         // reset on resubmission
         let mut key = vec![Ternary::ANY; slot_key.len()];
         key[0] = Ternary::exact(1, 1);
+        entries.push((key, 1_000_000, reset));
+        // alien packets must never run an operator: read-only load
+        let mut key = vec![Ternary::ANY; slot_key.len()];
+        key[0] = Ternary::exact(0, 1);
+        key[2] = Ternary::exact(1, 1);
         entries.push((
             key,
-            1_000_000,
-            Action::new("reset").with(Primitive::RegRmw {
+            900_000,
+            Action::new("alien_load").with(Primitive::RegRmw {
+                reg,
+                index: Source::Field(m_flow_idx),
+                op: AluOp::Read,
+                operand: Source::Const(0),
+                out: Some((fval, AluOut::New)),
+            }),
+        ));
+        // claim packets whose (sid = 1) operator guard does not fire still
+        // reset the recycled cell to fresh state
+        let mut key = vec![Ternary::ANY; slot_key.len()];
+        key[0] = Ternary::exact(0, 1);
+        key[1] = Ternary::exact(1, 1);
+        entries.push((
+            key,
+            50,
+            Action::new("claim_reset").with(Primitive::RegRmw {
                 reg,
                 index: Source::Field(m_flow_idx),
                 op: AluOp::Write,
                 operand: Source::Const(0),
-                out: None,
+                out: Some((fval, AluOut::New)),
             }),
         ));
         // table id assigned after entry counting; placeholder via push order
@@ -661,12 +981,32 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         for key in guard_keys(&guard, *sid, slot_key.len(), &valid_pos) {
             slot_entries[*slot].push((key, 100, action.clone()));
         }
+        // Claim packets land in subtree 1 over a just-reset cell, so the
+        // first-packet update folds into one RMW: fresh = op(0, x) = x for
+        // every slot operator (Add, Max, Write) ⇒ the claim twin writes
+        // the operand outright.
+        if *sid == 1 {
+            let claim_action =
+                Action::new(format!("claim_s{sid}_f{}", binding.feature)).with(Primitive::RegRmw {
+                    reg: meta.reg,
+                    index: Source::Field(m_flow_idx),
+                    op: AluOp::Write,
+                    operand,
+                    out: Some((meta.fval, AluOut::New)),
+                });
+            for mut key in guard_keys(&guard, *sid, slot_key.len(), &valid_pos) {
+                key[1] = Ternary::exact(1, 1);
+                slot_entries[*slot].push((key, 200, claim_action.clone()));
+            }
+        }
     }
 
     for slot in 0..k {
         let n = slot_entries[slot].len().min(MAX_SLOT_TABLE_ENTRIES);
-        let table =
-            b.add_table(TableSpec::ternary(format!("slot_{slot}"), slot_key.clone(), n.max(1)), 4);
+        let table = b.add_table(
+            TableSpec::ternary(format!("slot_{slot}"), slot_key.clone(), n.max(1)),
+            stage::SLOT,
+        );
         b.set_default(
             table,
             Action::new("load").with(Primitive::RegRmw {
@@ -683,9 +1023,11 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         slots[slot].table = table;
     }
 
-    // --- stage 5: load transforms per (sid, slot)
+    // --- stage 7: load transforms per (sid, slot)
     let load_tables: Vec<TableId> = (0..k)
-        .map(|slot| b.add_table(TableSpec::exact(format!("load_{slot}"), vec![m_sid], 512), 5))
+        .map(|slot| {
+            b.add_table(TableSpec::exact(format!("load_{slot}"), vec![m_sid], 512), stage::LOAD)
+        })
         .collect();
     for ((sid, slot), binding) in &bindings {
         let meta = &slots[*slot];
@@ -722,7 +1064,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         b.add_exact_entry(load_tables[*slot], vec![*sid as u64], action)?;
     }
 
-    // --- stage 6: match-key generators (value → range mark)
+    // --- stage 8: match-key generators (value → range mark)
     let mut keygen_entries: Vec<Vec<PendingEntry>> = vec![Vec::new(); k];
     for (sid, rules) in &summary.subtree_rules {
         let assignment = slot_assignment(&rules.features);
@@ -747,7 +1089,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
                 vec![m_sid, slots[slot].fval],
                 keygen_entries[slot].len().max(1),
             ),
-            6,
+            stage::KEYGEN,
         );
         b.set_default(t, Action::new("zero").with(Primitive::set_const(slots[slot].mark, 0)));
         for (key, prio, action) in keygen_entries[slot].drain(..) {
@@ -755,7 +1097,7 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         }
     }
 
-    // --- stage 7: model MAT
+    // --- stage 9: model MAT
     let mut model_key: Vec<FieldId> = vec![m_boundary, m_final, m_sid];
     for meta in &slots {
         model_key.push(meta.mark);
@@ -780,7 +1122,10 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
                 key_final[3 + slot] = Ternary::new(val, mask);
             }
             let target = st.leaf_targets[mr.leaf_index as usize];
-            // flow-end entry: digest the best-known class
+            // flow-end entry: digest the best-known class, then resubmit
+            // with the DONE sentinel so the decide pass marks the
+            // ownership lane (slot becomes reclaimable) and parks the SID
+            // register on 255.
             let final_class = match target {
                 LeafTarget::Class(c) => c,
                 LeafTarget::Next { fallback, .. } => fallback,
@@ -790,7 +1135,9 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
                 20,
                 Action::new("flow_end")
                     .with(Primitive::set_const(m_class, final_class as u64))
-                    .with(Primitive::Digest),
+                    .with(Primitive::Digest)
+                    .with(Primitive::set_const(m_next_sid, 255))
+                    .with(Primitive::Resubmit),
             ));
             // progress entry (skip for last partition: classification there
             // only happens at flow end)
@@ -812,16 +1159,28 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
             }
         }
     }
-    let t_model =
-        b.add_table(TableSpec::ternary("model", model_key, model_entries.len().max(1)), 7);
+    let t_model = b.add_table(
+        TableSpec::ternary("model", model_key, model_entries.len().max(1)),
+        stage::MODEL,
+    );
     for (key, prio, action) in model_entries {
         b.add_ternary_entry(t_model, key, prio, action)?;
     }
 
     // The canonical register slot (m.flow_idx) rides in the digest so the
     // controller can attribute verdicts exactly, even when initiator IPs
-    // repeat across flows.
-    b.set_digest_fields(vec![fields.ipv4_src, fields.ipv4_dst, m_class, m_sid, m_flow_idx]);
+    // repeat across flows; the fingerprint (m.fp) and flow-end flag
+    // (m.final) ride along so the controller can compare-and-release the
+    // decided ownership lane when the flow is truly over.
+    b.set_digest_fields(vec![
+        fields.ipv4_src,
+        fields.ipv4_dst,
+        m_class,
+        m_sid,
+        m_flow_idx,
+        m_fp,
+        m_final,
+    ]);
     b.set_resubmit_limit(4);
 
     let program = b.build()?;
@@ -830,11 +1189,17 @@ pub fn compile(model: &PartitionedTree, flow_slots: usize) -> Result<CompiledMod
         io: CompiledIo {
             fields,
             flow_slots,
+            idle_timeout_us: opts.idle_timeout_us,
             digest_src: 0,
             digest_class: 2,
             digest_sid: 3,
             digest_flow_idx: 4,
+            digest_fp: 5,
+            digest_final: 6,
             model_table: t_model,
+            owner_reg: r_owner,
+            lifecycle_table: t_life,
+            lifecycle_entries,
         },
         summary,
     })
@@ -876,8 +1241,9 @@ fn operand_source(
 }
 
 /// Expands a slot guard into ternary keys over the slot-table key layout:
-/// `[is_resubmit, sid, dir, tcp_flags, frame_len, payload, win_first,
-/// valid…]`.
+/// `[is_resubmit, claim, alien, sid, dir, tcp_flags, frame_len, payload,
+/// win_first, valid…]`. Claim and alien are left wildcard — the lifecycle
+/// catch entries (priorities 900 000 / 200 / 50) disambiguate.
 fn guard_keys(
     guard: &Guard,
     sid: u16,
@@ -886,17 +1252,17 @@ fn guard_keys(
 ) -> Vec<Vec<Ternary>> {
     let mut base = vec![Ternary::ANY; key_len];
     base[0] = Ternary::exact(0, 1);
-    base[1] = Ternary::exact(sid as u64, 8);
+    base[3] = Ternary::exact(sid as u64, 8);
     match guard.scope {
         Scope::All => {}
-        Scope::Fwd => base[2] = Ternary::exact(1, 1),
-        Scope::Bwd => base[2] = Ternary::exact(0, 1),
+        Scope::Fwd => base[4] = Ternary::exact(1, 1),
+        Scope::Bwd => base[4] = Ternary::exact(0, 1),
     }
     if guard.flags_mask != 0 {
-        base[3] = Ternary::new(guard.flags_mask as u64, guard.flags_mask as u64);
+        base[5] = Ternary::new(guard.flags_mask as u64, guard.flags_mask as u64);
     }
     if guard.win_first_only {
-        base[6] = Ternary::exact(1, 1);
+        base[8] = Ternary::exact(1, 1);
     }
     if let Some(s) = guard.require_prev {
         let pos = valid_pos[&s];
@@ -915,8 +1281,8 @@ fn guard_keys(
     for lp in &len_prefixes {
         for pp in &payload_prefixes {
             let mut key = base.clone();
-            key[4] = Ternary::new(lp.value, lp.mask);
-            key[5] = Ternary::new(pp.value, pp.mask);
+            key[6] = Ternary::new(lp.value, lp.mask);
+            key[7] = Ternary::new(pp.value, pp.mask);
             out.push(key);
         }
     }
@@ -945,7 +1311,7 @@ mod tests {
     fn compiles_and_fits_tofino1() {
         let model = small_model();
         let compiled = compile(&model, 1 << 14).expect("compiles");
-        assert!(compiled.program.stages().len() <= 8);
+        assert!(compiled.program.stages().len() <= 10);
         let report = splidt_dataplane::resources::check(
             &compiled.program,
             &splidt_dataplane::resources::TargetSpec::tofino1(),
@@ -981,12 +1347,15 @@ mod tests {
             require_prev: None,
             win_first_only: false,
         };
-        let keys = guard_keys(&g, 3, 8, &BTreeMap::new());
+        let keys = guard_keys(&g, 3, 10, &BTreeMap::new());
         assert!(!keys.is_empty());
         for k in &keys {
-            assert_eq!(k[1], Ternary::exact(3, 8));
-            assert_eq!(k[2], Ternary::exact(1, 1));
-            assert_eq!(k[3], Ternary::new(0x08, 0x08));
+            assert_eq!(k[0], Ternary::exact(0, 1), "first-pass only");
+            assert_eq!(k[1], Ternary::ANY, "claim left to catch entries");
+            assert_eq!(k[2], Ternary::ANY, "alien left to catch entries");
+            assert_eq!(k[3], Ternary::exact(3, 8));
+            assert_eq!(k[4], Ternary::exact(1, 1));
+            assert_eq!(k[5], Ternary::new(0x08, 0x08));
         }
     }
 }

@@ -22,16 +22,17 @@
 //! any IP heuristic, so attribution is exact even when initiator addresses
 //! repeat across flows.
 
-use crate::compile::{compile, CompiledIo, CompiledModel, RulesSummary};
+use crate::compile::{compile_with, CompileOptions, CompiledIo, CompiledModel, RulesSummary};
 use crate::error::SplidtError;
 use crate::model::PartitionedTree;
 use crate::resources::{splidt_footprint, ModelFootprint};
-use crate::runtime::{canonical_flow_index, FlowOutcome, RuntimeReport};
+use crate::runtime::{canonical_flow_index, FlowOutcome, LifecycleStats, RuntimeReport};
 use splidt_dataplane::hash::flow_index;
 use splidt_dataplane::packet::PacketBuilder;
 use splidt_dataplane::parser::peek_flow_tuple;
 use splidt_dataplane::pipeline::{Digest, Disposition, Meters, Pipeline, ProcessOutcome};
 use splidt_dataplane::program::Program;
+use splidt_dataplane::register::owner_lane;
 use splidt_dt::metrics::macro_f1;
 use splidt_flow::features::catalog;
 use splidt_flow::{extract_windows, FlowTrace};
@@ -263,12 +264,18 @@ pub struct EngineBuilder<'m> {
     model: &'m PartitionedTree,
     flow_slots: usize,
     stagger_us: u64,
+    idle_timeout_us: u64,
 }
 
 impl<'m> EngineBuilder<'m> {
-    /// Starts a builder for `model` with default slots/stagger.
+    /// Starts a builder for `model` with default slots/stagger/timeout.
     pub fn new(model: &'m PartitionedTree) -> Self {
-        Self { model, flow_slots: DEFAULT_FLOW_SLOTS, stagger_us: DEFAULT_STAGGER_US }
+        Self {
+            model,
+            flow_slots: DEFAULT_FLOW_SLOTS,
+            stagger_us: DEFAULT_STAGGER_US,
+            idle_timeout_us: crate::compile::DEFAULT_IDLE_TIMEOUT_US,
+        }
     }
 
     /// Register depth (must be a power of two).
@@ -283,9 +290,20 @@ impl<'m> EngineBuilder<'m> {
         self
     }
 
+    /// Ownership-lane idle timeout (µs): a live flow silent this long
+    /// forfeits its slot to the next colliding arrival.
+    pub fn idle_timeout_us(mut self, us: u64) -> Self {
+        self.idle_timeout_us = us;
+        self
+    }
+
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions { flow_slots: self.flow_slots, idle_timeout_us: self.idle_timeout_us }
+    }
+
     /// Compiles the model and instantiates a single-pipeline engine.
     pub fn build(self) -> Result<Engine, SplidtError> {
-        let compiled = compile(self.model, self.flow_slots)?;
+        let compiled = compile_with(self.model, &self.compile_options())?;
         Ok(Engine::from_compiled(self.model.clone(), compiled, self.stagger_us))
     }
 
@@ -294,7 +312,7 @@ impl<'m> EngineBuilder<'m> {
         if n_shards == 0 {
             return Err(SplidtError::Config("ShardedEngine needs ≥ 1 shard".into()));
         }
-        let compiled = compile(self.model, self.flow_slots)?;
+        let compiled = compile_with(self.model, &self.compile_options())?;
         let shards = (0..n_shards)
             .map(|_| {
                 Engine::from_parts(
@@ -377,6 +395,10 @@ pub struct Engine {
     collisions_skipped: usize,
     /// Digest collation keyed by canonical register slot.
     collated: HashMap<u64, Vec<(u64, u16)>>,
+    /// Decided ownership lanes the controller released on digest drain
+    /// (compare-and-release: only when the lane still carries the
+    /// digest's fingerprint).
+    released_decided: u64,
 }
 
 impl Engine {
@@ -403,6 +425,7 @@ impl Engine {
             slot_owner: HashMap::new(),
             collisions_skipped: 0,
             collated: HashMap::new(),
+            released_decided: 0,
         }
     }
 
@@ -429,6 +452,12 @@ impl Engine {
     /// The executing program (tables, registers, hit statistics).
     pub fn program(&self) -> &Program {
         self.pipeline.program()
+    }
+
+    /// Live register arrays — the controller-style read view (ownership
+    /// lanes, counters, feature slots).
+    pub fn pipeline_registers(&self) -> &[splidt_dataplane::register::RegisterArray] {
+        self.pipeline.registers()
     }
 
     /// Register depth of the compiled program.
@@ -554,13 +583,73 @@ impl Engine {
     /// Collation reads the pipeline's flat digest ring by reference; only
     /// the returned owned records allocate (once per batch, never per
     /// packet).
+    ///
+    /// A **flow-end** verdict digest also releases the flow's slot: if
+    /// the ownership lane is still decided and still carries the digest's
+    /// fingerprint, the controller frees it (counted in
+    /// [`LifecycleStats::evictions_decided`]). Early-exit digests leave
+    /// the lane decided — the flow's trailing packets must stay inert —
+    /// so those slots are recycled in-band (decided lanes are claimable
+    /// on sight) rather than by the controller. A lane already recycled
+    /// by a newer flow fails the fingerprint compare and is left alone.
     pub fn drain_digests(&mut self) -> Vec<Digest> {
-        for d in self.pipeline.digests().iter() {
-            let slot = d.values[self.io.digest_flow_idx];
-            let class = d.values[self.io.digest_class] as u16;
-            self.collated.entry(slot).or_default().push((d.ts_us, class));
+        let owner_reg = self.io.owner_reg.index();
+        for i in 0..self.pipeline.digests().len() {
+            let (ts, slot, class, fp, ended) = {
+                let d = self.pipeline.digests();
+                let v = d.values(i);
+                (
+                    d.ts_us(i),
+                    v[self.io.digest_flow_idx],
+                    v[self.io.digest_class] as u16,
+                    v[self.io.digest_fp],
+                    v[self.io.digest_final] == 1,
+                )
+            };
+            self.collated.entry(slot).or_default().push((ts, class));
+            if ended {
+                let lane = &mut self.pipeline.registers_mut()[owner_reg];
+                let cell = lane.read(slot as usize);
+                if owner_lane::decided(cell) && owner_lane::fp(cell) == fp {
+                    lane.write(slot as usize, owner_lane::FREE);
+                    self.released_decided += 1;
+                }
+            }
         }
         self.pipeline.take_digests()
+    }
+
+    /// The session's flow-state lifecycle counters: data-plane lifecycle
+    /// MAT hits + controller lane releases + a live scan of the ownership
+    /// lanes. The counters reconcile exactly
+    /// ([`LifecycleStats::reconciles`]).
+    pub fn lifecycle(&self) -> LifecycleStats {
+        let t = self.pipeline.program().table(self.io.lifecycle_table);
+        let e = self.io.lifecycle_entries;
+        let hits = |i: usize| t.entries()[i].hits;
+        let (mut active, mut decided_pending) = (0u64, 0u64);
+        let lanes = &self.pipeline.registers()[self.io.owner_reg.index()];
+        for i in 0..self.io.flow_slots {
+            let cell = lanes.read(i);
+            if owner_lane::fp(cell) != 0 {
+                if owner_lane::decided(cell) {
+                    decided_pending += 1;
+                } else {
+                    active += 1;
+                }
+            }
+        }
+        let takeovers = hits(e.takeover_idle) + hits(e.takeover_decided);
+        LifecycleStats {
+            admitted: hits(e.admit_free) + takeovers,
+            active_flows: active,
+            decided_pending,
+            evictions_idle: hits(e.takeover_idle),
+            evictions_decided: hits(e.takeover_decided) + self.released_decided,
+            takeovers,
+            live_collisions: hits(e.live_collision),
+            post_verdict_pkts: hits(e.post_verdict),
+        }
     }
 
     /// Installs a rule into a table of the running pipeline (the
@@ -626,6 +715,7 @@ impl Engine {
             meters,
             recirc_per_flow,
             collisions_skipped: self.collisions_skipped,
+            lifecycle: self.lifecycle(),
         }
     }
 
@@ -639,8 +729,11 @@ impl Engine {
         Ok(self.report())
     }
 
-    /// Clears session state in place (registers, digests, meters, table
-    /// stats, admissions), keeping the (expensive) compilation.
+    /// Clears session state in place (registers — ownership lanes
+    /// included — digests, meters, table stats and with them every
+    /// lifecycle counter, admissions), keeping the (expensive)
+    /// compilation. A previously-decided flow re-admits cleanly after a
+    /// reset.
     pub fn reset(&mut self) {
         self.pipeline.reset_state();
         self.admitted.clear();
@@ -648,6 +741,7 @@ impl Engine {
         self.slot_owner.clear();
         self.collisions_skipped = 0;
         self.collated.clear();
+        self.released_decided = 0;
     }
 }
 
@@ -692,11 +786,8 @@ impl ShardedEngine {
     /// so batch dispatch agrees with [`ShardedEngine::shard_of`].
     pub fn shard_of_frame(&self, frame: &[u8]) -> Result<usize, SplidtError> {
         let t = peek_flow_tuple(frame)?;
-        let ((sip, sp), (dip, dp)) = if (t.src_ip, t.sport) > (t.dst_ip, t.dport) {
-            ((t.dst_ip, t.dport), (t.src_ip, t.sport))
-        } else {
-            ((t.src_ip, t.sport), (t.dst_ip, t.dport))
-        };
+        let (sip, dip, sp, dp) =
+            splidt_dataplane::hash::canonical_order(t.src_ip, t.dst_ip, t.sport, t.dport);
         Ok(flow_index(sip, dip, sp, dp, t.proto, self.flow_slots) % self.shards.len())
     }
 
@@ -706,11 +797,18 @@ impl ShardedEngine {
     /// allocation-free pipeline path, and the per-shard [`BatchReport`]s
     /// are merged in shard order. Digests are drained once per shard per
     /// batch — not once per packet.
-    pub fn ingest_batch(&mut self, frames: &[(Vec<u8>, u64)]) -> Result<BatchReport, SplidtError> {
+    ///
+    /// Frames are **borrowed** (`F: AsRef<[u8]>`), so callers batch
+    /// `&[u8]` slices, `Vec<u8>`s or `Bytes` alike without allocating an
+    /// owned frame per packet just to build the batch.
+    pub fn ingest_batch<F: AsRef<[u8]> + Sync>(
+        &mut self,
+        frames: &[(F, u64)],
+    ) -> Result<BatchReport, SplidtError> {
         let n = self.shards.len();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, (frame, _)) in frames.iter().enumerate() {
-            buckets[self.shard_of_frame(frame)?].push(i);
+            buckets[self.shard_of_frame(frame.as_ref())?].push(i);
         }
         let mut results: Vec<Option<Result<BatchReport, SplidtError>>> =
             (0..n).map(|_| None).collect();
@@ -718,9 +816,8 @@ impl ShardedEngine {
             let mut handles = Vec::new();
             for (idx, (shard, bucket)) in self.shards.iter_mut().zip(&buckets).enumerate() {
                 handles.push(s.spawn(move || {
-                    let fed = shard.ingest_batch(
-                        bucket.iter().map(|&i| (frames[i].0.as_slice(), frames[i].1)),
-                    );
+                    let fed = shard
+                        .ingest_batch(bucket.iter().map(|&i| (frames[i].0.as_ref(), frames[i].1)));
                     (idx, fed)
                 }));
             }
@@ -734,6 +831,15 @@ impl ShardedEngine {
             merged.merge(r.expect("all shards joined")?);
         }
         Ok(merged)
+    }
+
+    /// Merged flow-state lifecycle counters across all shards.
+    pub fn lifecycle(&self) -> LifecycleStats {
+        let mut out = LifecycleStats::default();
+        for s in &self.shards {
+            out.merge(&s.lifecycle());
+        }
+        out
     }
 
     /// Batch driver: globally schedule flows (identical collision
@@ -824,6 +930,7 @@ impl ShardedEngine {
             meters,
             recirc_per_flow,
             collisions_skipped: self.collisions_skipped,
+            lifecycle: self.lifecycle(),
         })
     }
 

@@ -36,7 +36,9 @@ pub mod ttd;
 /// Default feature precision (bits) — re-exported for configs.
 pub const FEATURE_BITS_DEFAULT: u8 = splidt_flow::FEATURE_BITS;
 
-pub use compile::{compile, model_rules, CompiledModel, RulesSummary};
+pub use compile::{
+    compile, compile_with, model_rules, CompileOptions, CompiledModel, RulesSummary,
+};
 pub use config::SplidtConfig;
 pub use engine::{
     BatchReport, Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
@@ -44,5 +46,8 @@ pub use engine::{
 pub use error::SplidtError;
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
 pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};
-pub use runtime::{run_flows, run_flows_compiled, RuntimeReport};
+pub use runtime::{
+    canonical_flow_fp, canonical_flow_index, run_flows, run_flows_compiled, LifecycleStats,
+    RuntimeReport,
+};
 pub use train::{evaluate_partitioned, train_partitioned};

@@ -29,6 +29,11 @@ pub struct ModelFootprint {
     /// Reserved per-flow bits (SID + packet counter + window counter for
     /// SpliDT; phase state for NetBeacon; counters for Leo).
     pub reserved_bits: usize,
+    /// Per-flow bits of the flow-state lifecycle's ownership lane
+    /// (fingerprint ‖ last-seen ‖ decided) — what buys dynamic admission,
+    /// idle eviction and slot recycling under churn. 0 for baselines that
+    /// assume a statically pre-admitted flow set.
+    pub lifecycle_bits: usize,
     /// Total installed TCAM entries (feature tables + model tables).
     pub tcam_entries: usize,
     /// Widest ternary key in bits (model table).
@@ -37,10 +42,16 @@ pub struct ModelFootprint {
     pub stages: usize,
 }
 
+/// Bits of the ownership-lane register per flow slot (64-bit cell).
+pub const OWNER_LANE_BITS: usize = 64;
+
 impl ModelFootprint {
     /// Per-flow stateful bits (the capacity divisor).
     pub fn per_flow_bits(&self) -> u64 {
-        (self.slots * self.slot_bits + self.dep_registers * 32 + self.reserved_bits) as u64
+        (self.slots * self.slot_bits
+            + self.dep_registers * 32
+            + self.reserved_bits
+            + self.lifecycle_bits) as u64
     }
 
     /// The paper's Table 3 "Register Size (bits)" metric: feature-slot
@@ -70,11 +81,12 @@ pub fn splidt_footprint(model: &PartitionedTree) -> ModelFootprint {
         dep_registers: deps.len(),
         // SID (8) + packet counter (24) + window counter (16).
         reserved_bits: 48,
+        lifecycle_bits: OWNER_LANE_BITS,
         tcam_entries: rules.tcam_entries,
         max_key_bits: rules.model_key_bits,
-        // hash/dir + state + deps + compute + slot stages + load + keygen
-        // + model ≈ 7 + ceil(k / 8).
-        stages: 7 + model.config.k.div_ceil(8),
+        // hash/dir + ownership lane + lifecycle + state + deps + compute
+        // + slot stages + load + keygen + model ≈ 9 + ceil(k / 8).
+        stages: 9 + model.config.k.div_ceil(8),
     }
 }
 
@@ -174,33 +186,36 @@ mod tests {
             slot_bits,
             dep_registers: 1,
             reserved_bits: 48,
+            lifecycle_bits: OWNER_LANE_BITS,
             tcam_entries: 2000,
             max_key_bits: 100,
-            stages: 8,
+            stages: 10,
         }
     }
 
     #[test]
     fn per_flow_bits_math() {
         let f = fp(4, 32);
-        assert_eq!(f.per_flow_bits(), (4 * 32 + 32 + 48) as u64);
+        assert_eq!(f.per_flow_bits(), (4 * 32 + 32 + 48 + 64) as u64);
         assert_eq!(f.feature_register_bits(), 128);
     }
 
     #[test]
     fn capacity_anchors_on_tofino1() {
         let t = TargetSpec::tofino1();
-        // k = 2: ≈ 1M flows (paper's 1M-flow rows use 64-bit registers).
+        // k = 2: high hundreds of K (the paper's 1M-flow rows predate the
+        // 64-bit ownership lane each flow now carries for churn support).
         let m2 = max_flows(&fp(2, 32), &t);
         assert!((450_000..1_500_000).contains(&m2), "k=2 capacity {m2}");
         // k = 6: several hundred K (paper reports ~65K–200K for one-shot
         // models which also pin *all* phases simultaneously).
         let m6 = max_flows(&fp(6, 32), &t);
         assert!(m6 < m2, "capacity must fall with k");
-        // halving precision raises capacity (Figure 12); the gain is
-        // sub-2× because reserved/dependency overhead is unaffected.
+        // halving precision raises capacity (Figure 12); the gain is well
+        // below 2× because reserved/dependency/lifecycle overhead is
+        // unaffected by feature precision.
         let m2_16 = max_flows(&fp(2, 16), &t);
-        assert!(m2_16 as f64 > m2 as f64 * 1.2, "16-bit {m2_16} vs 32-bit {m2}");
+        assert!(m2_16 as f64 > m2 as f64 * 1.1, "16-bit {m2_16} vs 32-bit {m2}");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::compile::CompiledModel;
 use crate::engine::{Engine, EngineBuilder};
 use crate::error::SplidtError;
 use crate::model::PartitionedTree;
-use splidt_dataplane::hash::flow_index;
+use splidt_dataplane::hash::{canonical_order, flow_index, owner_fingerprint};
 use splidt_dataplane::pipeline::Meters;
 use splidt_flow::FlowTrace;
 
@@ -38,6 +38,64 @@ pub struct FlowOutcome {
     pub ttd_us: Option<u64>,
 }
 
+/// Flow-state lifecycle counters: how register slots were claimed,
+/// recycled and defended over a session. Sourced from the compiled
+/// lifecycle MAT's per-entry hit counters plus the engine's
+/// controller-side lane releases, so they reflect what the *data plane*
+/// actually did, packet by packet.
+///
+/// The counters reconcile exactly:
+/// `admitted == active_flows + decided_pending + evictions_idle +
+/// evictions_decided`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleStats {
+    /// Flows granted a slot (free claims + takeovers) — flows are learned
+    /// from the wire, so this counts distinct admissions, not packets.
+    pub admitted: u64,
+    /// Slots currently owned by a live, undecided flow (lane scan).
+    pub active_flows: u64,
+    /// Slots whose owner has a verdict but has not been released yet
+    /// (drained digests release these; lane scan).
+    pub decided_pending: u64,
+    /// Owners displaced after idling past the compiled timeout.
+    pub evictions_idle: u64,
+    /// Decided owners whose slot was recycled: in-band takeovers plus
+    /// controller releases on digest drain.
+    pub evictions_decided: u64,
+    /// In-band slot takeovers (idle + decided) — the subset of evictions
+    /// performed by the pipeline itself, without controller involvement.
+    pub takeovers: u64,
+    /// Packets of flows that collided with a *live* owner: suppressed and
+    /// counted, never merged into the owner's state.
+    pub live_collisions: u64,
+    /// Trailing packets of already-decided owners (inert).
+    pub post_verdict_pkts: u64,
+}
+
+impl LifecycleStats {
+    /// Accumulates another shard's counters.
+    pub fn merge(&mut self, other: &LifecycleStats) {
+        self.admitted += other.admitted;
+        self.active_flows += other.active_flows;
+        self.decided_pending += other.decided_pending;
+        self.evictions_idle += other.evictions_idle;
+        self.evictions_decided += other.evictions_decided;
+        self.takeovers += other.takeovers;
+        self.live_collisions += other.live_collisions;
+        self.post_verdict_pkts += other.post_verdict_pkts;
+    }
+
+    /// Whether the counters reconcile: every admitted flow is either
+    /// still active, decided-but-unreleased, or evicted.
+    pub fn reconciles(&self) -> bool {
+        self.admitted
+            == self.active_flows
+                + self.decided_pending
+                + self.evictions_idle
+                + self.evictions_decided
+    }
+}
+
 /// Aggregate report of a data-plane run.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -54,18 +112,24 @@ pub struct RuntimeReport {
     /// Flows dropped due to register-slot collisions (hash collisions are
     /// real behaviour; colliding flows are excluded from scoring).
     pub collisions_skipped: usize,
+    /// Flow-state lifecycle counters (admissions, evictions, takeovers).
+    pub lifecycle: LifecycleStats,
 }
 
 /// The canonical register index of a flow (must match the pipeline's
 /// `HashFlow` primitive: the 5-tuple is ordered before hashing).
 pub fn canonical_flow_index(f: &FlowTrace, slots: usize) -> usize {
     let t = f.tuple;
-    let ((sip, sp), (dip, dp)) = if (t.src_ip, t.src_port) > (t.dst_ip, t.dst_port) {
-        ((t.dst_ip, t.dst_port), (t.src_ip, t.src_port))
-    } else {
-        ((t.src_ip, t.src_port), (t.dst_ip, t.dst_port))
-    };
+    let (sip, dip, sp, dp) = canonical_order(t.src_ip, t.dst_ip, t.src_port, t.dst_port);
     flow_index(sip, dip, sp, dp, t.proto, slots)
+}
+
+/// The ownership-lane fingerprint of a flow (must match the pipeline's
+/// salted `HashFlow` + `Max(·, 1)` sequence bit-for-bit).
+pub fn canonical_flow_fp(f: &FlowTrace) -> u64 {
+    let t = f.tuple;
+    let (sip, dip, sp, dp) = canonical_order(t.src_ip, t.dst_ip, t.src_port, t.dst_port);
+    owner_fingerprint(sip, dip, sp, dp, t.proto)
 }
 
 /// Runs `flows` through a freshly compiled pipeline for `model`.

@@ -32,6 +32,50 @@ pub enum AluOut {
 /// Re-export of the register ALU op for action declarations.
 pub type AluOp = RegAluOp;
 
+/// What an [`Primitive::OwnerUpdate`] does to the slot's ownership lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OwnerMode {
+    /// First-pass admission probe: classify the packet against the lane
+    /// (owner / claim / takeover / live collision) and claim or refresh
+    /// the lane accordingly. A mismatching *live* lane is left untouched.
+    Probe,
+    /// Verdict pass: mark the lane decided (keeping the fingerprint) so
+    /// trailing owner packets stay inert and any other flow may reclaim
+    /// the slot immediately. No-op unless the fingerprint still matches.
+    Decide,
+}
+
+/// Outcome of an ownership-lane probe, exported to a PHV metadata field.
+/// The numeric codes are what match keys and the lifecycle table see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotState {
+    /// Fingerprint matched a live lane — the packet belongs to the owner.
+    Owner = 0,
+    /// The lane was free; the flow claimed it (first-ever admission).
+    ClaimFree = 1,
+    /// The lane's owner idled past the timeout; the flow took the slot
+    /// over and must reset the slot's flow state in-pass.
+    TakeoverIdle = 2,
+    /// The lane's owner already received a verdict; immediate takeover.
+    TakeoverDecided = 3,
+    /// The lane belongs to a *live* other flow: the packet must not touch
+    /// shared state — it is counted and dispositioned, never merged.
+    LiveCollision = 4,
+    /// Fingerprint matched a decided lane — a trailing packet of a flow
+    /// that already has its verdict; fully inert.
+    OwnerDecided = 5,
+}
+
+impl SlotState {
+    /// The numeric code carried in the PHV state field.
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// Bits needed by the PHV state field.
+    pub const BITS: u8 = 3;
+}
+
 /// One action primitive.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Primitive {
@@ -96,12 +140,42 @@ pub enum Primitive {
     /// `mask` (a power-of-two-minus-one selecting the register index
     /// range). Canonicalization orders (src, dst) so both directions of a
     /// flow hash identically — the P4 original does the same with min/max
-    /// comparisons before the hash extern.
+    /// comparisons before the hash extern. A nonzero `salt` selects a
+    /// second, independently seeded hash engine (used for the
+    /// ownership-lane fingerprint, which must not correlate with the
+    /// register index).
     HashFlow {
         /// Destination field (flow index metadata).
         dst: FieldId,
         /// Index mask (`slots - 1`).
         mask: u64,
+        /// Hash-engine seed; 0 = the canonical index hash.
+        salt: u64,
+    },
+    /// One predicated read-modify-write on a slot's **ownership lane**
+    /// (see [`crate::register::owner_lane`] for the cell layout): the
+    /// dual-ALU compare-and-update shape Tofino SALUs provide and pForest
+    /// leans on for register reuse. In [`OwnerMode::Probe`] the primitive
+    /// compares `fp` against the stored fingerprint, checks idleness
+    /// (`now − last_seen > idle_timeout_us`) and the decided flag, claims
+    /// or refreshes the lane, and exports the resulting [`SlotState`]
+    /// code; in [`OwnerMode::Decide`] it sets the decided flag if the
+    /// fingerprint still matches.
+    OwnerUpdate {
+        /// The ownership-lane register array (64-bit cells).
+        reg: RegId,
+        /// Element index source (the flow-hash metadata field).
+        index: Source,
+        /// The packet's flow fingerprint (31 bits, nonzero).
+        fp: Source,
+        /// Current time (µs; truncated to 32 bits in the lane).
+        now: Source,
+        /// Idle threshold in µs beyond which a live owner is evictable.
+        idle_timeout_us: u64,
+        /// Probe (first pass) or Decide (verdict pass).
+        mode: OwnerMode,
+        /// PHV field receiving the [`SlotState`] code.
+        state_out: FieldId,
     },
     /// Read-modify-write on a register array element.
     RegRmw {
@@ -167,7 +241,7 @@ impl Action {
         self.prims
             .iter()
             .filter_map(|p| match p {
-                Primitive::RegRmw { reg, .. } => Some(*reg),
+                Primitive::RegRmw { reg, .. } | Primitive::OwnerUpdate { reg, .. } => Some(*reg),
                 _ => None,
             })
             .collect()

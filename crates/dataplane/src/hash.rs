@@ -30,6 +30,36 @@ pub fn crc32(data: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// Salt mixed into the ownership-lane fingerprint hash so it is
+/// independent of the register-index hash (hardware uses a second hash
+/// engine with a different seed for exactly this reason: a fingerprint
+/// correlated with the index would collide deterministically).
+pub const FP_SALT: u64 = 0x051D_7F1A_60DD_BA11;
+
+/// Width (bits) of the ownership-lane fingerprint. One bit short of 32 so
+/// the lane's 64-bit cell has room for the decided flag next to it.
+pub const FP_BITS: u32 = 31;
+
+/// Mask selecting the fingerprint bits.
+pub const FP_MASK: u64 = (1 << FP_BITS) - 1;
+
+/// Canonically orders a flow tuple so both directions hash identically:
+/// the `(ip, port)` pair that compares smaller becomes the source side.
+/// The single source of truth for the ordering every hash consumer
+/// (register index, ownership fingerprint, shard routing) must share.
+pub fn canonical_order(
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+) -> (u32, u32, u16, u16) {
+    if (src_ip, src_port) > (dst_ip, dst_port) {
+        (dst_ip, src_ip, dst_port, src_port)
+    } else {
+        (src_ip, dst_ip, src_port, dst_port)
+    }
+}
+
 /// Hashes a 5-tuple into a register index in `0..slots`.
 ///
 /// `slots` must be a power of two (register arrays are sized that way so the
@@ -50,6 +80,37 @@ pub fn flow_index(
     buf[10..12].copy_from_slice(&dst_port.to_be_bytes());
     buf[12] = proto;
     (crc32(&buf) as usize) & (slots - 1)
+}
+
+/// Salted CRC32 of a 5-tuple — the second, index-independent hash the
+/// ownership lane uses as a flow fingerprint. The salt bytes are appended
+/// to the tuple bytes before hashing, modelling a hash engine seeded
+/// differently from the one computing [`flow_index`].
+pub fn flow_fingerprint(
+    src_ip: u32,
+    dst_ip: u32,
+    src_port: u16,
+    dst_port: u16,
+    proto: u8,
+    salt: u64,
+) -> u32 {
+    let mut buf = [0u8; 21];
+    buf[0..4].copy_from_slice(&src_ip.to_be_bytes());
+    buf[4..8].copy_from_slice(&dst_ip.to_be_bytes());
+    buf[8..10].copy_from_slice(&src_port.to_be_bytes());
+    buf[10..12].copy_from_slice(&dst_port.to_be_bytes());
+    buf[12] = proto;
+    buf[13..21].copy_from_slice(&salt.to_be_bytes());
+    crc32(&buf)
+}
+
+/// The canonical ownership-lane fingerprint of a 5-tuple: the salted hash
+/// truncated to [`FP_BITS`] and forced nonzero (0 means "slot free").
+/// The tuple must already be canonically ordered (as for [`flow_index`]);
+/// the compiled pipeline reproduces this value with
+/// `HashFlow { salt: FP_SALT, mask: FP_MASK }` followed by `Max(·, 1)`.
+pub fn owner_fingerprint(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> u64 {
+    (flow_fingerprint(src_ip, dst_ip, src_port, dst_port, proto, FP_SALT) as u64 & FP_MASK).max(1)
 }
 
 #[cfg(test)]
@@ -83,5 +144,21 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         flow_index(1, 2, 3, 4, 6, 1000);
+    }
+
+    #[test]
+    fn fingerprint_independent_of_index() {
+        // Two tuples that share a register index must not be forced to
+        // share a fingerprint: the salt decorrelates the two hashes.
+        let fp = owner_fingerprint(0x0a000001, 0x0a000002, 1234, 80, 6);
+        assert!((1..=FP_MASK).contains(&fp));
+        assert_eq!(fp, owner_fingerprint(0x0a000001, 0x0a000002, 1234, 80, 6));
+        let other = owner_fingerprint(0x0a000001, 0x0a000002, 1235, 80, 6);
+        assert_ne!(fp, other, "distinct tuples should fingerprint differently");
+        // salted hash differs from the unsalted index hash stream
+        assert_ne!(
+            flow_fingerprint(1, 2, 3, 4, 6, FP_SALT) as usize & 0xFFFF,
+            flow_index(1, 2, 3, 4, 6, 1 << 16) & 0xFFFF,
+        );
     }
 }

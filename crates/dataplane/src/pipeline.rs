@@ -584,25 +584,23 @@ fn exec_action(
                 let v = resolve(*a, phv) / divisor.max(&1);
                 phv.set_masked(*dst, v, layout);
             }
-            Primitive::HashFlow { dst, mask } => {
+            Primitive::HashFlow { dst, mask, salt } => {
                 // Field ids pre-resolved at plan build; programs using
                 // HashFlow are built via `standard_fields()`.
                 let hf = plan.hash_flow().expect("standard fields registered");
-                let (mut sip, mut dip) = (phv.get(hf.src_ip) as u32, phv.get(hf.dst_ip) as u32);
-                let (mut sp, mut dp) = (phv.get(hf.sport) as u16, phv.get(hf.dport) as u16);
-                if (sip, sp) > (dip, dp) {
-                    std::mem::swap(&mut sip, &mut dip);
-                    std::mem::swap(&mut sp, &mut dp);
-                }
-                let idx = crate::hash::flow_index(
-                    sip,
-                    dip,
-                    sp,
-                    dp,
-                    phv.get(hf.proto) as u8,
-                    (*mask as usize) + 1,
+                let (sip, dip, sp, dp) = crate::hash::canonical_order(
+                    phv.get(hf.src_ip) as u32,
+                    phv.get(hf.dst_ip) as u32,
+                    phv.get(hf.sport) as u16,
+                    phv.get(hf.dport) as u16,
                 );
-                phv.set_masked(*dst, idx as u64, layout);
+                let proto = phv.get(hf.proto) as u8;
+                let idx = if *salt == 0 {
+                    crate::hash::flow_index(sip, dip, sp, dp, proto, (*mask as usize) + 1) as u64
+                } else {
+                    crate::hash::flow_fingerprint(sip, dip, sp, dp, proto, *salt) as u64 & *mask
+                };
+                phv.set_masked(*dst, idx, layout);
             }
             Primitive::RegRmw { reg, index, op, operand, out } => {
                 let idx = resolve(*index, phv) as usize;
@@ -615,6 +613,60 @@ fn exec_action(
                     };
                     phv.set_masked(*dst, v, layout);
                 }
+            }
+            Primitive::OwnerUpdate { reg, index, fp, now, idle_timeout_us, mode, state_out } => {
+                use crate::action::{OwnerMode, SlotState};
+                use crate::register::owner_lane as lane;
+                let idx = resolve(*index, phv) as usize;
+                let fpv = resolve(*fp, phv) & crate::hash::FP_MASK;
+                let now32 = resolve(*now, phv) & 0xFFFF_FFFF;
+                let arr = &mut regs[reg.index()];
+                let cell = arr.read(idx);
+                let (stored_fp, decided) = (lane::fp(cell), lane::decided(cell));
+                let state = match mode {
+                    OwnerMode::Probe => {
+                        let state = if stored_fp == fpv {
+                            if decided {
+                                SlotState::OwnerDecided
+                            } else {
+                                SlotState::Owner
+                            }
+                        } else if stored_fp == 0 {
+                            SlotState::ClaimFree
+                        } else if decided {
+                            SlotState::TakeoverDecided
+                        } else if now32.wrapping_sub(lane::last_seen_us(cell)) & 0xFFFF_FFFF
+                            > *idle_timeout_us
+                        {
+                            SlotState::TakeoverIdle
+                        } else {
+                            SlotState::LiveCollision
+                        };
+                        match state {
+                            // Owner traffic refreshes recency (decided
+                            // lanes keep their flag); claims install the
+                            // new fingerprint undecided.
+                            SlotState::Owner | SlotState::OwnerDecided => {
+                                arr.write(idx, lane::pack(decided, fpv, now32));
+                            }
+                            SlotState::ClaimFree
+                            | SlotState::TakeoverIdle
+                            | SlotState::TakeoverDecided => {
+                                arr.write(idx, lane::pack(false, fpv, now32));
+                            }
+                            // A live collision must not corrupt the lane.
+                            SlotState::LiveCollision => {}
+                        }
+                        state
+                    }
+                    OwnerMode::Decide => {
+                        if stored_fp == fpv {
+                            arr.write(idx, lane::pack(true, fpv, now32));
+                        }
+                        SlotState::OwnerDecided
+                    }
+                };
+                phv.set_masked(*state_out, state.code(), layout);
             }
             Primitive::Resubmit => effects.resubmit = true,
             Primitive::Digest => {

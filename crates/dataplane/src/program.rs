@@ -279,7 +279,7 @@ impl ProgramBuilder {
             let t_stage = self.table_stage[ti];
             let check = |action: &Action| -> Result<(), ProgramError> {
                 for p in &action.prims {
-                    if let Primitive::RegRmw { reg, .. } = p {
+                    if let Primitive::RegRmw { reg, .. } | Primitive::OwnerUpdate { reg, .. } = p {
                         let r_stage = self.register_stage[reg.index()];
                         if r_stage != t_stage {
                             return Err(ProgramError::CrossStageRegister {

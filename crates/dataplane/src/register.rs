@@ -131,6 +131,43 @@ impl RegisterArray {
     }
 }
 
+/// Bit layout of an **ownership lane** cell: the 64-bit register element
+/// that gives every flow slot an owner, packed as
+/// `decided(1) ‖ fingerprint(31) ‖ last_seen_us(32)`.
+///
+/// Tofino stateful ALUs pair two 32-bit lanes over one 64-bit cell with
+/// predicated updates; the lane models that pairing — the high word holds
+/// identity (fingerprint + decided flag), the low word holds recency —
+/// which is the same register-reuse discipline pForest applies to keep
+/// per-flow state bounded under churn. A fingerprint of 0 means the slot
+/// is free (the compiler forces real fingerprints nonzero).
+pub mod owner_lane {
+    use crate::hash::FP_MASK;
+
+    /// The free (unowned) cell value.
+    pub const FREE: u64 = 0;
+
+    /// Packs a lane cell.
+    pub fn pack(decided: bool, fp: u64, last_seen_us: u64) -> u64 {
+        ((decided as u64) << 63) | ((fp & FP_MASK) << 32) | (last_seen_us & 0xFFFF_FFFF)
+    }
+
+    /// The owner fingerprint (0 = free).
+    pub fn fp(cell: u64) -> u64 {
+        (cell >> 32) & FP_MASK
+    }
+
+    /// Last-seen timestamp (µs, truncated to 32 bits).
+    pub fn last_seen_us(cell: u64) -> u64 {
+        cell & 0xFFFF_FFFF
+    }
+
+    /// Whether the owner already received a verdict.
+    pub fn decided(cell: u64) -> bool {
+        cell >> 63 == 1
+    }
+}
+
 /// The stateful-ALU operation applied on a register visit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RegAluOp {

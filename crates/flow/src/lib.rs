@@ -31,5 +31,5 @@ pub use features::{
     FeatureCatalog, FeatureDef, FeatureKind, SlotProgram, FEATURE_BITS, FEATURE_CAP,
 };
 pub use flow::{Dir, FiveTuple, FlowTrace, TracePacket};
-pub use synthetic::{generate, spec, DatasetId, DatasetSpec};
+pub use synthetic::{churn, generate, spec, ChurnConfig, ChurnSchedule, DatasetId, DatasetSpec};
 pub use window::{window_bounds, window_len};

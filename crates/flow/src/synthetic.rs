@@ -336,6 +336,96 @@ fn generate_flow(
     FlowTrace { tuple, packets, label }
 }
 
+// ------------------------------------------------------------------ churn
+
+/// Configuration of a churn trace: overlapping flow arrivals and
+/// departures, so a bounded-slot engine sees far more distinct flows than
+/// it has register slots.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Number of distinct flows in the schedule.
+    pub flows: usize,
+    /// Mean gap between consecutive flow arrivals (µs); actual gaps are
+    /// exponentially distributed around it, so arrivals are bursty the
+    /// way real traffic is.
+    pub mean_arrival_gap_us: u64,
+    /// Multiplier applied to every intra-flow timestamp — the lifetime
+    /// distribution knob (`< 1` compresses flows into shorter lives,
+    /// `> 1` stretches them, raising concurrency).
+    pub lifetime_scale: f64,
+    /// RNG seed for arrivals and per-flow draws.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self { flows: 2048, mean_arrival_gap_us: 500, lifetime_scale: 0.05, seed: 1 }
+    }
+}
+
+/// A churn schedule: labelled flows plus their staggered arrival offsets.
+/// Flow `i` starts at `starts[i]`; its packet `j` hits the wire at
+/// `starts[i] + flows[i].packets[j].ts_us`.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    /// The distinct flows, lifetimes already scaled.
+    pub flows: Vec<FlowTrace>,
+    /// Arrival offset of each flow (µs), non-decreasing.
+    pub starts: Vec<u64>,
+}
+
+impl ChurnSchedule {
+    /// The merged packet timeline: `(ts_us, flow_idx, pkt_idx)` sorted by
+    /// timestamp (ties by flow then packet, so the order is total and
+    /// deterministic).
+    pub fn events(&self) -> Vec<(u64, usize, usize)> {
+        let mut ev = Vec::with_capacity(self.flows.iter().map(|f| f.size_pkts()).sum());
+        for (i, (f, &base)) in self.flows.iter().zip(&self.starts).enumerate() {
+            for (j, p) in f.packets.iter().enumerate() {
+                ev.push((base + p.ts_us, i, j));
+            }
+        }
+        ev.sort_unstable();
+        ev
+    }
+
+    /// Timestamp of the last packet in the schedule.
+    pub fn span_us(&self) -> u64 {
+        self.flows
+            .iter()
+            .zip(&self.starts)
+            .map(|(f, &base)| base + f.packets.last().map(|p| p.ts_us).unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Generates a churn schedule over dataset `id`: `cfg.flows` distinct
+/// labelled flows (unique 5-tuples, same class balance as [`generate`])
+/// arriving at exponential gaps, with intra-flow timestamps scaled by
+/// `cfg.lifetime_scale`. Deterministic in `(id, cfg)`.
+pub fn churn(id: DatasetId, cfg: &ChurnConfig) -> ChurnSchedule {
+    let mut flows = generate(id, cfg.flows, cfg.seed);
+    for f in &mut flows {
+        for p in &mut f.packets {
+            p.ts_us = ((p.ts_us as f64) * cfg.lifetime_scale).round() as u64;
+        }
+        // Scaling must not reorder (it cannot: monotone map), but it can
+        // collapse gaps to zero — keep timestamps non-decreasing as-is.
+        debug_assert!(f.is_time_ordered());
+    }
+    let mut rng = SmallRng::seed_from_u64(splitmix64(cfg.seed ^ 0xC0FF_EE00));
+    let mut starts = Vec::with_capacity(cfg.flows);
+    let mut t = 1_000u64;
+    for _ in 0..cfg.flows {
+        starts.push(t);
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let gap = (-u.ln() * cfg.mean_arrival_gap_us as f64).round() as u64;
+        t += gap.clamp(1, cfg.mean_arrival_gap_us.saturating_mul(20).max(1));
+    }
+    ChurnSchedule { flows, starts }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +502,45 @@ mod tests {
         let spread = means.iter().cloned().fold(f64::MIN, f64::max)
             - means.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 20.0, "class mean-length spread too small: {means:?}");
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_overlapping() {
+        let cfg = ChurnConfig { flows: 300, ..Default::default() };
+        let a = churn(DatasetId::D2, &cfg);
+        let b = churn(DatasetId::D2, &cfg);
+        assert_eq!(a.starts, b.starts);
+        assert_eq!(a.flows.len(), 300);
+        assert!(a.starts.windows(2).all(|w| w[0] <= w[1]), "arrivals ordered");
+        // Genuine churn: many flows are in flight at once somewhere in
+        // the schedule (flow i still alive when flow i+8 arrives).
+        let overlapping = a
+            .flows
+            .iter()
+            .zip(&a.starts)
+            .zip(a.starts.iter().skip(8))
+            .filter(|((f, &s), &later)| s + f.packets.last().unwrap().ts_us > later)
+            .count();
+        assert!(overlapping > 50, "only {overlapping} overlapping flows");
+        // events are globally time-sorted and cover every packet
+        let ev = a.events();
+        assert_eq!(ev.len(), a.flows.iter().map(|f| f.size_pkts()).sum::<usize>());
+        assert!(ev.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(a.span_us() > *a.starts.last().unwrap());
+    }
+
+    #[test]
+    fn churn_lifetime_scale_compresses_flows() {
+        let slow = churn(DatasetId::D2, &ChurnConfig { flows: 50, ..Default::default() });
+        let fast = churn(
+            DatasetId::D2,
+            &ChurnConfig { flows: 50, lifetime_scale: 0.01, ..Default::default() },
+        );
+        let dur = |s: &ChurnSchedule| s.flows.iter().map(|f| f.duration_us()).sum::<u64>();
+        assert!(dur(&fast) < dur(&slow) / 2, "scaling must shorten lifetimes");
+        for f in &fast.flows {
+            assert!(f.is_time_ordered());
+        }
     }
 
     #[test]

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Diffs two bench result files (the flat JSON `hotpath_smoke` /
-# `lookup_smoke` emit) and fails when a gated metric regressed — the
-# local pre-push twin of CI's bench-smoke gate. Works on either bench's
-# output: hotpath files gate pps and the two zero-allocation probes,
-# lookup files gate the indexed-vs-linear speedup floor at 4096 entries.
+# `lookup_smoke` / `churn_smoke` emit) and fails when a gated metric
+# regressed — the local pre-push twin of CI's bench-smoke gate. Works on
+# any bench's output: hotpath files gate pps and the two zero-allocation
+# probes, lookup files gate the indexed-vs-linear speedup floor at 4096
+# entries, churn files gate pps, the churn zero-allocation probe, the
+# distinct-flows-classified floor (8x flow_slots) and lifecycle counter
+# reconciliation.
 #
 # Usage:
 #   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
@@ -49,7 +52,10 @@ done
 printf '%-28s %14s %14s %9s\n' metric baseline candidate delta%
 fail=0
 for key in pps allocs_per_packet hot_loop_allocs_per_packet \
-           digest_ring_allocs_per_packet \
+           digest_ring_allocs_per_packet churn_allocs_per_packet \
+           classified_flows flow_slots distinct_flows \
+           admitted takeovers evictions_idle evictions_decided \
+           live_collisions post_verdict_pkts \
            ternary_4096_speedup range_4096_speedup \
            ternary_4096_indexed_lps range_4096_indexed_lps \
            exact_4096_indexed_lps; do
@@ -69,7 +75,8 @@ if [ -n "$(metric "$candidate" pps)" ] && [ -n "$(metric "$baseline" pps)" ]; th
     fi
 fi
 
-for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet; do
+for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet \
+           churn_allocs_per_packet; do
     v=$(metric "$candidate" "$key")
     [ -n "$v" ] || continue
     ok=$(awk -v h="$v" 'BEGIN { print (h == 0) ? 1 : 0 }')
@@ -78,6 +85,23 @@ for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet; do
         fail=1
     fi
 done
+
+# Churn lifecycle gates: >= 8x flow_slots distinct flows classified, and
+# the counters must reconcile (mirrors churn_smoke's own gates).
+cf=$(metric "$candidate" classified_flows)
+fs=$(metric "$candidate" flow_slots)
+if [ -n "$cf" ] && [ -n "$fs" ]; then
+    ok=$(awk -v c="$cf" -v s="$fs" 'BEGIN { print (c >= 8 * s) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: classified_flows $cf is below 8x flow_slots ($fs)" >&2
+        fail=1
+    fi
+fi
+rec=$(metric "$candidate" reconciled)
+if [ -n "$rec" ] && [ "$rec" != 1 ]; then
+    echo "FAIL: lifecycle counters did not reconcile (reconciled=$rec)" >&2
+    fail=1
+fi
 
 # Lookup-bench floor: indexed ternary/range must beat the linear oracle
 # by >= 5x at the top of the sweep (mirrors lookup_smoke's own gate).

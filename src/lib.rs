@@ -75,8 +75,9 @@ pub mod prelude {
         BatchReport, Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
     };
     pub use splidt_core::{
-        compile, evaluate_partitioned, max_flows, model_rules, run_flows, splidt_footprint,
-        train_partitioned, PartitionedTree, SplidtConfig, SplidtError,
+        canonical_flow_fp, canonical_flow_index, compile, evaluate_partitioned, max_flows,
+        model_rules, run_flows, splidt_footprint, train_partitioned, LifecycleStats,
+        PartitionedTree, SplidtConfig, SplidtError,
     };
     pub use splidt_dataplane::resources::TargetSpec;
     pub use splidt_flow::{

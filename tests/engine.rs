@@ -204,6 +204,68 @@ fn reset_reuses_compilation() {
     assert_eq!(first.meters, second.meters);
 }
 
+/// Regression: `reset` must clear the flow-state lifecycle too — slot
+/// fingerprints, decided flags, and every counter — so a previously
+/// *decided* flow re-admits and re-classifies after a reset instead of
+/// being treated as a stale owner.
+#[test]
+fn reset_clears_lifecycle_and_readmits_decided_flow() {
+    let (model, test_flows) = model_and_flows(200, 57);
+    let one_flow = &test_flows[..1];
+    let mut engine = EngineBuilder::new(&model).build().unwrap();
+    let first = engine.run(one_flow).unwrap();
+    assert_eq!(first.flows[0].digests, 1);
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 1);
+    // The verdict retires the slot: released outright (flow-end digest)
+    // or parked decided (early exit, reclaimable on sight) — never still
+    // active.
+    assert_eq!(lc.active_flows, 0, "a decided flow must not stay active: {lc:?}");
+    assert!(lc.evictions_decided + lc.decided_pending >= 1, "{lc:?}");
+    assert!(lc.reconciles(), "{lc:?}");
+
+    engine.reset();
+    let cleared = engine.lifecycle();
+    assert_eq!(cleared, splidt::core::LifecycleStats::default(), "reset must zero the lifecycle");
+
+    // The same (previously decided) flow admits and classifies again.
+    let second = engine.run(one_flow).unwrap();
+    assert_eq!(second.flows, first.flows);
+    assert_eq!(second.flows[0].digests, 1, "re-admitted flow must re-classify exactly once");
+    assert_eq!(engine.lifecycle().admitted, 1);
+}
+
+/// Flows are learned from the wire: ingesting frames of flows that were
+/// never pre-registered still claims slots, classifies, and reports
+/// verdict digests with exact slot/fingerprint attribution.
+#[test]
+fn unregistered_flows_are_learned_from_the_wire() {
+    let (model, test_flows) = model_and_flows(210, 63);
+    let mut engine = EngineBuilder::new(&model).build().unwrap();
+    let io = engine.io().clone();
+    let subset = &test_flows[..6];
+    let mut frames: Vec<(Vec<u8>, u64)> = Vec::new();
+    for (i, f) in subset.iter().enumerate() {
+        let base = 1_000 + i as u64 * 2_000;
+        for j in 0..f.packets.len() {
+            frames.push((Engine::frame_for(f, j), base + f.packets[j].ts_us));
+        }
+    }
+    frames.sort_by_key(|&(_, ts)| ts);
+    // No admit() calls anywhere: the data plane learns the flows itself.
+    let report = engine.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).unwrap();
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, subset.len() as u64);
+    assert!(lc.reconciles(), "{lc:?}");
+    let classified: std::collections::HashSet<u64> =
+        report.digests.iter().map(|d| d.values[io.digest_flow_idx]).collect();
+    assert_eq!(classified.len(), subset.len(), "every learned flow classifies");
+    for f in subset {
+        let slot = splidt::core::canonical_flow_index(f, engine.flow_slots()) as u64;
+        assert!(classified.contains(&slot), "flow missing from digests");
+    }
+}
+
 /// Sessions are cumulative: a second `run` without `reset` admits nothing
 /// new for repeated flows, never replays packets, and the sharded engine
 /// agrees with the single-shard one on the merged report.

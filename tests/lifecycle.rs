@@ -1,0 +1,371 @@
+//! Flow-state lifecycle tests: dynamic admission, idle eviction, slot
+//! recycling and live-collision suppression under churn — held
+//! observationally equivalent to a software reference flow table, with
+//! lifecycle counters that reconcile exactly.
+
+use proptest::prelude::*;
+use splidt::dataplane::register::owner_lane;
+use splidt::flow::{churn, ChurnConfig, Dir, FiveTuple, TracePacket};
+use splidt::prelude::*;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The shared small model (training dominates test time; compilation is
+/// per-engine so each test picks its own slots/timeout).
+fn model() -> &'static PartitionedTree {
+    static MODEL: OnceLock<PartitionedTree> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let flows = generate(DatasetId::D2, 160, 21);
+        let cfg = SplidtConfig { partitions: vec![2, 2], k: 4, ..Default::default() };
+        PartitionedTree::fit(&flows, 4, &cfg).expect("trains")
+    })
+}
+
+/// Builds a synthetic TCP flow with a chosen tuple and packet count.
+fn flow_with(src_ip: u32, src_port: u16, n: usize, gap_us: u64) -> FlowTrace {
+    let packets = (0..n as u64)
+        .map(|i| TracePacket {
+            ts_us: i * gap_us,
+            frame_len: 80 + (i as u16 % 5) * 100,
+            hdr_len: 58,
+            tcp_flags: if i == 0 { 0x02 } else { 0x10 },
+            dir: if i % 3 == 2 { Dir::Bwd } else { Dir::Fwd },
+        })
+        .collect();
+    FlowTrace {
+        tuple: FiveTuple { src_ip, dst_ip: 0x0b00_0001, src_port, dst_port: 443, proto: 6 },
+        packets,
+        label: 0,
+    }
+}
+
+/// Finds two flows hashing to the same register slot (different
+/// fingerprints) by scanning source ports.
+fn colliding_pair(slots: usize) -> (FlowTrace, FlowTrace) {
+    let a = flow_with(0x0a00_0001, 40_000, 12, 500);
+    let sa = canonical_flow_index(&a, slots);
+    for port in 40_001..u16::MAX {
+        let b = flow_with(0x0a00_0002, port, 12, 500);
+        if canonical_flow_index(&b, slots) == sa && canonical_flow_fp(&b) != canonical_flow_fp(&a) {
+            return (a, b);
+        }
+    }
+    unreachable!("no colliding pair found");
+}
+
+/// The software reference flow table: the same lane rules the compiled
+/// pipeline executes (probe → claim/refresh/suppress; decide on verdict;
+/// controller release on flow-end digests), over plain `HashMap` state.
+#[derive(Default)]
+struct RefTable {
+    /// slot → (fp, last_seen_us32, decided)
+    lanes: HashMap<usize, (u64, u64, bool)>,
+    admitted: u64,
+    evictions_idle: u64,
+    takeover_decided: u64,
+    live_collisions: u64,
+    post_verdict: u64,
+    released: u64,
+}
+
+impl RefTable {
+    /// First-pass probe for a packet of flow (slot, fp) at `now`.
+    fn probe(&mut self, slot: usize, fp: u64, now: u64, idle_timeout_us: u64) {
+        let now32 = now & 0xFFFF_FFFF;
+        match self.lanes.get(&slot).copied() {
+            None => {
+                self.admitted += 1;
+                self.lanes.insert(slot, (fp, now32, false));
+            }
+            Some((stored, _, decided)) if stored == fp => {
+                self.post_verdict += u64::from(decided);
+                self.lanes.insert(slot, (fp, now32, decided));
+            }
+            Some((_, _, true)) => {
+                self.admitted += 1;
+                self.takeover_decided += 1;
+                self.lanes.insert(slot, (fp, now32, false));
+            }
+            Some((_, ts, false)) => {
+                if now32.wrapping_sub(ts) & 0xFFFF_FFFF > idle_timeout_us {
+                    self.admitted += 1;
+                    self.evictions_idle += 1;
+                    self.lanes.insert(slot, (fp, now32, false));
+                } else {
+                    self.live_collisions += 1;
+                }
+            }
+        }
+    }
+
+    /// A verdict digest observed for (slot, fp) at `now`: the decide pass
+    /// marks the lane; a flow-end digest additionally releases it (the
+    /// controller's compare-and-release).
+    fn on_digest(&mut self, slot: usize, fp: u64, now: u64, ended: bool) {
+        if let Some(&(stored, _, _)) = self.lanes.get(&slot) {
+            if stored == fp {
+                if ended {
+                    self.lanes.remove(&slot);
+                    self.released += 1;
+                } else {
+                    self.lanes.insert(slot, (fp, now & 0xFFFF_FFFF, true));
+                }
+            }
+        }
+    }
+
+    fn active(&self) -> u64 {
+        self.lanes.values().filter(|(_, _, d)| !d).count() as u64
+    }
+
+    fn decided_pending(&self) -> u64 {
+        self.lanes.values().filter(|(_, _, d)| *d).count() as u64
+    }
+}
+
+/// Drives an interleaved packet schedule through an engine per-frame
+/// (draining digests after every packet, as a live controller would) and
+/// through the reference table, then asserts lane-for-lane and
+/// counter-for-counter equivalence.
+fn run_equivalence_case(flows: &[FlowTrace], starts: &[u64], slots: usize, idle_timeout_us: u64) {
+    let mut engine = EngineBuilder::new(model())
+        .flow_slots(slots)
+        .idle_timeout_us(idle_timeout_us)
+        .build()
+        .expect("compiles");
+    let io = engine.io().clone();
+    let mut reference = RefTable::default();
+
+    let mut events: Vec<(u64, usize, usize)> = Vec::new();
+    for (i, (f, &base)) in flows.iter().zip(starts).enumerate() {
+        for (j, p) in f.packets.iter().enumerate() {
+            events.push((base + p.ts_us, i, j));
+        }
+    }
+    events.sort_unstable();
+
+    for (ts, i, j) in events {
+        let frame = Engine::frame_for(&flows[i], j);
+        engine.ingest(&frame, ts).expect("ingests");
+        reference.probe(
+            canonical_flow_index(&flows[i], slots),
+            canonical_flow_fp(&flows[i]),
+            ts,
+            idle_timeout_us,
+        );
+        for d in engine.drain_digests() {
+            reference.on_digest(
+                d.values[io.digest_flow_idx] as usize,
+                d.values[io.digest_fp],
+                d.ts_us,
+                d.values[io.digest_final] == 1,
+            );
+        }
+    }
+
+    // Lane-for-lane equivalence against the live ownership registers.
+    let lane_regs = &engine.pipeline_registers()[io.owner_reg.index()];
+    for slot in 0..slots {
+        let cell = lane_regs.read(slot);
+        match reference.lanes.get(&slot) {
+            None => prop_assert_eq!(cell, owner_lane::FREE, "slot {} should be free", slot),
+            Some(&(fp, ts, decided)) => {
+                prop_assert_eq!(owner_lane::fp(cell), fp, "slot {} fp diverged", slot);
+                prop_assert_eq!(owner_lane::last_seen_us(cell), ts, "slot {} ts diverged", slot);
+                prop_assert_eq!(owner_lane::decided(cell), decided, "slot {} flag diverged", slot);
+            }
+        }
+    }
+    let regs = engine.lifecycle();
+    prop_assert!(regs.reconciles(), "engine counters must reconcile: {regs:?}");
+    prop_assert_eq!(regs.active_flows, reference.active(), "active lanes diverged");
+    prop_assert_eq!(regs.decided_pending, reference.decided_pending(), "decided lanes diverged");
+    prop_assert_eq!(
+        regs.admitted,
+        reference.admitted,
+        "admissions diverged (ref: {:?})",
+        reference.lanes
+    );
+    prop_assert_eq!(regs.evictions_idle, reference.evictions_idle, "idle evictions diverged");
+    prop_assert_eq!(
+        regs.takeovers,
+        reference.evictions_idle + reference.takeover_decided,
+        "takeovers diverged"
+    );
+    prop_assert_eq!(
+        regs.evictions_decided,
+        reference.takeover_decided + reference.released,
+        "decided evictions diverged"
+    );
+    prop_assert_eq!(regs.live_collisions, reference.live_collisions, "collisions diverged");
+    prop_assert_eq!(regs.post_verdict_pkts, reference.post_verdict, "post-verdict diverged");
+    prop_assert_eq!(
+        reference.admitted,
+        reference.active()
+            + reference.decided_pending()
+            + reference.evictions_idle
+            + reference.takeover_decided
+            + reference.released,
+        "reference must reconcile too"
+    );
+}
+
+proptest! {
+    /// Under random churn schedules (tiny slot count forcing collisions,
+    /// random timeline compression, random idle timeouts) the compiled
+    /// lifecycle stays observationally equivalent to the software
+    /// reference flow table, and every counter reconciles.
+    #[test]
+    fn churn_lifecycle_equals_reference_table(seed in 0u64..24) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_flows = rng.random_range(6usize..14);
+        let slots = 16usize;
+        let idle_timeout_us = [30_000u64, 120_000][rng.random_range(0usize..2)];
+        let mut flows = generate(DatasetId::D2, n_flows, 1000 + seed);
+        // Random timeline compression so lifetimes, gaps and timeouts
+        // interleave in varied ways.
+        for f in &mut flows {
+            let scale = rng.random_range(0.01f64..0.3);
+            for p in &mut f.packets {
+                p.ts_us = ((p.ts_us as f64) * scale) as u64;
+            }
+        }
+        let starts: Vec<u64> =
+            (0..n_flows).map(|i| 1_000 + i as u64 * rng.random_range(1_000u64..60_000)).collect();
+        run_equivalence_case(&flows, &starts, slots, idle_timeout_us);
+    }
+}
+
+/// Deterministic idle eviction: a silent owner forfeits its slot, and its
+/// late packets are suppressed as live collisions against the new owner.
+#[test]
+fn idle_owner_is_evicted_and_late_packets_suppressed() {
+    let slots = 16;
+    let timeout = 50_000u64;
+    let (a, b) = colliding_pair(slots);
+    let mut engine =
+        EngineBuilder::new(model()).flow_slots(slots).idle_timeout_us(timeout).build().unwrap();
+
+    // A sends three packets then goes silent.
+    for j in 0..3 {
+        engine.ingest(&Engine::frame_for(&a, j), 1_000 + a.packets[j].ts_us).unwrap();
+    }
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 1);
+    assert_eq!(lc.active_flows, 1);
+
+    // B arrives after the timeout: takes the slot over in-pass.
+    let b_base = 1_000 + a.packets[2].ts_us + timeout + 1_000;
+    for j in 0..3 {
+        engine.ingest(&Engine::frame_for(&b, j), b_base + b.packets[j].ts_us).unwrap();
+    }
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 2);
+    assert_eq!(lc.evictions_idle, 1);
+    assert_eq!(lc.takeovers, 1);
+    assert_eq!(lc.active_flows, 1, "one live owner after the takeover");
+
+    // A limps back while B is live: counted + suppressed, never merged.
+    engine.ingest(&Engine::frame_for(&a, 3), b_base + 2_000).unwrap();
+    let lc = engine.lifecycle();
+    assert_eq!(lc.live_collisions, 1);
+    assert_eq!(lc.admitted, 2, "the suppressed packet must not re-admit");
+    assert!(lc.reconciles(), "{lc:?}");
+}
+
+/// Deterministic in-band decided takeover: a flow that finished inside
+/// the batch frees its slot for the next colliding flow *without* any
+/// controller involvement, and both flows classify.
+#[test]
+fn decided_slot_is_recycled_in_band() {
+    let slots = 16;
+    let (a, b) = colliding_pair(slots);
+    let mut engine = EngineBuilder::new(model()).flow_slots(slots).build().unwrap();
+    let io = engine.io().clone();
+
+    // One batch: all of A (reaches its flow-end verdict), then all of B.
+    // Digests drain only at batch end, so B's first packet meets a
+    // decided — not released — lane.
+    let mut frames: Vec<(Vec<u8>, u64)> = Vec::new();
+    let mut t = 1_000;
+    for j in 0..a.packets.len() {
+        frames.push((Engine::frame_for(&a, j), t + a.packets[j].ts_us));
+    }
+    t += a.packets.last().unwrap().ts_us + 1_000;
+    for j in 0..b.packets.len() {
+        frames.push((Engine::frame_for(&b, j), t + b.packets[j].ts_us));
+    }
+    let report = engine.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).unwrap();
+
+    let classified: std::collections::HashSet<(u64, u64)> = report
+        .digests
+        .iter()
+        .map(|d| (d.values[io.digest_flow_idx], d.values[io.digest_fp]))
+        .collect();
+    assert_eq!(classified.len(), 2, "both colliding flows must classify");
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 2);
+    assert_eq!(lc.takeovers, 1, "B reclaimed A's decided slot in-band");
+    assert!(lc.evictions_decided >= 1);
+    assert_eq!(lc.live_collisions, 0);
+    assert!(lc.reconciles(), "{lc:?}");
+}
+
+/// Acceptance (scaled to debug-test budget): an engine with bounded
+/// register memory classifies ≥ 8× `flow_slots` distinct flows in one
+/// run, with counters that reconcile exactly. The full-size version
+/// (256 slots, 4096 flows) is gated in CI by `churn_smoke`.
+#[test]
+fn bounded_slots_classify_8x_distinct_flows() {
+    let slots = 64usize;
+    // Same slot load factor as the full-size churn_smoke fixture (~0.1
+    // concurrent flows per slot): 64 slots get 4x the arrival gap that
+    // 256 slots run with.
+    let schedule = churn(
+        DatasetId::D2,
+        &ChurnConfig { flows: 1024, mean_arrival_gap_us: 2_000, lifetime_scale: 0.05, seed: 11 },
+    );
+    let mut engine =
+        EngineBuilder::new(model()).flow_slots(slots).idle_timeout_us(100_000).build().unwrap();
+    let io = engine.io().clone();
+    let frames: Vec<(Vec<u8>, u64)> = schedule
+        .events()
+        .into_iter()
+        .map(|(ts, i, j)| (Engine::frame_for(&schedule.flows[i], j), ts))
+        .collect();
+    let report = engine.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).unwrap();
+
+    let classified: std::collections::HashSet<(u64, u64)> = report
+        .digests
+        .iter()
+        .map(|d| (d.values[io.digest_flow_idx], d.values[io.digest_fp]))
+        .collect();
+    assert!(
+        classified.len() >= 8 * slots,
+        "only {} distinct flows classified over {} slots",
+        classified.len(),
+        slots
+    );
+    let lc = engine.lifecycle();
+    assert!(lc.reconciles(), "{lc:?}");
+    assert!(lc.admitted >= 8 * slots as u64);
+    assert!(lc.takeovers > 0, "slots must actually recycle");
+}
+
+/// Ownership lanes read back through the register file agree with the
+/// canonical fingerprint helpers (the controller-visible view).
+#[test]
+fn lanes_carry_canonical_fingerprints() {
+    let slots = 1 << 10;
+    let f = flow_with(0x0a00_0009, 41_000, 12, 500);
+    let mut engine = EngineBuilder::new(model()).flow_slots(slots).build().unwrap();
+    engine.ingest(&Engine::frame_for(&f, 0), 1_000).unwrap();
+    let io = engine.io().clone();
+    let slot = canonical_flow_index(&f, slots);
+    let cell = engine.pipeline_registers()[io.owner_reg.index()].read(slot);
+    assert_eq!(owner_lane::fp(cell), canonical_flow_fp(&f));
+    assert!(!owner_lane::decided(cell));
+    assert_eq!(owner_lane::last_seen_us(cell), 1_000);
+}

@@ -1,7 +1,7 @@
 //! Property-based tests over the reproduction's core invariants.
 
 use proptest::prelude::*;
-use splidt::dataplane::action::{Action, AluOp, AluOut, Primitive, Source};
+use splidt::dataplane::action::{Action, AluOp, AluOut, OwnerMode, Primitive, Source};
 use splidt::dataplane::phv::FieldId;
 use splidt::dataplane::pipeline::Pipeline;
 use splidt::dataplane::program::{Program, ProgramBuilder};
@@ -41,7 +41,7 @@ fn random_program(rng: &mut rand::rngs::SmallRng) -> (Program, Vec<FieldId>) {
                     Source::Field(fields[rng.random_range(0usize..fields.len())])
                 }
             };
-            let p = match rng.random_range(0u8..10) {
+            let p = match rng.random_range(0u8..11) {
                 0 => Primitive::Set { dst, src: src(rng) },
                 1 => Primitive::Add { dst, a: src(rng), b: src(rng) },
                 2 => Primitive::Sub { dst, a: src(rng), b: src(rng) },
@@ -61,6 +61,15 @@ fn random_program(rng: &mut rand::rngs::SmallRng) -> (Program, Vec<FieldId>) {
                     },
                 },
                 8 => Primitive::Digest,
+                10 => Primitive::OwnerUpdate {
+                    reg: regs[stage],
+                    index: Source::Const(rng.random_range(0u64..16)),
+                    fp: src(rng),
+                    now: src(rng),
+                    idle_timeout_us: rng.random_range(0u64..32),
+                    mode: if rng.random::<bool>() { OwnerMode::Probe } else { OwnerMode::Decide },
+                    state_out: dst,
+                },
                 _ => {
                     if rng.random_range(0u8..4) == 0 {
                         Primitive::Drop
