@@ -1,12 +1,15 @@
 //! CI churn smoke: drives 16× more distinct flows than register slots
-//! through one engine and gates the flow-state lifecycle's acceptance
-//! criteria:
+//! through one engine running the **TCP-aware lifecycle policy** (SYN
+//! admission, FIN/RST in-band release, one pinned class) and gates the
+//! flow-state lifecycle's acceptance criteria:
 //!
 //! 1. ≥ 8 × `flow_slots` **distinct flows classified** in one run
-//!    (bounded register memory, slots recycled via verdict release, idle
-//!    eviction and in-band takeover);
-//! 2. lifecycle counters **reconcile exactly**
-//!    (`admitted == active + decided_pending + evictions`);
+//!    (bounded register memory, slots recycled via FIN/RST release,
+//!    verdict release, idle eviction and in-band takeover);
+//! 2. lifecycle counters **reconcile exactly** (`admitted == active +
+//!    decided_pending + evictions + released_fin`), the mid-capture
+//!    share of the schedule surfaces as nonzero `unsolicited`, and the
+//!    slot-pressure telemetry is populated;
 //! 3. **zero heap allocations** per steady-state packet on the
 //!    pipeline-level churn loop (claims/takeovers/decides included);
 //! 4. packets/sec within `--max-drop-pct` of the committed baseline.
@@ -72,16 +75,27 @@ fn main() {
     );
     println!(
         "lifecycle: admitted {} = active {} + decided_pending {} + evict_idle {} + \
-         evict_decided {} (takeovers {}, live_collisions {}, post_verdict {}) — reconciled: {}",
+         evict_decided {} + evict_pinned {} + released_fin {} (takeovers {}, \
+         live_collisions {}, unsolicited {}, pinned_defended {}, pinned_pending {}, \
+         post_verdict {}) — reconciled: {}",
         lc.admitted,
         lc.active_flows,
         lc.decided_pending,
         lc.evictions_idle,
         lc.evictions_decided,
+        lc.evictions_pinned,
+        lc.released_fin,
         lc.takeovers,
         lc.live_collisions,
+        lc.unsolicited,
+        lc.pinned_defended,
+        lc.pinned_pending,
         lc.post_verdict_pkts,
         stats.reconciled
+    );
+    println!(
+        "slot pressure: {} suppressed packets total, hottest slot {} — histogram {:?}",
+        stats.pressure_total, stats.pressure_peak, stats.pressure_hist
     );
 
     // 2. Strict allocation probe over the same schedule at pipeline level.
@@ -114,6 +128,24 @@ fn main() {
     }
     if !stats.reconciled {
         eprintln!("FAIL: lifecycle counters do not reconcile: {lc:?}");
+        std::process::exit(3);
+    }
+    if lc.unsolicited == 0 {
+        eprintln!("FAIL: the schedule's mid-capture flows must surface as unsolicited refusals");
+        std::process::exit(3);
+    }
+    if lc.released_fin == 0 {
+        eprintln!("FAIL: FIN/RST closes must release lanes in-band (released_fin == 0)");
+        std::process::exit(3);
+    }
+    if lc.evictions_pinned + lc.pinned_pending + lc.pinned_defended == 0 {
+        eprintln!("FAIL: the pinned class left no trace in the lifecycle counters");
+        std::process::exit(3);
+    }
+    // Bucket 0 counts pressure-free slots, so only buckets 1.. witness
+    // actual contention.
+    if stats.pressure_total == 0 || stats.pressure_hist[1..].iter().sum::<u64>() == 0 {
+        eprintln!("FAIL: slot-pressure telemetry is empty under a 16x-overloaded schedule");
         std::process::exit(3);
     }
     if allocs != 0 {

@@ -9,9 +9,17 @@
 //!    (256) and [`CHURN_FLOWS`] (4096) distinct flows in the schedule,
 //!    the engine must produce verdict digests for at least
 //!    8 × `flow_slots` distinct flows in one run — slots are recycled
-//!    (verdict release, idle eviction, in-band takeover), never leaked.
+//!    (FIN/RST in-band release, verdict release, idle eviction, in-band
+//!    takeover), never leaked. The fixture runs the TCP-aware policy:
+//!    [`CHURN_SYN_OPEN_FRAC`] of flows open with SYN (the rest are
+//!    mid-capture tails that must be refused as `unsolicited`),
+//!    [`CHURN_RST_CLOSE_FRAC`] close abortively with RST, and verdicts
+//!    of [`CHURN_PINNED_CLASS`] pin their lanes.
 //! 2. **Lifecycle counter reconciliation.** `admitted == active +
-//!    decided_pending + evictions_idle + evictions_decided`, exactly.
+//!    decided_pending + evictions_idle + evictions_decided +
+//!    evictions_pinned + released_fin`, exactly — plus nonzero
+//!    `unsolicited`, `released_fin`, a pinned-class trace, and populated
+//!    slot-pressure telemetry.
 //! 3. **Steady-state allocations and throughput.** The pipeline-level
 //!    churn loop (claims, takeovers, suppressed collisions, decide
 //!    passes included) must perform **zero** heap allocations per packet
@@ -23,8 +31,8 @@
 
 use crate::alloc_count::allocation_count;
 use splidt_core::engine::{Engine, EngineBuilder};
-use splidt_core::runtime::LifecycleStats;
-use splidt_core::{train_partitioned, PartitionedTree, SplidtConfig};
+use splidt_core::runtime::{LifecycleStats, PRESSURE_HIST_BUCKETS};
+use splidt_core::{train_partitioned, LifecyclePolicy, PartitionedTree, SplidtConfig};
 use splidt_dataplane::pipeline::Pipeline;
 use splidt_flow::{
     catalog, churn, generate, select_flows, stratified_split, windowed_dataset, ChurnConfig,
@@ -47,6 +55,17 @@ pub const CHURN_CLASSIFIED_FLOOR: usize = 8 * CHURN_SLOTS;
 pub const CHURN_IDLE_TIMEOUT_US: u64 = 100_000;
 /// Dataset seed of the churn fixture.
 pub const CHURN_SEED: u64 = 11;
+/// The verdict class the fixture pins ("suspected malicious"): decided
+/// lanes carrying it resist takeover until [`CHURN_PINNED_TIMEOUT_US`].
+pub const CHURN_PINNED_CLASS: u16 = 3;
+/// Pinned-lane timeout of the fixture (µs): modest, so the schedule still
+/// recycles pinned slots within its span.
+pub const CHURN_PINNED_TIMEOUT_US: u64 = 150_000;
+/// Fraction of churn flows opening with SYN; the rest are mid-capture
+/// tails the TCP-aware policy must refuse (`unsolicited`).
+pub const CHURN_SYN_OPEN_FRAC: f64 = 0.95;
+/// Fraction of churn flows closing abortively with RST instead of FIN.
+pub const CHURN_RST_CLOSE_FRAC: f64 = 0.25;
 
 /// One churn measurement, serialized to `BENCH_churn.json`.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +93,13 @@ pub struct ChurnStats {
     pub lifecycle: LifecycleStats,
     /// Whether the lifecycle counters reconciled exactly.
     pub reconciled: bool,
+    /// Total suppressed packets across all slots (pressure register sum).
+    pub pressure_total: u64,
+    /// The hottest slot's suppressed-packet count.
+    pub pressure_peak: u64,
+    /// Pressure histogram over slots (log₂ buckets; see
+    /// `splidt_core::runtime::SlotPressure`).
+    pub pressure_hist: [u64; PRESSURE_HIST_BUCKETS],
 }
 
 /// Trains the standard fixed-seed model (same shape as the hot-path
@@ -92,6 +118,8 @@ pub fn fixture() -> (PartitionedTree, Vec<(Vec<u8>, u64)>) {
             flows: CHURN_FLOWS,
             mean_arrival_gap_us: 500,
             lifetime_scale: 0.05,
+            syn_open_frac: CHURN_SYN_OPEN_FRAC,
+            rst_close_frac: CHURN_RST_CLOSE_FRAC,
             seed: CHURN_SEED,
         },
     );
@@ -104,11 +132,17 @@ pub fn fixture() -> (PartitionedTree, Vec<(Vec<u8>, u64)>) {
 }
 
 /// A fresh compiled engine for the churn fixture (256 slots, short idle
-/// timeout; flows are learned from the wire — nothing is pre-admitted).
+/// timeout, TCP-aware lifecycle policy with one pinned class; flows are
+/// learned from the wire — nothing is pre-admitted).
 pub fn engine_for(model: &PartitionedTree) -> Engine {
     EngineBuilder::new(model)
         .flow_slots(CHURN_SLOTS)
         .idle_timeout_us(CHURN_IDLE_TIMEOUT_US)
+        .lifecycle_policy(
+            LifecyclePolicy::tcp()
+                .pin_class(CHURN_PINNED_CLASS)
+                .pinned_timeout_us(CHURN_PINNED_TIMEOUT_US),
+        )
         .build()
         .expect("compiles")
 }
@@ -127,6 +161,7 @@ pub fn measure_churn_outcome(engine: &mut Engine, frames: &[(Vec<u8>, u64)]) -> 
         classified.insert((d.values[io.digest_flow_idx], d.values[io.digest_fp]));
     }
     let lifecycle = engine.lifecycle();
+    let pressure = engine.slot_pressure();
     ChurnStats {
         packets: report.packets,
         elapsed_s: 0.0,
@@ -138,6 +173,9 @@ pub fn measure_churn_outcome(engine: &mut Engine, frames: &[(Vec<u8>, u64)]) -> 
         classified_flows: classified.len() as u64,
         lifecycle,
         reconciled: lifecycle.reconciles(),
+        pressure_total: pressure.total,
+        pressure_peak: pressure.peak(),
+        pressure_hist: pressure.histogram,
     }
 }
 
@@ -207,6 +245,7 @@ pub fn probe_churn_allocs(model: &PartitionedTree, frames: &[(Vec<u8>, u64)]) ->
 /// Writes stats as the flat JSON the CI artifact and `bench_diff.sh`
 /// consume.
 pub fn write_json(path: &str, s: &ChurnStats) -> std::io::Result<()> {
+    let hist = s.pressure_hist.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
@@ -214,9 +253,12 @@ pub fn write_json(path: &str, s: &ChurnStats) -> std::io::Result<()> {
          \"pps\": {:.1},\n  \"allocs_per_packet\": {:.6},\n  \
          \"churn_allocs_per_packet\": {:.6},\n  \"flow_slots\": {},\n  \
          \"distinct_flows\": {},\n  \"classified_flows\": {},\n  \"admitted\": {},\n  \
-         \"active_flows\": {},\n  \"decided_pending\": {},\n  \"evictions_idle\": {},\n  \
-         \"evictions_decided\": {},\n  \"takeovers\": {},\n  \"live_collisions\": {},\n  \
-         \"post_verdict_pkts\": {},\n  \"reconciled\": {}\n}}",
+         \"active_flows\": {},\n  \"decided_pending\": {},\n  \"pinned_pending\": {},\n  \
+         \"evictions_idle\": {},\n  \"evictions_decided\": {},\n  \
+         \"evictions_pinned\": {},\n  \"released_fin\": {},\n  \"takeovers\": {},\n  \
+         \"live_collisions\": {},\n  \"unsolicited\": {},\n  \"pinned_defended\": {},\n  \
+         \"post_verdict_pkts\": {},\n  \"reconciled\": {},\n  \"pressure_total\": {},\n  \
+         \"pressure_peak\": {},\n  \"pressure_hist\": [{}]\n}}",
         s.packets,
         s.elapsed_s,
         s.pps,
@@ -228,11 +270,19 @@ pub fn write_json(path: &str, s: &ChurnStats) -> std::io::Result<()> {
         s.lifecycle.admitted,
         s.lifecycle.active_flows,
         s.lifecycle.decided_pending,
+        s.lifecycle.pinned_pending,
         s.lifecycle.evictions_idle,
         s.lifecycle.evictions_decided,
+        s.lifecycle.evictions_pinned,
+        s.lifecycle.released_fin,
         s.lifecycle.takeovers,
         s.lifecycle.live_collisions,
+        s.lifecycle.unsolicited,
+        s.lifecycle.pinned_defended,
         s.lifecycle.post_verdict_pkts,
         u64::from(s.reconciled),
+        s.pressure_total,
+        s.pressure_peak,
+        hist,
     )
 }

@@ -42,7 +42,7 @@
 
 use crate::model::{LeafTarget, PartitionedTree};
 use splidt_dataplane::action::{Action, AluOp, AluOut, OwnerMode, Primitive, SlotState, Source};
-use splidt_dataplane::hash::{FP_MASK, FP_SALT};
+use splidt_dataplane::hash::{FP_BITS, FP_MASK, FP_SALT};
 use splidt_dataplane::parser::StandardFields;
 use splidt_dataplane::phv::FieldId;
 use splidt_dataplane::program::{Program, ProgramBuilder, ProgramError};
@@ -50,7 +50,7 @@ use splidt_dataplane::register::{RegId, RegisterSpec};
 use splidt_dataplane::table::{TableId, TableSpec};
 use splidt_dataplane::tcam::Ternary;
 use splidt_flow::features::{
-    catalog, DepRegister, FeatureKind, Guard, LoadTransform, Operand, Scope, SlotProgram,
+    catalog, flags, DepRegister, FeatureKind, Guard, LoadTransform, Operand, Scope, SlotProgram,
     StatelessKind, UpdateOp, FEATURE_CAP,
 };
 use splidt_ranging::{generate_rules, range_to_prefixes, SubtreeRules};
@@ -146,6 +146,70 @@ pub fn model_rules(model: &PartitionedTree) -> RulesSummary {
 /// evicted under default settings.
 pub const DEFAULT_IDLE_TIMEOUT_US: u64 = 5_000_000;
 
+/// Default pinned timeout: how long a decided lane of a *pinned* verdict
+/// class resists takeover (4× the idle timeout).
+pub const DEFAULT_PINNED_TIMEOUT_US: u64 = 4 * DEFAULT_IDLE_TIMEOUT_US;
+
+/// Protocol- and verdict-aware flow-lifecycle policy, fixed at compile
+/// time: the admission/release MAT entries it generates are part of the
+/// compiled program, exactly like the paper's P4 control installs them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifecyclePolicy {
+    /// TCP-aware admission and release. When set, a TCP packet may claim
+    /// a slot **only when it carries SYN** — non-SYN packets of unknown
+    /// flows (scans, backscatter, mid-capture tails) are counted as
+    /// `unsolicited` and never admitted — and the verdict pass of a
+    /// FIN/RST packet releases the lane **in-band**, without waiting for
+    /// the controller's digest drain. Non-TCP traffic keeps flow-agnostic
+    /// admission.
+    pub tcp_aware: bool,
+    /// Verdict classes (e.g. suspected-malicious) whose decided lanes are
+    /// **pinned**: they resist takeover and in-band release until
+    /// [`LifecyclePolicy::pinned_timeout_us`] of silence or an explicit
+    /// operator release (`Engine::release_pinned`).
+    pub pinned_classes: Vec<u16>,
+    /// Idle threshold (µs) past which even a pinned lane is evictable.
+    pub pinned_timeout_us: u64,
+}
+
+impl Default for LifecyclePolicy {
+    fn default() -> Self {
+        Self::flow_agnostic()
+    }
+}
+
+impl LifecyclePolicy {
+    /// The policy PR 4 shipped: any packet of an unknown flow claims a
+    /// slot, releases only via verdicts and the controller.
+    pub fn flow_agnostic() -> Self {
+        Self {
+            tcp_aware: false,
+            pinned_classes: Vec::new(),
+            pinned_timeout_us: DEFAULT_PINNED_TIMEOUT_US,
+        }
+    }
+
+    /// TCP-aware admission/release (SYN claims, FIN/RST in-band release).
+    pub fn tcp() -> Self {
+        Self { tcp_aware: true, ..Self::flow_agnostic() }
+    }
+
+    /// Marks a verdict class pinned (builder style).
+    pub fn pin_class(mut self, class: u16) -> Self {
+        if !self.pinned_classes.contains(&class) {
+            self.pinned_classes.push(class);
+            self.pinned_classes.sort_unstable();
+        }
+        self
+    }
+
+    /// Sets the pinned-lane idle threshold (builder style).
+    pub fn pinned_timeout_us(mut self, us: u64) -> Self {
+        self.pinned_timeout_us = us;
+        self
+    }
+}
+
 /// Compile-time knobs beyond the model itself.
 #[derive(Debug, Clone)]
 pub struct CompileOptions {
@@ -153,11 +217,17 @@ pub struct CompileOptions {
     pub flow_slots: usize,
     /// Ownership-lane idle timeout in µs.
     pub idle_timeout_us: u64,
+    /// Flow-lifecycle policy (admission, release, pinned eviction).
+    pub policy: LifecyclePolicy,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        Self { flow_slots: 1 << 16, idle_timeout_us: DEFAULT_IDLE_TIMEOUT_US }
+        Self {
+            flow_slots: 1 << 16,
+            idle_timeout_us: DEFAULT_IDLE_TIMEOUT_US,
+            policy: LifecyclePolicy::default(),
+        }
     }
 }
 
@@ -178,6 +248,14 @@ pub struct LifecycleEntryIdx {
     pub live_collision: usize,
     /// Trailing packets of an already-decided owner.
     pub post_verdict: usize,
+    /// Non-SYN packets of unknown flows refused admission (TCP policy).
+    pub unsolicited: usize,
+    /// Takeovers of pinned lanes past the pinned timeout.
+    pub takeover_pinned: usize,
+    /// Packets suppressed by a pinned lane inside its pinned timeout.
+    pub pinned_defended: usize,
+    /// In-band FIN/RST lane releases on the decide pass.
+    pub released_fin: usize,
 }
 
 /// Handles into the compiled program the runtime needs.
@@ -189,6 +267,8 @@ pub struct CompiledIo {
     pub flow_slots: usize,
     /// Ownership-lane idle timeout the program was compiled with (µs).
     pub idle_timeout_us: u64,
+    /// The flow-lifecycle policy the program was compiled with.
+    pub policy: LifecyclePolicy,
     /// Digest layout: `[ipv4.src, ipv4.dst, class, sid, flow_idx, fp]`.
     pub digest_src: usize,
     /// Index of class within digest values.
@@ -210,6 +290,9 @@ pub struct CompiledIo {
     pub model_table: TableId,
     /// The ownership-lane register array.
     pub owner_reg: RegId,
+    /// The per-slot pressure counter register (suppressed packets:
+    /// live collisions + unsolicited + pinned-defended, per slot).
+    pub pressure_reg: RegId,
     /// The lifecycle MAT (entry hit counters = lifecycle counters).
     pub lifecycle_table: TableId,
     /// Entry indices into the lifecycle MAT.
@@ -292,6 +375,29 @@ pub fn compile_with(
     if !flow_slots.is_power_of_two() {
         return Err(CompileError::Unsupported("flow_slots must be a power of two".into()));
     }
+    let policy = &opts.policy;
+    for &c in &policy.pinned_classes {
+        // The lane stores the verdict class in CLASS_BITS bits; a pinned
+        // class outside that range could never be recognized.
+        if u64::from(c) > splidt_dataplane::register::owner_lane::CLASS_MASK {
+            return Err(CompileError::Unsupported(format!(
+                "pinned class {c} exceeds the lane's class field"
+            )));
+        }
+        if usize::from(c) >= model.n_classes {
+            return Err(CompileError::InvalidModel(format!(
+                "pinned class {c} outside the model's {} classes",
+                model.n_classes
+            )));
+        }
+    }
+    // Only meaningful when something is actually pinned — the default
+    // policy must keep accepting any idle timeout, as it always has.
+    if !policy.pinned_classes.is_empty() && policy.pinned_timeout_us < opts.idle_timeout_us {
+        return Err(CompileError::Unsupported(
+            "pinned_timeout_us must be >= idle_timeout_us (pinning may only strengthen)".into(),
+        ));
+    }
     let cat = catalog();
     let k = model.config.k;
     let p = model.n_partitions();
@@ -332,7 +438,7 @@ pub fn compile_with(
     // --- metadata fields
     let slot_bits_log2 = flow_slots.trailing_zeros() as u8;
     let m_flow_idx = b.add_meta("m.flow_idx", slot_bits_log2.max(1));
-    let m_fp = b.add_meta("m.fp", 31);
+    let m_fp = b.add_meta("m.fp", FP_BITS as u8);
     let m_state = b.add_meta("m.state", SlotState::BITS);
     let m_claim = b.add_meta("m.claim", 1);
     let m_alien = b.add_meta("m.alien", 1);
@@ -367,6 +473,12 @@ pub fn compile_with(
 
     // --- registers
     let r_owner = b.add_register(RegisterSpec::new("r.owner", 64, flow_slots), stage::OWN);
+    // Per-slot pressure counter: suppressed packets (live collisions,
+    // unsolicited refusals, pinned defenses) per slot, bumped by the
+    // lifecycle MAT in its own stage — the contention signal operators
+    // size `flow_slots` from (`Engine::slot_pressure`).
+    let r_pressure =
+        b.add_register(RegisterSpec::new("r.pressure", 32, flow_slots), stage::LIFECYCLE);
     let r_sid = b.add_register(RegisterSpec::new("r.sid", 8, flow_slots), stage::STATE);
     let r_pkt = b.add_register(RegisterSpec::new("r.pkt_count", 24, flow_slots), stage::STATE);
     let r_win = b.add_register(RegisterSpec::new("r.win_count", 16, flow_slots), stage::STATE);
@@ -442,37 +554,152 @@ pub fn compile_with(
             .with(Primitive::set_field(m_cdport, fields.sport)),
     );
 
-    // --- stage 1: the ownership lane. One dual-ALU probe per first pass;
-    // resubmitted passes either mark the verdict (DONE sentinel in
-    // `m.next_sid`) or leave the lane alone.
-    let t_own =
-        b.add_table(TableSpec::ternary("own", vec![fields.is_resubmit, m_next_sid], 3), stage::OWN);
+    // --- stage 1: the ownership lane. One dual-ALU update per pass,
+    // dispatched by the lifecycle policy's MAT entries: first passes
+    // probe (claim permission per entry — the TCP-aware policy grants it
+    // only to SYN packets), the DONE-sentinel resubmission decides (with
+    // per-pinned-class and FIN/RST-release twins), other resubmitted
+    // passes leave the lane alone.
+    let own_capacity = 3 + policy.pinned_classes.len() + if policy.tcp_aware { 6 } else { 0 };
+    // The flow-agnostic, nothing-pinned policy needs none of the policy
+    // keys — keep the 2-field key so the default hot path pays nothing
+    // for the policy machinery.
+    let own_fields = if policy.tcp_aware || !policy.pinned_classes.is_empty() {
+        vec![fields.is_resubmit, m_next_sid, m_class, fields.ip_proto, fields.tcp_flags]
+    } else {
+        vec![fields.is_resubmit, m_next_sid]
+    };
+    let own_key_len = own_fields.len();
+    let t_own = b.add_table(TableSpec::ternary("own", own_fields, own_capacity), stage::OWN);
+    let owner_update =
+        |mode: OwnerMode, claim: bool, release: bool, pin: bool| Primitive::OwnerUpdate {
+            reg: r_owner,
+            index: Source::Field(m_flow_idx),
+            fp: Source::Field(m_fp),
+            now: Source::Field(m_now),
+            idle_timeout_us: opts.idle_timeout_us,
+            pinned_timeout_us: policy.pinned_timeout_us,
+            mode,
+            claim,
+            release,
+            pin,
+            class: Source::Field(m_class),
+            state_out: m_state,
+        };
+    let own_key =
+        |resub: Ternary, next_sid: Ternary, class: Ternary, proto: Ternary, fl: Ternary| {
+            let mut key = vec![resub, next_sid, class, proto, fl];
+            key.truncate(own_key_len);
+            key
+        };
+    // Pinned verdict classes: the decide pass writes the pinned flag so
+    // the lane resists takeover (and in-band release) afterwards.
+    for &c in &policy.pinned_classes {
+        b.add_ternary_entry(
+            t_own,
+            own_key(
+                Ternary::exact(1, 1),
+                Ternary::exact(255, 8),
+                Ternary::exact(c as u64, 8),
+                Ternary::ANY,
+                Ternary::ANY,
+            ),
+            12,
+            Action::new(format!("decide_pin_{c}")).with(owner_update(
+                OwnerMode::Decide,
+                false,
+                false,
+                true,
+            )),
+        )?;
+    }
+    if policy.tcp_aware {
+        // FIN/RST verdict packets release the lane in-band: the slot is
+        // reclaimable the moment the flow ends, no digest drain needed.
+        for (bit, name) in [(flags::FIN, "decide_fin"), (flags::RST, "decide_rst")] {
+            b.add_ternary_entry(
+                t_own,
+                own_key(
+                    Ternary::exact(1, 1),
+                    Ternary::exact(255, 8),
+                    Ternary::ANY,
+                    Ternary::exact(6, 8),
+                    Ternary::new(bit as u64, bit as u64),
+                ),
+                11,
+                Action::new(name).with(owner_update(OwnerMode::Decide, false, true, false)),
+            )?;
+        }
+    }
     b.add_ternary_entry(
         t_own,
-        vec![Ternary::exact(1, 1), Ternary::exact(255, 8)],
+        own_key(
+            Ternary::exact(1, 1),
+            Ternary::exact(255, 8),
+            Ternary::ANY,
+            Ternary::ANY,
+            Ternary::ANY,
+        ),
         10,
-        Action::new("decide").with(Primitive::OwnerUpdate {
-            reg: r_owner,
-            index: Source::Field(m_flow_idx),
-            fp: Source::Field(m_fp),
-            now: Source::Field(m_now),
-            idle_timeout_us: opts.idle_timeout_us,
-            mode: OwnerMode::Decide,
-            state_out: m_state,
-        }),
+        Action::new("decide").with(owner_update(OwnerMode::Decide, false, false, false)),
     )?;
-    b.add_ternary_entry(t_own, vec![Ternary::exact(1, 1), Ternary::ANY], 5, Action::new("carry"))?;
+    b.add_ternary_entry(
+        t_own,
+        own_key(Ternary::exact(1, 1), Ternary::ANY, Ternary::ANY, Ternary::ANY, Ternary::ANY),
+        5,
+        Action::new("carry"),
+    )?;
+    if policy.tcp_aware {
+        // First-pass FIN/RST packets release the owner's own *decided*
+        // (unpinned) lane — the early-exit flow's trailing close. For
+        // unknown flows these entries probe without claim permission like
+        // any other non-SYN packet.
+        for (bit, name) in [(flags::FIN, "probe_fin"), (flags::RST, "probe_rst")] {
+            b.add_ternary_entry(
+                t_own,
+                own_key(
+                    Ternary::exact(0, 1),
+                    Ternary::ANY,
+                    Ternary::ANY,
+                    Ternary::exact(6, 8),
+                    Ternary::new(bit as u64, bit as u64),
+                ),
+                5,
+                Action::new(name).with(owner_update(OwnerMode::Probe, false, true, false)),
+            )?;
+        }
+        // SYN packets may claim; any other TCP packet probes without
+        // claim permission (unknown flows surface as `unsolicited`).
+        b.add_ternary_entry(
+            t_own,
+            own_key(
+                Ternary::exact(0, 1),
+                Ternary::ANY,
+                Ternary::ANY,
+                Ternary::exact(6, 8),
+                Ternary::new(flags::SYN as u64, flags::SYN as u64),
+            ),
+            4,
+            Action::new("probe_syn").with(owner_update(OwnerMode::Probe, true, false, false)),
+        )?;
+        b.add_ternary_entry(
+            t_own,
+            own_key(
+                Ternary::exact(0, 1),
+                Ternary::ANY,
+                Ternary::ANY,
+                Ternary::exact(6, 8),
+                Ternary::ANY,
+            ),
+            3,
+            Action::new("probe_no_claim").with(owner_update(OwnerMode::Probe, false, false, false)),
+        )?;
+    }
+    // Default (every first pass under the flow-agnostic policy; non-TCP
+    // traffic under the TCP-aware one): probe with claim permission.
     b.set_default(
         t_own,
-        Action::new("probe").with(Primitive::OwnerUpdate {
-            reg: r_owner,
-            index: Source::Field(m_flow_idx),
-            fp: Source::Field(m_fp),
-            now: Source::Field(m_now),
-            idle_timeout_us: opts.idle_timeout_us,
-            mode: OwnerMode::Probe,
-            state_out: m_state,
-        }),
+        Action::new("probe").with(owner_update(OwnerMode::Probe, true, false, false)),
     );
 
     // --- stage 2: lifecycle MAT — maps the probed slot state onto the
@@ -481,13 +708,22 @@ pub fn compile_with(
     // live collisions), read back by the engine through
     // `CompiledIo::lifecycle_entries`. Install order is fixed.
     let t_life = b.add_table(
-        TableSpec::ternary("lifecycle", vec![fields.is_resubmit, m_state], 7),
+        TableSpec::ternary("lifecycle", vec![fields.is_resubmit, m_state], 11),
         stage::LIFECYCLE,
     );
     let life_entry = |claim: u64, alien: u64, name: &str| {
         Action::new(name)
             .with(Primitive::set_const(m_claim, claim))
             .with(Primitive::set_const(m_alien, alien))
+    };
+    // Suppressed packets additionally bump the slot's pressure counter —
+    // the entry hit counters aggregate, the register localizes.
+    let pressure_bump = Primitive::RegRmw {
+        reg: r_pressure,
+        index: Source::Field(m_flow_idx),
+        op: AluOp::Add,
+        operand: Source::Const(1),
+        out: None,
     };
     let lifecycle_states = [
         (SlotState::Owner, 0u64, 0u64, "owner"),
@@ -496,17 +732,34 @@ pub fn compile_with(
         (SlotState::TakeoverDecided, 1, 0, "takeover_decided"),
         (SlotState::LiveCollision, 0, 1, "live_collision"),
         (SlotState::OwnerDecided, 0, 0, "post_verdict"),
+        (SlotState::Unsolicited, 0, 1, "unsolicited"),
+        (SlotState::TakeoverPinned, 1, 0, "takeover_pinned"),
+        (SlotState::PinnedDefended, 0, 1, "pinned_defended"),
     ];
     for (state, claim, alien, name) in lifecycle_states {
+        let mut action = life_entry(claim, alien, name);
+        if alien == 1 {
+            action = action.with(pressure_bump.clone());
+        }
         b.add_ternary_entry(
             t_life,
             vec![Ternary::exact(0, 1), Ternary::exact(state.code(), SlotState::BITS)],
             10,
-            life_entry(claim, alien, name),
+            action,
         )?;
     }
-    // Resubmitted passes are always the owner's: clear both bits so the
-    // stage-keyed resubmit entries below stay unambiguous.
+    // In-band FIN/RST releases announce themselves through the state
+    // field on either kind of pass: the decide pass of a flow-end verdict
+    // riding a FIN/RST, or the first pass of an early-exit flow's
+    // trailing close. One entry counts both. Every other resubmitted
+    // pass is the owner's: clear both bits so the stage-keyed resubmit
+    // entries below stay unambiguous.
+    b.add_ternary_entry(
+        t_life,
+        vec![Ternary::ANY, Ternary::exact(SlotState::OwnerRelease.code(), SlotState::BITS)],
+        8,
+        life_entry(0, 0, "released_fin"),
+    )?;
     b.add_ternary_entry(
         t_life,
         vec![Ternary::exact(1, 1), Ternary::ANY],
@@ -520,6 +773,10 @@ pub fn compile_with(
         takeover_decided: 3,
         live_collision: 4,
         post_verdict: 5,
+        unsolicited: 6,
+        takeover_pinned: 7,
+        pinned_defended: 8,
+        released_fin: 9,
     };
 
     // --- stage 3: sid / counters. Keyed on [is_resubmit, claim(, alien)]:
@@ -1190,6 +1447,7 @@ pub fn compile_with(
             fields,
             flow_slots,
             idle_timeout_us: opts.idle_timeout_us,
+            policy: opts.policy.clone(),
             digest_src: 0,
             digest_class: 2,
             digest_sid: 3,
@@ -1198,6 +1456,7 @@ pub fn compile_with(
             digest_final: 6,
             model_table: t_model,
             owner_reg: r_owner,
+            pressure_reg: r_pressure,
             lifecycle_table: t_life,
             lifecycle_entries,
         },
@@ -1335,6 +1594,60 @@ mod tests {
     fn rejects_bad_flow_slots() {
         let model = small_model();
         assert!(matches!(compile(&model, 1000), Err(CompileError::Unsupported(_))));
+    }
+
+    #[test]
+    fn tcp_policy_compiles_and_fits() {
+        let model = small_model();
+        let opts = CompileOptions {
+            flow_slots: 1 << 12,
+            policy: LifecyclePolicy::tcp().pin_class(1).pin_class(3),
+            ..Default::default()
+        };
+        let compiled = compile_with(&model, &opts).expect("compiles");
+        assert_eq!(compiled.io.policy.pinned_classes, vec![1, 3]);
+        assert!(compiled.io.policy.tcp_aware);
+        assert!(compiled.program.stages().len() <= 10, "policy adds entries, not stages");
+        let report = splidt_dataplane::resources::check(
+            &compiled.program,
+            &splidt_dataplane::resources::TargetSpec::tofino1(),
+        );
+        assert!(report.feasible(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn rejects_bad_lifecycle_policies() {
+        let model = small_model();
+        // Pinned class outside the model's class set.
+        let opts =
+            CompileOptions { policy: LifecyclePolicy::tcp().pin_class(200), ..Default::default() };
+        assert!(matches!(compile_with(&model, &opts), Err(CompileError::Unsupported(_))));
+        let opts = CompileOptions {
+            policy: LifecyclePolicy::tcp().pin_class(model.n_classes as u16),
+            ..Default::default()
+        };
+        assert!(matches!(compile_with(&model, &opts), Err(CompileError::InvalidModel(_))));
+        // A pinned timeout weaker than the idle timeout is a policy bug —
+        // but only once something is actually pinned; the flow-agnostic
+        // default must keep accepting any idle timeout.
+        let opts = CompileOptions {
+            idle_timeout_us: 1_000_000,
+            policy: LifecyclePolicy::flow_agnostic().pin_class(1).pinned_timeout_us(10),
+            ..Default::default()
+        };
+        assert!(matches!(compile_with(&model, &opts), Err(CompileError::Unsupported(_))));
+        let opts = CompileOptions {
+            idle_timeout_us: 30_000_000, // above DEFAULT_PINNED_TIMEOUT_US
+            policy: LifecyclePolicy::flow_agnostic(),
+            ..Default::default()
+        };
+        assert!(compile_with(&model, &opts).is_ok(), "nothing pinned: any idle timeout is fine");
+    }
+
+    #[test]
+    fn pin_class_dedupes_and_sorts() {
+        let p = LifecyclePolicy::flow_agnostic().pin_class(3).pin_class(1).pin_class(3);
+        assert_eq!(p.pinned_classes, vec![1, 3]);
     }
 
     #[test]

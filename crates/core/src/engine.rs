@@ -22,11 +22,15 @@
 //! any IP heuristic, so attribution is exact even when initiator addresses
 //! repeat across flows.
 
-use crate::compile::{compile_with, CompileOptions, CompiledIo, CompiledModel, RulesSummary};
+use crate::compile::{
+    compile_with, CompileOptions, CompiledIo, CompiledModel, LifecyclePolicy, RulesSummary,
+};
 use crate::error::SplidtError;
 use crate::model::PartitionedTree;
 use crate::resources::{splidt_footprint, ModelFootprint};
-use crate::runtime::{canonical_flow_index, FlowOutcome, LifecycleStats, RuntimeReport};
+use crate::runtime::{
+    canonical_flow_index, FlowOutcome, LifecycleStats, RuntimeReport, SlotPressure, PRESSURE_TOP_K,
+};
 use splidt_dataplane::hash::flow_index;
 use splidt_dataplane::packet::PacketBuilder;
 use splidt_dataplane::parser::peek_flow_tuple;
@@ -265,16 +269,19 @@ pub struct EngineBuilder<'m> {
     flow_slots: usize,
     stagger_us: u64,
     idle_timeout_us: u64,
+    policy: LifecyclePolicy,
 }
 
 impl<'m> EngineBuilder<'m> {
-    /// Starts a builder for `model` with default slots/stagger/timeout.
+    /// Starts a builder for `model` with default slots/stagger/timeout
+    /// and the flow-agnostic lifecycle policy.
     pub fn new(model: &'m PartitionedTree) -> Self {
         Self {
             model,
             flow_slots: DEFAULT_FLOW_SLOTS,
             stagger_us: DEFAULT_STAGGER_US,
             idle_timeout_us: crate::compile::DEFAULT_IDLE_TIMEOUT_US,
+            policy: LifecyclePolicy::default(),
         }
     }
 
@@ -297,8 +304,20 @@ impl<'m> EngineBuilder<'m> {
         self
     }
 
+    /// Flow-lifecycle policy: TCP-aware admission/release (SYN claims,
+    /// FIN/RST in-band release) and per-class pinned eviction. Compiled
+    /// into the program's MAT entries.
+    pub fn lifecycle_policy(mut self, policy: LifecyclePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     fn compile_options(&self) -> CompileOptions {
-        CompileOptions { flow_slots: self.flow_slots, idle_timeout_us: self.idle_timeout_us }
+        CompileOptions {
+            flow_slots: self.flow_slots,
+            idle_timeout_us: self.idle_timeout_us,
+            policy: self.policy.clone(),
+        }
     }
 
     /// Compiles the model and instantiates a single-pipeline engine.
@@ -399,6 +418,9 @@ pub struct Engine {
     /// (compare-and-release: only when the lane still carries the
     /// digest's fingerprint).
     released_decided: u64,
+    /// Pinned lanes released by explicit operator action
+    /// ([`Engine::release_pinned`]).
+    released_pinned: u64,
 }
 
 impl Engine {
@@ -426,6 +448,7 @@ impl Engine {
             collisions_skipped: 0,
             collated: HashMap::new(),
             released_decided: 0,
+            released_pinned: 0,
         }
     }
 
@@ -607,7 +630,11 @@ impl Engine {
                 )
             };
             self.collated.entry(slot).or_default().push((ts, class));
-            if ended {
+            // Pinned classes are exempt from the automatic flow-end
+            // release: their lanes persist until the pinned timeout or an
+            // explicit `release_pinned` (the operator's call, not the
+            // drain loop's).
+            if ended && !self.io.policy.pinned_classes.contains(&class) {
                 let lane = &mut self.pipeline.registers_mut()[owner_reg];
                 let cell = lane.read(slot as usize);
                 if owner_lane::decided(cell) && owner_lane::fp(cell) == fp {
@@ -619,6 +646,48 @@ impl Engine {
         self.pipeline.take_digests()
     }
 
+    /// Explicit operator release of a **pinned** lane: frees the slot if
+    /// it currently holds a decided, pinned owner, returning `true` when
+    /// a lane was actually released (counted in
+    /// [`LifecycleStats::evictions_pinned`]). Out-of-range slots return
+    /// `false` (they are never wrapped onto another slot's lane).
+    pub fn release_pinned(&mut self, slot: usize) -> bool {
+        if slot >= self.io.flow_slots {
+            return false;
+        }
+        let lane = &mut self.pipeline.registers_mut()[self.io.owner_reg.index()];
+        let cell = lane.read(slot);
+        if owner_lane::decided(cell) && owner_lane::pinned(cell) {
+            lane.write(slot, owner_lane::FREE);
+            self.released_pinned += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-slot contention telemetry: scans the compiled pressure
+    /// register (suppressed packets per slot — live collisions,
+    /// unsolicited refusals, pinned defenses) into totals, the K hottest
+    /// slots and a histogram. Operators size `flow_slots` from this.
+    pub fn slot_pressure(&self) -> SlotPressure {
+        let reg = &self.pipeline.registers()[self.io.pressure_reg.index()];
+        let mut out = SlotPressure::default();
+        let mut hot: Vec<(usize, u64)> = Vec::new();
+        for slot in 0..self.io.flow_slots {
+            let p = reg.read(slot);
+            out.total += p;
+            out.histogram[SlotPressure::bucket(p)] += 1;
+            if p > 0 {
+                hot.push((slot, p));
+            }
+        }
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(PRESSURE_TOP_K);
+        out.hot_slots = hot;
+        out
+    }
+
     /// The session's flow-state lifecycle counters: data-plane lifecycle
     /// MAT hits + controller lane releases + a live scan of the ownership
     /// lanes. The counters reconcile exactly
@@ -627,27 +696,33 @@ impl Engine {
         let t = self.pipeline.program().table(self.io.lifecycle_table);
         let e = self.io.lifecycle_entries;
         let hits = |i: usize| t.entries()[i].hits;
-        let (mut active, mut decided_pending) = (0u64, 0u64);
+        let (mut active, mut decided_pending, mut pinned_pending) = (0u64, 0u64, 0u64);
         let lanes = &self.pipeline.registers()[self.io.owner_reg.index()];
         for i in 0..self.io.flow_slots {
             let cell = lanes.read(i);
             if owner_lane::fp(cell) != 0 {
                 if owner_lane::decided(cell) {
                     decided_pending += 1;
+                    pinned_pending += u64::from(owner_lane::pinned(cell));
                 } else {
                     active += 1;
                 }
             }
         }
-        let takeovers = hits(e.takeover_idle) + hits(e.takeover_decided);
+        let takeovers = hits(e.takeover_idle) + hits(e.takeover_decided) + hits(e.takeover_pinned);
         LifecycleStats {
             admitted: hits(e.admit_free) + takeovers,
             active_flows: active,
             decided_pending,
+            pinned_pending,
             evictions_idle: hits(e.takeover_idle),
             evictions_decided: hits(e.takeover_decided) + self.released_decided,
+            evictions_pinned: hits(e.takeover_pinned) + self.released_pinned,
+            released_fin: hits(e.released_fin),
             takeovers,
             live_collisions: hits(e.live_collision),
+            unsolicited: hits(e.unsolicited),
+            pinned_defended: hits(e.pinned_defended),
             post_verdict_pkts: hits(e.post_verdict),
         }
     }
@@ -716,6 +791,7 @@ impl Engine {
             recirc_per_flow,
             collisions_skipped: self.collisions_skipped,
             lifecycle: self.lifecycle(),
+            slot_pressure: self.slot_pressure(),
         }
     }
 
@@ -742,6 +818,7 @@ impl Engine {
         self.collisions_skipped = 0;
         self.collated.clear();
         self.released_decided = 0;
+        self.released_pinned = 0;
     }
 }
 
@@ -842,6 +919,23 @@ impl ShardedEngine {
         out
     }
 
+    /// Merged per-slot pressure telemetry across all shards (slot ids in
+    /// `hot_slots` are shard-local).
+    pub fn slot_pressure(&self) -> SlotPressure {
+        let mut out = SlotPressure::default();
+        for s in &self.shards {
+            out.merge(&s.slot_pressure());
+        }
+        out
+    }
+
+    /// Explicit operator release of a pinned lane on one shard (see
+    /// [`Engine::release_pinned`]; slot ids reported by per-shard
+    /// telemetry are shard-local, so the operator addresses the pair).
+    pub fn release_pinned(&mut self, shard: usize, slot: usize) -> bool {
+        self.shards.get_mut(shard).is_some_and(|s| s.release_pinned(slot))
+    }
+
     /// Batch driver: globally schedule flows (identical collision
     /// filtering and stagger bases to a single-shard engine), partition
     /// them by flow hash, feed every shard on its own thread, then merge
@@ -931,6 +1025,7 @@ impl ShardedEngine {
             recirc_per_flow,
             collisions_skipped: self.collisions_skipped,
             lifecycle: self.lifecycle(),
+            slot_pressure: self.slot_pressure(),
         })
     }
 

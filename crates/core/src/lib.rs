@@ -37,7 +37,8 @@ pub mod ttd;
 pub const FEATURE_BITS_DEFAULT: u8 = splidt_flow::FEATURE_BITS;
 
 pub use compile::{
-    compile, compile_with, model_rules, CompileOptions, CompiledModel, RulesSummary,
+    compile, compile_with, model_rules, CompileOptions, CompiledModel, LifecyclePolicy,
+    RulesSummary,
 };
 pub use config::SplidtConfig;
 pub use engine::{
@@ -48,6 +49,6 @@ pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
 pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};
 pub use runtime::{
     canonical_flow_fp, canonical_flow_index, run_flows, run_flows_compiled, LifecycleStats,
-    RuntimeReport,
+    RuntimeReport, SlotPressure,
 };
 pub use train::{evaluate_partitioned, train_partitioned};

@@ -45,6 +45,14 @@ pub struct ModelFootprint {
 /// Bits of the ownership-lane register per flow slot (64-bit cell).
 pub const OWNER_LANE_BITS: usize = 64;
 
+/// Bits of the per-slot pressure counter register (32-bit cell): the
+/// suppressed-packet telemetry operators size `flow_slots` from.
+pub const SLOT_PRESSURE_BITS: usize = 32;
+
+/// Per-flow bits of the full lifecycle substrate: ownership lane +
+/// pressure counter.
+pub const LIFECYCLE_BITS: usize = OWNER_LANE_BITS + SLOT_PRESSURE_BITS;
+
 impl ModelFootprint {
     /// Per-flow stateful bits (the capacity divisor).
     pub fn per_flow_bits(&self) -> u64 {
@@ -81,7 +89,7 @@ pub fn splidt_footprint(model: &PartitionedTree) -> ModelFootprint {
         dep_registers: deps.len(),
         // SID (8) + packet counter (24) + window counter (16).
         reserved_bits: 48,
-        lifecycle_bits: OWNER_LANE_BITS,
+        lifecycle_bits: LIFECYCLE_BITS,
         tcam_entries: rules.tcam_entries,
         max_key_bits: rules.model_key_bits,
         // hash/dir + ownership lane + lifecycle + state + deps + compute
@@ -186,7 +194,7 @@ mod tests {
             slot_bits,
             dep_registers: 1,
             reserved_bits: 48,
-            lifecycle_bits: OWNER_LANE_BITS,
+            lifecycle_bits: LIFECYCLE_BITS,
             tcam_entries: 2000,
             max_key_bits: 100,
             stages: 10,
@@ -196,7 +204,7 @@ mod tests {
     #[test]
     fn per_flow_bits_math() {
         let f = fp(4, 32);
-        assert_eq!(f.per_flow_bits(), (4 * 32 + 32 + 48 + 64) as u64);
+        assert_eq!(f.per_flow_bits(), (4 * 32 + 32 + 48 + 96) as u64);
         assert_eq!(f.feature_register_bits(), 128);
     }
 

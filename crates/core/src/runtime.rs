@@ -46,7 +46,7 @@ pub struct FlowOutcome {
 ///
 /// The counters reconcile exactly:
 /// `admitted == active_flows + decided_pending + evictions_idle +
-/// evictions_decided`.
+/// evictions_decided + evictions_pinned + released_fin`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LifecycleStats {
     /// Flows granted a slot (free claims + takeovers) — flows are learned
@@ -57,17 +57,34 @@ pub struct LifecycleStats {
     /// Slots whose owner has a verdict but has not been released yet
     /// (drained digests release these; lane scan).
     pub decided_pending: u64,
+    /// The pinned subset of `decided_pending`: decided lanes whose class
+    /// the policy pins (lane scan; informational, not a separate
+    /// reconciliation term).
+    pub pinned_pending: u64,
     /// Owners displaced after idling past the compiled timeout.
     pub evictions_idle: u64,
     /// Decided owners whose slot was recycled: in-band takeovers plus
     /// controller releases on digest drain.
     pub evictions_decided: u64,
-    /// In-band slot takeovers (idle + decided) — the subset of evictions
-    /// performed by the pipeline itself, without controller involvement.
+    /// Pinned lanes retired: takeovers past the pinned timeout plus
+    /// explicit operator releases (`Engine::release_pinned`).
+    pub evictions_pinned: u64,
+    /// Lanes released in-band by a FIN/RST verdict pass — the TCP-aware
+    /// policy's fast path: no digest drain, no decided parking.
+    pub released_fin: u64,
+    /// In-band slot takeovers (idle + decided + pinned) — the subset of
+    /// evictions performed by the pipeline itself, without controller
+    /// involvement.
     pub takeovers: u64,
     /// Packets of flows that collided with a *live* owner: suppressed and
     /// counted, never merged into the owner's state.
     pub live_collisions: u64,
+    /// Non-SYN packets of unknown flows the TCP-aware policy refused to
+    /// admit (scan/backscatter traffic); suppressed like collisions.
+    pub unsolicited: u64,
+    /// Packets suppressed by a pinned lane defending its slot inside the
+    /// pinned timeout.
+    pub pinned_defended: u64,
     /// Trailing packets of already-decided owners (inert).
     pub post_verdict_pkts: u64,
 }
@@ -78,21 +95,81 @@ impl LifecycleStats {
         self.admitted += other.admitted;
         self.active_flows += other.active_flows;
         self.decided_pending += other.decided_pending;
+        self.pinned_pending += other.pinned_pending;
         self.evictions_idle += other.evictions_idle;
         self.evictions_decided += other.evictions_decided;
+        self.evictions_pinned += other.evictions_pinned;
+        self.released_fin += other.released_fin;
         self.takeovers += other.takeovers;
         self.live_collisions += other.live_collisions;
+        self.unsolicited += other.unsolicited;
+        self.pinned_defended += other.pinned_defended;
         self.post_verdict_pkts += other.post_verdict_pkts;
     }
 
     /// Whether the counters reconcile: every admitted flow is either
-    /// still active, decided-but-unreleased, or evicted.
+    /// still active, decided-but-unreleased, or retired through exactly
+    /// one of the eviction/release paths.
     pub fn reconciles(&self) -> bool {
         self.admitted
             == self.active_flows
                 + self.decided_pending
                 + self.evictions_idle
                 + self.evictions_decided
+                + self.evictions_pinned
+                + self.released_fin
+    }
+}
+
+// ---------------------------------------------------------------- pressure
+
+/// Hottest slots reported by [`SlotPressure`].
+pub const PRESSURE_TOP_K: usize = 8;
+
+/// Histogram buckets: bucket 0 counts pressure-free slots, bucket `i`
+/// (1 ≤ i ≤ 15) counts slots with pressure in `[2^(i−1), 2^i)`, and the
+/// last bucket collects everything ≥ 2^15.
+pub const PRESSURE_HIST_BUCKETS: usize = 17;
+
+/// Per-slot contention telemetry read off the compiled pressure register:
+/// how many packets each slot suppressed (live collisions + unsolicited
+/// refusals + pinned defenses). Operators size `flow_slots` from this —
+/// a fat histogram tail or a hot top-K means the register file is too
+/// small for the offered flow churn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotPressure {
+    /// Total suppressed packets across all slots.
+    pub total: u64,
+    /// The K hottest slots as `(slot, suppressed_packets)`, descending.
+    pub hot_slots: Vec<(usize, u64)>,
+    /// Pressure histogram over slots (see [`PRESSURE_HIST_BUCKETS`]).
+    pub histogram: [u64; PRESSURE_HIST_BUCKETS],
+}
+
+impl SlotPressure {
+    /// The histogram bucket a pressure count falls into.
+    pub fn bucket(pressure: u64) -> usize {
+        if pressure == 0 {
+            0
+        } else {
+            (64 - pressure.leading_zeros() as usize).min(PRESSURE_HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Accumulates another shard's telemetry (slot ids are per-shard).
+    pub fn merge(&mut self, other: &SlotPressure) {
+        self.total += other.total;
+        for (b, v) in self.histogram.iter_mut().zip(other.histogram.iter()) {
+            *b += v;
+        }
+        self.hot_slots.extend(other.hot_slots.iter().copied());
+        self.hot_slots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.hot_slots.truncate(PRESSURE_TOP_K);
+    }
+
+    /// The hottest slot's suppressed-packet count (0 when pressure-free).
+    pub fn peak(&self) -> u64 {
+        self.hot_slots.first().map(|&(_, c)| c).unwrap_or(0)
     }
 }
 
@@ -114,6 +191,8 @@ pub struct RuntimeReport {
     pub collisions_skipped: usize,
     /// Flow-state lifecycle counters (admissions, evictions, takeovers).
     pub lifecycle: LifecycleStats,
+    /// Per-slot contention telemetry (top-K hottest slots + histogram).
+    pub slot_pressure: SlotPressure,
 }
 
 /// The canonical register index of a flow (must match the pipeline's

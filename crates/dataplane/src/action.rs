@@ -38,10 +38,17 @@ pub enum OwnerMode {
     /// First-pass admission probe: classify the packet against the lane
     /// (owner / claim / takeover / live collision) and claim or refresh
     /// the lane accordingly. A mismatching *live* lane is left untouched.
+    /// With `claim = false` (the protocol-aware policy's non-SYN entries)
+    /// the probe never claims: a packet that would have admitted a flow
+    /// is exported as [`SlotState::Unsolicited`] instead.
     Probe,
     /// Verdict pass: mark the lane decided (keeping the fingerprint) so
     /// trailing owner packets stay inert and any other flow may reclaim
-    /// the slot immediately. No-op unless the fingerprint still matches.
+    /// the slot immediately. The verdict class and the policy's pinned
+    /// flag are written into the lane; with `release = true` (FIN/RST
+    /// entries of the TCP-aware policy) an unpinned lane is freed
+    /// outright instead of parked decided. No-op unless the fingerprint
+    /// still matches.
     Decide,
 }
 
@@ -64,6 +71,20 @@ pub enum SlotState {
     /// Fingerprint matched a decided lane — a trailing packet of a flow
     /// that already has its verdict; fully inert.
     OwnerDecided = 5,
+    /// The lane was claimable (free, idle or decided) but the probe ran
+    /// without claim permission: under the TCP-aware policy a non-SYN
+    /// packet of an unknown flow — scan/backscatter traffic — is counted,
+    /// never admitted.
+    Unsolicited = 6,
+    /// Decide pass on a FIN/RST verdict packet: the lane was released
+    /// in-band (freed without waiting for the controller's digest drain).
+    OwnerRelease = 7,
+    /// A decided-but-**pinned** lane idled past `pinned_timeout_us` and
+    /// was finally taken over.
+    TakeoverPinned = 8,
+    /// A decided-but-pinned lane inside its pinned timeout defended the
+    /// slot: the colliding packet is suppressed like a live collision.
+    PinnedDefended = 9,
 }
 
 impl SlotState {
@@ -73,7 +94,7 @@ impl SlotState {
     }
 
     /// Bits needed by the PHV state field.
-    pub const BITS: u8 = 3;
+    pub const BITS: u8 = 4;
 }
 
 /// One action primitive.
@@ -166,14 +187,33 @@ pub enum Primitive {
         reg: RegId,
         /// Element index source (the flow-hash metadata field).
         index: Source,
-        /// The packet's flow fingerprint (31 bits, nonzero).
+        /// The packet's flow fingerprint (24 bits, nonzero).
         fp: Source,
         /// Current time (µs; truncated to 32 bits in the lane).
         now: Source,
         /// Idle threshold in µs beyond which a live owner is evictable.
         idle_timeout_us: u64,
+        /// Idle threshold in µs beyond which even a **pinned** decided
+        /// lane is evictable (≥ `idle_timeout_us`).
+        pinned_timeout_us: u64,
         /// Probe (first pass) or Decide (verdict pass).
         mode: OwnerMode,
+        /// Probe: whether this entry's packets may claim a claimable lane
+        /// (free / idle / decided). The TCP-aware policy grants claim only
+        /// to SYN entries; refused claims export
+        /// [`SlotState::Unsolicited`].
+        claim: bool,
+        /// In-band FIN/RST release. On Decide: free the lane outright
+        /// instead of parking it decided (ignored when `pin` is set —
+        /// pinned verdicts always keep their lane). On Probe: an owner
+        /// packet meeting its own unpinned *decided* lane frees it — the
+        /// early-exit flow's trailing FIN. Exports
+        /// [`SlotState::OwnerRelease`] either way.
+        release: bool,
+        /// Decide: mark the lane pinned (class-aware eviction resistance).
+        pin: bool,
+        /// Decide: the verdict class stored in the lane's class bits.
+        class: Source,
         /// PHV field receiving the [`SlotState`] code.
         state_out: FieldId,
     },

@@ -36,9 +36,11 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// correlated with the index would collide deterministically).
 pub const FP_SALT: u64 = 0x051D_7F1A_60DD_BA11;
 
-/// Width (bits) of the ownership-lane fingerprint. One bit short of 32 so
-/// the lane's 64-bit cell has room for the decided flag next to it.
-pub const FP_BITS: u32 = 31;
+/// Width (bits) of the ownership-lane fingerprint. The lane's high word
+/// shares its 32 bits between the fingerprint and the lifecycle-policy
+/// bits (decided, pinned, verdict class) — see
+/// `splidt_dataplane::register::owner_lane` for the full cell layout.
+pub const FP_BITS: u32 = 24;
 
 /// Mask selecting the fingerprint bits.
 pub const FP_MASK: u64 = (1 << FP_BITS) - 1;

@@ -614,7 +614,20 @@ fn exec_action(
                     phv.set_masked(*dst, v, layout);
                 }
             }
-            Primitive::OwnerUpdate { reg, index, fp, now, idle_timeout_us, mode, state_out } => {
+            Primitive::OwnerUpdate {
+                reg,
+                index,
+                fp,
+                now,
+                idle_timeout_us,
+                pinned_timeout_us,
+                mode,
+                claim,
+                release,
+                pin,
+                class,
+                state_out,
+            } => {
                 use crate::action::{OwnerMode, SlotState};
                 use crate::register::owner_lane as lane;
                 let idx = resolve(*index, phv) as usize;
@@ -622,48 +635,87 @@ fn exec_action(
                 let now32 = resolve(*now, phv) & 0xFFFF_FFFF;
                 let arr = &mut regs[reg.index()];
                 let cell = arr.read(idx);
-                let (stored_fp, decided) = (lane::fp(cell), lane::decided(cell));
+                let (stored_fp, decided, pinned) =
+                    (lane::fp(cell), lane::decided(cell), lane::pinned(cell));
+                let idle = |timeout: u64| {
+                    now32.wrapping_sub(lane::last_seen_us(cell)) & 0xFFFF_FFFF > timeout
+                };
+                // Claimable lanes export Unsolicited when the entry has no
+                // claim permission (the policy's non-SYN probes).
+                let gate = |s: SlotState| if *claim { s } else { SlotState::Unsolicited };
                 let state = match mode {
                     OwnerMode::Probe => {
                         let state = if stored_fp == fpv {
                             if decided {
-                                SlotState::OwnerDecided
+                                // A trailing FIN/RST from the owner of an
+                                // unpinned decided lane releases it
+                                // in-band (the early-exit flow's close).
+                                if *release && !pinned {
+                                    SlotState::OwnerRelease
+                                } else {
+                                    SlotState::OwnerDecided
+                                }
                             } else {
                                 SlotState::Owner
                             }
                         } else if stored_fp == 0 {
-                            SlotState::ClaimFree
+                            gate(SlotState::ClaimFree)
+                        } else if decided && pinned {
+                            // Pinned verdicts hold their slot until the
+                            // longer pinned timeout (or operator release).
+                            if idle(*pinned_timeout_us) {
+                                gate(SlotState::TakeoverPinned)
+                            } else {
+                                SlotState::PinnedDefended
+                            }
                         } else if decided {
-                            SlotState::TakeoverDecided
-                        } else if now32.wrapping_sub(lane::last_seen_us(cell)) & 0xFFFF_FFFF
-                            > *idle_timeout_us
-                        {
-                            SlotState::TakeoverIdle
+                            gate(SlotState::TakeoverDecided)
+                        } else if idle(*idle_timeout_us) {
+                            gate(SlotState::TakeoverIdle)
                         } else {
                             SlotState::LiveCollision
                         };
                         match state {
                             // Owner traffic refreshes recency (decided
-                            // lanes keep their flag); claims install the
-                            // new fingerprint undecided.
+                            // lanes keep their flags and class); claims
+                            // install the new fingerprint undecided.
                             SlotState::Owner | SlotState::OwnerDecided => {
-                                arr.write(idx, lane::pack(decided, fpv, now32));
+                                arr.write(
+                                    idx,
+                                    lane::pack(decided, pinned, lane::class(cell), fpv, now32),
+                                );
                             }
                             SlotState::ClaimFree
                             | SlotState::TakeoverIdle
-                            | SlotState::TakeoverDecided => {
-                                arr.write(idx, lane::pack(false, fpv, now32));
+                            | SlotState::TakeoverDecided
+                            | SlotState::TakeoverPinned => {
+                                arr.write(idx, lane::pack(false, false, 0, fpv, now32));
                             }
-                            // A live collision must not corrupt the lane.
-                            SlotState::LiveCollision => {}
+                            // Suppressed packets must not corrupt the lane.
+                            SlotState::LiveCollision
+                            | SlotState::Unsolicited
+                            | SlotState::PinnedDefended => {}
+                            SlotState::OwnerRelease => arr.write(idx, lane::FREE),
                         }
                         state
                     }
                     OwnerMode::Decide => {
                         if stored_fp == fpv {
-                            arr.write(idx, lane::pack(true, fpv, now32));
+                            if *release && !*pin {
+                                // In-band FIN/RST release: the slot is
+                                // reclaimable before any digest drains.
+                                arr.write(idx, lane::FREE);
+                                SlotState::OwnerRelease
+                            } else {
+                                let classv = resolve(*class, phv) & lane::CLASS_MASK;
+                                arr.write(idx, lane::pack(true, *pin, classv, fpv, now32));
+                                SlotState::OwnerDecided
+                            }
+                        } else {
+                            // The lane was recycled (or released) already:
+                            // leave it alone.
+                            SlotState::OwnerDecided
                         }
-                        SlotState::OwnerDecided
                     }
                 };
                 phv.set_masked(*state_out, state.code(), layout);

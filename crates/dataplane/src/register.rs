@@ -133,23 +133,37 @@ impl RegisterArray {
 
 /// Bit layout of an **ownership lane** cell: the 64-bit register element
 /// that gives every flow slot an owner, packed as
-/// `decided(1) ‖ fingerprint(31) ‖ last_seen_us(32)`.
+/// `decided(1) ‖ pinned(1) ‖ class(6) ‖ fingerprint(24) ‖ last_seen_us(32)`.
 ///
 /// Tofino stateful ALUs pair two 32-bit lanes over one 64-bit cell with
 /// predicated updates; the lane models that pairing — the high word holds
-/// identity (fingerprint + decided flag), the low word holds recency —
-/// which is the same register-reuse discipline pForest applies to keep
-/// per-flow state bounded under churn. A fingerprint of 0 means the slot
-/// is free (the compiler forces real fingerprints nonzero).
+/// identity (fingerprint + the lifecycle-policy bits: decided flag,
+/// pinned flag, verdict class), the low word holds recency — which is the
+/// same register-reuse discipline pForest applies to keep per-flow state
+/// bounded under churn. A fingerprint of 0 means the slot is free (the
+/// compiler forces real fingerprints nonzero). The verdict class rides in
+/// the lane so the eviction policy can be class-aware: decided lanes whose
+/// class is *pinned* (e.g. suspected-malicious) resist takeover until a
+/// longer pinned timeout or an explicit operator release.
 pub mod owner_lane {
     use crate::hash::FP_MASK;
 
     /// The free (unowned) cell value.
     pub const FREE: u64 = 0;
 
+    /// Bits available for the verdict class stored in the lane.
+    pub const CLASS_BITS: u8 = 6;
+
+    /// Mask selecting the class bits.
+    pub const CLASS_MASK: u64 = (1 << CLASS_BITS) - 1;
+
     /// Packs a lane cell.
-    pub fn pack(decided: bool, fp: u64, last_seen_us: u64) -> u64 {
-        ((decided as u64) << 63) | ((fp & FP_MASK) << 32) | (last_seen_us & 0xFFFF_FFFF)
+    pub fn pack(decided: bool, pinned: bool, class: u64, fp: u64, last_seen_us: u64) -> u64 {
+        ((decided as u64) << 63)
+            | ((pinned as u64) << 62)
+            | ((class & CLASS_MASK) << 56)
+            | ((fp & FP_MASK) << 32)
+            | (last_seen_us & 0xFFFF_FFFF)
     }
 
     /// The owner fingerprint (0 = free).
@@ -165,6 +179,16 @@ pub mod owner_lane {
     /// Whether the owner already received a verdict.
     pub fn decided(cell: u64) -> bool {
         cell >> 63 == 1
+    }
+
+    /// Whether the lane is pinned (class-aware eviction resistance).
+    pub fn pinned(cell: u64) -> bool {
+        (cell >> 62) & 1 == 1
+    }
+
+    /// The verdict class stored at decide time (meaningful when decided).
+    pub fn class(cell: u64) -> u64 {
+        (cell >> 56) & CLASS_MASK
     }
 }
 
@@ -258,6 +282,29 @@ mod tests {
         assert_eq!(r.read(1), 7);
         r.rmw(1, RegAluOp::Max, 101);
         assert_eq!(r.read(1), 100);
+    }
+
+    #[test]
+    fn owner_lane_roundtrip() {
+        use crate::hash::FP_MASK;
+        let cell = owner_lane::pack(true, true, 0x2A, FP_MASK, 0x1234_5678);
+        assert!(owner_lane::decided(cell));
+        assert!(owner_lane::pinned(cell));
+        assert_eq!(owner_lane::class(cell), 0x2A);
+        assert_eq!(owner_lane::fp(cell), FP_MASK);
+        assert_eq!(owner_lane::last_seen_us(cell), 0x1234_5678);
+        let plain = owner_lane::pack(false, false, 0, 7, 9);
+        assert!(!owner_lane::decided(plain));
+        assert!(!owner_lane::pinned(plain));
+        assert_eq!(owner_lane::class(plain), 0);
+        assert_eq!(owner_lane::fp(plain), 7);
+        assert_eq!(owner_lane::last_seen_us(plain), 9);
+        assert_eq!(owner_lane::FREE, 0);
+        // class overflow is masked, never smeared into the flag bits
+        let wide = owner_lane::pack(false, false, 0xFFF, 1, 1);
+        assert_eq!(owner_lane::class(wide), owner_lane::CLASS_MASK);
+        assert!(!owner_lane::pinned(wide));
+        assert!(!owner_lane::decided(wide));
     }
 
     #[test]

@@ -353,13 +353,29 @@ pub struct ChurnConfig {
     /// distribution knob (`< 1` compresses flows into shorter lives,
     /// `> 1` stretches them, raising concurrency).
     pub lifetime_scale: f64,
+    /// Fraction of flows opening with a proper SYN / SYN-ACK handshake.
+    /// The remainder are *mid-capture* flows — their first packets carry
+    /// plain ACKs, the shape a capture that started after the handshake
+    /// (or scan/backscatter traffic) presents to a SYN-gated admission
+    /// policy. Default 1.0 (every flow opens with SYN).
+    pub syn_open_frac: f64,
+    /// Fraction of flows closing abortively with RST instead of FIN on
+    /// their final packet. Default 0.0 (every flow closes with FIN).
+    pub rst_close_frac: f64,
     /// RNG seed for arrivals and per-flow draws.
     pub seed: u64,
 }
 
 impl Default for ChurnConfig {
     fn default() -> Self {
-        Self { flows: 2048, mean_arrival_gap_us: 500, lifetime_scale: 0.05, seed: 1 }
+        Self {
+            flows: 2048,
+            mean_arrival_gap_us: 500,
+            lifetime_scale: 0.05,
+            syn_open_frac: 1.0,
+            rst_close_frac: 0.0,
+            seed: 1,
+        }
     }
 }
 
@@ -403,9 +419,11 @@ impl ChurnSchedule {
 /// Generates a churn schedule over dataset `id`: `cfg.flows` distinct
 /// labelled flows (unique 5-tuples, same class balance as [`generate`])
 /// arriving at exponential gaps, with intra-flow timestamps scaled by
-/// `cfg.lifetime_scale`. Deterministic in `(id, cfg)`.
+/// `cfg.lifetime_scale` and TCP flag shapes (SYN-opened vs mid-capture,
+/// FIN vs RST close) drawn per flow. Deterministic in `(id, cfg)`.
 pub fn churn(id: DatasetId, cfg: &ChurnConfig) -> ChurnSchedule {
     let mut flows = generate(id, cfg.flows, cfg.seed);
+    let mut shape_rng = SmallRng::seed_from_u64(splitmix64(cfg.seed ^ 0x7C9_F1A6));
     for f in &mut flows {
         for p in &mut f.packets {
             p.ts_us = ((p.ts_us as f64) * cfg.lifetime_scale).round() as u64;
@@ -413,6 +431,20 @@ pub fn churn(id: DatasetId, cfg: &ChurnConfig) -> ChurnSchedule {
         // Scaling must not reorder (it cannot: monotone map), but it can
         // collapse gaps to zero — keep timestamps non-decreasing as-is.
         debug_assert!(f.is_time_ordered());
+        // TCP flag shaping: strip the handshake from mid-capture flows
+        // (their openers become plain ACKs — a SYN-gated admission policy
+        // must refuse them), and close a slice abortively with RST.
+        use crate::features::flags;
+        if shape_rng.random::<f64>() >= cfg.syn_open_frac {
+            for p in f.packets.iter_mut().take(2) {
+                p.tcp_flags = flags::ACK;
+            }
+        }
+        if shape_rng.random::<f64>() < cfg.rst_close_frac {
+            if let Some(last) = f.packets.last_mut() {
+                last.tcp_flags = flags::RST | flags::ACK;
+            }
+        }
     }
     let mut rng = SmallRng::seed_from_u64(splitmix64(cfg.seed ^ 0xC0FF_EE00));
     let mut starts = Vec::with_capacity(cfg.flows);
@@ -540,6 +572,49 @@ mod tests {
         assert!(dur(&fast) < dur(&slow) / 2, "scaling must shorten lifetimes");
         for f in &fast.flows {
             assert!(f.is_time_ordered());
+        }
+    }
+
+    #[test]
+    fn churn_tcp_flag_shapes() {
+        use crate::features::flags;
+        let cfg = ChurnConfig {
+            flows: 400,
+            syn_open_frac: 0.75,
+            rst_close_frac: 0.25,
+            ..Default::default()
+        };
+        let s = churn(DatasetId::D2, &cfg);
+        let syn_opened =
+            s.flows.iter().filter(|f| f.packets[0].tcp_flags & flags::SYN != 0).count();
+        let rst_closed = s
+            .flows
+            .iter()
+            .filter(|f| f.packets.last().unwrap().tcp_flags & flags::RST != 0)
+            .count();
+        let fin_closed = s
+            .flows
+            .iter()
+            .filter(|f| f.packets.last().unwrap().tcp_flags & flags::FIN != 0)
+            .count();
+        // The draws are random but deterministic; bound them loosely.
+        assert!((200..=380).contains(&syn_opened), "syn_opened {syn_opened}");
+        assert!((40..=180).contains(&rst_closed), "rst_closed {rst_closed}");
+        assert_eq!(fin_closed + rst_closed, 400, "every flow closes with FIN or RST");
+        // Mid-capture flows carry no SYN anywhere.
+        for f in s.flows.iter().filter(|f| f.packets[0].tcp_flags & flags::SYN == 0) {
+            assert!(f.packets.iter().all(|p| p.tcp_flags & flags::SYN == 0));
+        }
+        // Defaults preserve the original shapes: SYN open, FIN close.
+        let plain = churn(DatasetId::D2, &ChurnConfig { flows: 50, ..Default::default() });
+        for f in &plain.flows {
+            assert!(f.packets[0].tcp_flags & flags::SYN != 0);
+            assert!(f.packets.last().unwrap().tcp_flags & flags::FIN != 0);
+        }
+        // Deterministic in the config.
+        let again = churn(DatasetId::D2, &cfg);
+        for (a, b) in s.flows.iter().zip(&again.flows) {
+            assert_eq!(a.packets, b.packets);
         }
     }
 

@@ -5,8 +5,10 @@
 # any bench's output: hotpath files gate pps and the two zero-allocation
 # probes, lookup files gate the indexed-vs-linear speedup floor at 4096
 # entries, churn files gate pps, the churn zero-allocation probe, the
-# distinct-flows-classified floor (8x flow_slots) and lifecycle counter
-# reconciliation.
+# distinct-flows-classified floor (8x flow_slots), lifecycle counter
+# reconciliation (pinned evictions and in-band FIN/RST releases
+# included), nonzero unsolicited refusals, a pinned-class trace, and the
+# presence of the slot-pressure histogram.
 #
 # Usage:
 #   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
@@ -55,7 +57,9 @@ for key in pps allocs_per_packet hot_loop_allocs_per_packet \
            digest_ring_allocs_per_packet churn_allocs_per_packet \
            classified_flows flow_slots distinct_flows \
            admitted takeovers evictions_idle evictions_decided \
+           evictions_pinned released_fin unsolicited pinned_defended \
            live_collisions post_verdict_pkts \
+           pressure_total pressure_peak \
            ternary_4096_speedup range_4096_speedup \
            ternary_4096_indexed_lps range_4096_indexed_lps \
            exact_4096_indexed_lps; do
@@ -101,6 +105,37 @@ rec=$(metric "$candidate" reconciled)
 if [ -n "$rec" ] && [ "$rec" != 1 ]; then
     echo "FAIL: lifecycle counters did not reconcile (reconciled=$rec)" >&2
     fail=1
+fi
+
+# Protocol-aware policy gates (churn candidates only — keyed off the
+# flow_slots field like the gates above): the TCP-aware fixture must
+# surface unsolicited refusals, leave a pinned-eviction trace that the
+# reconciliation above accounts for, release lanes in-band on FIN/RST,
+# and publish the slot-pressure histogram.
+if [ -n "$fs" ]; then
+    uns=$(metric "$candidate" unsolicited)
+    if [ -z "$uns" ] || [ "$uns" = 0 ]; then
+        echo "FAIL: churn candidate has no unsolicited refusals (unsolicited=${uns:-missing})" >&2
+        fail=1
+    fi
+    rfin=$(metric "$candidate" released_fin)
+    if [ -z "$rfin" ] || [ "$rfin" = 0 ]; then
+        echo "FAIL: churn candidate released no lanes in-band (released_fin=${rfin:-missing})" >&2
+        fail=1
+    fi
+    epin=$(metric "$candidate" evictions_pinned)
+    pdef=$(metric "$candidate" pinned_defended)
+    ppen=$(metric "$candidate" pinned_pending)
+    pinned_trace=$(awk -v a="${epin:-0}" -v b="${pdef:-0}" -v c="${ppen:-0}" \
+        'BEGIN { print (a + b + c > 0) ? 1 : 0 }')
+    if [ "$pinned_trace" != 1 ]; then
+        echo "FAIL: pinned class left no trace (evictions_pinned/pinned_defended/pinned_pending all 0)" >&2
+        fail=1
+    fi
+    if [ -z "$(metric "$candidate" pressure_hist)" ]; then
+        echo "FAIL: churn candidate carries no slot-pressure histogram" >&2
+        fail=1
+    fi
 fi
 
 # Lookup-bench floor: indexed ternary/range must beat the linear oracle

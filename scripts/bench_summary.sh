@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Aggregates the flat JSON files the bench smokes emit (hotpath_smoke /
+# lookup_smoke / churn_smoke) into one Markdown table: rows are metrics,
+# one column per result file. CI's `bench-summary` job appends the output
+# to $GITHUB_STEP_SUMMARY so every run shows all three smokes side by
+# side; locally it renders fine on a terminal too.
+#
+# Usage:
+#   scripts/bench_summary.sh BENCH_hotpath.json BENCH_lookup.json BENCH_churn.json
+#   scripts/bench_summary.sh BENCH_*.json >> "$GITHUB_STEP_SUMMARY"
+#
+# Only scalar "key": value pairs are tabulated; array-valued fields (the
+# slot-pressure histogram) are summarized per file below the table.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 RESULT.json..." >&2
+    exit 64
+fi
+
+for f in "$@"; do
+    [ -r "$f" ] || { echo "cannot read $f" >&2; exit 66; }
+done
+
+echo "## Bench smoke summary"
+echo
+
+awk '
+    function colname(path,   n, parts) {
+        n = split(path, parts, "/")
+        name = parts[n]
+        sub(/^BENCH_/, "", name)
+        sub(/\.json$/, "", name)
+        return name
+    }
+    FNR == 1 {
+        nfiles++
+        files[nfiles] = colname(FILENAME)
+    }
+    # Scalar fields: "key": value  (value up to , or })
+    match($0, /^[ \t]*"[A-Za-z0-9_]+"[ \t]*:[ \t]*[^ \t]/) {
+        line = $0
+        sub(/^[ \t]*"/, "", line)
+        key = line
+        sub(/".*/, "", key)
+        val = line
+        sub(/^[^:]*:[ \t]*/, "", val)
+        sub(/[,}][ \t]*$/, "", val)
+        if (val ~ /^\[/) {
+            # array-valued (histogram): keep the whole bracket expression
+            hist[nfiles "," key] = $0
+            next
+        }
+        if (key == "bench") next
+        if (!(key in seen)) {
+            seen[key] = ++nkeys
+            keys[nkeys] = key
+        }
+        cell[nfiles "," seen[key]] = val
+    }
+    END {
+        header = "| metric |"
+        rule = "|---|"
+        for (f = 1; f <= nfiles; f++) {
+            header = header " " files[f] " |"
+            rule = rule "---|"
+        }
+        print header
+        print rule
+        for (k = 1; k <= nkeys; k++) {
+            row = "| `" keys[k] "` |"
+            for (f = 1; f <= nfiles; f++) {
+                v = cell[f "," k]
+                row = row " " (v == "" ? "—" : v) " |"
+            }
+            print row
+        }
+        for (f = 1; f <= nfiles; f++) {
+            for (combined in hist) {
+                split(combined, idx, ",")
+                if (idx[1] + 0 == f) {
+                    line = hist[combined]
+                    gsub(/^[ \t]+|[ \t]+$/, "", line)
+                    sub(/,$/, "", line)
+                    printf "\n**%s** `%s`\n", files[f], line
+                }
+            }
+        }
+    }
+' "$@"

@@ -21,14 +21,21 @@ fn model() -> &'static PartitionedTree {
     })
 }
 
-/// Builds a synthetic TCP flow with a chosen tuple and packet count.
+/// Builds a synthetic TCP flow with a chosen tuple and packet count:
+/// SYN-opened, FIN-closed, ACKs in between.
 fn flow_with(src_ip: u32, src_port: u16, n: usize, gap_us: u64) -> FlowTrace {
     let packets = (0..n as u64)
         .map(|i| TracePacket {
             ts_us: i * gap_us,
             frame_len: 80 + (i as u16 % 5) * 100,
             hdr_len: 58,
-            tcp_flags: if i == 0 { 0x02 } else { 0x10 },
+            tcp_flags: if i == 0 {
+                0x02 // SYN
+            } else if i == n as u64 - 1 {
+                0x11 // FIN|ACK
+            } else {
+                0x10 // ACK
+            },
             dir: if i % 3 == 2 { Dir::Bwd } else { Dir::Fwd },
         })
         .collect();
@@ -325,7 +332,13 @@ fn bounded_slots_classify_8x_distinct_flows() {
     // 256 slots run with.
     let schedule = churn(
         DatasetId::D2,
-        &ChurnConfig { flows: 1024, mean_arrival_gap_us: 2_000, lifetime_scale: 0.05, seed: 11 },
+        &ChurnConfig {
+            flows: 1024,
+            mean_arrival_gap_us: 2_000,
+            lifetime_scale: 0.05,
+            seed: 11,
+            ..Default::default()
+        },
     );
     let mut engine =
         EngineBuilder::new(model()).flow_slots(slots).idle_timeout_us(100_000).build().unwrap();
@@ -352,6 +365,203 @@ fn bounded_slots_classify_8x_distinct_flows() {
     assert!(lc.reconciles(), "{lc:?}");
     assert!(lc.admitted >= 8 * slots as u64);
     assert!(lc.takeovers > 0, "slots must actually recycle");
+}
+
+// ------------------------------------------------- protocol-aware policy
+
+/// SYN-only admission: pure-ACK scan traffic (mid-capture tails,
+/// backscatter) admits **nothing** under the TCP-aware policy — every
+/// packet is counted `unsolicited` and suppressed, and the per-slot
+/// pressure register carries the same total.
+#[test]
+fn pure_ack_scan_traffic_admits_nothing() {
+    let slots = 64;
+    let mut engine = EngineBuilder::new(model())
+        .flow_slots(slots)
+        .lifecycle_policy(LifecyclePolicy::tcp())
+        .build()
+        .unwrap();
+    // A horizontal scan: many distinct tuples, one bare ACK each — plus a
+    // few repeats, none of which ever carries SYN.
+    let mut packets = 0u64;
+    for i in 0..40u32 {
+        let mut f = flow_with(0x0a00_0100 + i, 42_000 + i as u16, 3, 500);
+        for p in &mut f.packets {
+            p.tcp_flags = 0x10; // ACK only
+        }
+        for j in 0..f.packets.len() {
+            engine.ingest(&Engine::frame_for(&f, j), 1_000 + j as u64 * 500).unwrap();
+            packets += 1;
+        }
+    }
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 0, "no SYN, no slot: {lc:?}");
+    assert_eq!(lc.active_flows, 0);
+    assert_eq!(lc.unsolicited, packets);
+    assert_eq!(lc.live_collisions, 0);
+    assert!(lc.reconciles(), "{lc:?}");
+    // Every refusal registered as per-slot pressure.
+    let pressure = engine.slot_pressure();
+    assert_eq!(pressure.total, packets);
+    assert!(pressure.peak() > 0);
+    assert_eq!(
+        pressure.histogram.iter().sum::<u64>(),
+        slots as u64,
+        "histogram buckets cover every slot"
+    );
+    // No digests: nothing was admitted, nothing classified.
+    assert!(engine.drain_digests().is_empty());
+}
+
+/// In-band FIN release: a flow that closes with FIN has its lane freed on
+/// the verdict pass itself — before any digest drains — and the next
+/// colliding flow claims the slot as a *free* lane, not a takeover.
+#[test]
+fn fin_release_frees_slot_for_immediate_reuse() {
+    let slots = 16;
+    let (a, b) = colliding_pair(slots);
+    let mut engine = EngineBuilder::new(model())
+        .flow_slots(slots)
+        .lifecycle_policy(LifecyclePolicy::tcp())
+        .build()
+        .unwrap();
+    let io = engine.io().clone();
+    let slot = canonical_flow_index(&a, slots);
+
+    // All of A (SYN-opened, FIN-closed). No digests drained yet.
+    for j in 0..a.packets.len() {
+        engine.ingest(&Engine::frame_for(&a, j), 1_000 + a.packets[j].ts_us).unwrap();
+    }
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 1);
+    assert_eq!(lc.released_fin, 1, "FIN verdict must release in-band: {lc:?}");
+    assert_eq!(lc.decided_pending, 0, "no decided parking on the FIN path");
+    assert!(lc.reconciles(), "{lc:?}");
+    let lane = engine.pipeline_registers()[io.owner_reg.index()].read(slot);
+    assert_eq!(lane, owner_lane::FREE, "lane must be free before any drain");
+
+    // B collides into the same slot: a plain free-lane claim.
+    let b_base = 1_000 + a.packets.last().unwrap().ts_us + 2_000;
+    for j in 0..b.packets.len() {
+        engine.ingest(&Engine::frame_for(&b, j), b_base + b.packets[j].ts_us).unwrap();
+    }
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 2);
+    assert_eq!(lc.takeovers, 0, "reuse after FIN release is not a takeover");
+    assert_eq!(lc.released_fin, 2, "B closed with FIN too");
+    assert!(lc.reconciles(), "{lc:?}");
+
+    // Both flows classified exactly once.
+    let classified: std::collections::HashSet<(u64, u64)> = engine
+        .drain_digests()
+        .iter()
+        .map(|d| (d.values[io.digest_flow_idx], d.values[io.digest_fp]))
+        .collect();
+    assert_eq!(classified.len(), 2);
+}
+
+/// Pinned-class lanes survive the ordinary idle timeout: collisions are
+/// defended until `pinned_timeout_us`, after which the slot finally
+/// recycles (counted separately as a pinned eviction).
+#[test]
+fn pinned_class_lane_survives_idle_timeout() {
+    let slots = 16;
+    let idle = 50_000u64;
+    let pinned_timeout = 400_000u64;
+    let (a, b) = colliding_pair(slots);
+    // Pin whatever class the model assigns to A, so A's verdict pins its
+    // lane (dataplane == software agreement makes this deterministic).
+    let pinned_class = model().classify_flow(&a).class;
+    let mut engine = EngineBuilder::new(model())
+        .flow_slots(slots)
+        .idle_timeout_us(idle)
+        .lifecycle_policy(
+            LifecyclePolicy::tcp().pin_class(pinned_class).pinned_timeout_us(pinned_timeout),
+        )
+        .build()
+        .unwrap();
+    let io = engine.io().clone();
+    let slot = canonical_flow_index(&a, slots);
+
+    // A completes — its FIN would release the lane, but the pinned class
+    // wins: the lane parks decided + pinned.
+    for j in 0..a.packets.len() {
+        engine.ingest(&Engine::frame_for(&a, j), 1_000 + a.packets[j].ts_us).unwrap();
+    }
+    let a_end = 1_000 + a.packets.last().unwrap().ts_us;
+    let lc = engine.lifecycle();
+    assert_eq!(lc.released_fin, 0, "pinned verdicts must not release on FIN");
+    assert_eq!(lc.decided_pending, 1);
+    assert_eq!(lc.pinned_pending, 1);
+    let cell = engine.pipeline_registers()[io.owner_reg.index()].read(slot);
+    assert!(owner_lane::decided(cell) && owner_lane::pinned(cell));
+    assert_eq!(owner_lane::class(cell), u64::from(pinned_class));
+
+    // The controller's digest drain must not release a pinned lane.
+    engine.drain_digests();
+    assert_eq!(engine.lifecycle().pinned_pending, 1, "drain released a pinned lane");
+
+    // B's SYN arrives well past the *idle* timeout but inside the pinned
+    // timeout: the lane defends, B is not admitted.
+    let b_base = a_end + idle + 10_000;
+    assert!(b_base < a_end + pinned_timeout);
+    engine.ingest(&Engine::frame_for(&b, 0), b_base).unwrap();
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 1, "pinned lane must defend: {lc:?}");
+    assert!(lc.pinned_defended >= 1);
+    assert!(lc.reconciles(), "{lc:?}");
+
+    // Past the pinned timeout the slot finally recycles.
+    let late = a_end + pinned_timeout + 10_000;
+    engine.ingest(&Engine::frame_for(&b, 0), late).unwrap();
+    let lc = engine.lifecycle();
+    assert_eq!(lc.admitted, 2, "pinned timeout must finally yield: {lc:?}");
+    assert_eq!(lc.evictions_pinned, 1);
+    assert_eq!(lc.pinned_pending, 0);
+    assert!(lc.reconciles(), "{lc:?}");
+}
+
+/// Explicit operator release of a pinned lane frees the slot immediately
+/// and keeps the counters reconciled.
+#[test]
+fn operator_release_frees_pinned_lane() {
+    let slots = 16;
+    let a = flow_with(0x0a00_0001, 40_000, 12, 500);
+    let pinned_class = model().classify_flow(&a).class;
+    let mut engine = EngineBuilder::new(model())
+        .flow_slots(slots)
+        .lifecycle_policy(LifecyclePolicy::tcp().pin_class(pinned_class))
+        .build()
+        .unwrap();
+    let slot = canonical_flow_index(&a, slots);
+    for j in 0..a.packets.len() {
+        engine.ingest(&Engine::frame_for(&a, j), 1_000 + a.packets[j].ts_us).unwrap();
+    }
+    assert_eq!(engine.lifecycle().pinned_pending, 1);
+    assert!(!engine.release_pinned((slot + 1) % slots), "wrong slot: no-op");
+    assert!(!engine.release_pinned(slot + slots), "out of range: no-op, never wraps");
+    assert_eq!(engine.lifecycle().pinned_pending, 1, "bad slots must not release anything");
+    assert!(engine.release_pinned(slot));
+    assert!(!engine.release_pinned(slot), "already free: no-op");
+    let lc = engine.lifecycle();
+    assert_eq!(lc.pinned_pending, 0);
+    assert_eq!(lc.evictions_pinned, 1);
+    assert!(lc.reconciles(), "{lc:?}");
+
+    // The sharded twin addresses (shard, slot) pairs.
+    let mut sharded = EngineBuilder::new(model())
+        .flow_slots(slots)
+        .lifecycle_policy(LifecyclePolicy::tcp().pin_class(pinned_class))
+        .build_sharded(2)
+        .unwrap();
+    sharded.run(std::slice::from_ref(&a)).unwrap();
+    assert_eq!(sharded.lifecycle().pinned_pending, 1);
+    let shard = canonical_flow_index(&a, slots) % 2;
+    let shard_slot = canonical_flow_index(&a, slots);
+    assert!(!sharded.release_pinned(99, shard_slot), "bad shard: no-op");
+    assert!(sharded.release_pinned(shard, shard_slot));
+    assert_eq!(sharded.lifecycle().pinned_pending, 0);
+    assert!(sharded.lifecycle().reconciles());
 }
 
 /// Ownership lanes read back through the register file agree with the

@@ -61,15 +61,27 @@ fn random_program(rng: &mut rand::rngs::SmallRng) -> (Program, Vec<FieldId>) {
                     },
                 },
                 8 => Primitive::Digest,
-                10 => Primitive::OwnerUpdate {
-                    reg: regs[stage],
-                    index: Source::Const(rng.random_range(0u64..16)),
-                    fp: src(rng),
-                    now: src(rng),
-                    idle_timeout_us: rng.random_range(0u64..32),
-                    mode: if rng.random::<bool>() { OwnerMode::Probe } else { OwnerMode::Decide },
-                    state_out: dst,
-                },
+                10 => {
+                    let idle = rng.random_range(0u64..32);
+                    Primitive::OwnerUpdate {
+                        reg: regs[stage],
+                        index: Source::Const(rng.random_range(0u64..16)),
+                        fp: src(rng),
+                        now: src(rng),
+                        idle_timeout_us: idle,
+                        pinned_timeout_us: idle + rng.random_range(0u64..32),
+                        mode: if rng.random::<bool>() {
+                            OwnerMode::Probe
+                        } else {
+                            OwnerMode::Decide
+                        },
+                        claim: rng.random::<bool>(),
+                        release: rng.random::<bool>(),
+                        pin: rng.random::<bool>(),
+                        class: src(rng),
+                        state_out: dst,
+                    }
+                }
                 _ => {
                     if rng.random_range(0u8..4) == 0 {
                         Primitive::Drop
