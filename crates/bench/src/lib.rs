@@ -10,6 +10,7 @@
 pub mod alloc_count;
 pub mod churn;
 pub mod hotpath;
+pub mod ingress;
 pub mod lookup;
 
 pub use alloc_count::{allocation_count, CountingAlloc};

@@ -32,7 +32,6 @@ use crate::runtime::{
     canonical_flow_index, FlowOutcome, LifecycleStats, RuntimeReport, SlotPressure, PRESSURE_TOP_K,
 };
 use splidt_dataplane::hash::flow_index;
-use splidt_dataplane::packet::PacketBuilder;
 use splidt_dataplane::parser::peek_flow_tuple;
 use splidt_dataplane::pipeline::{Digest, Disposition, Meters, Pipeline, ProcessOutcome};
 use splidt_dataplane::program::Program;
@@ -364,6 +363,10 @@ pub struct BatchReport {
     pub drops: u64,
     /// Frames that hit the resubmission safety stop.
     pub resubmit_limited: u64,
+    /// Frames the parser rejected (skipped, not ingested — excluded from
+    /// `packets`). Exact by construction, so ingress reconciliation can
+    /// balance received frames against pipeline outcomes end-to-end.
+    pub malformed: u64,
     /// Digests the batch produced (already collated for scoring).
     pub digests: Vec<Digest>,
 }
@@ -374,6 +377,7 @@ impl BatchReport {
         self.packets += other.packets;
         self.drops += other.drops;
         self.resubmit_limited += other.resubmit_limited;
+        self.malformed += other.malformed;
         self.digests.extend(other.digests);
     }
 }
@@ -522,24 +526,17 @@ impl Engine {
     }
 
     /// Serializes packet `j` of a flow into an on-wire frame (Ethernet +
-    /// flow-size shim + IPv4 + TCP), exactly as the testbed generator would.
+    /// flow-size shim + IPv4 + TCP), exactly as the testbed generator
+    /// would. Delegates to [`splidt_flow::wire`], the single source of
+    /// truth shared with the `splidt-gen` network traffic generator.
     pub fn frame_for(flow: &FlowTrace, j: usize) -> Vec<u8> {
-        let mut out = Vec::new();
-        Self::frame_for_into(flow, j, &mut out);
-        out
+        splidt_flow::wire::frame_for(flow, j)
     }
 
     /// Like [`Engine::frame_for`], but serializing into a reusable buffer
     /// so batch loops allocate nothing per packet.
     pub fn frame_for_into(flow: &FlowTrace, j: usize, out: &mut Vec<u8>) {
-        let p = &flow.packets[j];
-        let wt = flow.wire_tuple(j);
-        let payload = p.frame_len.saturating_sub(58);
-        PacketBuilder::tcp(wt.src_ip, wt.dst_ip, wt.src_port, wt.dst_port)
-            .flags(p.tcp_flags)
-            .payload(payload)
-            .flow_size(flow.size_pkts() as u16)
-            .build_into(out);
+        splidt_flow::wire::frame_for_into(flow, j, out);
     }
 
     /// Pushes one frame through the pipeline at `ts_us`. Malformed frames
@@ -554,7 +551,9 @@ impl Engine {
     /// pipeline's allocation-free path, amortizing per-packet dispatch:
     /// dispositions are tallied instead of returned one-by-one, and
     /// digests are drained (and collated for scoring) **once per batch**
-    /// rather than per packet. Stops at the first malformed frame.
+    /// rather than per packet. Malformed frames are skipped and counted
+    /// ([`BatchReport::malformed`]) — an untrusted wire source must not be
+    /// able to abort a batch mid-way.
     pub fn ingest_batch<'a, I>(&mut self, frames: I) -> Result<BatchReport, SplidtError>
     where
         I: IntoIterator<Item = (&'a [u8], u64)>,
@@ -562,7 +561,13 @@ impl Engine {
         let fields = self.io.fields;
         let mut report = BatchReport::default();
         for (frame, ts_us) in frames {
-            let out = self.pipeline.process_frame(frame, ts_us, &fields)?;
+            let out = match self.pipeline.process_frame(frame, ts_us, &fields) {
+                Ok(out) => out,
+                Err(_) => {
+                    report.malformed += 1;
+                    continue;
+                }
+            };
             report.packets += 1;
             match out.disposition {
                 Disposition::Drop => report.drops += 1,
@@ -792,6 +797,7 @@ impl Engine {
             collisions_skipped: self.collisions_skipped,
             lifecycle: self.lifecycle(),
             slot_pressure: self.slot_pressure(),
+            ingress: None,
         }
     }
 
@@ -858,6 +864,24 @@ impl ShardedEngine {
         self.shards.iter().map(|s| s.meters()).collect()
     }
 
+    /// Register depth each shard was compiled with (the canonical flow
+    /// hash domain — frame steering is `flow_index % flow_slots % n`).
+    pub fn flow_slots(&self) -> usize {
+        self.flow_slots
+    }
+
+    /// The per-shard engines, in shard order (read view).
+    pub fn engines(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// Mutable access to the per-shard engines — the hook external
+    /// drivers (the network ingress service) use to run one consumer per
+    /// shard without funneling every frame through a central batch call.
+    pub fn engines_mut(&mut self) -> &mut [Engine] {
+        &mut self.shards
+    }
+
     /// The shard a raw frame hashes to, read straight off the wire bytes
     /// (same canonical ordering and hash as the data plane's `HashFlow`),
     /// so batch dispatch agrees with [`ShardedEngine::shard_of`].
@@ -885,7 +909,14 @@ impl ShardedEngine {
         let n = self.shards.len();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, (frame, _)) in frames.iter().enumerate() {
-            buckets[self.shard_of_frame(frame.as_ref())?].push(i);
+            // A frame the steering peek rejects would previously abort the
+            // whole batch. Route it to shard 0 instead: the shard's own
+            // parser performs the identical header walk, re-rejects it, and
+            // counts it in that shard's `BatchReport::malformed` and
+            // `Meters::malformed` — so pre-dispatch rejects are accounted,
+            // not lost, and ingress reconciliation stays exact.
+            let shard = self.shard_of_frame(frame.as_ref()).unwrap_or(0);
+            buckets[shard].push(i);
         }
         let mut results: Vec<Option<Result<BatchReport, SplidtError>>> =
             (0..n).map(|_| None).collect();
@@ -1026,6 +1057,7 @@ impl ShardedEngine {
             collisions_skipped: self.collisions_skipped,
             lifecycle: self.lifecycle(),
             slot_pressure: self.slot_pressure(),
+            ingress: None,
         })
     }
 

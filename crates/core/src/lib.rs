@@ -48,7 +48,7 @@ pub use error::SplidtError;
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
 pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};
 pub use runtime::{
-    canonical_flow_fp, canonical_flow_index, run_flows, run_flows_compiled, LifecycleStats,
-    RuntimeReport, SlotPressure,
+    canonical_flow_fp, canonical_flow_index, run_flows, run_flows_compiled, IngressShardStats,
+    IngressStats, LifecycleStats, RuntimeReport, SlotPressure,
 };
 pub use train::{evaluate_partitioned, train_partitioned};

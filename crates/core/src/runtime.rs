@@ -173,6 +173,57 @@ impl SlotPressure {
     }
 }
 
+// ----------------------------------------------------------------- ingress
+
+/// One shard's slice of the ingress accounting (see [`IngressStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressShardStats {
+    /// Frames steered into this shard's ring.
+    pub steered: u64,
+    /// Frames dropped because the shard's ring was full (backpressure).
+    pub dropped_ring_full: u64,
+    /// Frames the consumer drained from the ring into the engine.
+    pub consumed: u64,
+}
+
+/// Front-end accounting for a network ingress session: every frame the
+/// receiver pulled off the wire is steered into exactly one shard ring or
+/// dropped for exactly one reason, so the counters reconcile *exactly* —
+/// `received == steered + dropped_ring_full + dropped_malformed` — with no
+/// best-effort slack anywhere.
+///
+/// Produced by the `splidt_net` ingress service and carried on
+/// [`RuntimeReport::ingress`] (`None` for in-process runs with no network
+/// front-end).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Frames received off the source (socket datagrams / pcap records).
+    pub received: u64,
+    /// Frames that passed the steering peek and entered a shard ring.
+    pub steered: u64,
+    /// Frames dropped at the rings under backpressure (sum over shards).
+    pub dropped_ring_full: u64,
+    /// Frames the steering peek rejected (truncated/garbage headers).
+    pub dropped_malformed: u64,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<IngressShardStats>,
+}
+
+impl IngressStats {
+    /// Whether the counters reconcile exactly: every received frame is
+    /// accounted once, the per-shard slices sum to the totals, and every
+    /// steered frame was drained by a consumer.
+    pub fn reconciles(&self) -> bool {
+        let steered: u64 = self.shards.iter().map(|s| s.steered).sum();
+        let ring_full: u64 = self.shards.iter().map(|s| s.dropped_ring_full).sum();
+        let consumed: u64 = self.shards.iter().map(|s| s.consumed).sum();
+        self.received == self.steered + self.dropped_ring_full + self.dropped_malformed
+            && steered == self.steered
+            && ring_full == self.dropped_ring_full
+            && consumed == self.steered
+    }
+}
+
 /// Aggregate report of a data-plane run.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -193,6 +244,9 @@ pub struct RuntimeReport {
     pub lifecycle: LifecycleStats,
     /// Per-slot contention telemetry (top-K hottest slots + histogram).
     pub slot_pressure: SlotPressure,
+    /// Network-ingress accounting when the run was fed off a wire source
+    /// (`None` for in-process runs).
+    pub ingress: Option<IngressStats>,
 }
 
 /// The canonical register index of a flow (must match the pipeline's

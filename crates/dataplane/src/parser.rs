@@ -72,6 +72,11 @@ pub enum ParseError {
     UnsupportedEtherType(u16),
     /// IP protocol is neither TCP nor UDP.
     UnsupportedProtocol(u8),
+    /// IPv4 IHL below the 20-byte minimum: the L4 offset it implies would
+    /// fall *inside* the IP header, so the ports read there would be
+    /// header bytes, not ports. Always rejected — untrusted input must
+    /// never steer on garbage.
+    BadIpHeaderLen(u8),
 }
 
 impl std::fmt::Display for ParseError {
@@ -80,6 +85,7 @@ impl std::fmt::Display for ParseError {
             ParseError::TooShort { header } => write!(f, "frame too short parsing {header}"),
             ParseError::UnsupportedEtherType(e) => write!(f, "unsupported ethertype {e:#06x}"),
             ParseError::UnsupportedProtocol(p) => write!(f, "unsupported ip protocol {p}"),
+            ParseError::BadIpHeaderLen(ihl) => write!(f, "ipv4 header length {ihl} below minimum"),
         }
     }
 }
@@ -125,6 +131,9 @@ pub fn peek_flow_tuple(frame: &[u8]) -> Result<FlowTupleView, ParseError> {
         return Err(ParseError::TooShort { header: "ipv4" });
     }
     let ihl = (frame[off] & 0x0F) as usize * 4;
+    if ihl < 20 {
+        return Err(ParseError::BadIpHeaderLen((frame[off] & 0x0F) * 4));
+    }
     let proto = frame[off + 9];
     let src_ip = be32(frame, off + 12);
     let dst_ip = be32(frame, off + 16);
@@ -192,6 +201,9 @@ pub fn parse_into(
         return Err(ParseError::TooShort { header: "ipv4" });
     }
     let ihl = (frame[off] & 0x0F) as usize * 4;
+    if ihl < 20 {
+        return Err(ParseError::BadIpHeaderLen((frame[off] & 0x0F) * 4));
+    }
     phv.set(fields.ip_len, be16(frame, off + 2) as u64);
     phv.set(fields.ttl, frame[off + 8] as u64);
     let proto = frame[off + 9];
@@ -301,6 +313,15 @@ mod tests {
         frame[12] = 0x86; // 0x86DD = IPv6
         frame[13] = 0xDD;
         assert_eq!(parse(&frame, &l, &f), Err(ParseError::UnsupportedEtherType(0x86DD)));
+    }
+
+    #[test]
+    fn short_ihl_rejected_by_both_walks() {
+        let (l, f) = layout();
+        let mut frame = PacketBuilder::tcp(1, 2, 3, 4).payload(40).build().to_vec();
+        frame[14] = 0x42; // version 4, IHL 2 (8 bytes) — below the 20-byte minimum
+        assert_eq!(parse(&frame, &l, &f), Err(ParseError::BadIpHeaderLen(8)));
+        assert_eq!(peek_flow_tuple(&frame), Err(ParseError::BadIpHeaderLen(8)));
     }
 
     #[test]

@@ -156,6 +156,9 @@ pub struct Meters {
     pub drops: u64,
     /// Digests emitted.
     pub digests: u64,
+    /// Frames rejected by the parser (never entered the pipeline; not
+    /// counted in `packets`/`bytes`).
+    pub malformed: u64,
 }
 
 impl Meters {
@@ -169,6 +172,7 @@ impl Meters {
         self.resubmit_bytes += other.resubmit_bytes;
         self.drops += other.drops;
         self.digests += other.digests;
+        self.malformed += other.malformed;
     }
 }
 
@@ -334,7 +338,13 @@ impl Pipeline {
         ts_us: u64,
         fields: &StandardFields,
     ) -> Result<ProcessOutcome, ParseError> {
-        let mut phv = parse(frame, self.program.layout(), fields)?;
+        let mut phv = match parse(frame, self.program.layout(), fields) {
+            Ok(phv) => phv,
+            Err(e) => {
+                self.meters.malformed += 1;
+                return Err(e);
+            }
+        };
         phv.set(fields.ts_us, ts_us);
         self.meters.packets += 1;
         self.meters.bytes += frame.len() as u64;
@@ -361,6 +371,7 @@ impl Pipeline {
         let parsed = parse_into(frame, self.program.layout(), fields, &mut phv);
         if let Err(e) = parsed {
             self.phv_scratch = phv;
+            self.meters.malformed += 1;
             return Err(e);
         }
         phv.set(fields.ts_us, ts_us);
@@ -398,7 +409,13 @@ impl Pipeline {
         ts_us: u64,
         fields: &StandardFields,
     ) -> Result<ProcessOutcome, ParseError> {
-        let mut phv = parse(frame, self.program.layout(), fields)?;
+        let mut phv = match parse(frame, self.program.layout(), fields) {
+            Ok(phv) => phv,
+            Err(e) => {
+                self.meters.malformed += 1;
+                return Err(e);
+            }
+        };
         phv.set(fields.ts_us, ts_us);
         self.meters.packets += 1;
         self.meters.bytes += frame.len() as u64;
@@ -1053,6 +1070,7 @@ mod tests {
         let frame = PacketBuilder::tcp(1, 2, 3, 4).build();
         assert!(pipe.process_frame(&frame, 1, &fields).is_ok());
         assert_eq!(pipe.meters().packets, 1);
+        assert_eq!(pipe.meters().malformed, 1);
     }
 
     #[test]

@@ -10,6 +10,56 @@ use splidt_dataplane::table::TableSpec;
 use splidt_dataplane::tcam::Ternary;
 
 proptest! {
+    /// Untrusted-input fuzz: arbitrary byte slices through both parser
+    /// walks and shard steering must return a typed error or a tuple —
+    /// never panic, and peek/parse must fail (or succeed) in lockstep.
+    #[test]
+    fn arbitrary_bytes_never_panic_parser_or_steering(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        shards in 1usize..9,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let f = b.standard_fields();
+        let program = b.build().unwrap();
+        let peek = splidt_dataplane::peek_flow_tuple(&bytes);
+        let parse = splidt_dataplane::parse(&bytes, program.layout(), &f);
+        prop_assert_eq!(
+            peek.clone().err(),
+            parse.as_ref().err().cloned(),
+            "peek and parse must agree on rejection"
+        );
+        if let Ok(t) = peek {
+            // Anything that parses must steer to a valid shard.
+            let (sip, dip, sp, dp) = splidt_dataplane::hash::canonical_order(
+                t.src_ip, t.dst_ip, t.sport, t.dport,
+            );
+            let shard = splidt_dataplane::hash::flow_index(sip, dip, sp, dp, t.proto, shards);
+            prop_assert!(shard < shards);
+        }
+    }
+
+    /// Byte-flip fuzz: a valid frame with one mutated byte still parses or
+    /// is rejected with a typed error; the two walks stay in lockstep.
+    #[test]
+    fn mutated_valid_frames_never_panic(
+        pos in 0usize..80,
+        val in any::<u8>(),
+        cut in 0usize..100,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let f = b.standard_fields();
+        let program = b.build().unwrap();
+        let mut frame =
+            PacketBuilder::tcp(0x0a000001, 0x0a000002, 4321, 443).flow_size(40).build().to_vec();
+        if pos < frame.len() {
+            frame[pos] = val;
+        }
+        frame.truncate(cut.min(frame.len()));
+        let peek = splidt_dataplane::peek_flow_tuple(&frame);
+        let parse = splidt_dataplane::parse(&frame, program.layout(), &f);
+        prop_assert_eq!(peek.err(), parse.err());
+    }
+
     /// Parser round-trip: whatever the builder writes, the parser reads.
     #[test]
     fn parse_roundtrip(

@@ -20,6 +20,7 @@ pub mod features;
 pub mod flow;
 pub mod synthetic;
 pub mod window;
+pub mod wire;
 
 pub use dataset::{
     flow_level_dataset, packet_level_dataset, prefix_dataset, quantize_dataset, select_flows,
@@ -33,3 +34,4 @@ pub use features::{
 pub use flow::{Dir, FiveTuple, FlowTrace, TracePacket};
 pub use synthetic::{churn, generate, spec, ChurnConfig, ChurnSchedule, DatasetId, DatasetSpec};
 pub use window::{window_bounds, window_len};
+pub use wire::{frame_for, frame_for_into, FRAME_HDR_LEN};

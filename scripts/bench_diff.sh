@@ -8,7 +8,9 @@
 # distinct-flows-classified floor (8x flow_slots), lifecycle counter
 # reconciliation (pinned evictions and in-band FIN/RST releases
 # included), nonzero unsolicited refusals, a pinned-class trace, and the
-# presence of the slot-pressure histogram.
+# presence of the slot-pressure histogram. Ingress files (ingress_smoke)
+# gate pps, the ring-consumer zero-allocation probe, exact ingress
+# accounting reconciliation, and the classified_floor criterion.
 #
 # Usage:
 #   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
@@ -55,6 +57,9 @@ printf '%-28s %14s %14s %9s\n' metric baseline candidate delta%
 fail=0
 for key in pps allocs_per_packet hot_loop_allocs_per_packet \
            digest_ring_allocs_per_packet churn_allocs_per_packet \
+           ingress_allocs_per_packet \
+           sent received steered dropped_ring_full dropped_malformed \
+           consumed socket_loss classified_floor \
            classified_flows flow_slots distinct_flows \
            admitted takeovers evictions_idle evictions_decided \
            evictions_pinned released_fin unsolicited pinned_defended \
@@ -80,7 +85,7 @@ if [ -n "$(metric "$candidate" pps)" ] && [ -n "$(metric "$baseline" pps)" ]; th
 fi
 
 for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet \
-           churn_allocs_per_packet; do
+           churn_allocs_per_packet ingress_allocs_per_packet; do
     v=$(metric "$candidate" "$key")
     [ -n "$v" ] || continue
     ok=$(awk -v h="$v" 'BEGIN { print (h == 0) ? 1 : 0 }')
@@ -105,6 +110,18 @@ rec=$(metric "$candidate" reconciled)
 if [ -n "$rec" ] && [ "$rec" != 1 ]; then
     echo "FAIL: lifecycle counters did not reconcile (reconciled=$rec)" >&2
     fail=1
+fi
+
+# Ingress gate (ingress candidates carry classified_floor instead of
+# flow_slots): the end-to-end loopback run must classify at least the
+# same distinct-flows floor the churn smoke enforces in-process.
+ifloor=$(metric "$candidate" classified_floor)
+if [ -n "$ifloor" ] && [ -n "$cf" ]; then
+    ok=$(awk -v c="$cf" -v f="$ifloor" 'BEGIN { print (c >= f) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: classified_flows $cf is below the ingress floor ($ifloor)" >&2
+        fail=1
+    fi
 fi
 
 # Protocol-aware policy gates (churn candidates only — keyed off the

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-command two-process loopback demo of the network ingress subsystem:
+# builds the `splidt-serve` receiver and `splidt-gen` generator, starts
+# the receiver on an ephemeral UDP port, waits for its READY line, replays
+# the 4096-flow churn schedule against it from a second process, and
+# checks the receiver's verdict (exact ingress reconciliation + the
+# distinct-flows-classified floor).
+#
+# Usage:
+#   scripts/run_loopback.sh [FLOWS] [TIME_SCALE] [EXPECT_CLASSIFIED]
+#
+# Defaults: 4096 flows, time-scale 2.0 (wall-clock stretch of the
+# schedule — raise it on very small machines), floor 2048 (the churn
+# criterion, 8 x 256 flow slots). The whole run takes ~5-10s plus one
+# model-training pass per process.
+set -euo pipefail
+
+flows=${1:-4096}
+time_scale=${2:-2.0}
+expect=${3:-2048}
+
+cd "$(dirname "$0")/.."
+
+echo "building splidt-serve and splidt-gen (release)..."
+cargo build -q --release -p splidt-net --bin splidt-serve --bin splidt-gen
+
+serve_log=$(mktemp)
+trap 'kill $serve_pid 2>/dev/null || true; rm -f "$serve_log"' EXIT
+
+./target/release/splidt-serve \
+    --addr 127.0.0.1:0 --time-scale "$time_scale" \
+    --expect-classified "$expect" >"$serve_log" 2>&1 &
+serve_pid=$!
+
+# Wait for the receiver to train its model and bind (READY line).
+addr=""
+for _ in $(seq 1 600); do
+    addr=$(awk '/^READY listening on / { print $4; exit }' "$serve_log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "splidt-serve exited before READY:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "timed out waiting for splidt-serve READY" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+echo "receiver ready on $addr — starting generator"
+
+./target/release/splidt-gen \
+    --addr "$addr" --flows "$flows" --time-scale "$time_scale"
+
+# The stop sentinel ends the receiver; its exit code carries the gates
+# (reconciliation + classified floor).
+if wait "$serve_pid"; then
+    status=0
+else
+    status=$?
+fi
+cat "$serve_log"
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: splidt-serve exited $status" >&2
+fi
+exit "$status"

@@ -14,6 +14,7 @@
 //! | [`core`] | the partitioned model, Algorithm-1 training, pipeline compiler, the streaming [`engine`], resource models, baselines |
 //! | [`dataplane`] | Tofino1-class RMT pipeline simulator |
 //! | [`flow`] | traffic substrate: flows, window features, D1–D7 dataset analogs, datacenter workloads |
+//! | [`net`] | network ingress: UDP/pcap frame sources, per-shard bounded rings with backpressure, loopback traffic generator |
 //! | [`dt`] | decision trees (CART with feature budgets), forests, metrics |
 //! | [`ranging`] | the Range-Marking TCAM encoding |
 //! | [`search`] | multi-objective Bayesian-optimization design search |
@@ -63,6 +64,7 @@ pub use splidt_core::engine;
 pub use splidt_dataplane as dataplane;
 pub use splidt_dt as dt;
 pub use splidt_flow as flow;
+pub use splidt_net as net;
 pub use splidt_ranging as ranging;
 pub use splidt_search as search;
 
@@ -83,6 +85,10 @@ pub mod prelude {
     pub use splidt_flow::{
         catalog, generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId,
         Environment, FlowTrace,
+    };
+    pub use splidt_net::{
+        replay_udp, run_ingress, FrameSource, GenConfig, IngressConfig, PcapSource, ReplaySource,
+        UdpSource,
     };
     pub use splidt_search::{optimize, BoOptions, Objectives, ParamSpace};
 }
