@@ -1,0 +1,160 @@
+//! CI drift smoke: the full online-retraining control loop under churn —
+//! train on the first half of the schedule, rotate class behaviour
+//! mid-stream, retrain from the engine's own digest tap, hot-swap the
+//! model atomically under live traffic — with four gates:
+//!
+//! 1. the retrained model **recovers** classification on the drifted
+//!    distribution: post-swap accuracy above `DRIFT_RECOVERY_FLOOR` *and*
+//!    strictly above the degraded (stale-model) phase;
+//! 2. **zero flow state lost** across the swap instant: lifecycle
+//!    counters, slot pressure and meters bit-identical before/after the
+//!    flip, exactly one swap completed, counters reconciling at the end;
+//! 3. **zero heap allocations** per steady-state packet on the
+//!    pipeline-level loop even with a program swap mid-stream;
+//! 4. packets/sec within `--max-drop-pct` of the committed baseline.
+//!
+//! ```text
+//! drift_smoke [--out BENCH_drift.json] [--baseline bench/drift_baseline.json]
+//!             [--max-drop-pct 25]
+//! ```
+//!
+//! Exit codes: `0` ok · `1` throughput regressed · `2` the
+//! zero-allocation invariant broke · `3` drift recovery or state
+//! preservation failed.
+//!
+//! Locally, diff two result files with `scripts/bench_diff.sh`.
+
+use splidt_bench::drift::{
+    fixture, phase_frames, probe_drift_allocs, run_drift, write_json, DRIFT_AT,
+    DRIFT_EXPECTED_SWAPS, DRIFT_FLOWS, DRIFT_RECOVERY_FLOOR,
+};
+use splidt_bench::hotpath::read_metric;
+use splidt_bench::CountingAlloc;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    max_drop_pct: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_drift.json".into(), baseline: None, max_drop_pct: 25.0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = val("--out"),
+            "--baseline" => args.baseline = Some(val("--baseline")),
+            "--max-drop-pct" => {
+                args.max_drop_pct = val("--max-drop-pct").parse().expect("numeric pct")
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let (model, schedule) = fixture();
+
+    // 1. The full loop: pre-drift → drift → retrain from digests →
+    //    stage off-thread under live churn → atomic swap → recovery.
+    let (mut stats, retrained) = run_drift(&model, &schedule);
+    println!(
+        "drift: {} packets; accuracy pre {:.3} ({} verdicts) → degraded {:.3} ({}) → \
+         recovered {:.3} ({})",
+        stats.packets,
+        stats.pre_acc,
+        stats.pre_verdicts,
+        stats.degraded_acc,
+        stats.degraded_verdicts,
+        stats.recovered_acc,
+        stats.recovered_verdicts
+    );
+    println!(
+        "swap: {} swap(s), staged generation {}, tap fed {} post-drift flows; \
+         state carried across the flip: {}; lifecycle reconciled: {}",
+        stats.swaps,
+        stats.staged_generation,
+        stats.tap_fed,
+        stats.lifecycle_carried,
+        stats.reconciled
+    );
+
+    // 2. Strict allocation probe: same schedule at pipeline level with a
+    //    mid-stream program swap.
+    let pre = phase_frames(&schedule, 0, DRIFT_AT);
+    let post = phase_frames(&schedule, DRIFT_AT, DRIFT_FLOWS);
+    let (allocs, probe_packets) = probe_drift_allocs(&model, &retrained, &pre, &post);
+    stats.drift_allocs_per_packet = allocs as f64 / probe_packets as f64;
+    println!(
+        "drift probe: {allocs} allocations over {probe_packets} packets \
+         ({:.6}/packet, program swap mid-stream)",
+        stats.drift_allocs_per_packet
+    );
+    println!(
+        "throughput: {:.0} packets/sec ({} packets in {:.2}s)",
+        stats.pps, stats.packets, stats.elapsed_s
+    );
+
+    write_json(&args.out, &stats).expect("writes results json");
+    println!("wrote {}", args.out);
+
+    // Gates, ordered: recovery → state preservation → allocations →
+    // throughput.
+    if stats.recovered_acc < DRIFT_RECOVERY_FLOOR {
+        eprintln!(
+            "FAIL: post-swap accuracy {:.3} is below the recovery floor {:.2}",
+            stats.recovered_acc, DRIFT_RECOVERY_FLOOR
+        );
+        std::process::exit(3);
+    }
+    if stats.recovered_acc <= stats.degraded_acc {
+        eprintln!(
+            "FAIL: post-swap accuracy {:.3} did not improve on the degraded phase {:.3}",
+            stats.recovered_acc, stats.degraded_acc
+        );
+        std::process::exit(3);
+    }
+    if stats.swaps != DRIFT_EXPECTED_SWAPS {
+        eprintln!("FAIL: {} swaps completed; expected {}", stats.swaps, DRIFT_EXPECTED_SWAPS);
+        std::process::exit(3);
+    }
+    if !stats.lifecycle_carried {
+        eprintln!("FAIL: flow state was not carried across the swap instant");
+        std::process::exit(3);
+    }
+    if !stats.reconciled {
+        eprintln!("FAIL: lifecycle counters do not reconcile after the swap");
+        std::process::exit(3);
+    }
+    if stats.tap_fed == 0 {
+        eprintln!("FAIL: the digest tap fed no post-drift flows to the trainer");
+        std::process::exit(3);
+    }
+    if allocs != 0 {
+        eprintln!("FAIL: drift steady state allocated ({allocs} allocations)");
+        std::process::exit(2);
+    }
+    if let Some(baseline) = &args.baseline {
+        let base_pps =
+            read_metric(baseline, "pps").unwrap_or_else(|| panic!("no pps in baseline {baseline}"));
+        let floor = base_pps * (1.0 - args.max_drop_pct / 100.0);
+        println!(
+            "baseline: {base_pps:.0} pps ({baseline}); floor at -{:.0}%: {floor:.0} pps",
+            args.max_drop_pct
+        );
+        if stats.pps < floor {
+            eprintln!(
+                "FAIL: throughput {:.0} pps is >{:.0}% below baseline {base_pps:.0} pps",
+                stats.pps, args.max_drop_pct
+            );
+            std::process::exit(1);
+        }
+        println!("throughput within budget");
+    }
+}

@@ -80,6 +80,7 @@ fn main() {
             syn_open_frac: splidt_bench::churn::CHURN_SYN_OPEN_FRAC,
             rst_close_frac: splidt_bench::churn::CHURN_RST_CLOSE_FRAC,
             seed: CHURN_SEED,
+            ..Default::default()
         },
     );
 

@@ -121,6 +121,7 @@ pub fn fixture() -> (PartitionedTree, Vec<(Vec<u8>, u64)>) {
             syn_open_frac: CHURN_SYN_OPEN_FRAC,
             rst_close_frac: CHURN_RST_CLOSE_FRAC,
             seed: CHURN_SEED,
+            ..Default::default()
         },
     );
     let frames = schedule

@@ -9,6 +9,7 @@
 
 pub mod alloc_count;
 pub mod churn;
+pub mod drift;
 pub mod hotpath;
 pub mod ingress;
 pub mod lookup;

@@ -23,7 +23,8 @@
 //! repeat across flows.
 
 use crate::compile::{
-    compile_with, CompileOptions, CompiledIo, CompiledModel, LifecyclePolicy, RulesSummary,
+    compile_with, CompileError, CompileOptions, CompiledIo, CompiledModel, LifecyclePolicy,
+    RulesSummary,
 };
 use crate::error::SplidtError;
 use crate::model::PartitionedTree;
@@ -31,6 +32,7 @@ use crate::resources::{splidt_footprint, ModelFootprint};
 use crate::runtime::{
     canonical_flow_index, FlowOutcome, LifecycleStats, RuntimeReport, SlotPressure, PRESSURE_TOP_K,
 };
+use crate::stream::DigestTap;
 use splidt_dataplane::hash::flow_index;
 use splidt_dataplane::parser::peek_flow_tuple;
 use splidt_dataplane::pipeline::{Digest, Disposition, Meters, Pipeline, ProcessOutcome};
@@ -399,6 +401,13 @@ struct AdmittedFlow {
     slot: usize,
 }
 
+/// A replacement model handed to [`Engine::stage_model`], compiling to a
+/// fresh program on its own thread while the live pipeline keeps serving.
+struct StagedModel {
+    model: PartitionedTree,
+    handle: std::thread::JoinHandle<Result<CompiledModel, CompileError>>,
+}
+
 /// A session-oriented streaming engine over one compiled pipeline.
 ///
 /// Lifecycle: [`EngineBuilder::build`] (compile) → [`Engine::admit`] /
@@ -425,6 +434,14 @@ pub struct Engine {
     /// Pinned lanes released by explicit operator action
     /// ([`Engine::release_pinned`]).
     released_pinned: u64,
+    /// A replacement model compiling off-thread, not yet swapped in.
+    staged: Option<StagedModel>,
+    /// Online trainer mirror: every drained digest is offered to it.
+    tap: Option<DigestTap>,
+    /// Completed live model swaps this session.
+    swaps: u64,
+    /// Staging generation: total models ever staged (swapped or not).
+    generation: u64,
 }
 
 impl Engine {
@@ -453,6 +470,10 @@ impl Engine {
             collated: HashMap::new(),
             released_decided: 0,
             released_pinned: 0,
+            staged: None,
+            tap: None,
+            swaps: 0,
+            generation: 0,
         }
     }
 
@@ -635,6 +656,9 @@ impl Engine {
                 )
             };
             self.collated.entry(slot).or_default().push((ts, class));
+            if let Some(tap) = &mut self.tap {
+                tap.observe_fp(fp);
+            }
             // Pinned classes are exempt from the automatic flow-end
             // release: their lanes persist until the pinned timeout or an
             // explicit `release_pinned` (the operator's call, not the
@@ -649,6 +673,103 @@ impl Engine {
             }
         }
         self.pipeline.take_digests()
+    }
+
+    // ------------------------------------------------------ live swap
+
+    /// Stages a replacement model: validates it, then launches its
+    /// compilation **off-thread** against this engine's exact compile
+    /// options (flow slots, idle timeout, lifecycle policy) so the new
+    /// program lands in the same resource envelope. The live pipeline is
+    /// untouched; [`Engine::swap_staged`] performs the flip. Staging
+    /// again before swapping discards the previous staged model.
+    pub fn stage_model(&mut self, model: PartitionedTree) -> Result<(), SplidtError> {
+        model.validate().map_err(SplidtError::Model)?;
+        let opts = CompileOptions {
+            flow_slots: self.io.flow_slots,
+            idle_timeout_us: self.io.idle_timeout_us,
+            policy: self.io.policy.clone(),
+        };
+        self.discard_staged();
+        let input = model.clone();
+        let handle = std::thread::spawn(move || compile_with(&input, &opts));
+        self.staged = Some(StagedModel { model, handle });
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Atomically swaps the staged model in (pForest-style): joins the
+    /// off-thread compile, then flips the pipeline to the new program
+    /// **preserving live flow state** — ownership lanes, pressure
+    /// counters, feature slots and lifecycle MAT hit counters all carry
+    /// over, pending digests and meters survive, and the session's
+    /// controller counters (releases, collation) are untouched. Only the
+    /// table contents (the model rules) change. In-flight flows keep
+    /// their slots and finish under the new model; per-window scratch
+    /// state washes out at the next window boundary.
+    ///
+    /// Errors if nothing is staged or the staged compile failed; the
+    /// live pipeline is left untouched in both cases.
+    pub fn swap_staged(&mut self) -> Result<(), SplidtError> {
+        let staged = self
+            .staged
+            .take()
+            .ok_or_else(|| SplidtError::Config("no staged model to swap".into()))?;
+        let compiled = staged
+            .handle
+            .join()
+            .map_err(|_| SplidtError::Config("staged model compile thread panicked".into()))??;
+        let carry = [(self.io.lifecycle_table, compiled.io.lifecycle_table)];
+        self.pipeline.swap_program(compiled.program, &carry);
+        self.model = staged.model;
+        self.io = compiled.io;
+        self.summary = compiled.summary;
+        self.swaps += 1;
+        Ok(())
+    }
+
+    /// Drops any staged-but-unswapped model, joining its compile thread.
+    fn discard_staged(&mut self) {
+        if let Some(staged) = self.staged.take() {
+            let _ = staged.handle.join();
+        }
+    }
+
+    /// Whether a staged model is waiting for [`Engine::swap_staged`].
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Completed live model swaps this session.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Staging generation: how many models have ever been staged.
+    pub fn staged_generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Attaches an online-training digest tap: from now on every drained
+    /// digest is mirrored into it (see [`DigestTap`]).
+    pub fn attach_tap(&mut self, tap: DigestTap) {
+        self.tap = Some(tap);
+    }
+
+    /// The attached digest tap, if any.
+    pub fn tap(&self) -> Option<&DigestTap> {
+        self.tap.as_ref()
+    }
+
+    /// Mutable access to the attached tap — register fixture flows,
+    /// train, or reset observations at a drift alarm.
+    pub fn tap_mut(&mut self) -> Option<&mut DigestTap> {
+        self.tap.as_mut()
+    }
+
+    /// Detaches and returns the tap.
+    pub fn detach_tap(&mut self) -> Option<DigestTap> {
+        self.tap.take()
     }
 
     /// Explicit operator release of a **pinned** lane: frees the slot if
@@ -798,6 +919,8 @@ impl Engine {
             lifecycle: self.lifecycle(),
             slot_pressure: self.slot_pressure(),
             ingress: None,
+            swaps: self.swaps,
+            staged_generation: self.generation,
         }
     }
 
@@ -815,7 +938,9 @@ impl Engine {
     /// included — digests, meters, table stats and with them every
     /// lifecycle counter, admissions), keeping the (expensive)
     /// compilation. A previously-decided flow re-admits cleanly after a
-    /// reset.
+    /// reset. Also discards any staged-but-unswapped model and wipes the
+    /// attached tap (observations *and* registrations) — a reset engine
+    /// must behave bit-for-bit like a fresh one.
     pub fn reset(&mut self) {
         self.pipeline.reset_state();
         self.admitted.clear();
@@ -825,6 +950,12 @@ impl Engine {
         self.collated.clear();
         self.released_decided = 0;
         self.released_pinned = 0;
+        self.discard_staged();
+        if let Some(tap) = &mut self.tap {
+            tap.reset();
+        }
+        self.swaps = 0;
+        self.generation = 0;
     }
 }
 
@@ -1058,6 +1189,8 @@ impl ShardedEngine {
             lifecycle: self.lifecycle(),
             slot_pressure: self.slot_pressure(),
             ingress: None,
+            swaps: self.shards.iter().map(|s| s.swaps).sum(),
+            staged_generation: self.shards.iter().map(|s| s.generation).max().unwrap_or(0),
         })
     }
 

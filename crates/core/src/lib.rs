@@ -30,6 +30,7 @@ pub mod model;
 pub mod recirc;
 pub mod resources;
 pub mod runtime;
+pub mod stream;
 pub mod train;
 pub mod ttd;
 
@@ -51,4 +52,5 @@ pub use runtime::{
     canonical_flow_fp, canonical_flow_index, run_flows, run_flows_compiled, IngressShardStats,
     IngressStats, LifecycleStats, RuntimeReport, SlotPressure,
 };
+pub use stream::{DigestTap, DigestTapStats, StreamingTrainer, StreamingTrainerParams};
 pub use train::{evaluate_partitioned, train_partitioned};

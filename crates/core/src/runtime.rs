@@ -247,6 +247,12 @@ pub struct RuntimeReport {
     /// Network-ingress accounting when the run was fed off a wire source
     /// (`None` for in-process runs).
     pub ingress: Option<IngressStats>,
+    /// Completed live model swaps during the session (see
+    /// `Engine::swap_staged`).
+    pub swaps: u64,
+    /// Staging generation of the engine: total models ever staged for a
+    /// live swap (whether or not they were swapped in).
+    pub staged_generation: u64,
 }
 
 /// The canonical register index of a flow (must match the pipeline's

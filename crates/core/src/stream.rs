@@ -1,0 +1,365 @@
+//! Online training from the engine's own digest stream.
+//!
+//! Two pieces close the loop the paper's testbed leaves open (retraining
+//! happens offline there):
+//!
+//! * [`StreamingTrainer`] — one SPDT-style [`StreamTree`] per partition
+//!   window, sharing the live model's [`SplidtConfig`] so the grown
+//!   [`PartitionedTree`] compiles against the exact same resource
+//!   envelope (same `k`, same per-partition depths, same feature set).
+//! * [`DigestTap`] — mirrors drained digests into the trainer. Ground
+//!   truth comes from fixture registrations (`register_flow`): when a
+//!   drained digest's fingerprint matches a registered flow, that flow's
+//!   per-window feature rows and label are fed to the trainer exactly
+//!   once. Real deployments would substitute a label oracle; the tap only
+//!   needs `(fp → label, windows)`.
+//!
+//! The tap keys on the *canonical flow fingerprint* — the same 24-bit
+//! value the data plane stores in ownership lanes and emits in digests —
+//! so attribution survives slot collisions and lane recycling.
+
+use crate::config::SplidtConfig;
+use crate::error::SplidtError;
+use crate::model::{LeafTarget, PartitionedTree, Subtree};
+use crate::runtime::canonical_flow_fp;
+use splidt_dt::stream::{StreamParams, StreamTree};
+use splidt_flow::features::catalog;
+use splidt_flow::{extract_windows, FlowTrace};
+use std::collections::{HashMap, HashSet};
+
+// ------------------------------------------------------------- trainer
+
+/// Knobs for the per-partition streaming trees that are *not* dictated by
+/// the model config. Everything structural (depths, `k`, eligible
+/// features) is taken from the [`SplidtConfig`] instead.
+#[derive(Debug, Clone)]
+pub struct StreamingTrainerParams {
+    /// Histogram bins per feature (SPDT compression width).
+    pub bins: usize,
+    /// Samples buffered before bin ranges freeze.
+    pub warmup: usize,
+    /// Split re-evaluation period per leaf (samples).
+    pub split_period: usize,
+}
+
+impl Default for StreamingTrainerParams {
+    fn default() -> Self {
+        Self { bins: 32, warmup: 48, split_period: 24 }
+    }
+}
+
+/// An online trainer that grows one streaming subtree per partition
+/// window and assembles them into a [`PartitionedTree`] with the
+/// shared-chaining layout (`sid = partition + 1`, every non-final leaf
+/// chains to the next window's subtree).
+#[derive(Debug)]
+pub struct StreamingTrainer {
+    config: SplidtConfig,
+    n_classes: usize,
+    trees: Vec<StreamTree>,
+    observed: u64,
+}
+
+impl StreamingTrainer {
+    /// Builds a trainer whose output models are drop-in replacements for
+    /// `config`-shaped batch models: same partition depths, same distinct
+    /// feature budget `k`, splits restricted to hardware-eligible
+    /// features.
+    pub fn new(config: SplidtConfig, n_classes: usize, params: &StreamingTrainerParams) -> Self {
+        let cat = catalog();
+        let eligible = cat.hardware_eligible();
+        let trees = config
+            .partitions
+            .iter()
+            .map(|&depth| {
+                StreamTree::new(
+                    cat.len(),
+                    n_classes,
+                    StreamParams {
+                        bins: params.bins,
+                        max_depth: depth,
+                        min_samples_split: (config.min_samples_leaf * 2).max(2),
+                        min_samples_leaf: config.min_samples_leaf,
+                        feature_budget: Some(config.k),
+                        allowed_features: Some(eligible.clone()),
+                        warmup: params.warmup,
+                        split_period: params.split_period,
+                    },
+                )
+            })
+            .collect();
+        Self { config, n_classes, trees, observed: 0 }
+    }
+
+    /// Number of partition windows (streaming subtrees).
+    pub fn n_partitions(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Labelled flows observed since the last [`reset`](Self::reset).
+    pub fn n_observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Feeds one labelled flow: `windows[w]` is the feature row for
+    /// partition window `w` (as produced by `extract_windows`).
+    pub fn observe(&mut self, windows: &[Vec<f32>], label: u16) {
+        assert_eq!(
+            windows.len(),
+            self.trees.len(),
+            "window count must match the config's partition count"
+        );
+        for (tree, row) in self.trees.iter_mut().zip(windows) {
+            tree.update(row, label);
+        }
+        self.observed += 1;
+    }
+
+    /// Grows every streaming subtree and assembles the partitioned model.
+    ///
+    /// Layout: partition `w` becomes subtree `sid = w + 1`; every leaf of
+    /// a non-final partition chains to the next window's subtree with the
+    /// leaf's own majority class as early-exit fallback; final-partition
+    /// leaves classify directly.
+    pub fn train(&mut self) -> Result<PartitionedTree, SplidtError> {
+        let p = self.trees.len();
+        let mut subtrees = Vec::with_capacity(p);
+        for (w, st) in self.trees.iter_mut().enumerate() {
+            let tree = st.grow();
+            let leaf_targets = tree
+                .leaves()
+                .iter()
+                .map(|leaf| {
+                    if w + 1 < p {
+                        LeafTarget::Next { sid: (w + 2) as u16, fallback: leaf.label }
+                    } else {
+                        LeafTarget::Class(leaf.label)
+                    }
+                })
+                .collect();
+            subtrees.push(Subtree { sid: (w + 1) as u16, partition: w, tree, leaf_targets });
+        }
+        let model =
+            PartitionedTree { config: self.config.clone(), subtrees, n_classes: self.n_classes };
+        model.validate().map_err(SplidtError::Model)?;
+        Ok(model)
+    }
+
+    /// Discards all histogram state and grown structure; the config and
+    /// feature restrictions stay.
+    pub fn reset(&mut self) {
+        for tree in &mut self.trees {
+            tree.reset();
+        }
+        self.observed = 0;
+    }
+}
+
+// ----------------------------------------------------------------- tap
+
+/// Observability counters for a [`DigestTap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DigestTapStats {
+    /// Distinct flows fed to the trainer.
+    pub fed: u64,
+    /// Drained digests whose fingerprint matched no registration.
+    pub unmatched: u64,
+    /// Registered fixture flows.
+    pub registered: usize,
+}
+
+/// Mirrors the engine's drained digests into a [`StreamingTrainer`].
+///
+/// Registration (`register_flow`) caches the flow's label and per-window
+/// feature rows keyed by canonical fingerprint; when the engine later
+/// drains *any* digest for that fingerprint (early exit or flow end), the
+/// cached sample is fed to the trainer exactly once.
+#[derive(Debug)]
+pub struct DigestTap {
+    trainer: StreamingTrainer,
+    registry: HashMap<u64, (u16, Vec<Vec<f32>>)>,
+    seen: HashSet<u64>,
+    fed: u64,
+    unmatched: u64,
+}
+
+impl DigestTap {
+    /// Wraps a trainer; feed it via an [`Engine`](crate::engine::Engine)
+    /// with `Engine::attach_tap`.
+    pub fn new(trainer: StreamingTrainer) -> Self {
+        Self { trainer, registry: HashMap::new(), seen: HashSet::new(), fed: 0, unmatched: 0 }
+    }
+
+    /// Registers a fixture flow as a ground-truth source: its label and
+    /// per-window feature rows become available to digests carrying its
+    /// canonical fingerprint.
+    pub fn register_flow(&mut self, flow: &FlowTrace) {
+        let fp = canonical_flow_fp(flow);
+        let windows = extract_windows(flow, self.trainer.n_partitions(), catalog());
+        self.registry.insert(fp, (flow.label, windows));
+    }
+
+    /// Feeds the flow behind a drained digest's fingerprint to the
+    /// trainer (once per flow; repeats and unknown fingerprints are
+    /// counted, not fed). Called by the engine's digest drain.
+    pub fn observe_fp(&mut self, fp: u64) {
+        if let Some((label, windows)) = self.registry.get(&fp) {
+            if self.seen.insert(fp) {
+                self.trainer.observe(windows, *label);
+                self.fed += 1;
+            }
+        } else {
+            self.unmatched += 1;
+        }
+    }
+
+    /// The wrapped trainer (e.g. to check `n_observed`).
+    pub fn trainer(&self) -> &StreamingTrainer {
+        &self.trainer
+    }
+
+    /// Grows a model from everything observed so far.
+    pub fn train(&mut self) -> Result<PartitionedTree, SplidtError> {
+        self.trainer.train()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DigestTapStats {
+        DigestTapStats { fed: self.fed, unmatched: self.unmatched, registered: self.registry.len() }
+    }
+
+    /// Forgets every observation (histograms, dedupe set, counters) but
+    /// keeps flow registrations — the fixture ground truth is still
+    /// valid, only the learned distribution is discarded. Use at a drift
+    /// alarm so retraining sees post-drift traffic only.
+    pub fn reset_observations(&mut self) {
+        self.trainer.reset();
+        self.seen.clear();
+        self.fed = 0;
+        self.unmatched = 0;
+    }
+
+    /// Full reset: observations *and* registrations.
+    pub fn reset(&mut self) {
+        self.reset_observations();
+        self.registry.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplidtConfig;
+    use splidt_flow::{churn, ChurnConfig, DatasetId};
+
+    fn test_config() -> SplidtConfig {
+        SplidtConfig { partitions: vec![3, 3], k: 3, ..SplidtConfig::default() }
+    }
+
+    fn flows(n: usize) -> Vec<FlowTrace> {
+        churn(DatasetId::D2, &ChurnConfig { flows: n, seed: 7, ..ChurnConfig::default() }).flows
+    }
+
+    #[test]
+    fn trainer_grows_valid_chained_model() {
+        let flows = flows(300);
+        let cfg = test_config();
+        let mut tr = StreamingTrainer::new(cfg.clone(), 4, &StreamingTrainerParams::default());
+        for f in &flows {
+            tr.observe(&extract_windows(f, cfg.n_partitions(), catalog()), f.label);
+        }
+        assert_eq!(tr.n_observed(), 300);
+        let model = tr.train().expect("stream-trained model must validate");
+        assert_eq!(model.subtrees.len(), 2);
+        assert_eq!(model.subtrees[0].sid, 1);
+        assert_eq!(model.subtrees[1].sid, 2);
+        // Every first-window leaf chains to the second subtree.
+        for t in &model.subtrees[0].leaf_targets {
+            match t {
+                LeafTarget::Next { sid, .. } => assert_eq!(*sid, 2),
+                LeafTarget::Class(_) => panic!("non-final partition must chain"),
+            }
+        }
+        for t in &model.subtrees[1].leaf_targets {
+            assert!(matches!(t, LeafTarget::Class(_)), "final partition must classify");
+        }
+    }
+
+    #[test]
+    fn trainer_is_deterministic() {
+        let flows = flows(200);
+        let cfg = test_config();
+        let grow = || {
+            let mut tr = StreamingTrainer::new(cfg.clone(), 4, &StreamingTrainerParams::default());
+            for f in &flows {
+                tr.observe(&extract_windows(f, cfg.n_partitions(), catalog()), f.label);
+            }
+            tr.train().unwrap()
+        };
+        assert_eq!(format!("{:?}", grow()), format!("{:?}", grow()));
+    }
+
+    #[test]
+    fn trainer_learns_the_labels_it_sees() {
+        let flows = flows(600);
+        let cfg = test_config();
+        let mut tr = StreamingTrainer::new(cfg.clone(), 4, &StreamingTrainerParams::default());
+        for f in &flows {
+            tr.observe(&extract_windows(f, cfg.n_partitions(), catalog()), f.label);
+        }
+        let model = tr.train().unwrap();
+        let hits = flows
+            .iter()
+            .filter(|f| {
+                let w = extract_windows(f, cfg.n_partitions(), catalog());
+                model.predict(&w).class == f.label
+            })
+            .count();
+        // Training accuracy well above the 1-in-4 chance floor.
+        assert!(hits * 2 > flows.len(), "train accuracy too low: {hits}/{}", flows.len());
+    }
+
+    #[test]
+    fn tap_feeds_each_registered_flow_once() {
+        let flows = flows(100);
+        let cfg = test_config();
+        let mut tap =
+            DigestTap::new(StreamingTrainer::new(cfg, 4, &StreamingTrainerParams::default()));
+        for f in &flows {
+            tap.register_flow(f);
+        }
+        for f in &flows {
+            let fp = canonical_flow_fp(f);
+            tap.observe_fp(fp);
+            tap.observe_fp(fp); // duplicate digest: must not double-feed
+        }
+        tap.observe_fp(0xdead_beef); // never registered
+        let s = tap.stats();
+        assert_eq!(s.fed, 100);
+        assert_eq!(s.unmatched, 1);
+        assert_eq!(s.registered, 100);
+        assert_eq!(tap.trainer().n_observed(), 100);
+    }
+
+    #[test]
+    fn tap_reset_observations_keeps_registrations() {
+        let flows = flows(50);
+        let cfg = test_config();
+        let mut tap =
+            DigestTap::new(StreamingTrainer::new(cfg, 4, &StreamingTrainerParams::default()));
+        for f in &flows {
+            tap.register_flow(f);
+            tap.observe_fp(canonical_flow_fp(f));
+        }
+        tap.reset_observations();
+        let s = tap.stats();
+        assert_eq!((s.fed, s.unmatched, s.registered), (0, 0, 50));
+        assert_eq!(tap.trainer().n_observed(), 0);
+        // Re-observing after the reset feeds again — the dedupe set cleared.
+        tap.observe_fp(canonical_flow_fp(&flows[0]));
+        assert_eq!(tap.stats().fed, 1);
+        // Full reset drops registrations too.
+        tap.reset();
+        assert_eq!(tap.stats().registered, 0);
+    }
+}

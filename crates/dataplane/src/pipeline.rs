@@ -266,6 +266,59 @@ impl Pipeline {
         Ok(())
     }
 
+    /// Atomically replaces the running program — the pForest-style live
+    /// model swap. The new program's tables and compiled plan take over
+    /// while **live flow state survives**:
+    ///
+    /// * register arrays present in both programs under the same
+    ///   `(name, width, len, cap)` spec keep their contents (ownership
+    ///   lanes, packet/window counters, feature slots); arrays only the new
+    ///   program declares start zeroed, and arrays only the old one had are
+    ///   dropped — model-dependent registers may differ between
+    ///   compilations, so state is matched **by spec, never by index**;
+    /// * pending digests stay in the ring (the new program must emit the
+    ///   same digest stride);
+    /// * meters accumulate across the flip;
+    /// * for every `(old, new)` pair in `carry_tables`, per-entry hit
+    ///   counters and the miss counter carry from the old program's table
+    ///   to the new one's (see
+    ///   [`Table::carry_stats_from`](crate::table::Table::carry_stats_from))
+    ///   — used for the lifecycle
+    ///   MAT, whose entries are policy-determined and identical across
+    ///   recompiles.
+    ///
+    /// The execution plan, match indexes, and scratch buffers are rebuilt
+    /// from the new program — a control-plane cost (same as
+    /// [`Pipeline::install_entry`]), never a per-packet one.
+    pub fn swap_program(&mut self, mut program: Program, carry_tables: &[(TableId, TableId)]) {
+        assert_eq!(
+            program.digest_fields().len(),
+            self.digests.stride(),
+            "swap must preserve the digest record stride"
+        );
+        let mut regs: Vec<RegisterArray> =
+            program.registers().iter().cloned().map(RegisterArray::new).collect();
+        for r in &mut regs {
+            let matched = self.regs.iter().find(|old| {
+                let (a, b) = (old.spec(), r.spec());
+                a.name == b.name && a.width_bits == b.width_bits && a.len == b.len && a.cap == b.cap
+            });
+            if let Some(old) = matched {
+                *r = old.clone();
+            }
+        }
+        for &(old_id, new_id) in carry_tables {
+            let old = self.program.table(old_id);
+            program.tables_mut()[new_id.index()].carry_stats_from(old);
+        }
+        self.program = program;
+        self.regs = regs;
+        self.plan = ExecPlan::build(&self.program);
+        self.key_scratch = Vec::with_capacity(self.plan.max_key_fields());
+        self.mask_scratch = Vec::with_capacity(self.plan.max_mask_words());
+        self.phv_scratch = self.program.layout().new_phv();
+    }
+
     /// The program being executed.
     pub fn program(&self) -> &Program {
         &self.program
@@ -1109,5 +1162,86 @@ mod tests {
         assert_eq!(plan_pipe.meters(), walk_pipe.meters());
         assert_eq!(plan_pipe.registers()[0].read(1), walk_pipe.registers()[0].read(1));
         assert_eq!(plan_pipe.program().table(t).misses(), walk_pipe.program().table(t).misses());
+    }
+
+    /// Builds a tiny program: one register "keep" (32x8) plus an optional
+    /// extra register, and one ternary table writing `out = const`.
+    fn swap_fixture(extra_reg: Option<&str>, out_val: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 16);
+        let out_f = b.add_meta("out", 8);
+        b.set_digest_fields(vec![a, out_f]);
+        let r = b.add_register(RegisterSpec::new("keep", 32, 8), 0);
+        let _ = r;
+        if let Some(name) = extra_reg {
+            b.add_register(RegisterSpec::new(name, 16, 8), 0);
+        }
+        let t = b.add_table(TableSpec::ternary("t", vec![a], 4), 0);
+        b.add_ternary_entry(
+            t,
+            vec![Ternary::ANY],
+            0,
+            Action::new("set").with(Primitive::set_const(out_f, out_val)).with(Primitive::Digest),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn swap_program_carries_matching_registers_digests_and_meters() {
+        let old = swap_fixture(Some("old_only"), 1);
+        let new = swap_fixture(Some("new_only"), 2);
+        let a = crate::phv::FieldId(0);
+        let out_f = crate::phv::FieldId(1);
+        let mut pipe = Pipeline::new(old);
+        pipe.registers_mut()[0].write(3, 777); // "keep"
+        pipe.registers_mut()[1].write(3, 555); // "old_only"
+        let mut phv = pipe.program().layout().new_phv();
+        phv.set(a, 42);
+        pipe.process_phv(phv, 9); // emits digest [42, 1] under the old model
+        let packets_before = pipe.meters().packets;
+
+        pipe.swap_program(new, &[(TableId(0), TableId(0))]);
+
+        // Matching register carried; old-only dropped; new-only zeroed.
+        assert_eq!(pipe.registers()[0].spec().name, "keep");
+        assert_eq!(pipe.registers()[0].read(3), 777);
+        assert_eq!(pipe.registers()[1].spec().name, "new_only");
+        assert_eq!(pipe.registers()[1].read(3), 0);
+        // Pending digests and meters survive the flip.
+        assert_eq!(pipe.digests().len(), 1);
+        assert_eq!(pipe.digests().values(0), &[42, 1]);
+        assert_eq!(pipe.meters().packets, packets_before);
+        // The new tables actually serve lookups.
+        let mut phv = pipe.program().layout().new_phv();
+        phv.set(a, 1);
+        let o = pipe.process_phv(phv, 10);
+        assert_eq!(o.phv.get(out_f), 2, "post-swap packet must see the new model");
+        assert_eq!(pipe.digests().len(), 2);
+        assert_eq!(pipe.digests().values(1), &[1, 2]);
+        assert_eq!(pipe.meters().packets, packets_before + 1);
+    }
+
+    #[test]
+    fn swap_program_carries_table_hits() {
+        let old = swap_fixture(None, 1);
+        let new = swap_fixture(None, 2);
+        let a = crate::phv::FieldId(0);
+        let mut pipe = Pipeline::new(old);
+        for i in 0..5 {
+            let mut phv = pipe.program().layout().new_phv();
+            phv.set(a, i);
+            pipe.process_phv(phv, i);
+        }
+        assert_eq!(pipe.program().tables()[0].entries()[0].hits, 5);
+        pipe.swap_program(new, &[(TableId(0), TableId(0))]);
+        assert_eq!(pipe.program().tables()[0].entries()[0].hits, 5, "hits carried");
+        // Without a carry pair the counters start fresh.
+        let mut pipe2 = Pipeline::new(swap_fixture(None, 1));
+        let mut phv = pipe2.program().layout().new_phv();
+        phv.set(a, 0);
+        pipe2.process_phv(phv, 0);
+        pipe2.swap_program(swap_fixture(None, 2), &[]);
+        assert_eq!(pipe2.program().tables()[0].entries()[0].hits, 0);
     }
 }

@@ -311,6 +311,23 @@ impl Table {
         }
     }
 
+    /// Carries hit/miss statistics over from another table — used by the
+    /// live model swap to keep lifecycle counters continuous across the
+    /// flip. The two tables must hold the same number of entries, installed
+    /// in the same order (true for the lifecycle MAT: its entries are
+    /// determined by the compile-time policy, not the model).
+    pub fn carry_stats_from(&mut self, old: &Table) {
+        assert_eq!(
+            self.entries.len(),
+            old.entries.len(),
+            "cannot carry stats across tables with different entry counts"
+        );
+        for (e, o) in self.entries.iter_mut().zip(&old.entries) {
+            e.hits = o.hits;
+        }
+        self.misses = old.misses;
+    }
+
     /// Zeroes hit/miss statistics (fresh-session reset; entries stay).
     pub fn reset_stats(&mut self) {
         self.misses = 0;

@@ -41,6 +41,7 @@ pub mod forest;
 pub mod importance;
 pub mod metrics;
 pub mod regress;
+pub mod stream;
 pub mod train;
 pub mod tree;
 
@@ -48,5 +49,6 @@ pub use dataset::{Dataset, DatasetView};
 pub use forest::{ForestClassifier, ForestParams, ForestRegressor};
 pub use importance::{feature_importance, top_k_features};
 pub use regress::{train_regressor, RegressionTree};
+pub use stream::{SplitCandidate, StreamParams, StreamTree};
 pub use train::{train_classifier, train_classifier_on, TrainParams};
 pub use tree::{Node, NodeId, Tree};

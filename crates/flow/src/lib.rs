@@ -32,6 +32,8 @@ pub use features::{
     FeatureCatalog, FeatureDef, FeatureKind, SlotProgram, FEATURE_BITS, FEATURE_CAP,
 };
 pub use flow::{Dir, FiveTuple, FlowTrace, TracePacket};
-pub use synthetic::{churn, generate, spec, ChurnConfig, ChurnSchedule, DatasetId, DatasetSpec};
+pub use synthetic::{
+    churn, generate, spec, ChurnConfig, ChurnSchedule, DatasetId, DatasetSpec, DriftProfile,
+};
 pub use window::{window_bounds, window_len};
 pub use wire::{frame_for, frame_for_into, FRAME_HDR_LEN};

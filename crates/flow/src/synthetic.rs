@@ -229,7 +229,34 @@ const SERVER_PORTS: [u16; 8] = [80, 443, 53, 22, 25, 123, 110, 993];
 pub fn generate(id: DatasetId, n_flows: usize, seed: u64) -> Vec<FlowTrace> {
     let spec = spec(id);
     let profiles = class_profiles(&spec);
-    (0..n_flows).map(|i| generate_flow(&spec, &profiles, i, seed)).collect()
+    (0..n_flows).map(|i| generate_flow(&spec, &profiles, i, seed, None)).collect()
+}
+
+/// A concept-drift transform: how post-drift flows change behaviour while
+/// keeping their labels.
+///
+/// The rotation remaps *which behavioural profile a label exhibits* — after
+/// drift, flows labelled `c` are generated from class `(c + rotate) %
+/// n_classes`'s signature. A model trained pre-drift therefore mispredicts
+/// systematically (it reports the rotated class), while a model retrained on
+/// post-drift digests learns the new mapping and recovers. `knob_shift`
+/// optionally layers a global distribution shift (e.g. all packets larger)
+/// on top. Applying a drift consumes no extra RNG draws, so pre-drift flows
+/// are byte-identical with and without a configured drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftProfile {
+    /// Post-drift flows labelled `c` behave like class `(c + rotate) %
+    /// n_classes`. `0` disables the remap.
+    pub rotate: u16,
+    /// Extra `(knob, delta)` perturbations applied to every phase of every
+    /// post-drift flow (see the knob indices in the module source).
+    pub knob_shift: Vec<(usize, f64)>,
+}
+
+impl Default for DriftProfile {
+    fn default() -> Self {
+        Self { rotate: 1, knob_shift: Vec::new() }
+    }
 }
 
 fn generate_flow(
@@ -237,6 +264,7 @@ fn generate_flow(
     profiles: &[ClassProfile],
     flow_idx: usize,
     seed: u64,
+    drift: Option<&DriftProfile>,
 ) -> FlowTrace {
     let mut rng =
         SmallRng::seed_from_u64(splitmix64(spec.seed ^ seed.rotate_left(17) ^ flow_idx as u64));
@@ -250,6 +278,12 @@ fn generate_flow(
         rng.random_range(0..spec.n_classes)
     } else {
         true_class
+    };
+    // Concept drift: remap the behavioural profile *after* the noise draw so
+    // the RNG stream (and thus every pre-drift flow) is unchanged.
+    let gen_class = match drift {
+        Some(d) => (gen_class + d.rotate) % spec.n_classes,
+        None => gen_class,
     };
     let profile = &profiles[gen_class as usize];
 
@@ -271,6 +305,13 @@ fn generate_flow(
             k
         })
         .collect();
+    if let Some(d) = drift {
+        for k in &mut phase_knobs {
+            for &(knob, delta) in &d.knob_shift {
+                k.perturb(knob, delta);
+            }
+        }
+    }
     // Tiny per-flow jitter so flows of a class are not identical.
     for k in &mut phase_knobs {
         k.len_mu += (rng.random::<f64>() - 0.5) * 0.1;
@@ -362,6 +403,13 @@ pub struct ChurnConfig {
     /// Fraction of flows closing abortively with RST instead of FIN on
     /// their final packet. Default 0.0 (every flow closes with FIN).
     pub rst_close_frac: f64,
+    /// Concept drift onset: flows with index `>= drift_at` (i.e. arriving
+    /// after the first `drift_at` flows — arrival order follows flow index)
+    /// are generated under [`ChurnConfig::drift_profile`]. `None` disables
+    /// drift. Default `None`.
+    pub drift_at: Option<usize>,
+    /// The drift applied from `drift_at` onwards.
+    pub drift_profile: DriftProfile,
     /// RNG seed for arrivals and per-flow draws.
     pub seed: u64,
 }
@@ -374,6 +422,8 @@ impl Default for ChurnConfig {
             lifetime_scale: 0.05,
             syn_open_frac: 1.0,
             rst_close_frac: 0.0,
+            drift_at: None,
+            drift_profile: DriftProfile::default(),
             seed: 1,
         }
     }
@@ -420,9 +470,19 @@ impl ChurnSchedule {
 /// labelled flows (unique 5-tuples, same class balance as [`generate`])
 /// arriving at exponential gaps, with intra-flow timestamps scaled by
 /// `cfg.lifetime_scale` and TCP flag shapes (SYN-opened vs mid-capture,
-/// FIN vs RST close) drawn per flow. Deterministic in `(id, cfg)`.
+/// FIN vs RST close) drawn per flow. Flows from `cfg.drift_at` onwards are
+/// generated under `cfg.drift_profile` (labels unchanged, behaviour
+/// remapped), so a model frozen before the drift point visibly decays.
+/// Deterministic in `(id, cfg)`.
 pub fn churn(id: DatasetId, cfg: &ChurnConfig) -> ChurnSchedule {
-    let mut flows = generate(id, cfg.flows, cfg.seed);
+    let dspec = spec(id);
+    let profiles = class_profiles(&dspec);
+    let mut flows: Vec<FlowTrace> = (0..cfg.flows)
+        .map(|i| {
+            let drift = cfg.drift_at.filter(|&at| i >= at).map(|_| &cfg.drift_profile);
+            generate_flow(&dspec, &profiles, i, cfg.seed, drift)
+        })
+        .collect();
     let mut shape_rng = SmallRng::seed_from_u64(splitmix64(cfg.seed ^ 0x7C9_F1A6));
     for f in &mut flows {
         for p in &mut f.packets {
@@ -616,6 +676,84 @@ mod tests {
         for (a, b) in s.flows.iter().zip(&again.flows) {
             assert_eq!(a.packets, b.packets);
         }
+    }
+
+    #[test]
+    fn drift_changes_only_post_drift_flows() {
+        let base = ChurnConfig { flows: 200, ..Default::default() };
+        let drifted = ChurnConfig { drift_at: Some(100), ..base.clone() };
+        let a = churn(DatasetId::D2, &base);
+        let b = churn(DatasetId::D2, &drifted);
+        assert_eq!(a.starts, b.starts, "arrival schedule unaffected by drift");
+        for i in 0..100 {
+            assert_eq!(a.flows[i].packets, b.flows[i].packets, "pre-drift flow {i} changed");
+        }
+        let changed = (100..200).filter(|&i| a.flows[i].packets != b.flows[i].packets).count();
+        assert!(changed > 60, "only {changed}/100 post-drift flows changed");
+        // Labels are the point of drift: they stay put while behaviour moves.
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.tuple, y.tuple);
+        }
+        // Deterministic in the config.
+        let again = churn(DatasetId::D2, &drifted);
+        for (x, y) in b.flows.iter().zip(&again.flows) {
+            assert_eq!(x.packets, y.packets);
+        }
+    }
+
+    #[test]
+    fn drift_rotates_class_behaviour() {
+        // Post-drift flows labelled `c` should look like pre-drift flows of
+        // class `c+1`: compare per-label mean frame lengths across the
+        // boundary and against the rotated class's pre-drift mean.
+        let cfg = ChurnConfig {
+            flows: 800,
+            drift_at: Some(400),
+            drift_profile: DriftProfile { rotate: 1, knob_shift: Vec::new() },
+            ..Default::default()
+        };
+        let s = churn(DatasetId::D2, &cfg);
+        let mean_len = |flows: &[FlowTrace], label: u16| {
+            let (bytes, pkts) = flows
+                .iter()
+                .filter(|f| f.label == label)
+                .fold((0u64, 0u64), |(b, n), f| (b + f.total_bytes(), n + f.size_pkts() as u64));
+            bytes as f64 / pkts.max(1) as f64
+        };
+        let mut max_shift = 0.0f64;
+        for c in 0..4u16 {
+            let pre = mean_len(&s.flows[..400], c);
+            let post = mean_len(&s.flows[400..], c);
+            let rotated_pre = mean_len(&s.flows[..400], (c + 1) % 4);
+            max_shift = max_shift.max((post - pre).abs());
+            // The post-drift behaviour of label c tracks class c+1's
+            // pre-drift behaviour more closely than its own.
+            assert!(
+                (post - rotated_pre).abs() <= (post - pre).abs() + 15.0,
+                "label {c}: post {post:.1} pre {pre:.1} rotated-pre {rotated_pre:.1}"
+            );
+        }
+        assert!(max_shift > 10.0, "drift moved no label's mean length ({max_shift:.1})");
+    }
+
+    #[test]
+    fn drift_knob_shift_applies() {
+        let cfg = ChurnConfig {
+            flows: 100,
+            drift_at: Some(0),
+            drift_profile: DriftProfile { rotate: 0, knob_shift: vec![(0, 1.0)] },
+            ..Default::default()
+        };
+        let shifted = churn(DatasetId::D2, &cfg);
+        let plain = churn(DatasetId::D2, &ChurnConfig { flows: 100, ..Default::default() });
+        let total = |s: &ChurnSchedule| s.flows.iter().map(|f| f.total_bytes()).sum::<u64>();
+        assert!(
+            total(&shifted) > total(&plain) * 11 / 10,
+            "len_mu +1.0 must inflate total bytes ({} vs {})",
+            total(&shifted),
+            total(&plain)
+        );
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn main() -> ExitCode {
             syn_open_frac: 0.95,
             rst_close_frac: 0.25,
             seed: args.seed,
+            ..Default::default()
         },
     );
     let events = schedule.events();

@@ -114,6 +114,7 @@ mod tests {
                 syn_open_frac: 1.0,
                 rst_close_frac: 0.0,
                 seed: 3,
+                ..Default::default()
             },
         );
         let expect: u64 = schedule.flows.iter().map(|f| f.size_pkts() as u64).sum();

@@ -147,6 +147,13 @@ pub fn run_ingress<S: FrameSource + Send>(
         lifecycle: engine.lifecycle(),
         slot_pressure: engine.slot_pressure(),
         ingress: Some(stats.clone()),
+        swaps: engine.engines().iter().map(|e| e.swaps()).sum(),
+        staged_generation: engine
+            .engines()
+            .iter()
+            .map(|e| e.staged_generation())
+            .max()
+            .unwrap_or(0),
     };
     Ok(IngressOutcome { stats, batch: batch_report, report })
 }

@@ -10,7 +10,11 @@
 # included), nonzero unsolicited refusals, a pinned-class trace, and the
 # presence of the slot-pressure histogram. Ingress files (ingress_smoke)
 # gate pps, the ring-consumer zero-allocation probe, exact ingress
-# accounting reconciliation, and the classified_floor criterion.
+# accounting reconciliation, and the classified_floor criterion. Drift
+# files (drift_smoke, keyed off the expected_swaps field) gate pps, the
+# mid-stream-swap zero-allocation probe, the post-swap recovery floor,
+# strict improvement over the degraded phase, the exact swap count and
+# zero-flow-state-lost across the flip (lifecycle_carried).
 #
 # Usage:
 #   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
@@ -57,7 +61,7 @@ printf '%-28s %14s %14s %9s\n' metric baseline candidate delta%
 fail=0
 for key in pps allocs_per_packet hot_loop_allocs_per_packet \
            digest_ring_allocs_per_packet churn_allocs_per_packet \
-           ingress_allocs_per_packet \
+           ingress_allocs_per_packet drift_allocs_per_packet \
            sent received steered dropped_ring_full dropped_malformed \
            consumed socket_loss classified_floor \
            classified_flows flow_slots distinct_flows \
@@ -65,6 +69,9 @@ for key in pps allocs_per_packet hot_loop_allocs_per_packet \
            evictions_pinned released_fin unsolicited pinned_defended \
            live_collisions post_verdict_pkts \
            pressure_total pressure_peak \
+           pre_acc degraded_acc recovered_acc \
+           pre_verdicts degraded_verdicts recovered_verdicts \
+           tap_fed swaps staged_generation lifecycle_carried \
            ternary_4096_speedup range_4096_speedup \
            ternary_4096_indexed_lps range_4096_indexed_lps \
            exact_4096_indexed_lps; do
@@ -85,7 +92,8 @@ if [ -n "$(metric "$candidate" pps)" ] && [ -n "$(metric "$baseline" pps)" ]; th
 fi
 
 for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet \
-           churn_allocs_per_packet ingress_allocs_per_packet; do
+           churn_allocs_per_packet ingress_allocs_per_packet \
+           drift_allocs_per_packet; do
     v=$(metric "$candidate" "$key")
     [ -n "$v" ] || continue
     ok=$(awk -v h="$v" 'BEGIN { print (h == 0) ? 1 : 0 }')
@@ -151,6 +159,38 @@ if [ -n "$fs" ]; then
     fi
     if [ -z "$(metric "$candidate" pressure_hist)" ]; then
         echo "FAIL: churn candidate carries no slot-pressure histogram" >&2
+        fail=1
+    fi
+fi
+
+# Drift gates (drift candidates only — keyed off the expected_swaps
+# field): the retrained model must recover classification on the drifted
+# distribution, exactly the expected number of live swaps must have
+# completed, and no flow state may be lost across the swap instant
+# (mirrors drift_smoke's own gates; the reconciled gate above already
+# covers drift files too).
+esw=$(metric "$candidate" expected_swaps)
+if [ -n "$esw" ]; then
+    racc=$(metric "$candidate" recovered_acc)
+    dacc=$(metric "$candidate" degraded_acc)
+    ok=$(awk -v r="${racc:-0}" 'BEGIN { print (r >= 0.35) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: recovered_acc ${racc:-missing} is below the 0.35 recovery floor" >&2
+        fail=1
+    fi
+    ok=$(awk -v r="${racc:-0}" -v d="${dacc:-0}" 'BEGIN { print (r > d) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: recovered_acc ${racc:-missing} did not improve on degraded_acc ${dacc:-missing}" >&2
+        fail=1
+    fi
+    sw=$(metric "$candidate" swaps)
+    if [ "${sw:-0}" != "$esw" ]; then
+        echo "FAIL: $sw swaps completed; expected $esw" >&2
+        fail=1
+    fi
+    lcar=$(metric "$candidate" lifecycle_carried)
+    if [ "${lcar:-0}" != 1 ]; then
+        echo "FAIL: flow state was not carried across the swap (lifecycle_carried=${lcar:-missing})" >&2
         fail=1
     fi
 fi

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Aggregates the flat JSON files the bench smokes emit (hotpath_smoke /
-# lookup_smoke / churn_smoke) into one Markdown table: rows are metrics,
-# one column per result file. CI's `bench-summary` job appends the output
-# to $GITHUB_STEP_SUMMARY so every run shows all three smokes side by
-# side; locally it renders fine on a terminal too.
+# lookup_smoke / churn_smoke / ingress_smoke / drift_smoke) into one
+# Markdown table: rows are metrics, one column per result file. CI's
+# `bench-summary` job appends the output to $GITHUB_STEP_SUMMARY so every
+# run shows all five smokes side by side; locally it renders fine on a
+# terminal too.
+#
+# A result file that does not exist (e.g. one smoke leg failed before
+# writing its artifact) still gets a column — every cell reads
+# "— (missing)" — instead of failing the whole summary; the summary job
+# must stay readable exactly when a leg broke.
 #
 # Usage:
 #   scripts/bench_summary.sh BENCH_hotpath.json BENCH_lookup.json BENCH_churn.json
@@ -18,14 +24,38 @@ if [ $# -lt 1 ]; then
     exit 64
 fi
 
+colname() { # strip path, BENCH_ prefix, .json suffix
+    local name=${1##*/}
+    name=${name#BENCH_}
+    echo "${name%.json}"
+}
+
+present=()
+missing_names=""
 for f in "$@"; do
-    [ -r "$f" ] || { echo "cannot read $f" >&2; exit 66; }
+    if [ -r "$f" ]; then
+        present+=("$f")
+    else
+        missing_names="$missing_names $(colname "$f")"
+    fi
 done
+missing_names=${missing_names# }
 
 echo "## Bench smoke summary"
 echo
 
-awk '
+if [ ${#present[@]} -eq 0 ]; then
+    echo "_No readable result files._"
+    for n in $missing_names; do
+        echo
+        echo "| metric | $n |"
+        echo "|---|---|"
+        echo "| — | — (missing) |"
+    done
+    exit 0
+fi
+
+awk -v missing="$missing_names" '
     function colname(path,   n, parts) {
         n = split(path, parts, "/")
         name = parts[n]
@@ -59,6 +89,11 @@ awk '
         cell[nfiles "," seen[key]] = val
     }
     END {
+        nmiss = split(missing, miss, " ")
+        for (m = 1; m <= nmiss; m++) {
+            files[++nfiles] = miss[m]
+            missingcol[nfiles] = 1
+        }
         header = "| metric |"
         rule = "|---|"
         for (f = 1; f <= nfiles; f++) {
@@ -70,7 +105,10 @@ awk '
         for (k = 1; k <= nkeys; k++) {
             row = "| `" keys[k] "` |"
             for (f = 1; f <= nfiles; f++) {
-                v = cell[f "," k]
+                if (missingcol[f])
+                    v = "— (missing)"
+                else
+                    v = cell[f "," k]
                 row = row " " (v == "" ? "—" : v) " |"
             }
             print row
@@ -87,4 +125,4 @@ awk '
             }
         }
     }
-' "$@"
+' "${present[@]}"

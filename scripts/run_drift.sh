@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# One-command demo of online streaming training + atomic live model swap:
+# builds `drift_smoke` (release) and runs the full control loop — a
+# batch-trained model serves a 4096-flow churn schedule, class behaviour
+# rotates mid-stream, the engine's digest tap retrains a replacement
+# from post-drift traffic only, staging compiles it off-thread while
+# live churn keeps flowing, and the swap flips the pipeline atomically
+# with every ownership lane, lifecycle counter and pending digest
+# carried. The smoke's own gates enforce drift recovery, zero lost flow
+# state and the zero-allocation discipline; the committed baseline gates
+# throughput.
+#
+# Usage:
+#   scripts/run_drift.sh [OUT_JSON] [MAX_DROP_PCT]
+#
+# Defaults: results to /tmp/BENCH_drift.json, 40% pps drop tolerance
+# (the run is a single schedule pass, so wall-clock noise is expected;
+# the correctness gates are exact). Takes ~5s plus one model-training
+# pass. Compare two runs with scripts/bench_diff.sh.
+set -euo pipefail
+
+out=${1:-/tmp/BENCH_drift.json}
+max_drop=${2:-40}
+
+cd "$(dirname "$0")/.."
+
+echo "building drift_smoke (release)..."
+cargo build -q --release -p splidt-bench --bin drift_smoke
+
+./target/release/drift_smoke \
+    --out "$out" \
+    --baseline bench/drift_baseline.json \
+    --max-drop-pct "$max_drop"
+
+echo
+echo "diff against the committed baseline:"
+scripts/bench_diff.sh bench/drift_baseline.json "$out" "$max_drop"

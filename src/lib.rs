@@ -78,8 +78,9 @@ pub mod prelude {
     };
     pub use splidt_core::{
         canonical_flow_fp, canonical_flow_index, compile, evaluate_partitioned, max_flows,
-        model_rules, run_flows, splidt_footprint, train_partitioned, LifecyclePolicy,
-        LifecycleStats, PartitionedTree, SlotPressure, SplidtConfig, SplidtError,
+        model_rules, run_flows, splidt_footprint, train_partitioned, DigestTap, DigestTapStats,
+        LifecyclePolicy, LifecycleStats, PartitionedTree, SlotPressure, SplidtConfig, SplidtError,
+        StreamingTrainer, StreamingTrainerParams,
     };
     pub use splidt_dataplane::resources::TargetSpec;
     pub use splidt_flow::{

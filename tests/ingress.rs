@@ -38,6 +38,7 @@ fn wire_frames(flows: usize, seed: u64) -> Vec<(Vec<u8>, u64)> {
             syn_open_frac: 0.95,
             rst_close_frac: 0.25,
             seed,
+            ..Default::default()
         },
     );
     schedule.events().into_iter().map(|(ts, i, j)| (frame_for(&schedule.flows[i], j), ts)).collect()
