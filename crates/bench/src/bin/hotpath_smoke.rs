@@ -9,14 +9,15 @@
 //!               [--max-drop-pct 15] [--seconds 2.0]
 //! ```
 //!
-//! Exit codes: `0` ok · `1` throughput regressed past the threshold ·
-//! `2` the zero-allocation invariant broke.
+//! Exit codes: `0` ok · `1` throughput regressed past the threshold or
+//! the burst-32 vectorization win fell below its floor · `2` a
+//! zero-allocation invariant broke.
 //!
 //! Locally, diff two result files with `scripts/bench_diff.sh`.
 
 use splidt_bench::hotpath::{
-    fixture, measure_engine_throughput, probe_digest_ring_allocs, probe_hot_loop_allocs,
-    read_metric, write_json,
+    fixture, measure_burst_sweep, measure_engine_throughput, probe_burst_allocs,
+    probe_digest_ring_allocs, probe_hot_loop_allocs, read_metric, write_json, BURST_SWEEP,
 };
 use splidt_bench::CountingAlloc;
 
@@ -75,17 +76,48 @@ fn main() {
          packets ({ring_per_packet:.6}/packet)"
     );
 
-    // 2. Fixed-seed end-to-end throughput through the engine batch path.
+    // 1c. The burst-path and worker-data-path probes: wave execution and
+    //     the SPSC worker hand-off must be allocation-free per packet too.
+    let burst_allocs = probe_burst_allocs(PROBE_PACKETS);
+    let burst_per_packet = burst_allocs as f64 / PROBE_PACKETS as f64;
+    println!(
+        "burst probe: {burst_allocs} allocations over {PROBE_PACKETS} packets \
+         ({burst_per_packet:.6}/packet)"
+    );
+    let worker_allocs = splidt_bench::hotpath::probe_worker_ring_allocs(PROBE_PACKETS);
+    let worker_per_packet = worker_allocs as f64 / PROBE_PACKETS as f64;
+    println!(
+        "worker-ring probe: {worker_allocs} allocations over {PROBE_PACKETS} packets \
+         ({worker_per_packet:.6}/packet)"
+    );
+
+    // 2. Fixed-seed end-to-end throughput through the engine batch path
+    //    (default burst), plus the burst sweep for the vectorization gate.
     let (model, frames) = fixture();
     let mut engine = splidt_bench::hotpath::engine_for(&model);
     let mut stats = measure_engine_throughput(&mut engine, &frames, args.seconds);
     stats.hot_loop_allocs_per_packet = hot_per_packet;
     stats.digest_ring_allocs_per_packet = ring_per_packet;
+    stats.burst_allocs_per_packet = burst_per_packet;
+    stats.worker_allocs_per_packet = worker_per_packet;
     println!(
         "throughput: {:.0} packets/sec ({} packets in {:.2}s), {:.4} allocs/packet \
          (boundary digests included)",
         stats.pps, stats.packets, stats.elapsed_s, stats.allocs_per_packet
     );
+    // The sweep runs on the scaled-traffic fixture — a few hundred
+    // thousand distinct flows over a multi-million-slot register file,
+    // the memory-bound regime vectorization exists for (at the small
+    // fixture's working set the interpreter is compute-bound and every
+    // burst size measures the same).
+    let scaled = splidt_bench::hotpath::scaled_fixture(&model);
+    println!("scaled fixture: {} frames", scaled.len());
+    stats.pps_burst = measure_burst_sweep(&model, &scaled, args.seconds / 2.0);
+    for (b, pps) in BURST_SWEEP.iter().zip(stats.pps_burst) {
+        println!("burst sweep: burst {b:>2} → {pps:.0} packets/sec");
+    }
+    let vector_win = stats.pps_burst[2] / stats.pps_burst[0];
+    println!("vectorization: burst 32 / burst 1 = {vector_win:.2}x");
 
     write_json(&args.out, &stats).expect("writes results json");
     println!("wrote {}", args.out);
@@ -97,6 +129,30 @@ fn main() {
     if ring_allocs != 0 {
         eprintln!("FAIL: digest-emitting steady state allocated ({ring_allocs} allocations)");
         std::process::exit(2);
+    }
+    if burst_allocs != 0 {
+        eprintln!("FAIL: burst (wave) steady state allocated ({burst_allocs} allocations)");
+        std::process::exit(2);
+    }
+    if worker_allocs != 0 {
+        eprintln!("FAIL: worker ring data path allocated ({worker_allocs} allocations)");
+        std::process::exit(2);
+    }
+    // Vectorization floor: wave execution at burst 32 must beat the same
+    // machinery at burst 1 (scalar) on the scaled fixture. The interleaved
+    // sweep makes the ratio robust to machine-wide throughput drift.
+    // Observed 1.13-1.20x across stable long-window runs on the 1-vCPU CI
+    // box; the floor sits below the band's low end, same policy as the
+    // absolute-pps floors. Burst-32 already runs at ~93% of the box's
+    // compute ceiling (~695K pps small-fixture), which caps the
+    // achievable ratio near 1.25-1.28x here; bigger wins need the stall
+    // fraction a real multi-core / line-rate deployment has.
+    const VECTOR_FLOOR: f64 = 1.05;
+    if vector_win < VECTOR_FLOOR {
+        eprintln!(
+            "FAIL: burst-32 pps is only {vector_win:.2}x burst-1 pps (floor {VECTOR_FLOOR}x)"
+        );
+        std::process::exit(1);
     }
 
     // 3. Regression gate vs the committed baseline.

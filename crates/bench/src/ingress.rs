@@ -131,7 +131,12 @@ pub fn run_loopback(
     let source =
         UdpSource::bind("127.0.0.1:0").expect("loopback bind").idle_exit(Duration::from_secs(5));
     let addr = source.local_addr().expect("bound socket has an addr");
-    let cfg = IngressConfig { ring_capacity: 4096, max_frame: 2048, batch: 256 };
+    let cfg = IngressConfig {
+        ring_capacity: 4096,
+        max_frame: 2048,
+        batch: 256,
+        ..IngressConfig::default()
+    };
 
     let start = Instant::now();
     let (outcome, gen_report) = std::thread::scope(|s| {

@@ -33,9 +33,10 @@ use crate::runtime::{
     canonical_flow_index, FlowOutcome, LifecycleStats, RuntimeReport, SlotPressure, PRESSURE_TOP_K,
 };
 use crate::stream::DigestTap;
+use crate::workers::{PinHook, WorkerPool};
 use splidt_dataplane::hash::flow_index;
 use splidt_dataplane::parser::peek_flow_tuple;
-use splidt_dataplane::pipeline::{Digest, Disposition, Meters, Pipeline, ProcessOutcome};
+use splidt_dataplane::pipeline::{Digest, Meters, Pipeline, ProcessOutcome, WaveStats};
 use splidt_dataplane::program::Program;
 use splidt_dataplane::register::owner_lane;
 use splidt_dt::metrics::macro_f1;
@@ -262,6 +263,11 @@ pub const DEFAULT_FLOW_SLOTS: usize = 1 << 16;
 /// Default inter-flow stagger when batching flows onto one timeline (µs).
 pub const DEFAULT_STAGGER_US: u64 = 5_000;
 
+/// Default burst (wave capacity) of the frame hot path: how many packets
+/// accumulate before the compiled plan is walked stage-major across the
+/// whole wave (see [`Engine::set_burst`]).
+pub const DEFAULT_BURST: usize = 32;
+
 /// Builds [`Engine`]s and [`ShardedEngine`]s: configure → compile once →
 /// instantiate as many times as needed.
 #[derive(Debug, Clone)]
@@ -271,6 +277,7 @@ pub struct EngineBuilder<'m> {
     stagger_us: u64,
     idle_timeout_us: u64,
     policy: LifecyclePolicy,
+    burst: usize,
 }
 
 impl<'m> EngineBuilder<'m> {
@@ -283,7 +290,15 @@ impl<'m> EngineBuilder<'m> {
             stagger_us: DEFAULT_STAGGER_US,
             idle_timeout_us: crate::compile::DEFAULT_IDLE_TIMEOUT_US,
             policy: LifecyclePolicy::default(),
+            burst: DEFAULT_BURST,
         }
+    }
+
+    /// Wave capacity of the batch hot path (1 = scalar execution;
+    /// default [`DEFAULT_BURST`]). See [`Engine::set_burst`].
+    pub fn burst(mut self, burst: usize) -> Self {
+        self.burst = burst;
+        self
     }
 
     /// Register depth (must be a power of two).
@@ -324,7 +339,9 @@ impl<'m> EngineBuilder<'m> {
     /// Compiles the model and instantiates a single-pipeline engine.
     pub fn build(self) -> Result<Engine, SplidtError> {
         let compiled = compile_with(self.model, &self.compile_options())?;
-        Ok(Engine::from_compiled(self.model.clone(), compiled, self.stagger_us))
+        let mut engine = Engine::from_compiled(self.model.clone(), compiled, self.stagger_us);
+        engine.set_burst(self.burst);
+        Ok(engine)
     }
 
     /// Compiles once and instantiates `n_shards` independent pipelines.
@@ -335,13 +352,15 @@ impl<'m> EngineBuilder<'m> {
         let compiled = compile_with(self.model, &self.compile_options())?;
         let shards = (0..n_shards)
             .map(|_| {
-                Engine::from_parts(
+                let mut engine = Engine::from_parts(
                     self.model.clone(),
                     compiled.program.clone(),
                     compiled.io.clone(),
                     compiled.summary.clone(),
                     self.stagger_us,
-                )
+                );
+                engine.set_burst(self.burst);
+                engine
             })
             .collect();
         Ok(ShardedEngine {
@@ -350,6 +369,8 @@ impl<'m> EngineBuilder<'m> {
             collisions_skipped: 0,
             slot_owner: HashMap::new(),
             placement: Vec::new(),
+            pool: None,
+            pin_hook: None,
         })
     }
 }
@@ -442,6 +463,10 @@ pub struct Engine {
     swaps: u64,
     /// Staging generation: total models ever staged (swapped or not).
     generation: u64,
+    /// Wave outcomes of engine-initiated flushes ([`Engine::swap_staged`]
+    /// quiescing an open wave) — merged into the next
+    /// [`Engine::stream_report`] so no packet's disposition is lost.
+    carry_stats: WaveStats,
 }
 
 impl Engine {
@@ -474,6 +499,7 @@ impl Engine {
             tap: None,
             swaps: 0,
             generation: 0,
+            carry_stats: WaveStats::default(),
         }
     }
 
@@ -568,36 +594,86 @@ impl Engine {
         Ok(self.pipeline.process_packet(frame, ts_us, &fields)?)
     }
 
+    /// Reconfigures the wave capacity of the batch hot path: up to
+    /// `burst` packets accumulate in the pipeline's preallocated arena
+    /// and execute **stage-major** (the compiled plan walked once per
+    /// wave) instead of packet-major; `burst == 1` is scalar execution.
+    ///
+    /// Safe at any burst for compiled SpliDT programs: every
+    /// packet-dependent register index the compiler emits derives from
+    /// `HashFlow { salt: 0 }` over the canonical flow slot, and the
+    /// conflict domain passed to the pipeline is exactly `flow_slots` —
+    /// so two packets share a wave only when their register state is
+    /// fully disjoint, and same-slot packets serialize in arrival order
+    /// (see `Pipeline::set_burst` for the full contract).
+    pub fn set_burst(&mut self, burst: usize) {
+        self.pipeline.set_burst(burst, self.io.flow_slots);
+    }
+
+    /// The configured wave capacity (1 = scalar).
+    pub fn burst(&self) -> usize {
+        self.pipeline.burst()
+    }
+
+    /// Streams one frame into the open wave (parse + conflict check;
+    /// execution happens when the wave fills, cuts, or flushes). Returns
+    /// `false` for malformed frames, which are metered and skipped.
+    /// Dispositions accumulate into `stats` as waves retire; callers
+    /// finish with [`Engine::stream_report`] (or at least
+    /// [`Engine::stream_flush`]) before reading session state.
+    pub fn stream_push(&mut self, frame: &[u8], ts_us: u64, stats: &mut WaveStats) -> bool {
+        let fields = self.io.fields;
+        self.pipeline.wave_push(frame, ts_us, &fields, stats).is_ok()
+    }
+
+    /// Runs whatever the open wave holds, leaving the pipeline quiesced.
+    pub fn stream_flush(&mut self, stats: &mut WaveStats) {
+        let fields = self.io.fields;
+        self.pipeline.wave_flush(&fields, stats);
+    }
+
+    /// Finishes a streamed batch: flushes the open wave, folds in any
+    /// engine-initiated flushes ([`Engine::swap_staged`] mid-stream),
+    /// drains + collates digests, and assembles the [`BatchReport`].
+    /// `malformed` is the caller's count of [`Engine::stream_push`]
+    /// rejects for this batch.
+    pub fn stream_report(&mut self, mut stats: WaveStats, malformed: u64) -> BatchReport {
+        self.stream_flush(&mut stats);
+        stats.merge(&std::mem::take(&mut self.carry_stats));
+        BatchReport {
+            packets: stats.packets,
+            drops: stats.drops,
+            resubmit_limited: stats.resubmit_limited,
+            malformed,
+            digests: self.drain_digests(),
+        }
+    }
+
     /// Pushes a whole batch of `(frame, ts_us)` pairs through the
-    /// pipeline's allocation-free path, amortizing per-packet dispatch:
-    /// dispositions are tallied instead of returned one-by-one, and
-    /// digests are drained (and collated for scoring) **once per batch**
-    /// rather than per packet. Malformed frames are skipped and counted
-    /// ([`BatchReport::malformed`]) — an untrusted wire source must not be
-    /// able to abort a batch mid-way.
+    /// pipeline's allocation-free **burst** path (see
+    /// [`Engine::set_burst`]): frames accumulate into waves of up to the
+    /// configured burst and execute stage-major, dispositions are
+    /// tallied instead of returned one-by-one, and digests are drained
+    /// (and collated for scoring) **once per batch** rather than per
+    /// packet. Malformed frames are skipped and counted
+    /// ([`BatchReport::malformed`]) — an untrusted wire source must not
+    /// be able to abort a batch mid-way. The wave is always flushed
+    /// before returning, so session state (meters, registers, lifecycle,
+    /// digests) is final when the report lands — observationally
+    /// identical to scalar per-frame ingest at any burst.
     pub fn ingest_batch<'a, I>(&mut self, frames: I) -> Result<BatchReport, SplidtError>
     where
         I: IntoIterator<Item = (&'a [u8], u64)>,
     {
         let fields = self.io.fields;
-        let mut report = BatchReport::default();
+        let mut stats = WaveStats::default();
+        let mut malformed = 0u64;
         for (frame, ts_us) in frames {
-            let out = match self.pipeline.process_frame(frame, ts_us, &fields) {
-                Ok(out) => out,
-                Err(_) => {
-                    report.malformed += 1;
-                    continue;
-                }
-            };
-            report.packets += 1;
-            match out.disposition {
-                Disposition::Drop => report.drops += 1,
-                Disposition::ResubmitLimit => report.resubmit_limited += 1,
-                Disposition::Forward => {}
+            if self.pipeline.wave_push(frame, ts_us, &fields, &mut stats).is_err() {
+                malformed += 1;
             }
         }
-        report.digests = self.drain_digests();
-        Ok(report)
+        Ok(self.stream_report(stats, malformed))
     }
 
     /// Feeds every packet of every admitted-but-not-yet-fed flow, merged
@@ -719,6 +795,13 @@ impl Engine {
             .handle
             .join()
             .map_err(|_| SplidtError::Config("staged model compile thread panicked".into()))??;
+        // Quiesce the burst path (drain-then-flip): any wave the caller
+        // left open via `stream_push` executes to completion under the
+        // OLD program, its dispositions parked in `carry_stats` for the
+        // next `stream_report`. The swap below then starts from an empty
+        // arena — no packet ever straddles two programs.
+        let fields = self.io.fields;
+        self.pipeline.wave_flush(&fields, &mut self.carry_stats);
         let carry = [(self.io.lifecycle_table, compiled.io.lifecycle_table)];
         self.pipeline.swap_program(compiled.program, &carry);
         self.model = staged.model;
@@ -942,6 +1025,14 @@ impl Engine {
     /// attached tap (observations *and* registrations) — a reset engine
     /// must behave bit-for-bit like a fresh one.
     pub fn reset(&mut self) {
+        // Quiesce the burst path first: an open wave executes to
+        // completion (drain-then-flip), then the wipe below discards its
+        // outcomes with the rest of the session — so reset never leaves
+        // half-executed packets parked in the arena.
+        let fields = self.io.fields;
+        let mut discard = WaveStats::default();
+        self.pipeline.wave_flush(&fields, &mut discard);
+        self.carry_stats = WaveStats::default();
         self.pipeline.reset_state();
         self.admitted.clear();
         self.fed = 0;
@@ -975,6 +1066,14 @@ pub struct ShardedEngine {
     /// Shard of each admitted flow, in global admission order — persistent
     /// so repeated `run` calls merge cumulative shard reports correctly.
     placement: Vec<usize>,
+    /// Persistent shard workers (one thread per shard), built lazily by
+    /// the first [`ShardedEngine::ingest_batch`] and kept alive across
+    /// batches — no per-batch thread spawn. Rebuilt if a batch carries a
+    /// frame longer than the pool's ring slots; dropped by `reset`.
+    pool: Option<WorkerPool>,
+    /// Optional core-pinning hook applied to each worker thread at
+    /// startup (takes effect when the pool is next (re)built).
+    pin_hook: Option<PinHook>,
 }
 
 impl ShardedEngine {
@@ -1023,12 +1122,48 @@ impl ShardedEngine {
         Ok(flow_index(sip, dip, sp, dp, t.proto, self.flow_slots) % self.shards.len())
     }
 
+    /// Installs a core-pinning hook: invoked with the worker (shard)
+    /// index on each worker thread at startup. Takes effect when the
+    /// worker pool is next (re)built — call before the first
+    /// [`ShardedEngine::ingest_batch`] (or after a `reset`, which drops
+    /// the pool) to pin the whole fleet.
+    pub fn set_pin_hook(&mut self, hook: PinHook) {
+        self.pin_hook = Some(hook);
+        // Force a rebuild so the hook applies to the next batch's workers.
+        self.pool = None;
+    }
+
+    /// The persistent worker pool sized for this batch: built on first
+    /// use, kept across batches, rebuilt only if the shard count changed
+    /// (it cannot today) or a frame outgrows the ring slots.
+    fn ensure_pool(&mut self, max_frame: usize) -> &mut WorkerPool {
+        let rebuild = match &self.pool {
+            Some(p) => p.len() != self.shards.len() || p.max_frame() < max_frame,
+            None => true,
+        };
+        if rebuild {
+            // Headroom so a slightly longer frame next batch doesn't force
+            // another teardown; floor keeps tiny test frames from building
+            // toy rings.
+            let slot = max_frame.max(2048).next_power_of_two();
+            self.pool = Some(WorkerPool::new(self.shards.len(), slot, self.pin_hook.as_ref()));
+        }
+        self.pool.as_mut().expect("pool just ensured")
+    }
+
     /// Batch ingest across shards: frames are routed by canonical flow
     /// hash (agreeing with the single-shard engine flow-for-flow), each
-    /// shard drains its sub-batch on its own OS thread over the
-    /// allocation-free pipeline path, and the per-shard [`BatchReport`]s
-    /// are merged in shard order. Digests are drained once per shard per
-    /// batch — not once per packet.
+    /// shard's sub-batch is streamed over an SPSC ring to that shard's
+    /// **persistent worker thread** (spawned once, reused every batch),
+    /// and the per-shard [`BatchReport`]s are merged in shard order.
+    /// Digests are drained once per shard per batch — not once per
+    /// packet — and each shard runs the burst-mode wave executor.
+    ///
+    /// Frames the steering peek rejects are counted into the merged
+    /// report's `malformed` **at dispatch** and never enqueued — the
+    /// shard-side parser therefore rejects nothing, which the merge
+    /// asserts (reconciliation: dispatcher rejects + shard rejects must
+    /// equal total rejects, and the latter term is structurally zero).
     ///
     /// Frames are **borrowed** (`F: AsRef<[u8]>`), so callers batch
     /// `&[u8]` slices, `Vec<u8>`s or `Bytes` alike without allocating an
@@ -1039,36 +1174,51 @@ impl ShardedEngine {
     ) -> Result<BatchReport, SplidtError> {
         let n = self.shards.len();
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, (frame, _)) in frames.iter().enumerate() {
-            // A frame the steering peek rejects would previously abort the
-            // whole batch. Route it to shard 0 instead: the shard's own
-            // parser performs the identical header walk, re-rejects it, and
-            // counts it in that shard's `BatchReport::malformed` and
-            // `Meters::malformed` — so pre-dispatch rejects are accounted,
-            // not lost, and ingress reconciliation stays exact.
-            let shard = self.shard_of_frame(frame.as_ref()).unwrap_or(0);
-            buckets[shard].push(i);
-        }
-        let mut results: Vec<Option<Result<BatchReport, SplidtError>>> =
-            (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (idx, (shard, bucket)) in self.shards.iter_mut().zip(&buckets).enumerate() {
-                handles.push(s.spawn(move || {
-                    let fed = shard
-                        .ingest_batch(bucket.iter().map(|&i| (frames[i].0.as_ref(), frames[i].1)));
-                    (idx, fed)
-                }));
-            }
-            for h in handles {
-                let (idx, r) = h.join().expect("shard worker panicked");
-                results[idx] = Some(r);
-            }
-        });
         let mut merged = BatchReport::default();
-        for r in results {
-            merged.merge(r.expect("all shards joined")?);
+        let mut max_frame = 0usize;
+        for (i, (frame, _)) in frames.iter().enumerate() {
+            match self.shard_of_frame(frame.as_ref()) {
+                Ok(shard) => {
+                    max_frame = max_frame.max(frame.as_ref().len());
+                    buckets[shard].push(i);
+                }
+                // The steering peek walks the same headers as the shard
+                // parser, so a reject here is exactly a parse reject:
+                // count it at dispatch instead of burning a shard slot
+                // (the old path routed these to shard 0 just to have its
+                // parser re-reject them).
+                Err(_) => merged.malformed += 1,
+            }
         }
+        self.ensure_pool(max_frame);
+        // Borrow-split: lift the pool out of its Option for the batch so
+        // the worker channels and the shard engines are borrowed from
+        // disjoint places (it goes back before we return).
+        let mut pool = self.pool.take().expect("ensure_pool populated it");
+        // Open a batch on every worker, then feed the buckets. The rings
+        // are deep enough that the fan-out loop rarely waits; workers
+        // drain concurrently while we are still pushing.
+        for (w, shard) in self.shards.iter_mut().enumerate() {
+            pool.begin_batch(w, shard as *mut Engine);
+        }
+        for (w, bucket) in buckets.iter().enumerate() {
+            for &i in bucket {
+                pool.push(w, frames[i].0.as_ref(), frames[i].1);
+            }
+            pool.end_batch(w);
+        }
+        // Blocking on every report before returning is what makes the
+        // raw-pointer hand-off sound (see `crate::workers`): no engine
+        // borrow survives this method.
+        for w in 0..n {
+            let report = pool.collect(w);
+            debug_assert_eq!(
+                report.malformed, 0,
+                "dispatcher pre-filters malformed frames; shard {w} re-rejected some"
+            );
+            merged.merge(report);
+        }
+        self.pool = Some(pool);
         Ok(merged)
     }
 
@@ -1194,8 +1344,11 @@ impl ShardedEngine {
         })
     }
 
-    /// Resets every shard (keeps compiled programs).
+    /// Resets every shard (keeps compiled programs). Also shuts down the
+    /// persistent worker threads (drained and joined — no batch can be in
+    /// flight under `&mut self`); the next `ingest_batch` rebuilds them.
     pub fn reset(&mut self) {
+        self.pool = None;
         for s in &mut self.shards {
             s.reset();
         }

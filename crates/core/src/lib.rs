@@ -29,10 +29,12 @@ pub mod error;
 pub mod model;
 pub mod recirc;
 pub mod resources;
+pub mod ring;
 pub mod runtime;
 pub mod stream;
 pub mod train;
 pub mod ttd;
+pub mod workers;
 
 /// Default feature precision (bits) — re-exported for configs.
 pub const FEATURE_BITS_DEFAULT: u8 = splidt_flow::FEATURE_BITS;
@@ -44,6 +46,7 @@ pub use compile::{
 pub use config::SplidtConfig;
 pub use engine::{
     BatchReport, Classifier, Engine, EngineBuilder, ShardedEngine, Trainable, Verdict,
+    DEFAULT_BURST,
 };
 pub use error::SplidtError;
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
@@ -54,3 +57,4 @@ pub use runtime::{
 };
 pub use stream::{DigestTap, DigestTapStats, StreamingTrainer, StreamingTrainerParams};
 pub use train::{evaluate_partitioned, train_partitioned};
+pub use workers::PinHook;

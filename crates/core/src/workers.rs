@@ -1,0 +1,228 @@
+//! Persistent shard workers: long-lived OS threads that drain frame
+//! batches into shard engines, replacing the per-batch `thread::scope`
+//! spawn `ShardedEngine::ingest_batch` used to pay.
+//!
+//! ## Protocol (one dispatcher, one worker per shard)
+//!
+//! ```text
+//!   dispatcher                         worker w
+//!   ──────────                         ────────
+//!   cmd.send(Batch(&mut shard[w]))  ─▶ recv: borrow the engine
+//!   ring.push(frame)* (spin if full)─▶ stream_push into the wave arena
+//!   ring.push(EMPTY marker)         ─▶ marker: flush waves, drain digests
+//!   report.recv()                   ◀─ send BatchReport; drop the borrow
+//! ```
+//!
+//! * Frames travel over the same bounded SPSC [`crate::ring`] the network
+//!   ingress service uses; the dispatcher spins (never drops) on a full
+//!   ring because batch dispatch is lossless by contract.
+//! * A **zero-length frame is the batch-end marker**. The dispatcher
+//!   never enqueues caller frames the steering peek rejected (it
+//!   pre-counts them malformed), and a valid frame is never empty, so
+//!   the marker is unambiguous.
+//! * Between batches a worker blocks on its command channel — zero CPU
+//!   while idle, no thread spawn per batch.
+//!
+//! ## Why the raw pointer is sound
+//!
+//! `EngineSlot` carries `*mut Engine` across the channel, erasing the
+//! borrow lifetime exactly like a scoped thread pool does. The
+//! dispatcher (`ShardedEngine::ingest_batch`) creates one `&mut` per
+//! shard per batch, sends it, and **blocks on every worker's report
+//! before returning** — so the borrow never outlives the `&mut self`
+//! call that produced it, and no two live references to one engine ever
+//! exist (the worker sends its report only after its last engine
+//! access). Workers never touch an engine outside a
+//! `Batch`-command/report window.
+
+use crate::engine::{BatchReport, Engine};
+use crate::ring::{ring, Consumer, Producer, PushError};
+use splidt_dataplane::pipeline::WaveStats;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Optional core-pinning hook: invoked once on each worker thread right
+/// after it starts, with the worker (shard) index. The hook runs on the
+/// worker thread itself, so an OS-specific affinity call pins the
+/// calling thread; the default is no pinning (the shims have no libc
+/// binding, and correctness never depends on placement).
+pub type PinHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Ring slots per worker. Batches larger than this still dispatch
+/// losslessly — the dispatcher spins while the worker drains.
+const WORKER_RING_SLOTS: usize = 1024;
+
+/// A `*mut Engine` that may cross the command channel. See the module
+/// docs for the aliasing argument; construction is confined to
+/// `ShardedEngine::ingest_batch`.
+pub(crate) struct EngineSlot(pub(crate) *mut Engine);
+
+// SAFETY: the pointer is only dereferenced by the one worker the
+// dispatcher sent it to, strictly between receiving the Batch command
+// and sending the batch's report, while the dispatcher blocks inside
+// the `&mut self` method that created it (see module docs).
+unsafe impl Send for EngineSlot {}
+
+enum Command {
+    /// Process one batch from the frame ring (ends at the empty-frame
+    /// marker) against this engine, then send a [`BatchReport`].
+    Batch(EngineSlot),
+}
+
+struct Worker {
+    frames: Producer,
+    cmd: mpsc::Sender<Command>,
+    report: mpsc::Receiver<BatchReport>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A fixed set of persistent shard workers (one per shard) plus the
+/// dispatcher-side ends of their channels. Dropping the pool shuts the
+/// workers down (command channels disconnect) and joins every thread.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+    /// Ring slot size the pool was built with; batches carrying longer
+    /// frames force a rebuild (`ShardedEngine::ensure_pool`).
+    max_frame: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers with `max_frame`-byte ring slots, invoking
+    /// `pin` (worker index) on each thread at startup.
+    pub(crate) fn new(n: usize, max_frame: usize, pin: Option<&PinHook>) -> Self {
+        let workers = (0..n)
+            .map(|w| {
+                let (tx, rx) = ring(WORKER_RING_SLOTS, max_frame);
+                let (cmd_tx, cmd_rx) = mpsc::channel();
+                let (rep_tx, rep_rx) = mpsc::channel();
+                let pin = pin.cloned();
+                let join = std::thread::Builder::new()
+                    .name(format!("splidt-shard-{w}"))
+                    .spawn(move || {
+                        if let Some(pin) = pin {
+                            pin(w);
+                        }
+                        worker_loop(rx, cmd_rx, rep_tx);
+                    })
+                    .expect("spawn shard worker");
+                Worker { frames: tx, cmd: cmd_tx, report: rep_rx, join: Some(join) }
+            })
+            .collect();
+        Self { workers, max_frame }
+    }
+
+    /// Worker count.
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Ring slot size.
+    pub(crate) fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// Opens a batch on worker `w` against `engine`. The caller must
+    /// follow with [`WorkerPool::push`]* / [`WorkerPool::end_batch`] and
+    /// then block on [`WorkerPool::collect`] before `engine`'s borrow
+    /// expires (see `EngineSlot`).
+    pub(crate) fn begin_batch(&mut self, w: usize, engine: *mut Engine) {
+        self.workers[w].cmd.send(Command::Batch(EngineSlot(engine))).expect("worker alive");
+    }
+
+    /// Queues one frame for worker `w`'s open batch. Lossless: spins
+    /// (yielding) while the ring is full — the worker is draining it
+    /// concurrently. `frame` must be non-empty and at most `max_frame`
+    /// bytes (the dispatcher pre-filters both).
+    pub(crate) fn push(&mut self, w: usize, frame: &[u8], ts_us: u64) {
+        debug_assert!(!frame.is_empty(), "empty frames are reserved for the batch marker");
+        loop {
+            match self.workers[w].frames.try_push(frame, ts_us) {
+                Ok(()) => return,
+                Err(PushError::Full) => std::thread::yield_now(),
+                Err(PushError::TooLong) => {
+                    unreachable!("ensure_pool sizes ring slots to the batch's longest frame")
+                }
+            }
+        }
+    }
+
+    /// Ends worker `w`'s open batch (pushes the empty-frame marker).
+    pub(crate) fn end_batch(&mut self, w: usize) {
+        loop {
+            match self.workers[w].frames.try_push(&[], 0) {
+                Ok(()) => return,
+                Err(PushError::Full) => std::thread::yield_now(),
+                Err(PushError::TooLong) => unreachable!("marker is empty"),
+            }
+        }
+    }
+
+    /// Blocks until worker `w` finishes its open batch and returns the
+    /// batch's report (releasing the engine borrow).
+    pub(crate) fn collect(&mut self, w: usize) -> BatchReport {
+        self.workers[w].report.recv().expect("worker alive until pool drop")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Disconnect the command channel: the worker's blocking recv
+            // returns Err and the thread exits. No batch can be open here
+            // (every begin_batch is matched by a blocking collect).
+            let (dead_tx, _) = mpsc::channel();
+            w.cmd = dead_tx;
+            w.frames.close();
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.join.take() {
+                h.join().expect("shard worker panicked");
+            }
+        }
+    }
+}
+
+/// One worker's run loop: block for a batch command, drain the frame
+/// ring through the engine's burst stream API until the empty-frame
+/// marker, then report.
+fn worker_loop(
+    mut frames: Consumer,
+    cmd: mpsc::Receiver<Command>,
+    report: mpsc::Sender<BatchReport>,
+) {
+    while let Ok(Command::Batch(slot)) = cmd.recv() {
+        // SAFETY: see `EngineSlot` — the dispatcher blocks in
+        // `ingest_batch` until our report lands, and sent this engine to
+        // this worker only.
+        let engine = unsafe { &mut *slot.0 };
+        let mut stats = WaveStats::default();
+        let mut malformed = 0u64;
+        'batch: loop {
+            let avail = frames.readable();
+            if avail == 0 {
+                std::thread::yield_now();
+                continue;
+            }
+            let mut taken = 0;
+            for i in 0..avail {
+                let (frame, ts_us) = frames.peek(i);
+                if frame.is_empty() {
+                    taken = i + 1;
+                    frames.advance(taken);
+                    break 'batch;
+                }
+                if !engine.stream_push(frame, ts_us, &mut stats) {
+                    malformed += 1;
+                }
+                taken = i + 1;
+            }
+            frames.advance(taken);
+        }
+        let out = engine.stream_report(stats, malformed);
+        // The dispatcher may have vanished mid-shutdown only after every
+        // collect returned, so a send failure here is unreachable in
+        // practice; ignore it rather than poison the worker.
+        let _ = report.send(out);
+    }
+}

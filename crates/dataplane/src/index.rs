@@ -53,8 +53,13 @@ const NONE: u32 = u32::MAX;
 
 /// Ternary tables below this entry count skip the bucketed-bitmap
 /// prefilter: a rank-ordered early-exit scan already beats the filter's
-/// per-field hash + word intersection at small n.
-pub const TERNARY_FILTER_MIN: usize = 64;
+/// per-field hash + word intersection at very small n. Above it the
+/// filter pays for itself fastest on **misses** — compiled SpliDT
+/// programs are full of state-gated tables (window boundary, partition
+/// id) that miss for the vast majority of packets, and the filter turns
+/// each of those misses from a full rank × field scan into a couple of
+/// hash probes that zero the candidate word.
+pub const TERNARY_FILTER_MIN: usize = 4;
 
 /// Multi-field range tables below this entry count use a rank-ordered
 /// early-exit scan instead of per-field interval bitmasks, for the same
@@ -347,6 +352,30 @@ impl TernaryIndex {
         if self.filters.is_empty() {
             // Small table: rank-ordered scan, first match wins.
             for rank in 0..n {
+                if self.verify(rank, key) {
+                    return Some(self.entry_of[rank] as usize);
+                }
+            }
+            return None;
+        }
+        if self.words == 1 {
+            // ≤ 64 entries: the candidate set is one machine word on the
+            // stack, and a zeroed word exits before the remaining filters
+            // — the common case for state-gated tables most packets miss.
+            let mut cand = self.full[0];
+            for f in &self.filters {
+                let masked = key[f.field] & f.mask;
+                cand &= match f.buckets.get(&masked) {
+                    Some(&off) => f.always_on[0] | f.bucket_masks[off as usize],
+                    None => f.always_on[0],
+                };
+                if cand == 0 {
+                    return None;
+                }
+            }
+            while cand != 0 {
+                let rank = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
                 if self.verify(rank, key) {
                     return Some(self.entry_of[rank] as usize);
                 }

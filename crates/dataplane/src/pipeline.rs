@@ -137,6 +137,18 @@ impl DigestBuf {
         self.values.extend(values);
         debug_assert_eq!(self.values.len(), self.ts.len() * self.stride);
     }
+
+    /// Moves every record of `other` to the end of this buffer, leaving
+    /// `other` empty (warm capacity kept on both sides). Allocation-free
+    /// once capacities are warm — the wave executor uses this to flush
+    /// per-packet staging buffers into the pipeline ring in arrival
+    /// order.
+    pub(crate) fn append_from(&mut self, other: &mut DigestBuf) {
+        debug_assert_eq!(self.stride, other.stride, "digest strides must match");
+        self.ts.extend_from_slice(&other.ts);
+        self.values.extend_from_slice(&other.values);
+        other.clear();
+    }
 }
 
 /// Aggregate pipeline meters.
@@ -197,6 +209,154 @@ pub struct FrameOutcome {
     pub passes: u32,
 }
 
+/// Aggregate outcomes of burst (wave) execution, accumulated across
+/// [`Pipeline::wave_push`] / [`Pipeline::wave_flush`] calls. The wave
+/// path reports dispositions in aggregate (it retires whole waves, not
+/// single packets), so the per-packet [`FrameOutcome`] has no burst
+/// analogue — callers that need per-packet dispositions use the scalar
+/// path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveStats {
+    /// Parsed frames whose wave has completed (malformed frames never
+    /// enter a wave and are counted only in [`Meters::malformed`]).
+    pub packets: u64,
+    /// Packets dropped by an action.
+    pub drops: u64,
+    /// Packets that hit the resubmit safety limit.
+    pub resubmit_limited: u64,
+}
+
+impl WaveStats {
+    /// Accumulates another stats set into this one.
+    pub fn merge(&mut self, other: &WaveStats) {
+        self.packets += other.packets;
+        self.drops += other.drops;
+        self.resubmit_limited += other.resubmit_limited;
+    }
+}
+
+/// One packet slot in the wave arena: its parsed PHV, staged digests,
+/// and per-pass resubmission bookkeeping.
+#[derive(Debug)]
+struct WavePacket {
+    /// Parsed headers + metadata (reused across waves; never freed).
+    phv: Phv,
+    /// Digests this packet emitted, staged per-packet so the pipeline
+    /// ring can be filled in arrival order at wave end.
+    digests: DigestBuf,
+    /// Ingress timestamp of the packet.
+    ts_us: u64,
+    /// Conflict key (canonical flow slot under `conflict_slots`): two
+    /// packets with equal keys never share a wave.
+    key: u64,
+    /// Passes taken so far (resubmission counter).
+    passes: u32,
+    /// Still executing (not yet forwarded/dropped/limited).
+    live: bool,
+    /// Resubmit requested in the current pass.
+    resubmit: bool,
+    /// Drop requested in the current pass.
+    drop: bool,
+}
+
+/// One resolved lookup in the per-slot lookup scratch.
+#[derive(Debug, Clone, Copy)]
+struct WaveLookup {
+    /// Wave arena index of the packet.
+    pkt: u32,
+    /// Hit entry index, or `u32::MAX` for a miss.
+    entry: u32,
+    /// The interned action to execute.
+    aid: crate::plan::ActionId,
+}
+
+/// The preallocated wave arena: `burst + 1` packet slots (the extra slot
+/// lets [`Pipeline::wave_push`] parse the incoming frame before deciding
+/// whether it cuts the wave) plus the per-slot lookup scratch.
+#[derive(Debug)]
+struct WaveScratch {
+    pkts: Vec<WavePacket>,
+    /// Packets currently accumulated (wave occupancy, not arena size).
+    len: usize,
+    /// Max packets per wave.
+    burst: usize,
+    /// Modulus of the conflict-key domain (see [`Pipeline::set_burst`]).
+    conflict_slots: usize,
+    /// Reusable per-slot lookup results (lookup phase → exec phase).
+    lookups: Vec<WaveLookup>,
+    /// Register arrays spanning the conflict-key domain (per-flow state):
+    /// the arrays worth prefetching when a packet's conflict key is known.
+    flow_regs: Vec<u32>,
+}
+
+/// Builds a wave arena for `program`/`plan`. Programs without the
+/// standard flow fields (no [`ExecPlan::hash_flow`]) cannot compute
+/// conflict keys, so their burst is forced to 1 — singleton waves are
+/// trivially scalar-equivalent.
+fn new_wave(
+    program: &Program,
+    plan: &ExecPlan,
+    burst: usize,
+    conflict_slots: usize,
+) -> WaveScratch {
+    let burst = if plan.hash_flow().is_some() { burst.max(1) } else { 1 };
+    let stride = program.digest_fields().len();
+    let pkts = (0..burst + 1)
+        .map(|_| WavePacket {
+            phv: program.layout().new_phv(),
+            digests: DigestBuf::with_stride(stride),
+            ts_us: 0,
+            key: 0,
+            passes: 0,
+            live: false,
+            resubmit: false,
+            drop: false,
+        })
+        .collect();
+    // Prefetch candidates are the arrays spanning the conflict-key
+    // domain (per-flow state): a packet's cells in them sit at its
+    // conflict key, known at push time. Ownership-path arrays
+    // (referenced by an OwnerUpdate) come first — every packet reads its
+    // owner lane in its first pass, so those lines are guaranteed
+    // useful, while feature arrays are touched only by live, undecided
+    // flows. The list is capped: a wave's worth of prefetches already
+    // crowds the CPU's handful of line-fill buffers, and issuing a dozen
+    // per packet measures no better than the best-ranked few.
+    const PREFETCH_REGS: usize = 4;
+    let mut flow_regs: Vec<u32> = plan
+        .actions()
+        .iter()
+        .flat_map(|a| a.prims.iter())
+        .filter_map(|p| match p {
+            Primitive::OwnerUpdate { reg, .. } => Some(reg.index() as u32),
+            _ => None,
+        })
+        .filter(|&r| program.registers()[r as usize].len == conflict_slots)
+        .fold(Vec::new(), |mut acc, r| {
+            if !acc.contains(&r) {
+                acc.push(r);
+            }
+            acc
+        });
+    for (i, spec) in program.registers().iter().enumerate() {
+        if flow_regs.len() >= PREFETCH_REGS {
+            break;
+        }
+        if spec.len == conflict_slots && !flow_regs.contains(&(i as u32)) {
+            flow_regs.push(i as u32);
+        }
+    }
+    flow_regs.truncate(PREFETCH_REGS);
+    WaveScratch {
+        pkts,
+        len: 0,
+        burst,
+        conflict_slots: conflict_slots.max(1),
+        lookups: Vec::with_capacity(burst + 1),
+        flow_regs,
+    }
+}
+
 /// Which interpreter executes a pass (plan-driven vs the reference).
 #[derive(Debug, Clone, Copy)]
 enum ExecMode {
@@ -223,6 +383,8 @@ pub struct Pipeline {
     mask_scratch: Vec<u64>,
     /// Reusable PHV for the frame batch path.
     phv_scratch: Phv,
+    /// Preallocated wave arena for burst (stage-major) execution.
+    wave: WaveScratch,
 }
 
 impl Pipeline {
@@ -236,6 +398,7 @@ impl Pipeline {
         let mask_scratch = Vec::with_capacity(plan.max_mask_words());
         let phv_scratch = program.layout().new_phv();
         let digests = DigestBuf::with_stride(program.digest_fields().len());
+        let wave = new_wave(&program, &plan, 1, 1);
         Self {
             program,
             plan,
@@ -245,6 +408,7 @@ impl Pipeline {
             key_scratch,
             mask_scratch,
             phv_scratch,
+            wave,
         }
     }
 
@@ -259,6 +423,7 @@ impl Pipeline {
         key: EntryKey,
         action: Action,
     ) -> Result<(), TableError> {
+        assert_eq!(self.wave.len, 0, "install_entry with a wave in flight; wave_flush first");
         self.program.tables_mut()[table.index()].install(key, action)?;
         self.plan = ExecPlan::build(&self.program);
         self.key_scratch = Vec::with_capacity(self.plan.max_key_fields());
@@ -291,6 +456,7 @@ impl Pipeline {
     /// from the new program — a control-plane cost (same as
     /// [`Pipeline::install_entry`]), never a per-packet one.
     pub fn swap_program(&mut self, mut program: Program, carry_tables: &[(TableId, TableId)]) {
+        assert_eq!(self.wave.len, 0, "swap_program with a wave in flight; wave_flush first");
         assert_eq!(
             program.digest_fields().len(),
             self.digests.stride(),
@@ -317,6 +483,9 @@ impl Pipeline {
         self.key_scratch = Vec::with_capacity(self.plan.max_key_fields());
         self.mask_scratch = Vec::with_capacity(self.plan.max_mask_words());
         self.phv_scratch = self.program.layout().new_phv();
+        // The arena's PHVs follow the new program's layout; the burst
+        // configuration survives the flip.
+        self.wave = new_wave(&self.program, &self.plan, self.wave.burst, self.wave.conflict_slots);
     }
 
     /// The program being executed.
@@ -380,6 +549,12 @@ impl Pipeline {
         }
         self.digests.clear();
         self.meters = Meters::default();
+        // Any accumulated (unflushed) wave packets are discarded with the
+        // rest of the session; the warm arena is kept.
+        self.wave.len = 0;
+        for pkt in &mut self.wave.pkts {
+            pkt.digests.clear();
+        }
     }
 
     /// Parses a frame and processes it at time `ts_us`, returning the final
@@ -433,6 +608,249 @@ impl Pipeline {
         let (disposition, passes) = self.run_inplace(&mut phv, ts_us, Some(fields), ExecMode::Plan);
         self.phv_scratch = phv;
         Ok(FrameOutcome { disposition, passes })
+    }
+
+    /// Configures burst (wave) execution for the frame path: up to
+    /// `burst` packets accumulate in a preallocated arena and execute
+    /// **stage-major** — the compiled plan is walked once per wave, each
+    /// slot's table spec and match index hoisted out of a tight
+    /// per-packet loop — instead of packet-major. `burst == 1` (the
+    /// construction default) degenerates to scalar execution through the
+    /// same machinery.
+    ///
+    /// ## Caller contract (what makes a wave safe)
+    ///
+    /// Two packets share a wave only if their **conflict keys** differ:
+    /// the canonical-flow-tuple index under `conflict_slots`
+    /// (`flow_index(canonical 5-tuple) % conflict_slots`). Stage-major
+    /// execution reorders work *between* packets of a wave, so the
+    /// caller must guarantee that packets with distinct conflict keys
+    /// touch **disjoint register state**. That holds whenever every
+    /// packet-dependent register index in the program derives from
+    /// `HashFlow { salt: 0, mask }` with `conflict_slots` dividing
+    /// `mask + 1` (both powers of two): keys that differ under the
+    /// smaller modulus differ under every multiple of it, so same-wave
+    /// packets can never alias a register slot. SpliDT-compiled engine
+    /// programs index all flow state by the canonical flow slot, so the
+    /// engine passes `conflict_slots = flow_slots` and the contract
+    /// holds by construction. Same-key packets (and every packet of a
+    /// program without the standard flow fields, where `burst` is forced
+    /// to 1) are serialized in arrival order across waves, so their
+    /// register read/write chains are exactly the scalar ones.
+    ///
+    /// Panics if a wave is in flight (call [`Pipeline::wave_flush`]
+    /// first).
+    pub fn set_burst(&mut self, burst: usize, conflict_slots: usize) {
+        assert_eq!(self.wave.len, 0, "set_burst with a wave in flight; wave_flush first");
+        self.wave = new_wave(&self.program, &self.plan, burst, conflict_slots);
+    }
+
+    /// The configured wave capacity (1 = scalar).
+    pub fn burst(&self) -> usize {
+        self.wave.burst
+    }
+
+    /// Packets accumulated in the open wave (0 = quiesced).
+    pub fn wave_len(&self) -> usize {
+        self.wave.len
+    }
+
+    /// Parses a frame into the wave arena, running the accumulated wave
+    /// first when it is full or when the frame's conflict key collides
+    /// with a packet already in it (the **wave cut** that keeps same-slot
+    /// packets serialized in arrival order). Malformed frames are
+    /// metered and rejected without disturbing the open wave. Callers
+    /// must [`Pipeline::wave_flush`] before observing registers, meters,
+    /// digests, or table stats — packets may be parked here un-executed.
+    ///
+    /// Zero heap allocations per packet once arena and scratch
+    /// capacities are warm (asserted by the `hotpath_smoke` burst
+    /// probe).
+    pub fn wave_push(
+        &mut self,
+        frame: &[u8],
+        ts_us: u64,
+        fields: &StandardFields,
+        stats: &mut WaveStats,
+    ) -> Result<(), ParseError> {
+        let slot = self.wave.len;
+        {
+            let pkt = &mut self.wave.pkts[slot];
+            if let Err(e) = parse_into(frame, self.program.layout(), fields, &mut pkt.phv) {
+                self.meters.malformed += 1;
+                return Err(e);
+            }
+            pkt.phv.set(fields.ts_us, ts_us);
+            pkt.ts_us = ts_us;
+        }
+        self.meters.packets += 1;
+        self.meters.bytes += frame.len() as u64;
+        let key = match self.plan.hash_flow() {
+            Some(hf) if self.wave.burst > 1 => {
+                let phv = &self.wave.pkts[slot].phv;
+                let (sip, dip, sp, dp) = crate::hash::canonical_order(
+                    phv.get(hf.src_ip) as u32,
+                    phv.get(hf.dst_ip) as u32,
+                    phv.get(hf.sport) as u16,
+                    phv.get(hf.dport) as u16,
+                );
+                let proto = phv.get(hf.proto) as u8;
+                crate::hash::flow_index(sip, dip, sp, dp, proto, self.wave.conflict_slots) as u64
+            }
+            _ => 0,
+        };
+        self.wave.pkts[slot].key = key;
+        if self.wave.burst > 1 {
+            // The packet's per-flow state cells sit at its conflict key
+            // (the canonical flow slot) in every flow-spanning register
+            // array — known right here, long before execution. Issue the
+            // loads now so they resolve in parallel while the rest of
+            // the wave accumulates (parse, hash, cut checks): by wave
+            // execution the whole burst's state misses have overlapped
+            // with the accumulation window. Packet-at-a-time execution
+            // can't do this — it learns the next packet's slot only
+            // after finishing the current one. Spreading the prefetches
+            // one packet per push also keeps them inside the CPU's
+            // handful of line-fill buffers; a full wave's worth issued
+            // at once at execution start would mostly be dropped.
+            for &r in &self.wave.flow_regs {
+                self.regs[r as usize].prefetch(key as usize);
+            }
+        }
+        let cut = slot == self.wave.burst || self.wave.pkts[..slot].iter().any(|p| p.key == key);
+        if cut {
+            self.run_wave(fields, stats);
+            self.wave.pkts.swap(0, slot);
+            self.wave.len = 1;
+        } else {
+            self.wave.len = slot + 1;
+        }
+        Ok(())
+    }
+
+    /// Runs whatever the open wave holds (possibly nothing) and leaves
+    /// the pipeline quiesced: every pushed packet fully executed, its
+    /// digests in the ring, meters and register state final.
+    pub fn wave_flush(&mut self, fields: &StandardFields, stats: &mut WaveStats) {
+        self.run_wave(fields, stats);
+    }
+
+    /// Executes the accumulated wave to completion — all passes,
+    /// including queued resubmissions, which run as **follow-up waves**
+    /// over the still-live packets before the arena is released.
+    ///
+    /// Stage-major structure per pass: for each plan slot, a *lookup
+    /// phase* resolves every live packet's action with the slot's table
+    /// spec and match index hoisted out of the loop, a *stats phase*
+    /// applies hit/miss counters under one mutable table borrow, and an
+    /// *execute phase* runs the interned actions in arrival order.
+    /// Per-packet digests are staged in per-slot buffers and flushed to
+    /// the pipeline ring in arrival order at wave end, so the global
+    /// digest stream is bit-identical to scalar execution.
+    fn run_wave(&mut self, fields: &StandardFields, stats: &mut WaveStats) {
+        let n = self.wave.len;
+        if n == 0 {
+            return;
+        }
+        let limit = self.program.resubmit_limit();
+        let Pipeline {
+            program, plan, regs, digests, meters, key_scratch, mask_scratch, wave, ..
+        } = self;
+        for pkt in &mut wave.pkts[..n] {
+            pkt.passes = 0;
+            pkt.live = true;
+        }
+        let mut live = n;
+        while live != 0 {
+            for pkt in &mut wave.pkts[..n] {
+                if pkt.live {
+                    pkt.passes += 1;
+                    meters.passes += 1;
+                    pkt.resubmit = false;
+                    pkt.drop = false;
+                }
+            }
+            for si in 0..plan.slots().len() {
+                let slot = plan.slots()[si];
+                let ti = slot.table as usize;
+                wave.lookups.clear();
+                {
+                    let keyspec = &program.tables()[ti].spec().key;
+                    let midx = plan.match_index(ti);
+                    for (i, pkt) in wave.pkts[..n].iter().enumerate() {
+                        if !pkt.live {
+                            continue;
+                        }
+                        key_scratch.clear();
+                        for &f in keyspec {
+                            key_scratch.push(pkt.phv.get(f));
+                        }
+                        let (aid, entry) = match midx.lookup(key_scratch, mask_scratch) {
+                            Some(e) => (plan.entry_action(&slot, e), e as u32),
+                            None => (slot.default_action, u32::MAX),
+                        };
+                        wave.lookups.push(WaveLookup { pkt: i as u32, entry, aid });
+                    }
+                }
+                {
+                    let t = &mut program.tables_mut()[ti];
+                    for l in &wave.lookups {
+                        match l.entry {
+                            u32::MAX => t.record_miss(),
+                            e => t.record_hit(e as usize),
+                        }
+                    }
+                }
+                for li in 0..wave.lookups.len() {
+                    let l = wave.lookups[li];
+                    let pkt = &mut wave.pkts[l.pkt as usize];
+                    let mut effects = PassEffects { resubmit: pkt.resubmit, drop: pkt.drop };
+                    exec_action(
+                        plan.action(l.aid),
+                        plan,
+                        program.layout(),
+                        program.digest_fields(),
+                        regs,
+                        &mut pkt.digests,
+                        meters,
+                        &mut pkt.phv,
+                        pkt.ts_us,
+                        &mut effects,
+                    );
+                    pkt.resubmit = effects.resubmit;
+                    pkt.drop = effects.drop;
+                }
+            }
+            for pkt in &mut wave.pkts[..n] {
+                if !pkt.live {
+                    continue;
+                }
+                if pkt.drop {
+                    meters.drops += 1;
+                    stats.drops += 1;
+                    pkt.live = false;
+                    live -= 1;
+                } else if pkt.resubmit {
+                    if pkt.passes as usize > limit {
+                        stats.resubmit_limited += 1;
+                        pkt.live = false;
+                        live -= 1;
+                    } else {
+                        meters.resubmissions += 1;
+                        meters.resubmit_bytes += pkt.phv.get(fields.frame_len).max(64);
+                        pkt.phv.set(fields.is_resubmit, 1);
+                    }
+                } else {
+                    pkt.live = false;
+                    live -= 1;
+                }
+            }
+        }
+        for pkt in &mut wave.pkts[..n] {
+            digests.append_from(&mut pkt.digests);
+        }
+        stats.packets += n as u64;
+        wave.len = 0;
     }
 
     /// Processes a pre-built PHV (no parsing; useful for unit tests and
@@ -654,24 +1072,7 @@ fn exec_action(
                 let v = resolve(*a, phv) / divisor.max(&1);
                 phv.set_masked(*dst, v, layout);
             }
-            Primitive::HashFlow { dst, mask, salt } => {
-                // Field ids pre-resolved at plan build; programs using
-                // HashFlow are built via `standard_fields()`.
-                let hf = plan.hash_flow().expect("standard fields registered");
-                let (sip, dip, sp, dp) = crate::hash::canonical_order(
-                    phv.get(hf.src_ip) as u32,
-                    phv.get(hf.dst_ip) as u32,
-                    phv.get(hf.sport) as u16,
-                    phv.get(hf.dport) as u16,
-                );
-                let proto = phv.get(hf.proto) as u8;
-                let idx = if *salt == 0 {
-                    crate::hash::flow_index(sip, dip, sp, dp, proto, (*mask as usize) + 1) as u64
-                } else {
-                    crate::hash::flow_fingerprint(sip, dip, sp, dp, proto, *salt) as u64 & *mask
-                };
-                phv.set_masked(*dst, idx, layout);
-            }
+            Primitive::HashFlow { .. } => prim_hash_flow(p, plan, layout, phv),
             Primitive::RegRmw { reg, index, op, operand, out } => {
                 let idx = resolve(*index, phv) as usize;
                 let opv = resolve(*operand, phv);
@@ -684,112 +1085,7 @@ fn exec_action(
                     phv.set_masked(*dst, v, layout);
                 }
             }
-            Primitive::OwnerUpdate {
-                reg,
-                index,
-                fp,
-                now,
-                idle_timeout_us,
-                pinned_timeout_us,
-                mode,
-                claim,
-                release,
-                pin,
-                class,
-                state_out,
-            } => {
-                use crate::action::{OwnerMode, SlotState};
-                use crate::register::owner_lane as lane;
-                let idx = resolve(*index, phv) as usize;
-                let fpv = resolve(*fp, phv) & crate::hash::FP_MASK;
-                let now32 = resolve(*now, phv) & 0xFFFF_FFFF;
-                let arr = &mut regs[reg.index()];
-                let cell = arr.read(idx);
-                let (stored_fp, decided, pinned) =
-                    (lane::fp(cell), lane::decided(cell), lane::pinned(cell));
-                let idle = |timeout: u64| {
-                    now32.wrapping_sub(lane::last_seen_us(cell)) & 0xFFFF_FFFF > timeout
-                };
-                // Claimable lanes export Unsolicited when the entry has no
-                // claim permission (the policy's non-SYN probes).
-                let gate = |s: SlotState| if *claim { s } else { SlotState::Unsolicited };
-                let state = match mode {
-                    OwnerMode::Probe => {
-                        let state = if stored_fp == fpv {
-                            if decided {
-                                // A trailing FIN/RST from the owner of an
-                                // unpinned decided lane releases it
-                                // in-band (the early-exit flow's close).
-                                if *release && !pinned {
-                                    SlotState::OwnerRelease
-                                } else {
-                                    SlotState::OwnerDecided
-                                }
-                            } else {
-                                SlotState::Owner
-                            }
-                        } else if stored_fp == 0 {
-                            gate(SlotState::ClaimFree)
-                        } else if decided && pinned {
-                            // Pinned verdicts hold their slot until the
-                            // longer pinned timeout (or operator release).
-                            if idle(*pinned_timeout_us) {
-                                gate(SlotState::TakeoverPinned)
-                            } else {
-                                SlotState::PinnedDefended
-                            }
-                        } else if decided {
-                            gate(SlotState::TakeoverDecided)
-                        } else if idle(*idle_timeout_us) {
-                            gate(SlotState::TakeoverIdle)
-                        } else {
-                            SlotState::LiveCollision
-                        };
-                        match state {
-                            // Owner traffic refreshes recency (decided
-                            // lanes keep their flags and class); claims
-                            // install the new fingerprint undecided.
-                            SlotState::Owner | SlotState::OwnerDecided => {
-                                arr.write(
-                                    idx,
-                                    lane::pack(decided, pinned, lane::class(cell), fpv, now32),
-                                );
-                            }
-                            SlotState::ClaimFree
-                            | SlotState::TakeoverIdle
-                            | SlotState::TakeoverDecided
-                            | SlotState::TakeoverPinned => {
-                                arr.write(idx, lane::pack(false, false, 0, fpv, now32));
-                            }
-                            // Suppressed packets must not corrupt the lane.
-                            SlotState::LiveCollision
-                            | SlotState::Unsolicited
-                            | SlotState::PinnedDefended => {}
-                            SlotState::OwnerRelease => arr.write(idx, lane::FREE),
-                        }
-                        state
-                    }
-                    OwnerMode::Decide => {
-                        if stored_fp == fpv {
-                            if *release && !*pin {
-                                // In-band FIN/RST release: the slot is
-                                // reclaimable before any digest drains.
-                                arr.write(idx, lane::FREE);
-                                SlotState::OwnerRelease
-                            } else {
-                                let classv = resolve(*class, phv) & lane::CLASS_MASK;
-                                arr.write(idx, lane::pack(true, *pin, classv, fpv, now32));
-                                SlotState::OwnerDecided
-                            }
-                        } else {
-                            // The lane was recycled (or released) already:
-                            // leave it alone.
-                            SlotState::OwnerDecided
-                        }
-                    }
-                };
-                phv.set_masked(*state_out, state.code(), layout);
-            }
+            Primitive::OwnerUpdate { .. } => prim_owner_update(p, regs, layout, phv),
             Primitive::Resubmit => effects.resubmit = true,
             Primitive::Digest => {
                 digests.push(ts_us, digest_fields.iter().map(|&f| phv.get(f)));
@@ -797,6 +1093,139 @@ fn exec_action(
             }
             Primitive::Drop => effects.drop = true,
         }
+    }
+}
+
+/// `HashFlow` body, shared by the scalar and wave executors.
+#[inline]
+fn prim_hash_flow(p: &Primitive, plan: &ExecPlan, layout: &PhvLayout, phv: &mut Phv) {
+    let Primitive::HashFlow { dst, mask, salt } = p else { unreachable!() };
+    // Field ids pre-resolved at plan build; programs using
+    // HashFlow are built via `standard_fields()`.
+    let hf = plan.hash_flow().expect("standard fields registered");
+    let (sip, dip, sp, dp) = crate::hash::canonical_order(
+        phv.get(hf.src_ip) as u32,
+        phv.get(hf.dst_ip) as u32,
+        phv.get(hf.sport) as u16,
+        phv.get(hf.dport) as u16,
+    );
+    let proto = phv.get(hf.proto) as u8;
+    let idx = if *salt == 0 {
+        crate::hash::flow_index(sip, dip, sp, dp, proto, (*mask as usize) + 1) as u64
+    } else {
+        crate::hash::flow_fingerprint(sip, dip, sp, dp, proto, *salt) as u64 & *mask
+    };
+    phv.set_masked(*dst, idx, layout);
+}
+
+/// `OwnerUpdate` body, shared by the scalar and wave executors.
+#[inline]
+fn prim_owner_update(p: &Primitive, regs: &mut [RegisterArray], layout: &PhvLayout, phv: &mut Phv) {
+    let Primitive::OwnerUpdate {
+        reg,
+        index,
+        fp,
+        now,
+        idle_timeout_us,
+        pinned_timeout_us,
+        mode,
+        claim,
+        release,
+        pin,
+        class,
+        state_out,
+    } = p
+    else {
+        unreachable!()
+    };
+    {
+        use crate::action::{OwnerMode, SlotState};
+        use crate::register::owner_lane as lane;
+        let idx = resolve(*index, phv) as usize;
+        let fpv = resolve(*fp, phv) & crate::hash::FP_MASK;
+        let now32 = resolve(*now, phv) & 0xFFFF_FFFF;
+        let arr = &mut regs[reg.index()];
+        let cell = arr.read(idx);
+        let (stored_fp, decided, pinned) =
+            (lane::fp(cell), lane::decided(cell), lane::pinned(cell));
+        let idle =
+            |timeout: u64| now32.wrapping_sub(lane::last_seen_us(cell)) & 0xFFFF_FFFF > timeout;
+        // Claimable lanes export Unsolicited when the entry has no
+        // claim permission (the policy's non-SYN probes).
+        let gate = |s: SlotState| if *claim { s } else { SlotState::Unsolicited };
+        let state = match mode {
+            OwnerMode::Probe => {
+                let state = if stored_fp == fpv {
+                    if decided {
+                        // A trailing FIN/RST from the owner of an
+                        // unpinned decided lane releases it
+                        // in-band (the early-exit flow's close).
+                        if *release && !pinned {
+                            SlotState::OwnerRelease
+                        } else {
+                            SlotState::OwnerDecided
+                        }
+                    } else {
+                        SlotState::Owner
+                    }
+                } else if stored_fp == 0 {
+                    gate(SlotState::ClaimFree)
+                } else if decided && pinned {
+                    // Pinned verdicts hold their slot until the
+                    // longer pinned timeout (or operator release).
+                    if idle(*pinned_timeout_us) {
+                        gate(SlotState::TakeoverPinned)
+                    } else {
+                        SlotState::PinnedDefended
+                    }
+                } else if decided {
+                    gate(SlotState::TakeoverDecided)
+                } else if idle(*idle_timeout_us) {
+                    gate(SlotState::TakeoverIdle)
+                } else {
+                    SlotState::LiveCollision
+                };
+                match state {
+                    // Owner traffic refreshes recency (decided
+                    // lanes keep their flags and class); claims
+                    // install the new fingerprint undecided.
+                    SlotState::Owner | SlotState::OwnerDecided => {
+                        arr.write(idx, lane::pack(decided, pinned, lane::class(cell), fpv, now32));
+                    }
+                    SlotState::ClaimFree
+                    | SlotState::TakeoverIdle
+                    | SlotState::TakeoverDecided
+                    | SlotState::TakeoverPinned => {
+                        arr.write(idx, lane::pack(false, false, 0, fpv, now32));
+                    }
+                    // Suppressed packets must not corrupt the lane.
+                    SlotState::LiveCollision
+                    | SlotState::Unsolicited
+                    | SlotState::PinnedDefended => {}
+                    SlotState::OwnerRelease => arr.write(idx, lane::FREE),
+                }
+                state
+            }
+            OwnerMode::Decide => {
+                if stored_fp == fpv {
+                    if *release && !*pin {
+                        // In-band FIN/RST release: the slot is
+                        // reclaimable before any digest drains.
+                        arr.write(idx, lane::FREE);
+                        SlotState::OwnerRelease
+                    } else {
+                        let classv = resolve(*class, phv) & lane::CLASS_MASK;
+                        arr.write(idx, lane::pack(true, *pin, classv, fpv, now32));
+                        SlotState::OwnerDecided
+                    }
+                } else {
+                    // The lane was recycled (or released) already:
+                    // leave it alone.
+                    SlotState::OwnerDecided
+                }
+            }
+        };
+        phv.set_masked(*state_out, state.code(), layout);
     }
 }
 
@@ -1220,6 +1649,144 @@ mod tests {
         assert_eq!(pipe.digests().len(), 2);
         assert_eq!(pipe.digests().values(1), &[1, 2]);
         assert_eq!(pipe.meters().packets, packets_before + 1);
+    }
+
+    /// Wave-test program: stage 0 hashes the canonical flow into `m_idx`
+    /// (`slots` conflict domain), stage 1 counts bytes per flow slot and
+    /// digests every TCP packet, stage 2 optionally resubmits first-pass
+    /// packets and drops flow slot 0 — covering flow state, digest
+    /// order, recirculation, and drops in one fixture.
+    fn wave_program(
+        slots: usize,
+        resubmit: bool,
+        drop_slot0: bool,
+    ) -> (Program, crate::parser::StandardFields) {
+        let mut b = ProgramBuilder::new();
+        let fields = b.standard_fields();
+        let idx = b.add_meta("m_idx", 16);
+        b.set_digest_fields(vec![idx, fields.frame_len]);
+        let r = b.add_register(RegisterSpec::new("cnt", 32, slots), 1);
+        let prep = b.add_table(TableSpec::exact("prep", vec![fields.is_resubmit], 2), 0);
+        b.set_default(
+            prep,
+            Action::new("hash").with(Primitive::HashFlow {
+                dst: idx,
+                mask: (slots - 1) as u64,
+                salt: 0,
+            }),
+        );
+        let count = b.add_table(TableSpec::exact("count", vec![fields.ip_proto], 4), 1);
+        b.add_exact_entry(
+            count,
+            vec![6],
+            Action::new("bump")
+                .with(Primitive::RegRmw {
+                    reg: r,
+                    index: Source::Field(idx),
+                    op: AluOp::Add,
+                    operand: Source::Field(fields.frame_len),
+                    out: None,
+                })
+                .with(Primitive::Digest),
+        )
+        .unwrap();
+        if resubmit {
+            let go = b.add_table(TableSpec::exact("go", vec![fields.is_resubmit], 4), 2);
+            b.add_exact_entry(go, vec![0], Action::new("resub").with(Primitive::Resubmit)).unwrap();
+            b.add_exact_entry(go, vec![1], Action::nop()).unwrap();
+        }
+        if drop_slot0 {
+            let d = b.add_table(TableSpec::exact("drop0", vec![idx], 4), 2);
+            b.add_exact_entry(d, vec![0], Action::new("drop").with(Primitive::Drop)).unwrap();
+        }
+        (b.build().unwrap(), fields)
+    }
+
+    /// Burst execution must be observationally identical to the scalar
+    /// path — meters, registers, table stats, wave dispositions, and the
+    /// **exact digest stream** — across plain, resubmit-heavy, and
+    /// dropping programs at several burst sizes (flows repeat across
+    /// rounds, so wave cuts fire constantly).
+    #[test]
+    fn wave_execution_matches_scalar() {
+        const SLOTS: usize = 8;
+        for &(resubmit, drop0, burst) in
+            &[(false, false, 4), (true, false, 8), (true, true, 32), (true, true, 1)]
+        {
+            let (p, fields) = wave_program(SLOTS, resubmit, drop0);
+            let mut scalar = Pipeline::new(p.clone());
+            let mut wave = Pipeline::new(p);
+            wave.set_burst(burst, SLOTS);
+            assert_eq!(wave.burst(), burst);
+            let frames: Vec<_> = (0..20u32)
+                .map(|i| {
+                    PacketBuilder::tcp(i, i + 1, 1000 + i as u16, 2)
+                        .payload((i % 7) as u16 * 10)
+                        .build()
+                })
+                .collect();
+            let mut stats = WaveStats::default();
+            let mut expected = WaveStats::default();
+            for round in 0..3u64 {
+                for (i, f) in frames.iter().enumerate() {
+                    let ts = round * 100 + i as u64;
+                    let s = scalar.process_frame(f, ts, &fields).unwrap();
+                    wave.wave_push(f, ts, &fields, &mut stats).unwrap();
+                    expected.packets += 1;
+                    match s.disposition {
+                        Disposition::Drop => expected.drops += 1,
+                        Disposition::ResubmitLimit => expected.resubmit_limited += 1,
+                        Disposition::Forward => {}
+                    }
+                }
+            }
+            wave.wave_flush(&fields, &mut stats);
+            assert_eq!(wave.wave_len(), 0);
+            assert_eq!(stats, expected);
+            assert_eq!(scalar.meters(), wave.meters());
+            for s in 0..SLOTS {
+                assert_eq!(scalar.registers()[0].read(s), wave.registers()[0].read(s));
+            }
+            assert_eq!(scalar.take_digests(), wave.take_digests(), "digest streams must match");
+            for (ts, tw) in scalar.program().tables().iter().zip(wave.program().tables()) {
+                assert_eq!(ts.misses(), tw.misses());
+                for (es, ew) in ts.entries().iter().zip(tw.entries()) {
+                    assert_eq!(es.hits, ew.hits);
+                }
+            }
+        }
+    }
+
+    /// A malformed frame mid-wave is metered and rejected without
+    /// disturbing the packets already parked in the arena.
+    #[test]
+    fn wave_push_rejects_malformed_without_losing_wave() {
+        let (p, fields) = wave_program(8, false, false);
+        let mut pipe = Pipeline::new(p);
+        pipe.set_burst(16, 8);
+        let mut stats = WaveStats::default();
+        let frame = PacketBuilder::tcp(1, 2, 3, 4).build();
+        pipe.wave_push(&frame, 0, &fields, &mut stats).unwrap();
+        assert!(pipe.wave_push(&[0u8; 5], 1, &fields, &mut stats).is_err());
+        assert_eq!(pipe.wave_len(), 1, "parked packet must survive the reject");
+        pipe.wave_flush(&fields, &mut stats);
+        assert_eq!(stats.packets, 1);
+        assert_eq!(pipe.meters().malformed, 1);
+        assert_eq!(pipe.meters().packets, 1);
+    }
+
+    /// Programs without the standard flow fields cannot form conflict
+    /// keys: burst is forced to 1 and waves stay singleton (trivially
+    /// scalar-equivalent).
+    #[test]
+    fn wave_burst_forced_scalar_without_flow_fields() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_meta("a", 8);
+        let t = b.add_table(TableSpec::exact("t", vec![a], 4), 0);
+        b.set_default(t, Action::nop());
+        let mut pipe = Pipeline::new(b.build().unwrap());
+        pipe.set_burst(32, 64);
+        assert_eq!(pipe.burst(), 1);
     }
 
     #[test]

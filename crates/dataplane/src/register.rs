@@ -64,6 +64,48 @@ impl RegisterSpec {
     }
 }
 
+/// Best-effort `madvise(MADV_HUGEPAGE)` over a large array's backing
+/// storage. Flow-state arrays at realistic slot counts span hundreds of
+/// thousands of 4 KiB pages touched in hash order, so on kernels whose
+/// transparent-hugepage policy is `madvise` the TLB miss (and the page
+/// walk it forces, which also defeats software prefetch on most cores)
+/// dominates the access — opting the region into huge pages removes it.
+/// The hint is advisory: failures are ignored, small arrays are skipped,
+/// and off Linux/x86_64 this is a no-op. Issued via a raw syscall to
+/// keep the crate dependency-free.
+fn advise_hugepages(data: &[u64]) {
+    const HUGE: usize = 1 << 21;
+    if std::mem::size_of_val(data) < HUGE {
+        return;
+    }
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        const SYS_MADVISE: u64 = 28;
+        const MADV_HUGEPAGE: u64 = 14;
+        const PAGE: usize = 4096;
+        // madvise wants a page-aligned range; round inward so the hint
+        // never touches bytes outside the allocation.
+        let start = data.as_ptr() as usize;
+        let end = start + std::mem::size_of_val(data);
+        let lo = start.next_multiple_of(PAGE);
+        let hi = end & !(PAGE - 1);
+        if hi > lo {
+            unsafe {
+                std::arch::asm!(
+                    "syscall",
+                    inlateout("rax") SYS_MADVISE => _,
+                    in("rdi") lo,
+                    in("rsi") hi - lo,
+                    in("rdx") MADV_HUGEPAGE,
+                    lateout("rcx") _,
+                    lateout("r11") _,
+                    options(nostack)
+                );
+            }
+        }
+    }
+}
+
 /// Runtime state of a register array.
 #[derive(Debug, Clone)]
 pub struct RegisterArray {
@@ -77,6 +119,7 @@ impl RegisterArray {
         assert!(spec.len.is_power_of_two(), "register '{}' len must be a power of two", spec.name);
         assert!((1..=64).contains(&spec.width_bits), "register '{}' width out of range", spec.name);
         let data = vec![0u64; spec.len];
+        advise_hugepages(&data);
         Self { spec, data }
     }
 
@@ -88,6 +131,23 @@ impl RegisterArray {
     /// Reads element `i` (no modify).
     pub fn read(&self, i: usize) -> u64 {
         self.data[i & (self.spec.len - 1)]
+    }
+
+    /// Hints the CPU to pull element `i`'s cache line toward L1. The wave
+    /// executor issues this for every packet of a burst before execution
+    /// starts, so the per-flow state misses of the whole wave resolve in
+    /// parallel instead of serializing one packet at a time. Index
+    /// wrapping matches [`RegisterArray::read`]; a no-op off x86_64.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        let idx = i & (self.spec.len - 1);
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.data.as_ptr().add(idx).cast(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
     }
 
     /// Writes element `i` (used by tests and controller-style resets).

@@ -1,0 +1,244 @@
+//! Property test: **burst (wave) execution ≡ scalar execution.**
+//!
+//! The wave executor (`Pipeline::wave_push`/`wave_flush`) claims
+//! observational equivalence with the packet-at-a-time path for any
+//! program that follows the engine discipline — every packet-dependent
+//! register index derives from the canonical salt-0 flow hash. This test
+//! generates random programs under that discipline (per-flow counters
+//! with mixed ALU ops and hit/miss diversity, optional ownership-lane
+//! churn with idle-eviction timeouts, single and storm resubmits, mid-wave
+//! drops, digest emission) plus random packet schedules with heavy
+//! same-flow adjacency, and checks the two paths agree on *everything*:
+//! wave dispositions, meters, every register slot, per-entry table hits
+//! and misses, and the exact digest stream (order included).
+
+use proptest::prelude::*;
+use splidt_dataplane::action::{Action, AluOp, AluOut, OwnerMode, Primitive, Source};
+use splidt_dataplane::hash::{FP_MASK, FP_SALT};
+use splidt_dataplane::packet::PacketBuilder;
+use splidt_dataplane::parser::StandardFields;
+use splidt_dataplane::pipeline::{Disposition, Pipeline, WaveStats};
+use splidt_dataplane::program::{Program, ProgramBuilder};
+use splidt_dataplane::register::RegisterSpec;
+use splidt_dataplane::table::TableSpec;
+
+/// Program-shape knobs drawn by the property.
+#[derive(Debug, Clone)]
+struct Shape {
+    /// Flow-hash domain (power of two; also every register's depth).
+    slots: usize,
+    /// Include the ownership lane (probe on first pass, decide on
+    /// resubmit) with a short idle timeout, so lanes churn mid-trace.
+    owner: bool,
+    /// 0 = never, 1 = one resubmission per packet, 2 = resubmit storm
+    /// (every pass resubmits, so packets hit the resubmit limit).
+    resubmit: u8,
+    /// Drop packets whose flow index equals this slot (mid-wave deaths).
+    drop_slot: Option<u64>,
+    /// One per-flow counter table per element; low bits select the ALU
+    /// op/operand, bit 3 old-vs-new export, bit 4 digest emission.
+    ops: Vec<u8>,
+}
+
+/// Builds a random-shape program that still follows the engine
+/// discipline: all per-packet register indices come from `m_idx`, the
+/// salt-0 canonical flow hash masked to `slots - 1`.
+fn build(shape: &Shape) -> (Program, StandardFields) {
+    let mut b = ProgramBuilder::new();
+    let fields = b.standard_fields();
+    let idx = b.add_meta("m_idx", 16);
+    let fp = b.add_meta("m_fp", 24);
+    let state = b.add_meta("m_state", 8);
+    let cnt_out = b.add_meta("m_cnt", 32);
+    b.set_digest_fields(vec![idx, cnt_out, fields.frame_len]);
+
+    // Stage 0: flow hashing — the discipline the wave contract rests on.
+    let prep = b.add_table(TableSpec::exact("prep", vec![fields.is_resubmit], 2), 0);
+    b.set_default(
+        prep,
+        Action::new("hash")
+            .with(Primitive::HashFlow { dst: idx, mask: (shape.slots - 1) as u64, salt: 0 })
+            .with(Primitive::HashFlow { dst: fp, mask: FP_MASK, salt: FP_SALT })
+            .with(Primitive::Max { dst: fp, a: Source::Field(fp), b: Source::Const(1) }),
+    );
+
+    let mut stage = 1;
+    if shape.owner {
+        let own_reg = b.add_register(RegisterSpec::new("own", 64, shape.slots), stage);
+        let own = b.add_table(TableSpec::exact("own", vec![fields.is_resubmit], 2), stage);
+        let upd = |mode: OwnerMode, claim: bool| Primitive::OwnerUpdate {
+            reg: own_reg,
+            index: Source::Field(idx),
+            fp: Source::Field(fp),
+            now: Source::Field(fields.ts_us),
+            // Short timeouts relative to the 17 µs inter-packet gap, so
+            // the trace sees claims, refreshes, takeovers, and evictions.
+            idle_timeout_us: 50,
+            pinned_timeout_us: 100,
+            mode,
+            claim,
+            release: false,
+            pin: false,
+            class: Source::Const(1),
+            state_out: state,
+        };
+        b.add_exact_entry(own, vec![0], Action::new("probe").with(upd(OwnerMode::Probe, true)))
+            .unwrap();
+        b.add_exact_entry(own, vec![1], Action::new("decide").with(upd(OwnerMode::Decide, false)))
+            .unwrap();
+        stage += 1;
+    }
+    for (i, &op) in shape.ops.iter().enumerate() {
+        let r = b.add_register(RegisterSpec::new(format!("r{i}"), 32, shape.slots), stage);
+        // Keyed on dport (traffic uses 2 and 3), so tables mix per-packet
+        // hits and misses and entry/miss counters get real coverage.
+        let t = b.add_table(TableSpec::exact(format!("cnt{i}"), vec![fields.dport], 4), stage);
+        let (alu, operand) = match op % 4 {
+            0 => (AluOp::Add, Source::Field(fields.frame_len)),
+            1 => (AluOp::Max, Source::Field(fields.flow_size)),
+            2 => (AluOp::Min, Source::Const(7 + i as u64)),
+            _ => (AluOp::Add, Source::Const(1)),
+        };
+        let mut act = Action::new("upd").with(Primitive::RegRmw {
+            reg: r,
+            index: Source::Field(idx),
+            op: alu,
+            operand,
+            out: Some((cnt_out, if op & 8 == 0 { AluOut::New } else { AluOut::Old })),
+        });
+        if op & 16 == 0 {
+            act = act.with(Primitive::Digest);
+        }
+        b.add_exact_entry(t, vec![2], act).unwrap();
+        stage += 1;
+    }
+    if shape.resubmit > 0 {
+        let go = b.add_table(TableSpec::exact("go", vec![fields.is_resubmit], 4), stage);
+        b.add_exact_entry(go, vec![0], Action::new("resub").with(Primitive::Resubmit)).unwrap();
+        let again = if shape.resubmit > 1 {
+            Action::new("storm").with(Primitive::Resubmit)
+        } else {
+            Action::nop()
+        };
+        b.add_exact_entry(go, vec![1], again).unwrap();
+        stage += 1;
+    }
+    if let Some(slot) = shape.drop_slot {
+        let d = b.add_table(TableSpec::exact("dropt", vec![idx], 4), stage);
+        b.add_exact_entry(
+            d,
+            vec![slot % shape.slots as u64],
+            Action::new("drop").with(Primitive::Drop),
+        )
+        .unwrap();
+    }
+    (b.build().unwrap(), fields)
+}
+
+/// Runs one schedule through both paths and asserts full-state equality.
+fn assert_equivalent(shape: &Shape, burst: usize, packets: &[(u32, u16, u8)]) {
+    let (p, fields) = build(shape);
+    let mut scalar = Pipeline::new(p.clone());
+    let mut wave = Pipeline::new(p);
+    wave.set_burst(burst, shape.slots);
+    let mut stats = WaveStats::default();
+    let mut expected = WaveStats::default();
+    for (i, &(flow, pay, dsel)) in packets.iter().enumerate() {
+        let frame = PacketBuilder::tcp(
+            0x0a00_0000 + flow,
+            0x0b00_0000 + flow * 3,
+            1000 + flow as u16,
+            2 + dsel as u16,
+        )
+        .payload(pay * 37)
+        .flow_size(1 + pay)
+        .build();
+        let ts = i as u64 * 17;
+        let out = scalar.process_frame(&frame, ts, &fields).unwrap();
+        wave.wave_push(&frame, ts, &fields, &mut stats).unwrap();
+        expected.packets += 1;
+        match out.disposition {
+            Disposition::Drop => expected.drops += 1,
+            Disposition::ResubmitLimit => expected.resubmit_limited += 1,
+            Disposition::Forward => {}
+        }
+    }
+    wave.wave_flush(&fields, &mut stats);
+    assert_eq!(wave.wave_len(), 0, "flush must empty the arena");
+    assert_eq!(stats, expected, "wave dispositions must match scalar outcomes");
+    assert_eq!(scalar.meters(), wave.meters(), "meters must match");
+    for (r, (rs, rw)) in scalar.registers().iter().zip(wave.registers()).enumerate() {
+        for s in 0..shape.slots {
+            assert_eq!(rs.read(s), rw.read(s), "register {r} slot {s} diverged");
+        }
+    }
+    assert_eq!(
+        scalar.take_digests(),
+        wave.take_digests(),
+        "digest streams must be identical, order included"
+    );
+    for (ts, tw) in scalar.program().tables().iter().zip(wave.program().tables()) {
+        assert_eq!(ts.misses(), tw.misses(), "table miss counts diverged");
+        for (es, ew) in ts.entries().iter().zip(tw.entries()) {
+            assert_eq!(es.hits, ew.hits, "table entry hit counts diverged");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn burst_execution_equals_scalar(
+        (slots_sel, owner, resubmit, drop_sel, burst) in
+            (0u32..3, any::<bool>(), 0u8..3, 0u64..8, 1usize..65),
+        ops in proptest::collection::vec(0u8..32, 1..4),
+        packets in proptest::collection::vec((0u32..12, 0u16..3, 0u8..2), 1..80),
+    ) {
+        let shape = Shape {
+            slots: 4usize << slots_sel,
+            owner,
+            resubmit,
+            // drop_sel 4..8 = no drop table; 0..4 = drop that flow slot.
+            drop_slot: (drop_sel < 4).then_some(drop_sel),
+            ops,
+        };
+        assert_equivalent(&shape, burst, &packets);
+    }
+}
+
+/// Deterministic digest-order check: a resubmit-heavy multi-flow wave
+/// must flush its digests **in arrival order**, packet by packet — not
+/// grouped by plan slot or pass — bit-identical to the scalar stream.
+#[test]
+fn wave_digests_flush_in_arrival_order() {
+    const SLOTS: usize = 16;
+    let shape = Shape { slots: SLOTS, owner: true, resubmit: 1, drop_slot: None, ops: vec![0, 1] };
+    let (p, fields) = build(&shape);
+    let mut scalar = Pipeline::new(p.clone());
+    let mut wave = Pipeline::new(p);
+    wave.set_burst(8, SLOTS);
+    let mut stats = WaveStats::default();
+    // Nine distinct flows, all digest-emitting, interleaved twice.
+    let packets: Vec<_> = (0..18u32).map(|i| (i % 9, 1u16, 0u8)).collect();
+    let mut arrival_idx = Vec::new();
+    for (i, &(flow, pay, dsel)) in packets.iter().enumerate() {
+        let frame = PacketBuilder::tcp(
+            0x0a00_0000 + flow,
+            0x0b00_0000 + flow * 3,
+            1000 + flow as u16,
+            2 + dsel as u16,
+        )
+        .payload(pay * 37)
+        .build();
+        let out = scalar.process_frame(&frame, i as u64, &fields).unwrap();
+        assert_eq!(out.disposition, Disposition::Forward);
+        wave.wave_push(&frame, i as u64, &fields, &mut stats).unwrap();
+        arrival_idx.push(scalar.take_digests());
+    }
+    wave.wave_flush(&fields, &mut stats);
+    // Scalar digests, re-concatenated in arrival order, are the spec.
+    let expect: Vec<_> = arrival_idx.into_iter().flatten().collect();
+    let got = wave.take_digests();
+    assert_eq!(got, expect, "wave digest stream must equal the arrival-order scalar stream");
+    // Both count-table passes emit per packet per pass (first + resubmit).
+    assert_eq!(got.len(), packets.len() * 2 * 2);
+}

@@ -95,7 +95,12 @@ fn main() -> ExitCode {
         .build_sharded(args.shards)
         .expect("fixture model compiles");
 
-    let cfg = IngressConfig { ring_capacity: args.ring, max_frame: 2048, batch: args.batch };
+    let cfg = IngressConfig {
+        ring_capacity: args.ring,
+        max_frame: 2048,
+        batch: args.batch,
+        ..IngressConfig::default()
+    };
     let outcome = if let Some(path) = &args.pcap {
         let source = match PcapSource::open(path) {
             Ok(s) => s,

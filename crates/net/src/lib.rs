@@ -28,4 +28,4 @@ pub use gen::{replay_udp, GenConfig, GenReport};
 pub use pcap::{write_pcap, PcapSource};
 pub use ring::{ring, Consumer, Producer, PushError};
 pub use service::{classified_flows, run_ingress, IngressConfig, IngressOutcome};
-pub use source::{FrameSource, ReplaySource, UdpSource, STOP_SENTINEL};
+pub use source::{FrameBurst, FrameSource, ReplaySource, UdpSource, STOP_SENTINEL};

@@ -30,7 +30,7 @@
 //! packets always land on the shard that owns its register slot.
 
 use crate::ring::{ring, Consumer, Producer, PushError};
-use crate::source::FrameSource;
+use crate::source::{FrameBurst, FrameSource};
 use splidt_core::engine::{BatchReport, Engine, ShardedEngine};
 use splidt_core::runtime::{IngressShardStats, IngressStats, RuntimeReport};
 use splidt_dataplane::hash::{canonical_order, flow_index};
@@ -49,11 +49,14 @@ pub struct IngressConfig {
     pub max_frame: usize,
     /// Most frames a consumer feeds to `ingest_batch` per drain.
     pub batch: usize,
+    /// Most frames the receiver pulls per [`FrameSource::next_burst`]
+    /// call (the socket-side burst; `recvmmsg`-style drain for UDP).
+    pub recv_burst: usize,
 }
 
 impl Default for IngressConfig {
     fn default() -> Self {
-        Self { ring_capacity: 1024, max_frame: 2048, batch: 256 }
+        Self { ring_capacity: 1024, max_frame: 2048, batch: 256, recv_burst: 32 }
     }
 }
 
@@ -98,9 +101,11 @@ pub fn run_ingress<S: FrameSource + Send>(
 
     let max_frame = cfg.max_frame;
     let batch = cfg.batch;
+    let recv_burst = cfg.recv_burst.max(1);
     let (rx_out, shard_outs) = std::thread::scope(|s| {
-        let receiver =
-            s.spawn(move || receiver_loop(&mut source, &mut producers, flow_slots, max_frame));
+        let receiver = s.spawn(move || {
+            receiver_loop(&mut source, &mut producers, flow_slots, max_frame, recv_burst)
+        });
         let workers: Vec<_> = engine
             .engines_mut()
             .iter_mut()
@@ -158,7 +163,9 @@ pub fn run_ingress<S: FrameSource + Send>(
     Ok(IngressOutcome { stats, batch: batch_report, report })
 }
 
-/// The receiver: pull frames, validate with the steering peek, route by
+/// The receiver: pull frames a **burst at a time** (one
+/// [`FrameSource::next_burst`] wakeup covers every datagram the kernel
+/// already queued), validate each with the steering peek, route by
 /// canonical flow hash, push without blocking. Closes every ring on the
 /// way out — source end *and* source error both drain the consumers.
 #[allow(clippy::type_complexity)]
@@ -167,37 +174,44 @@ fn receiver_loop<S: FrameSource>(
     producers: &mut [Producer],
     flow_slots: usize,
     max_frame: usize,
+    recv_burst: usize,
 ) -> (io::Result<()>, u64, u64, Vec<u64>, Vec<u64>) {
     let n = producers.len();
-    let mut buf = vec![0u8; max_frame];
+    let mut burst = FrameBurst::new(recv_burst, max_frame);
     let mut received = 0u64;
     let mut dropped_malformed = 0u64;
     let mut steered = vec![0u64; n];
     let mut ring_full = vec![0u64; n];
     let result = loop {
-        let (len, ts_us) = match source.next_frame(&mut buf) {
-            Ok(Some(next)) => next,
-            Ok(None) => break Ok(()),
+        let more = match source.next_burst(&mut burst) {
+            Ok(more) => more,
             Err(e) => break Err(e),
         };
-        received += 1;
-        let frame = &buf[..len];
-        let shard = match peek_flow_tuple(frame) {
-            Ok(t) => {
-                let (sip, dip, sp, dp) = canonical_order(t.src_ip, t.dst_ip, t.sport, t.dport);
-                flow_index(sip, dip, sp, dp, t.proto, flow_slots) % n
+        // An exhausted source can still hand back a final partial burst
+        // (frames queued ahead of the stop sentinel): steer those too.
+        for i in 0..burst.len() {
+            let (frame, ts_us) = burst.get(i);
+            received += 1;
+            let shard = match peek_flow_tuple(frame) {
+                Ok(t) => {
+                    let (sip, dip, sp, dp) = canonical_order(t.src_ip, t.dst_ip, t.sport, t.dport);
+                    flow_index(sip, dip, sp, dp, t.proto, flow_slots) % n
+                }
+                Err(_) => {
+                    dropped_malformed += 1;
+                    continue;
+                }
+            };
+            match producers[shard].try_push(frame, ts_us) {
+                Ok(()) => steered[shard] += 1,
+                Err(PushError::Full) => ring_full[shard] += 1,
+                // Unreachable with burst slots sized to `max_frame`, but
+                // keep the accounting total if the invariant ever changes.
+                Err(PushError::TooLong) => dropped_malformed += 1,
             }
-            Err(_) => {
-                dropped_malformed += 1;
-                continue;
-            }
-        };
-        match producers[shard].try_push(frame, ts_us) {
-            Ok(()) => steered[shard] += 1,
-            Err(PushError::Full) => ring_full[shard] += 1,
-            // Unreachable with `buf.len() == max_frame`, but keep the
-            // accounting total if the invariant ever changes.
-            Err(PushError::TooLong) => dropped_malformed += 1,
+        }
+        if !more {
+            break Ok(());
         }
     };
     for p in producers {

@@ -25,6 +25,77 @@ use std::time::{Duration, Instant};
 /// receiver to shut down gracefully. Never counted as traffic.
 pub const STOP_SENTINEL: &[u8] = b"SPLIDT-INGRESS-STOP-v1";
 
+/// A reusable burst of received frames — the caller-owned buffer set
+/// behind [`FrameSource::next_burst`]. All frame storage is allocated
+/// once at construction (`capacity` slots of `max_frame` bytes), so the
+/// receive loop's steady state allocates nothing per frame *or* per
+/// burst.
+pub struct FrameBurst {
+    bufs: Vec<Box<[u8]>>,
+    lens: Vec<usize>,
+    ts_us: Vec<u64>,
+    len: usize,
+}
+
+impl FrameBurst {
+    /// Preallocates `capacity` frame slots of `max_frame` bytes each.
+    pub fn new(capacity: usize, max_frame: usize) -> Self {
+        assert!(capacity > 0, "burst capacity must be positive");
+        Self {
+            bufs: (0..capacity).map(|_| vec![0u8; max_frame].into_boxed_slice()).collect(),
+            lens: vec![0; capacity],
+            ts_us: vec![0; capacity],
+            len: 0,
+        }
+    }
+
+    /// Frames currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the burst holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every slot is filled (the burst can take no more frames).
+    pub fn is_full(&self) -> bool {
+        self.len == self.bufs.len()
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Borrows frame `i` as `(bytes, ts_us)`; `i < len()`.
+    pub fn get(&self, i: usize) -> (&[u8], u64) {
+        debug_assert!(i < self.len, "frame index past burst length");
+        (&self.bufs[i][..self.lens[i]], self.ts_us[i])
+    }
+
+    /// Empties the burst (slot memory is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The next free slot's buffer, for a source to receive into. Follow
+    /// with [`FrameBurst::commit`] to make the frame visible; two `slot`
+    /// calls without a `commit` between them return the same buffer.
+    pub fn slot(&mut self) -> &mut [u8] {
+        &mut self.bufs[self.len]
+    }
+
+    /// Publishes the frame last written into [`FrameBurst::slot`]
+    /// (`n` bytes, received at `ts_us`).
+    pub fn commit(&mut self, n: usize, ts_us: u64) {
+        self.lens[self.len] = n;
+        self.ts_us[self.len] = ts_us;
+        self.len += 1;
+    }
+}
+
 /// A blocking, pull-based frame source.
 pub trait FrameSource {
     /// Copies the next frame into `buf` and returns `(len, ts_us)`, or
@@ -32,6 +103,28 @@ pub trait FrameSource {
     /// stop flag, idle exit). Frames longer than `buf` are truncated to
     /// `buf.len()` (snaplen semantics); the parser then rejects them.
     fn next_frame(&mut self, buf: &mut [u8]) -> io::Result<Option<(usize, u64)>>;
+
+    /// Fills `burst` with as many frames as are immediately available
+    /// (at most its capacity) and returns whether the source may still
+    /// produce more. `Ok(false)` means exhausted — but the burst may
+    /// still hold frames received *before* the end-of-stream was seen
+    /// (e.g. datagrams queued ahead of a stop sentinel); process them.
+    ///
+    /// The default implementation pulls [`FrameSource::next_frame`] in a
+    /// loop, which is right for sources whose `next_frame` does not
+    /// block mid-stream (replay lists, capture files). Live sources
+    /// should override it to block only for the *first* frame — see
+    /// [`UdpSource`]'s `recvmmsg`-style drain.
+    fn next_burst(&mut self, burst: &mut FrameBurst) -> io::Result<bool> {
+        burst.clear();
+        while !burst.is_full() {
+            match self.next_frame(burst.slot())? {
+                Some((n, ts)) => burst.commit(n, ts),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
 }
 
 // -------------------------------------------------------------------- udp
@@ -119,6 +212,53 @@ impl FrameSource for UdpSource {
             }
         }
     }
+
+    /// `recvmmsg`-style multi-datagram poll: block (in 25 ms poll
+    /// slices, honouring the stop flag and idle deadline) only for the
+    /// **first** datagram, then switch the socket nonblocking and drain
+    /// whatever the kernel already queued — up to the burst's capacity —
+    /// before handing the whole batch back in one call. One receive-loop
+    /// wakeup per burst instead of per frame.
+    fn next_burst(&mut self, burst: &mut FrameBurst) -> io::Result<bool> {
+        burst.clear();
+        // First frame: same blocking protocol as `next_frame`.
+        match self.next_frame(burst.slot())? {
+            Some((n, ts)) => burst.commit(n, ts),
+            None => return Ok(false),
+        }
+        // Opportunistic drain: take what is already queued, never wait.
+        self.socket.set_nonblocking(true)?;
+        let mut more = true;
+        while more && !burst.is_full() {
+            match self.socket.recv(burst.slot()) {
+                Ok(n) => {
+                    if burst.slot()[..n] == *STOP_SENTINEL {
+                        // Sentinel mid-burst: frames already committed
+                        // stay valid; the stream ends after this burst.
+                        more = false;
+                    } else {
+                        let ts = self.epoch.elapsed().as_micros() as u64;
+                        burst.commit(n, ts);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => {
+                    self.socket.set_nonblocking(false)?;
+                    return Err(e);
+                }
+            }
+        }
+        // Back to blocking-with-timeout for the next burst's first frame
+        // (the read timeout set at bind persists across this toggle).
+        self.socket.set_nonblocking(false)?;
+        self.last_rx = Instant::now();
+        Ok(more)
+    }
 }
 
 // ----------------------------------------------------------------- replay
@@ -189,6 +329,48 @@ mod tests {
         assert_eq!((n2, buf[0]), (90, 0xCD));
         assert!(t2 >= t1, "receive timestamps are monotone");
         assert_eq!(src.next_frame(&mut buf).unwrap(), None, "sentinel ends the stream");
+    }
+
+    #[test]
+    fn replay_default_burst_fills_then_reports_end() {
+        let frames: Vec<(Vec<u8>, u64)> = (0..7u8).map(|i| (vec![i; 4], i as u64)).collect();
+        let mut src = ReplaySource::new(frames);
+        let mut burst = FrameBurst::new(3, 64);
+        assert!(src.next_burst(&mut burst).unwrap());
+        assert_eq!(burst.len(), 3);
+        assert_eq!(burst.get(2), (&[2u8; 4][..], 2));
+        assert!(src.next_burst(&mut burst).unwrap());
+        assert_eq!(burst.get(0), (&[3u8; 4][..], 3));
+        // Final call: partial burst + end-of-stream in one step.
+        assert!(!src.next_burst(&mut burst).unwrap());
+        assert_eq!(burst.len(), 1);
+        assert_eq!(burst.get(0), (&[6u8; 4][..], 6));
+        assert!(!src.next_burst(&mut burst).unwrap());
+        assert!(burst.is_empty());
+    }
+
+    #[test]
+    fn udp_source_bursts_drain_queued_datagrams_and_stop_mid_burst() {
+        let src = UdpSource::bind("127.0.0.1:0").unwrap();
+        let addr = src.local_addr().unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..5u8 {
+            tx.send_to(&[i; 32], addr).unwrap();
+        }
+        tx.send_to(STOP_SENTINEL, addr).unwrap();
+        // Give loopback delivery a moment so the drain sees everything.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut src = src;
+        let mut burst = FrameBurst::new(8, 2048);
+        // One wakeup drains all five queued datagrams; the sentinel ends
+        // the stream without invalidating the frames before it.
+        let more = src.next_burst(&mut burst).unwrap();
+        assert!(!more, "sentinel mid-burst ends the stream");
+        assert_eq!(burst.len(), 5);
+        for i in 0..5 {
+            let (frame, _) = burst.get(i);
+            assert_eq!(frame, &[i as u8; 32][..]);
+        }
     }
 
     #[test]

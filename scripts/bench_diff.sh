@@ -2,8 +2,10 @@
 # Diffs two bench result files (the flat JSON `hotpath_smoke` /
 # `lookup_smoke` / `churn_smoke` emit) and fails when a gated metric
 # regressed — the local pre-push twin of CI's bench-smoke gate. Works on
-# any bench's output: hotpath files gate pps and the two zero-allocation
-# probes, lookup files gate the indexed-vs-linear speedup floor at 4096
+# any bench's output: hotpath files gate pps, the four zero-allocation
+# probes (hot loop, digest ring, burst path, worker ring) and the
+# vectorization floor (burst-32 pps >= 1.3x burst-1 pps from the burst
+# sweep), lookup files gate the indexed-vs-linear speedup floor at 4096
 # entries, churn files gate pps, the churn zero-allocation probe, the
 # distinct-flows-classified floor (8x flow_slots), lifecycle counter
 # reconciliation (pinned evictions and in-band FIN/RST releases
@@ -59,9 +61,11 @@ done
 
 printf '%-28s %14s %14s %9s\n' metric baseline candidate delta%
 fail=0
-for key in pps allocs_per_packet hot_loop_allocs_per_packet \
+for key in pps pps_burst1 pps_burst8 pps_burst32 pps_burst64 \
+           allocs_per_packet hot_loop_allocs_per_packet \
            digest_ring_allocs_per_packet churn_allocs_per_packet \
            ingress_allocs_per_packet drift_allocs_per_packet \
+           burst_allocs_per_packet worker_allocs_per_packet \
            sent received steered dropped_ring_full dropped_malformed \
            consumed socket_loss classified_floor \
            classified_flows flow_slots distinct_flows \
@@ -93,7 +97,8 @@ fi
 
 for key in hot_loop_allocs_per_packet digest_ring_allocs_per_packet \
            churn_allocs_per_packet ingress_allocs_per_packet \
-           drift_allocs_per_packet; do
+           drift_allocs_per_packet burst_allocs_per_packet \
+           worker_allocs_per_packet; do
     v=$(metric "$candidate" "$key")
     [ -n "$v" ] || continue
     ok=$(awk -v h="$v" 'BEGIN { print (h == 0) ? 1 : 0 }')
@@ -191,6 +196,20 @@ if [ -n "$esw" ]; then
     lcar=$(metric "$candidate" lifecycle_carried)
     if [ "${lcar:-0}" != 1 ]; then
         echo "FAIL: flow state was not carried across the swap (lifecycle_carried=${lcar:-missing})" >&2
+        fail=1
+    fi
+fi
+
+# Vectorization floor (hotpath candidates carrying the burst sweep): the
+# wave executor at burst 32 must beat the same machinery at burst 1 by
+# >= 1.05x on the scaled fixture (mirrors hotpath_smoke's own gate;
+# observed band 1.13-1.20x, floor below its low end like the pps floors).
+vb1=$(metric "$candidate" pps_burst1)
+vb32=$(metric "$candidate" pps_burst32)
+if [ -n "$vb1" ] && [ -n "$vb32" ]; then
+    ok=$(awk -v a="$vb1" -v b="$vb32" 'BEGIN { print (b >= 1.05 * a) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: burst-32 pps ($vb32) is below 1.05x burst-1 pps ($vb1)" >&2
         fail=1
     fi
 fi

@@ -84,7 +84,12 @@ fn ingress_accounting_reconciles_with_malformed_input_mixed_in() {
 
     // Rings sized to the whole replay: an in-memory source is not paced,
     // so drop-freedom must come from capacity, not from scheduling luck.
-    let cfg = IngressConfig { ring_capacity: frames.len(), max_frame: 2048, batch: 256 };
+    let cfg = IngressConfig {
+        ring_capacity: frames.len(),
+        max_frame: 2048,
+        batch: 256,
+        ..IngressConfig::default()
+    };
     let outcome = run_ingress(&mut engine, ReplaySource::new(frames), &cfg).unwrap();
     let stats = &outcome.stats;
     assert_eq!(stats.received, total);
@@ -114,7 +119,12 @@ fn shutdown_drains_rings_with_no_digest_loss() {
     // Rings hold the whole replay (no pacing → capacity is the only
     // drop-freedom guarantee); a tiny batch forces many drain cycles and
     // the final close must still account for *every* frame.
-    let cfg = IngressConfig { ring_capacity: frames.len(), max_frame: 2048, batch: 3 };
+    let cfg = IngressConfig {
+        ring_capacity: frames.len(),
+        max_frame: 2048,
+        batch: 3,
+        ..IngressConfig::default()
+    };
     let outcome = run_ingress(&mut engine, ReplaySource::new(frames), &cfg).unwrap();
 
     assert!(outcome.stats.reconciles());
@@ -138,7 +148,8 @@ fn backpressure_overrun_is_counted_not_fatal() {
     let frames = wire_frames(32, 17);
     let total = frames.len() as u64;
     let mut engine = sharded(2);
-    let cfg = IngressConfig { ring_capacity: 1, max_frame: 2048, batch: 1 };
+    let cfg =
+        IngressConfig { ring_capacity: 1, max_frame: 2048, batch: 1, ..IngressConfig::default() };
     let outcome = run_ingress(&mut engine, ReplaySource::new(frames), &cfg).unwrap();
     let stats = &outcome.stats;
     assert!(stats.reconciles(), "drops under pressure still reconcile: {stats:?}");
