@@ -9,15 +9,17 @@
 //!               [--max-drop-pct 15] [--seconds 2.0]
 //! ```
 //!
-//! Exit codes: `0` ok · `1` throughput regressed past the threshold or
-//! the burst-32 vectorization win fell below its floor · `2` a
-//! zero-allocation invariant broke.
+//! Exit codes: `0` ok · `1` throughput regressed past the threshold, the
+//! burst-32 vectorization win fell below its floor, or the flow-state
+//! banking win fell below its floor · `2` a zero-allocation invariant
+//! broke.
 //!
 //! Locally, diff two result files with `scripts/bench_diff.sh`.
 
 use splidt_bench::hotpath::{
-    fixture, measure_burst_sweep, measure_engine_throughput, probe_burst_allocs,
+    fixture, measure_burst_sweep, measure_engine_throughput, probe_bank_allocs, probe_burst_allocs,
     probe_digest_ring_allocs, probe_hot_loop_allocs, read_metric, write_json, BURST_SWEEP,
+    SCALED_FLOW_SLOTS,
 };
 use splidt_bench::CountingAlloc;
 
@@ -91,6 +93,16 @@ fn main() {
          ({worker_per_packet:.6}/packet)"
     );
 
+    // 1d. The banked-path probe: a multi-register program whose flow
+    //     state coalesces into one cache-line bank, driven through the
+    //     wave path — bank cell addressing must not allocate either.
+    let bank_allocs = probe_bank_allocs(PROBE_PACKETS);
+    let bank_per_packet = bank_allocs as f64 / PROBE_PACKETS as f64;
+    println!(
+        "bank probe: {bank_allocs} allocations over {PROBE_PACKETS} packets \
+         ({bank_per_packet:.6}/packet)"
+    );
+
     // 2. Fixed-seed end-to-end throughput through the engine batch path
     //    (default burst), plus the burst sweep for the vectorization gate.
     let (model, frames) = fixture();
@@ -100,6 +112,7 @@ fn main() {
     stats.digest_ring_allocs_per_packet = ring_per_packet;
     stats.burst_allocs_per_packet = burst_per_packet;
     stats.worker_allocs_per_packet = worker_per_packet;
+    stats.bank_allocs_per_packet = bank_per_packet;
     println!(
         "throughput: {:.0} packets/sec ({} packets in {:.2}s), {:.4} allocs/packet \
          (boundary digests included)",
@@ -111,13 +124,21 @@ fn main() {
     // fixture's working set the interpreter is compute-bound and every
     // burst size measures the same).
     let scaled = splidt_bench::hotpath::scaled_fixture(&model);
-    println!("scaled fixture: {} frames", scaled.len());
-    stats.pps_burst = measure_burst_sweep(&model, &scaled, args.seconds / 2.0);
+    println!("scaled fixture: {} frames over {SCALED_FLOW_SLOTS} slots", scaled.len());
+    let sweep = measure_burst_sweep(&model, &scaled, args.seconds / 2.0);
+    stats.pps_burst = sweep.pps_burst;
+    stats.pps_scaled = sweep.pps_burst[2];
+    stats.pps_scaled_split = sweep.pps_split_b32;
+    stats.bank_speedup = stats.pps_scaled / stats.pps_scaled_split;
+    stats.sweep_frames = scaled.len() as u64;
+    stats.sweep_slots = SCALED_FLOW_SLOTS as u64;
     for (b, pps) in BURST_SWEEP.iter().zip(stats.pps_burst) {
         println!("burst sweep: burst {b:>2} → {pps:.0} packets/sec");
     }
+    println!("burst sweep: split b32 → {:.0} packets/sec", stats.pps_scaled_split);
     let vector_win = stats.pps_burst[2] / stats.pps_burst[0];
     println!("vectorization: burst 32 / burst 1 = {vector_win:.2}x");
+    println!("flow-state banking: banked / split at burst 32 = {:.2}x", stats.bank_speedup);
 
     write_json(&args.out, &stats).expect("writes results json");
     println!("wrote {}", args.out);
@@ -138,39 +159,78 @@ fn main() {
         eprintln!("FAIL: worker ring data path allocated ({worker_allocs} allocations)");
         std::process::exit(2);
     }
-    // Vectorization floor: wave execution at burst 32 must beat the same
-    // machinery at burst 1 (scalar) on the scaled fixture. The interleaved
-    // sweep makes the ratio robust to machine-wide throughput drift.
-    // Observed 1.13-1.20x across stable long-window runs on the 1-vCPU CI
-    // box; the floor sits below the band's low end, same policy as the
-    // absolute-pps floors. Burst-32 already runs at ~93% of the box's
-    // compute ceiling (~695K pps small-fixture), which caps the
-    // achievable ratio near 1.25-1.28x here; bigger wins need the stall
-    // fraction a real multi-core / line-rate deployment has.
-    const VECTOR_FLOOR: f64 = 1.05;
+    if bank_allocs != 0 {
+        eprintln!("FAIL: banked register path allocated ({bank_allocs} allocations)");
+        std::process::exit(2);
+    }
+    // Vectorization floor: wave execution at burst 32 must not fall
+    // behind the same machinery at burst 1 (scalar) on the scaled
+    // fixture — the inversion gate. Pre-banking the wave win measured
+    // 1.13-1.20x and the floor sat at 1.05; flow-state banking then
+    // collapsed the scalar path's stall fraction (one line per packet
+    // instead of up to four arrays), lifting burst-1 from ~508K to
+    // ~680K pps and compressing the observed burst-32/burst-1 band to
+    // 1.04-1.10x on the 1-vCPU box (both absolute numbers went UP —
+    // only the ratio narrowed, because there is little stall left for
+    // prefetch to hide). The floor therefore now guards the inversion
+    // regression (burst 32 slower than burst 1), not a large win; the
+    // big-win gate moved to the banked/split ratio below.
+    const VECTOR_FLOOR: f64 = 1.00;
     if vector_win < VECTOR_FLOOR {
         eprintln!(
             "FAIL: burst-32 pps is only {vector_win:.2}x burst-1 pps (floor {VECTOR_FLOOR}x)"
         );
         std::process::exit(1);
     }
-
-    // 3. Regression gate vs the committed baseline.
-    if let Some(baseline) = &args.baseline {
-        let base_pps =
-            read_metric(baseline, "pps").unwrap_or_else(|| panic!("no pps in baseline {baseline}"));
-        let floor = base_pps * (1.0 - args.max_drop_pct / 100.0);
-        println!(
-            "baseline: {base_pps:.0} pps ({baseline}); floor at -{:.0}%: {floor:.0} pps",
-            args.max_drop_pct
+    // Flow-state banking floor: the coalesced register file must beat the
+    // split per-stage arrays at burst 32 on the memory-bound scaled
+    // fixture. Both configurations ride the interleaved sweep with the
+    // best-round estimator, so the ratio sheds machine drift the same
+    // way the vectorization gate does. Observed 1.07-1.13x across
+    // stable long-window runs (quiet-machine point ~1.09x) on the
+    // 1-vCPU box — at burst 32 the split layout's misses are largely
+    // hidden by the wave prefetcher, so the residual gap is line-fill-
+    // buffer pressure (1 line vs ~7 per packet); the floor sits below
+    // the band's low end, same policy as the absolute-pps floors.
+    // (Banking's full effect shows against the pre-banking committed
+    // baseline: burst-1 508K -> ~680K pps, burst-32 608K -> ~707K.)
+    const BANK_FLOOR: f64 = 1.05;
+    if stats.bank_speedup < BANK_FLOOR {
+        eprintln!(
+            "FAIL: banked pps is only {:.2}x split pps at burst 32 (floor {BANK_FLOOR}x)",
+            stats.bank_speedup
         );
-        if stats.pps < floor {
-            eprintln!(
-                "FAIL: throughput {:.0} pps is >{:.0}% below baseline {base_pps:.0} pps",
-                stats.pps, args.max_drop_pct
+        std::process::exit(1);
+    }
+
+    // 3. Regression gates vs the committed baseline: the small
+    //    compute-bound fixture (`pps`) and the scaled memory-bound
+    //    fixture (`pps_scaled`) each hold their own floor.
+    if let Some(baseline) = &args.baseline {
+        let gate = |key: &str, measured: f64, required: bool| {
+            let base = match read_metric(baseline, key) {
+                Some(b) => b,
+                None if !required => {
+                    println!("baseline {baseline} has no {key}; skipping that gate");
+                    return;
+                }
+                None => panic!("no {key} in baseline {baseline}"),
+            };
+            let floor = base * (1.0 - args.max_drop_pct / 100.0);
+            println!(
+                "baseline {key}: {base:.0} ({baseline}); floor at -{:.0}%: {floor:.0}",
+                args.max_drop_pct
             );
-            std::process::exit(1);
-        }
+            if measured < floor {
+                eprintln!(
+                    "FAIL: {key} {measured:.0} is >{:.0}% below baseline {base:.0}",
+                    args.max_drop_pct
+                );
+                std::process::exit(1);
+            }
+        };
+        gate("pps", stats.pps, true);
+        gate("pps_scaled", stats.pps_scaled, false);
         println!("throughput within budget");
     }
 }

@@ -95,6 +95,24 @@ pub struct HotpathStats {
     /// vectorization win the CI gate holds at ≥ 1.05× (observed
     /// 1.13–1.20× on the 1-vCPU CI box; the floor sits below the band).
     pub pps_burst: [f64; BURST_SWEEP.len()],
+    /// Scaled-fixture throughput at burst 32 through the **banked**
+    /// register file (== `pps_burst[2]`, re-exported under its own key so
+    /// the baseline can hold an absolute floor on the memory-bound
+    /// regime, not just the small compute-bound fixture's `pps`).
+    pub pps_scaled: f64,
+    /// Scaled-fixture throughput at burst 32 through the legacy
+    /// **split** per-stage arrays (one prefetchable array per register) —
+    /// the differential baseline for the banking win, measured
+    /// interleaved with the sweep so machine drift cancels in the ratio.
+    pub pps_scaled_split: f64,
+    /// `pps_scaled / pps_scaled_split` — the flow-state banking win the
+    /// CI gate holds at ≥ [`BANK_FLOOR`](crate::hotpath).
+    pub bank_speedup: f64,
+    /// Heap allocations per packet over the banked-path probe (a
+    /// multi-register program whose flow state coalesces into one bank,
+    /// driven through the wave path at burst 32) — the bank's strict
+    /// zero-allocation criterion.
+    pub bank_allocs_per_packet: f64,
     /// Heap allocations per packet over the wave-API probe (digest-free
     /// program via `wave_push`/`wave_flush` at burst 32) — the burst
     /// path's strict zero-allocation criterion.
@@ -103,6 +121,12 @@ pub struct HotpathStats {
     /// ring push → peek → burst execution → advance, single-threaded) —
     /// the persistent-worker hand-off's zero-allocation criterion.
     pub worker_allocs_per_packet: f64,
+    /// Provenance: flows offered to / frames in the burst-sweep fixture,
+    /// so a snapshot is self-describing (a sweep over the small fixture
+    /// cannot masquerade as the scaled memory-bound regime).
+    pub sweep_frames: u64,
+    /// Provenance: register slot budget the sweep ran at.
+    pub sweep_slots: u64,
 }
 
 /// Burst sizes the sweep measures (JSON keys `pps_burst1` … `pps_burst64`).
@@ -224,9 +248,26 @@ pub fn measure_engine_throughput(
         hot_loop_allocs_per_packet: 0.0,
         digest_ring_allocs_per_packet: 0.0,
         pps_burst: [0.0; BURST_SWEEP.len()],
+        pps_scaled: 0.0,
+        pps_scaled_split: 0.0,
+        bank_speedup: 0.0,
+        bank_allocs_per_packet: 0.0,
         burst_allocs_per_packet: 0.0,
         worker_allocs_per_packet: 0.0,
+        sweep_frames: 0,
+        sweep_slots: 0,
     }
+}
+
+/// The burst sweep's result: banked throughput per burst size, plus the
+/// split-layout differential baseline at burst 32.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstSweep {
+    /// Banked register file at each [`BURST_SWEEP`] size.
+    pub pps_burst: [f64; BURST_SWEEP.len()],
+    /// Legacy split per-stage arrays at burst 32 — same program, same
+    /// traffic, same wave machinery; only the register layout differs.
+    pub pps_split_b32: f64,
 }
 
 /// Measures throughput at every [`BURST_SWEEP`] size over the
@@ -234,18 +275,24 @@ pub fn measure_engine_throughput(
 /// at the [`SCALED_FLOW_SLOTS`] budget — only the burst knob differs.
 /// Burst 1 *is* the scalar path driven through the wave machinery, so
 /// the sweep isolates the vectorization win from any other engine
-/// change.
+/// change. A **split-layout** engine at burst 32 rides in the same
+/// rotation, so the banked/split ratio isolates the flow-bank win the
+/// same way.
 ///
-/// The sizes are measured **interleaved**, one fixture pass per size per
-/// round: machine-wide throughput drift (shared cores, thermal throttle)
-/// then lands on every size equally, so the burst-32 / burst-1 *ratio*
-/// the CI gate holds stays meaningful even when the absolute numbers
-/// wander between runs.
+/// The configurations are measured **interleaved**, one fixture pass per
+/// configuration per round, and each configuration reports its **best
+/// round** (see the estimator note in the body): slow machine-wide drift
+/// lands on every configuration equally, and bursty noisy-neighbor
+/// interference — which a pooled mean would bake into whichever engine's
+/// turn it hit — is shed by taking the max, so the burst-32 / burst-1
+/// and banked / split *ratios* the CI gates hold stay meaningful even
+/// when the absolute numbers wander between runs.
 pub fn measure_burst_sweep(
     model: &PartitionedTree,
     frames: &[(Vec<u8>, u64)],
     min_elapsed_s: f64,
-) -> [f64; BURST_SWEEP.len()] {
+) -> BurstSweep {
+    const N: usize = BURST_SWEEP.len() + 1; // + the split baseline
     let mut engines: Vec<Engine> = BURST_SWEEP
         .iter()
         .map(|&burst| {
@@ -257,13 +304,30 @@ pub fn measure_burst_sweep(
                 .expect("compiles")
         })
         .collect();
-    // Warm-up pass per size: scratch capacities and collation maps.
+    let mut split = EngineBuilder::new(model)
+        .flow_slots(SCALED_FLOW_SLOTS)
+        .stagger_us(1_000)
+        .burst(BURST_SWEEP[2])
+        .build()
+        .expect("compiles");
+    split.use_split_registers();
+    engines.push(split);
+    // Warm-up pass per configuration: scratch capacities and collation
+    // maps.
     for engine in &mut engines {
         engine.reset();
         engine.ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts))).expect("ingests");
     }
-    let mut packets = [0u64; BURST_SWEEP.len()];
-    let mut elapsed = [0.0f64; BURST_SWEEP.len()];
+    // Per-configuration estimator: the **best full-pass round**. Each
+    // round drives the whole fixture (tens of millions of packets), so a
+    // round's pps is already a long average — but a noisy neighbor on
+    // this shared box can still steal a chunk of one engine's turn, and
+    // pooling that turn into a mean permanently understates the engine.
+    // Interference only ever *slows* a pass, so max-over-rounds converges
+    // on each configuration's true quiet-machine throughput (the
+    // min-time-over-repetitions estimator, per configuration).
+    let mut best = [0.0f64; N];
+    let mut elapsed = [0.0f64; N];
     let mut rounds = 0usize;
     loop {
         for (i, engine) in engines.iter_mut().enumerate() {
@@ -272,22 +336,21 @@ pub fn measure_burst_sweep(
             let report = engine
                 .ingest_batch(frames.iter().map(|(f, ts)| (f.as_slice(), *ts)))
                 .expect("ingests");
-            elapsed[i] += start.elapsed().as_secs_f64();
-            packets[i] += report.packets;
+            let secs = start.elapsed().as_secs_f64();
+            elapsed[i] += secs;
+            best[i] = best[i].max(report.packets as f64 / secs);
         }
         rounds += 1;
         let total = elapsed.iter().sum::<f64>();
-        let enough = total >= min_elapsed_s * BURST_SWEEP.len() as f64;
-        let stable =
-            rounds >= SWEEP_MIN_ROUNDS || total >= SWEEP_STABLE_S * BURST_SWEEP.len() as f64;
+        let enough = total >= min_elapsed_s * N as f64;
+        let stable = rounds >= SWEEP_MIN_ROUNDS || total >= SWEEP_STABLE_S * N as f64;
         if enough && stable {
             break;
         }
     }
-    let mut out = [0.0; BURST_SWEEP.len()];
-    for i in 0..BURST_SWEEP.len() {
-        out[i] = packets[i] as f64 / elapsed[i];
-    }
+    let mut out = BurstSweep { pps_burst: [0.0; BURST_SWEEP.len()], pps_split_b32: 0.0 };
+    out.pps_burst.copy_from_slice(&best[..BURST_SWEEP.len()]);
+    out.pps_split_b32 = best[N - 1];
     out
 }
 
@@ -437,6 +500,92 @@ pub fn probe_burst_allocs(n_packets: u64) -> u64 {
     allocation_count() - before
 }
 
+/// The strict zero-allocation probe for the **banked register path**:
+/// unlike the hot-loop probe's program (whose single register is a
+/// singleton group and therefore stays split), this one carries three same-depth
+/// per-flow registers — so they coalesce into one flow bank — and every
+/// packet read-modify-writes all three through the wave path at burst
+/// 32. Returns total heap allocations in the measured region — must be
+/// zero: bank cell addressing is pure arithmetic into the preallocated
+/// arena.
+pub fn probe_bank_allocs(n_packets: u64) -> u64 {
+    let slots: usize = 1 << 10;
+    let mut b = ProgramBuilder::new();
+    let fields = b.standard_fields();
+    let idx = b.add_meta("m.idx", 10);
+    let prep = b.add_table(TableSpec::exact("prep", vec![fields.ip_proto], 4), 0);
+    b.add_exact_entry(
+        prep,
+        vec![6],
+        Action::new("hash").with(Primitive::HashFlow {
+            dst: idx,
+            mask: (slots - 1) as u64,
+            salt: 0,
+        }),
+    )
+    .expect("installs");
+    // One register per stage (the Tofino discipline the compiler follows)
+    // — all three share the slot domain, so the plan coalesces them into
+    // one bank regardless of stage placement.
+    let regs = [
+        ("r.bytes", 32u8, AluOp::Add, Source::Field(fields.frame_len)),
+        ("r.pkts", 16, AluOp::Add, Source::Const(1)),
+        ("r.max", 24, AluOp::Max, Source::Field(fields.frame_len)),
+    ];
+    for (stage0, (name, width, op, operand)) in regs.into_iter().enumerate() {
+        let stage = stage0 + 1;
+        let r = b.add_register(RegisterSpec::new(name, width, slots), stage);
+        let t =
+            b.add_table(TableSpec::exact(format!("acct{stage0}"), vec![fields.ip_proto], 4), stage);
+        b.add_exact_entry(
+            t,
+            vec![6],
+            Action::new("account").with(Primitive::RegRmw {
+                reg: r,
+                index: Source::Field(idx),
+                op,
+                operand,
+                out: None,
+            }),
+        )
+        .expect("installs");
+    }
+    let mut pipe = Pipeline::new(b.build().expect("builds"));
+    assert!(
+        pipe.registers().layout().banks().len() == 1
+            && pipe.registers().layout().banks()[0].members.len() == 3,
+        "probe registers must coalesce into one flow bank"
+    );
+    pipe.set_burst(32, slots);
+    let frames: Vec<Vec<u8>> = (0u32..16)
+        .map(|i| {
+            PacketBuilder::tcp(0x0a00_0000 + i, 0x0b00_0000 + (i % 5), 40_000 + i as u16, 443)
+                .payload(64 + (i as u16 % 7) * 100)
+                .flow_size(64)
+                .build()
+                .to_vec()
+        })
+        .collect();
+    let mut stats = WaveStats::default();
+
+    // Warm-up: two rounds so cut-triggered waves and the final flush both
+    // exercise every scratch buffer once.
+    for round in 0..2u64 {
+        for (i, f) in frames.iter().enumerate() {
+            pipe.wave_push(f, round * 16 + i as u64, &fields, &mut stats).expect("parses");
+        }
+    }
+    pipe.wave_flush(&fields, &mut stats);
+
+    let before = allocation_count();
+    for i in 0..n_packets {
+        let f = &frames[(i % frames.len() as u64) as usize];
+        pipe.wave_push(f, i, &fields, &mut stats).expect("parses");
+    }
+    pipe.wave_flush(&fields, &mut stats);
+    allocation_count() - before
+}
+
 /// The strict zero-allocation probe for the **persistent-worker data
 /// path**, single-threaded so the counting allocator sees every side:
 /// frames go dispatcher-style into a real SPSC ring (`try_push`), are
@@ -486,19 +635,31 @@ pub fn write_json(path: &str, stats: &HotpathStats) -> std::io::Result<()> {
     writeln!(
         f,
         "{{\n  \"bench\": \"hotpath\",\n  \"packets\": {},\n  \"elapsed_s\": {:.6},\n  \
-         \"pps\": {:.1},\n{}\n  \"allocs_per_packet\": {:.6},\n  \
+         \"pps\": {:.1},\n{}\n  \"pps_scaled\": {:.1},\n  \
+         \"pps_scaled_split\": {:.1},\n  \
+         \"bank_speedup\": {:.4},\n  \
+         \"sweep_frames\": {},\n  \
+         \"sweep_slots\": {},\n  \
+         \"allocs_per_packet\": {:.6},\n  \
          \"hot_loop_allocs_per_packet\": {:.6},\n  \
          \"digest_ring_allocs_per_packet\": {:.6},\n  \
          \"burst_allocs_per_packet\": {:.6},\n  \
+         \"bank_allocs_per_packet\": {:.6},\n  \
          \"worker_allocs_per_packet\": {:.6}\n}}",
         stats.packets,
         stats.elapsed_s,
         stats.pps,
         bursts.join("\n"),
+        stats.pps_scaled,
+        stats.pps_scaled_split,
+        stats.bank_speedup,
+        stats.sweep_frames,
+        stats.sweep_slots,
         stats.allocs_per_packet,
         stats.hot_loop_allocs_per_packet,
         stats.digest_ring_allocs_per_packet,
         stats.burst_allocs_per_packet,
+        stats.bank_allocs_per_packet,
         stats.worker_allocs_per_packet,
     )
 }

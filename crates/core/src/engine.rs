@@ -528,9 +528,10 @@ impl Engine {
         self.pipeline.program()
     }
 
-    /// Live register arrays — the controller-style read view (ownership
-    /// lanes, counters, feature slots).
-    pub fn pipeline_registers(&self) -> &[splidt_dataplane::register::RegisterArray] {
+    /// Live register file — the controller-style read view (ownership
+    /// lanes, counters, feature slots). Flow-indexed registers live in a
+    /// cache-line-coalesced bank; read them by `(register, slot)`.
+    pub fn pipeline_registers(&self) -> &splidt_dataplane::register::RegisterFile {
         self.pipeline.registers()
     }
 
@@ -613,6 +614,20 @@ impl Engine {
     /// The configured wave capacity (1 = scalar).
     pub fn burst(&self) -> usize {
         self.pipeline.burst()
+    }
+
+    /// Rebuilds the pipeline with the legacy **split** per-stage register
+    /// arrays instead of the cache-line-coalesced flow bank — the
+    /// differential baseline the bench harness measures the banking win
+    /// against (`pps_scaled` vs `pps_scaled_split`). Semantics are
+    /// identical (held by the `banked_equals_split` property); only the
+    /// memory layout and prefetch behaviour differ. Call before any
+    /// traffic: live register state is discarded, session counters stay.
+    pub fn use_split_registers(&mut self) {
+        let burst = self.pipeline.burst();
+        let program = self.pipeline.program().clone();
+        self.pipeline = Pipeline::new_split(program);
+        self.pipeline.set_burst(burst, self.io.flow_slots);
     }
 
     /// Streams one frame into the open wave (parse + conflict check;
@@ -740,10 +755,10 @@ impl Engine {
             // explicit `release_pinned` (the operator's call, not the
             // drain loop's).
             if ended && !self.io.policy.pinned_classes.contains(&class) {
-                let lane = &mut self.pipeline.registers_mut()[owner_reg];
-                let cell = lane.read(slot as usize);
+                let regs = self.pipeline.registers_mut();
+                let cell = regs.read(owner_reg, slot as usize);
                 if owner_lane::decided(cell) && owner_lane::fp(cell) == fp {
-                    lane.write(slot as usize, owner_lane::FREE);
+                    regs.write(owner_reg, slot as usize, owner_lane::FREE);
                     self.released_decided += 1;
                 }
             }
@@ -864,10 +879,11 @@ impl Engine {
         if slot >= self.io.flow_slots {
             return false;
         }
-        let lane = &mut self.pipeline.registers_mut()[self.io.owner_reg.index()];
-        let cell = lane.read(slot);
+        let owner_reg = self.io.owner_reg.index();
+        let regs = self.pipeline.registers_mut();
+        let cell = regs.read(owner_reg, slot);
         if owner_lane::decided(cell) && owner_lane::pinned(cell) {
-            lane.write(slot, owner_lane::FREE);
+            regs.write(owner_reg, slot, owner_lane::FREE);
             self.released_pinned += 1;
             true
         } else {
@@ -880,11 +896,12 @@ impl Engine {
     /// unsolicited refusals, pinned defenses) into totals, the K hottest
     /// slots and a histogram. Operators size `flow_slots` from this.
     pub fn slot_pressure(&self) -> SlotPressure {
-        let reg = &self.pipeline.registers()[self.io.pressure_reg.index()];
+        let regs = self.pipeline.registers();
+        let pressure_reg = self.io.pressure_reg.index();
         let mut out = SlotPressure::default();
         let mut hot: Vec<(usize, u64)> = Vec::new();
         for slot in 0..self.io.flow_slots {
-            let p = reg.read(slot);
+            let p = regs.read(pressure_reg, slot);
             out.total += p;
             out.histogram[SlotPressure::bucket(p)] += 1;
             if p > 0 {
@@ -906,9 +923,10 @@ impl Engine {
         let e = self.io.lifecycle_entries;
         let hits = |i: usize| t.entries()[i].hits;
         let (mut active, mut decided_pending, mut pinned_pending) = (0u64, 0u64, 0u64);
-        let lanes = &self.pipeline.registers()[self.io.owner_reg.index()];
+        let regs = self.pipeline.registers();
+        let owner_reg = self.io.owner_reg.index();
         for i in 0..self.io.flow_slots {
-            let cell = lanes.read(i);
+            let cell = regs.read(owner_reg, i);
             if owner_lane::fp(cell) != 0 {
                 if owner_lane::decided(cell) {
                     decided_pending += 1;

@@ -50,7 +50,9 @@ pub use engine::{
 };
 pub use error::SplidtError;
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
-pub use resources::{estimate, max_flows, splidt_footprint, ModelFootprint};
+pub use resources::{
+    bank_physical, estimate, max_flows, splidt_footprint, BankPhysical, ModelFootprint,
+};
 pub use runtime::{
     canonical_flow_fp, canonical_flow_index, run_flows, run_flows_compiled, IngressShardStats,
     IngressStats, LifecycleStats, RuntimeReport, SlotPressure,

@@ -107,6 +107,69 @@ pub fn slot_bits_for(feature_bits: u8) -> usize {
     }
 }
 
+/// Physical host-side layout of the flow bank backing a footprint's
+/// per-flow registers (see `splidt_dataplane::register::FlowBank`).
+///
+/// This is deliberately separate from [`ModelFootprint::per_flow_bits`]
+/// and [`estimate`]: the Tofino feasibility model keeps attributing each
+/// logical register to its pipeline stage (the hardware has per-stage
+/// SRAM, not a coalesced arena), while this struct answers the software
+/// data-plane question — how many cache lines one flow's state occupies
+/// and how large the arena grows at a given slot count. One line per
+/// flow means the wave executor issues ONE prefetch per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankPhysical {
+    /// Packed state bytes per flow slot (cells padded to 1/2/4/8-byte
+    /// physical widths, packed descending so natural alignment adds no
+    /// interior padding).
+    pub cell_bytes_per_flow: usize,
+    /// Bank stride: `cell_bytes_per_flow` rounded up to a whole number
+    /// of cache lines — the per-slot pitch of the arena.
+    pub stride_bytes: usize,
+    /// Cache lines one flow's state spans (1 for ≤64 B, 2 beyond).
+    pub lines_per_flow: usize,
+}
+
+impl BankPhysical {
+    /// Arena size at `flow_slots` slots.
+    pub fn arena_bytes(&self, flow_slots: usize) -> usize {
+        self.stride_bytes * flow_slots
+    }
+}
+
+/// Derives the physical bank layout the compiled pipeline materializes
+/// for `fp` — mirroring the compiler's register emission: ownership lane
+/// (64 b), pressure counter (32 b), SID (8 b), packet counter (24 b),
+/// window counter (16 b), one 32-bit cell per dependency register, and
+/// `k` feature-slot cells at the quantized width.
+pub fn bank_physical(fp: &ModelFootprint) -> BankPhysical {
+    use splidt_dataplane::register::{bank_cell_bytes, BANK_LINE_BYTES};
+    let mut bytes = 0usize;
+    if fp.lifecycle_bits >= OWNER_LANE_BITS {
+        bytes += bank_cell_bytes(64); // r.owner
+    }
+    if fp.lifecycle_bits >= LIFECYCLE_BITS {
+        bytes += bank_cell_bytes(32); // r.pressure
+    }
+    if fp.reserved_bits > 0 {
+        // SID (8) + packet counter (24) + window counter (16); other
+        // reserve shapes (baseline phase state) pack as 8-bit cells.
+        if fp.reserved_bits == 48 {
+            bytes += bank_cell_bytes(8) + bank_cell_bytes(24) + bank_cell_bytes(16);
+        } else {
+            bytes += fp.reserved_bits.div_ceil(8);
+        }
+    }
+    bytes += fp.dep_registers * bank_cell_bytes(32);
+    bytes += fp.slots * bank_cell_bytes(fp.slot_bits as u8);
+    let stride_bytes = bytes.next_multiple_of(BANK_LINE_BYTES).max(BANK_LINE_BYTES);
+    BankPhysical {
+        cell_bytes_per_flow: bytes,
+        stride_bytes,
+        lines_per_flow: stride_bytes / BANK_LINE_BYTES,
+    }
+}
+
 /// Resource estimate of a model at a given flow count.
 #[derive(Debug, Clone)]
 pub struct Estimate {
@@ -243,6 +306,40 @@ mod tests {
         let e = estimate(&f, &t, 1000);
         assert!(!e.feasible());
         assert!(e.violations.iter().any(|v| v.contains("TCAM")));
+    }
+
+    #[test]
+    fn bank_physical_one_line_at_default_k() {
+        // owner 8 + pressure 4 + sid 1 + pkt 4 + win 2 + dep 4 + 4×4 = 39 B.
+        let b = bank_physical(&fp(4, 32));
+        assert_eq!(b.cell_bytes_per_flow, 39);
+        assert_eq!(b.stride_bytes, 64);
+        assert_eq!(b.lines_per_flow, 1);
+        assert_eq!(b.arena_bytes(1 << 21), 64 << 21);
+    }
+
+    #[test]
+    fn bank_physical_spills_to_two_lines_at_high_k() {
+        // Same fixed 23 B overhead + 16×4 = 87 B → two lines.
+        let b = bank_physical(&fp(16, 32));
+        assert_eq!(b.cell_bytes_per_flow, 87);
+        assert_eq!(b.stride_bytes, 128);
+        assert_eq!(b.lines_per_flow, 2);
+        // Quantizing to 8-bit features pulls it back under one line.
+        assert_eq!(bank_physical(&fp(16, 8)).lines_per_flow, 1);
+    }
+
+    #[test]
+    fn bank_physical_is_independent_of_logical_attribution() {
+        // The Tofino estimate divides bits across stages; the bank packs
+        // bytes. Changing feasibility inputs that don't add registers
+        // (key width, TCAM entries, stages) must not move the layout.
+        let mut f = fp(4, 32);
+        let before = bank_physical(&f);
+        f.tcam_entries = 1_000_000;
+        f.max_key_bits = 600;
+        f.stages = 20;
+        assert_eq!(bank_physical(&f), before);
     }
 
     #[test]

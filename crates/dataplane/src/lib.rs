@@ -70,7 +70,7 @@ pub use phv::{FieldId, Phv, PhvLayout};
 pub use pipeline::{Digest, DigestBuf, Disposition, FrameOutcome, Meters, Pipeline};
 pub use plan::{ActionId, ExecPlan};
 pub use program::{Program, ProgramBuilder, ProgramError};
-pub use register::RegisterArray;
+pub use register::{BankLayout, FlowBank, RegisterArray, RegisterFile};
 pub use resources::{ResourceReport, TargetSpec};
 pub use table::{MatchKind, Table, TableSpec};
 pub use tcam::Ternary;

@@ -27,7 +27,7 @@ use crate::parser::{parse, parse_into, ParseError, StandardFields};
 use crate::phv::{FieldId, Phv, PhvLayout};
 use crate::plan::ExecPlan;
 use crate::program::Program;
-use crate::register::RegisterArray;
+use crate::register::RegisterFile;
 use crate::table::{EntryKey, TableError, TableId};
 
 /// What happened to a packet after its final pass.
@@ -270,6 +270,20 @@ struct WaveLookup {
     aid: crate::plan::ActionId,
 }
 
+/// One push-time prefetch the wave executor issues per packet once its
+/// conflict key is known.
+#[derive(Debug, Clone, Copy)]
+enum PrefetchOp {
+    /// Line `line` of the slot's stride in flow bank `bank` — with
+    /// banking this is the whole per-flow prefetch plan: **one** op for
+    /// ≤64B of coalesced state, two when the bank spills a line.
+    BankLine { bank: u16, line: u8 },
+    /// A split [`crate::register::RegisterArray`] spanning the
+    /// conflict-key domain (programs whose flow state didn't coalesce),
+    /// identified by its logical register index.
+    Array { reg: u32 },
+}
+
 /// The preallocated wave arena: `burst + 1` packet slots (the extra slot
 /// lets [`Pipeline::wave_push`] parse the incoming frame before deciding
 /// whether it cuts the wave) plus the per-slot lookup scratch.
@@ -284,9 +298,10 @@ struct WaveScratch {
     conflict_slots: usize,
     /// Reusable per-slot lookup results (lookup phase → exec phase).
     lookups: Vec<WaveLookup>,
-    /// Register arrays spanning the conflict-key domain (per-flow state):
-    /// the arrays worth prefetching when a packet's conflict key is known.
-    flow_regs: Vec<u32>,
+    /// Push-time prefetches for per-flow state at a packet's conflict
+    /// key: bank lines first (each covers every coalesced register of
+    /// the slot), then any residual split arrays.
+    prefetch: Vec<PrefetchOp>,
 }
 
 /// Builds a wave arena for `program`/`plan`. Programs without the
@@ -296,6 +311,7 @@ struct WaveScratch {
 fn new_wave(
     program: &Program,
     plan: &ExecPlan,
+    regs: &RegisterFile,
     burst: usize,
     conflict_slots: usize,
 ) -> WaveScratch {
@@ -313,17 +329,28 @@ fn new_wave(
             drop: false,
         })
         .collect();
-    // Prefetch candidates are the arrays spanning the conflict-key
-    // domain (per-flow state): a packet's cells in them sit at its
-    // conflict key, known at push time. Ownership-path arrays
-    // (referenced by an OwnerUpdate) come first — every packet reads its
-    // owner lane in its first pass, so those lines are guaranteed
-    // useful, while feature arrays are touched only by live, undecided
-    // flows. The list is capped: a wave's worth of prefetches already
-    // crowds the CPU's handful of line-fill buffers, and issuing a dozen
-    // per packet measures no better than the best-ranked few.
-    const PREFETCH_REGS: usize = 4;
-    let mut flow_regs: Vec<u32> = plan
+    // Prefetch candidates are the state cells at a packet's conflict key
+    // (the canonical flow slot), known at push time. With the banked
+    // register file all per-flow registers of the conflict-key domain
+    // share one arena, so the prefetch plan collapses to the bank's
+    // line(s) — one op covers the owner lane, pressure word, and every
+    // feature cell of the slot at once (two ops when the stride spills a
+    // line). Residual split arrays spanning the domain (programs whose
+    // flow state didn't coalesce, or the split reference layout) follow,
+    // ownership-path arrays first — every packet reads its owner lane in
+    // its first pass, so those lines are guaranteed useful. The list is
+    // capped: a wave's worth of prefetches already crowds the CPU's
+    // handful of line-fill buffers.
+    const PREFETCH_OPS: usize = 4;
+    let mut prefetch: Vec<PrefetchOp> = Vec::new();
+    for (bi, bank) in regs.banks().iter().enumerate() {
+        if bank.desc().slots == conflict_slots {
+            for line in 0..bank.desc().lines_per_slot().min(PREFETCH_OPS) {
+                prefetch.push(PrefetchOp::BankLine { bank: bi as u16, line: line as u8 });
+            }
+        }
+    }
+    let mut split_regs: Vec<u32> = plan
         .actions()
         .iter()
         .flat_map(|a| a.prims.iter())
@@ -339,21 +366,26 @@ fn new_wave(
             acc
         });
     for (i, spec) in program.registers().iter().enumerate() {
-        if flow_regs.len() >= PREFETCH_REGS {
+        if prefetch.len() + split_regs.len() >= PREFETCH_OPS {
             break;
         }
-        if spec.len == conflict_slots && !flow_regs.contains(&(i as u32)) {
-            flow_regs.push(i as u32);
+        if spec.len == conflict_slots && !split_regs.contains(&(i as u32)) {
+            split_regs.push(i as u32);
         }
     }
-    flow_regs.truncate(PREFETCH_REGS);
+    for r in split_regs {
+        if regs.split_array(r as usize).is_some() {
+            prefetch.push(PrefetchOp::Array { reg: r });
+        }
+    }
+    prefetch.truncate(PREFETCH_OPS);
     WaveScratch {
         pkts,
         len: 0,
         burst,
         conflict_slots: conflict_slots.max(1),
         lookups: Vec::with_capacity(burst + 1),
-        flow_regs,
+        prefetch,
     }
 }
 
@@ -373,7 +405,7 @@ enum ExecMode {
 pub struct Pipeline {
     program: Program,
     plan: ExecPlan,
-    regs: Vec<RegisterArray>,
+    regs: RegisterFile,
     digests: DigestBuf,
     meters: Meters,
     /// Reusable table-key buffer (sized to the widest key in the plan).
@@ -389,16 +421,32 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Instantiates register state for a program and compiles its
-    /// execution plan (schedule, action arena, and per-table match
-    /// indexes).
+    /// execution plan (schedule, action arena, per-table match indexes,
+    /// and the flow-bank layout the register file materializes).
     pub fn new(program: Program) -> Self {
-        let regs = program.registers().iter().cloned().map(RegisterArray::new).collect();
+        Self::with_layout(program, true)
+    }
+
+    /// Instantiates with the **split** (one-array-per-register) state
+    /// layout — the pre-banking representation, kept as the reference
+    /// the `banked_equals_split` differential proptest (and the bench's
+    /// banked-vs-split comparison) runs against.
+    pub fn new_split(program: Program) -> Self {
+        Self::with_layout(program, false)
+    }
+
+    fn with_layout(program: Program, banked: bool) -> Self {
+        let regs = if banked {
+            RegisterFile::new_banked(program.registers())
+        } else {
+            RegisterFile::new_split(program.registers())
+        };
         let plan = ExecPlan::build(&program);
         let key_scratch = Vec::with_capacity(plan.max_key_fields());
         let mask_scratch = Vec::with_capacity(plan.max_mask_words());
         let phv_scratch = program.layout().new_phv();
         let digests = DigestBuf::with_stride(program.digest_fields().len());
-        let wave = new_wave(&program, &plan, 1, 1);
+        let wave = new_wave(&program, &plan, &regs, 1, 1);
         Self {
             program,
             plan,
@@ -462,17 +510,12 @@ impl Pipeline {
             self.digests.stride(),
             "swap must preserve the digest record stride"
         );
-        let mut regs: Vec<RegisterArray> =
-            program.registers().iter().cloned().map(RegisterArray::new).collect();
-        for r in &mut regs {
-            let matched = self.regs.iter().find(|old| {
-                let (a, b) = (old.spec(), r.spec());
-                a.name == b.name && a.width_bits == b.width_bits && a.len == b.len && a.cap == b.cap
-            });
-            if let Some(old) = matched {
-                *r = old.clone();
-            }
-        }
+        let mut regs = if self.regs.is_banked() {
+            RegisterFile::new_banked(program.registers())
+        } else {
+            RegisterFile::new_split(program.registers())
+        };
+        regs.carry_from(&self.regs);
         for &(old_id, new_id) in carry_tables {
             let old = self.program.table(old_id);
             program.tables_mut()[new_id.index()].carry_stats_from(old);
@@ -485,7 +528,13 @@ impl Pipeline {
         self.phv_scratch = self.program.layout().new_phv();
         // The arena's PHVs follow the new program's layout; the burst
         // configuration survives the flip.
-        self.wave = new_wave(&self.program, &self.plan, self.wave.burst, self.wave.conflict_slots);
+        self.wave = new_wave(
+            &self.program,
+            &self.plan,
+            &self.regs,
+            self.wave.burst,
+            self.wave.conflict_slots,
+        );
     }
 
     /// The program being executed.
@@ -498,13 +547,16 @@ impl Pipeline {
         &self.plan
     }
 
-    /// Live register arrays (for assertions and controller-style reads).
-    pub fn registers(&self) -> &[RegisterArray] {
+    /// The live register file (for assertions and controller-style
+    /// reads): `registers().read(reg, slot)` regardless of whether the
+    /// register landed in a flow bank or a split array.
+    pub fn registers(&self) -> &RegisterFile {
         &self.regs
     }
 
-    /// Mutable register access (controller-style writes in tests).
-    pub fn registers_mut(&mut self) -> &mut [RegisterArray] {
+    /// Mutable register access (controller-style writes — lane releases,
+    /// test setup).
+    pub fn registers_mut(&mut self) -> &mut RegisterFile {
         &mut self.regs
     }
 
@@ -541,9 +593,10 @@ impl Pipeline {
     /// execution plan are untouched — this is the cheap alternative to
     /// re-instantiating from the compiled template (no table/entry clones).
     pub fn reset_state(&mut self) {
-        for r in &mut self.regs {
-            r.clear();
-        }
+        // Whole-arena clear: every bank (padding included) and every
+        // split array — a partial-bank clear would leak one flow's state
+        // into the next session's slot.
+        self.regs.clear();
         for t in self.program.tables_mut() {
             t.reset_stats();
         }
@@ -642,7 +695,7 @@ impl Pipeline {
     /// first).
     pub fn set_burst(&mut self, burst: usize, conflict_slots: usize) {
         assert_eq!(self.wave.len, 0, "set_burst with a wave in flight; wave_flush first");
-        self.wave = new_wave(&self.program, &self.plan, burst, conflict_slots);
+        self.wave = new_wave(&self.program, &self.plan, &self.regs, burst, conflict_slots);
     }
 
     /// The configured wave capacity (1 = scalar).
@@ -701,20 +754,33 @@ impl Pipeline {
         };
         self.wave.pkts[slot].key = key;
         if self.wave.burst > 1 {
-            // The packet's per-flow state cells sit at its conflict key
-            // (the canonical flow slot) in every flow-spanning register
-            // array — known right here, long before execution. Issue the
-            // loads now so they resolve in parallel while the rest of
-            // the wave accumulates (parse, hash, cut checks): by wave
-            // execution the whole burst's state misses have overlapped
-            // with the accumulation window. Packet-at-a-time execution
-            // can't do this — it learns the next packet's slot only
-            // after finishing the current one. Spreading the prefetches
-            // one packet per push also keeps them inside the CPU's
-            // handful of line-fill buffers; a full wave's worth issued
-            // at once at execution start would mostly be dropped.
-            for &r in &self.wave.flow_regs {
-                self.regs[r as usize].prefetch(key as usize);
+            // The packet's per-flow state sits at its conflict key (the
+            // canonical flow slot) — known right here, long before
+            // execution. Issue the loads now so they resolve in parallel
+            // while the rest of the wave accumulates (parse, hash, cut
+            // checks): by wave execution the whole burst's state misses
+            // have overlapped with the accumulation window.
+            // Packet-at-a-time execution can't do this — it learns the
+            // next packet's slot only after finishing the current one.
+            // With the banked register file this is ONE prefetch per
+            // packet (two if the bank spills a line): the slot's bank
+            // stride covers the owner lane, pressure word, and every
+            // feature cell at once, where the split layout needed one
+            // line per array. Spreading the prefetches one packet per
+            // push also keeps them inside the CPU's handful of line-fill
+            // buffers; a full wave's worth issued at once at execution
+            // start would mostly be dropped.
+            for op in &self.wave.prefetch {
+                match *op {
+                    PrefetchOp::BankLine { bank, line } => {
+                        self.regs.banks()[bank as usize].prefetch(key as usize, line as usize);
+                    }
+                    PrefetchOp::Array { reg } => {
+                        if let Some(arr) = self.regs.split_array(reg as usize) {
+                            arr.prefetch(key as usize);
+                        }
+                    }
+                }
             }
         }
         let cut = slot == self.wave.burst || self.wave.pkts[..slot].iter().any(|p| p.key == key);
@@ -1038,7 +1104,7 @@ fn exec_action(
     plan: &ExecPlan,
     layout: &PhvLayout,
     digest_fields: &[FieldId],
-    regs: &mut [RegisterArray],
+    regs: &mut RegisterFile,
     digests: &mut DigestBuf,
     meters: &mut Meters,
     phv: &mut Phv,
@@ -1076,7 +1142,7 @@ fn exec_action(
             Primitive::RegRmw { reg, index, op, operand, out } => {
                 let idx = resolve(*index, phv) as usize;
                 let opv = resolve(*operand, phv);
-                let (old, new) = regs[reg.index()].rmw(idx, *op, opv);
+                let (old, new) = regs.rmw(reg.index(), idx, *op, opv);
                 if let Some((dst, which)) = out {
                     let v = match which {
                         AluOut::Old => old,
@@ -1120,7 +1186,7 @@ fn prim_hash_flow(p: &Primitive, plan: &ExecPlan, layout: &PhvLayout, phv: &mut 
 
 /// `OwnerUpdate` body, shared by the scalar and wave executors.
 #[inline]
-fn prim_owner_update(p: &Primitive, regs: &mut [RegisterArray], layout: &PhvLayout, phv: &mut Phv) {
+fn prim_owner_update(p: &Primitive, regs: &mut RegisterFile, layout: &PhvLayout, phv: &mut Phv) {
     let Primitive::OwnerUpdate {
         reg,
         index,
@@ -1144,8 +1210,8 @@ fn prim_owner_update(p: &Primitive, regs: &mut [RegisterArray], layout: &PhvLayo
         let idx = resolve(*index, phv) as usize;
         let fpv = resolve(*fp, phv) & crate::hash::FP_MASK;
         let now32 = resolve(*now, phv) & 0xFFFF_FFFF;
-        let arr = &mut regs[reg.index()];
-        let cell = arr.read(idx);
+        let ri = reg.index();
+        let cell = regs.read(ri, idx);
         let (stored_fp, decided, pinned) =
             (lane::fp(cell), lane::decided(cell), lane::pinned(cell));
         let idle =
@@ -1190,19 +1256,23 @@ fn prim_owner_update(p: &Primitive, regs: &mut [RegisterArray], layout: &PhvLayo
                     // lanes keep their flags and class); claims
                     // install the new fingerprint undecided.
                     SlotState::Owner | SlotState::OwnerDecided => {
-                        arr.write(idx, lane::pack(decided, pinned, lane::class(cell), fpv, now32));
+                        regs.write(
+                            ri,
+                            idx,
+                            lane::pack(decided, pinned, lane::class(cell), fpv, now32),
+                        );
                     }
                     SlotState::ClaimFree
                     | SlotState::TakeoverIdle
                     | SlotState::TakeoverDecided
                     | SlotState::TakeoverPinned => {
-                        arr.write(idx, lane::pack(false, false, 0, fpv, now32));
+                        regs.write(ri, idx, lane::pack(false, false, 0, fpv, now32));
                     }
                     // Suppressed packets must not corrupt the lane.
                     SlotState::LiveCollision
                     | SlotState::Unsolicited
                     | SlotState::PinnedDefended => {}
-                    SlotState::OwnerRelease => arr.write(idx, lane::FREE),
+                    SlotState::OwnerRelease => regs.write(ri, idx, lane::FREE),
                 }
                 state
             }
@@ -1211,11 +1281,11 @@ fn prim_owner_update(p: &Primitive, regs: &mut [RegisterArray], layout: &PhvLayo
                     if *release && !*pin {
                         // In-band FIN/RST release: the slot is
                         // reclaimable before any digest drains.
-                        arr.write(idx, lane::FREE);
+                        regs.write(ri, idx, lane::FREE);
                         SlotState::OwnerRelease
                     } else {
                         let classv = resolve(*class, phv) & lane::CLASS_MASK;
-                        arr.write(idx, lane::pack(true, *pin, classv, fpv, now32));
+                        regs.write(ri, idx, lane::pack(true, *pin, classv, fpv, now32));
                         SlotState::OwnerDecided
                     }
                 } else {
@@ -1270,7 +1340,7 @@ mod tests {
         for i in 0..5 {
             pipe.process_packet(&frame, i, &fields).unwrap();
         }
-        assert_eq!(pipe.registers()[0].read(0), 5);
+        assert_eq!(pipe.registers().read(0, 0), 5);
         assert_eq!(pipe.meters().packets, 5);
         assert_eq!(pipe.meters().passes, 5);
     }
@@ -1538,7 +1608,7 @@ mod tests {
             assert_eq!(oa.passes, ob.passes);
         }
         assert_eq!(a.meters(), bpipe.meters());
-        assert_eq!(a.registers()[0].read(0), bpipe.registers()[0].read(0));
+        assert_eq!(a.registers().read(0, 0), bpipe.registers().read(0, 0));
     }
 
     #[test]
@@ -1589,7 +1659,7 @@ mod tests {
             assert_eq!(o1.disposition, o2.disposition);
         }
         assert_eq!(plan_pipe.meters(), walk_pipe.meters());
-        assert_eq!(plan_pipe.registers()[0].read(1), walk_pipe.registers()[0].read(1));
+        assert_eq!(plan_pipe.registers().read(0, 1), walk_pipe.registers().read(0, 1));
         assert_eq!(plan_pipe.program().table(t).misses(), walk_pipe.program().table(t).misses());
     }
 
@@ -1623,8 +1693,8 @@ mod tests {
         let a = crate::phv::FieldId(0);
         let out_f = crate::phv::FieldId(1);
         let mut pipe = Pipeline::new(old);
-        pipe.registers_mut()[0].write(3, 777); // "keep"
-        pipe.registers_mut()[1].write(3, 555); // "old_only"
+        pipe.registers_mut().write(0, 3, 777); // "keep"
+        pipe.registers_mut().write(1, 3, 555); // "old_only"
         let mut phv = pipe.program().layout().new_phv();
         phv.set(a, 42);
         pipe.process_phv(phv, 9); // emits digest [42, 1] under the old model
@@ -1633,10 +1703,10 @@ mod tests {
         pipe.swap_program(new, &[(TableId(0), TableId(0))]);
 
         // Matching register carried; old-only dropped; new-only zeroed.
-        assert_eq!(pipe.registers()[0].spec().name, "keep");
-        assert_eq!(pipe.registers()[0].read(3), 777);
-        assert_eq!(pipe.registers()[1].spec().name, "new_only");
-        assert_eq!(pipe.registers()[1].read(3), 0);
+        assert_eq!(pipe.registers().spec(0).name, "keep");
+        assert_eq!(pipe.registers().read(0, 3), 777);
+        assert_eq!(pipe.registers().spec(1).name, "new_only");
+        assert_eq!(pipe.registers().read(1, 3), 0);
         // Pending digests and meters survive the flip.
         assert_eq!(pipe.digests().len(), 1);
         assert_eq!(pipe.digests().values(0), &[42, 1]);
@@ -1745,7 +1815,7 @@ mod tests {
             assert_eq!(stats, expected);
             assert_eq!(scalar.meters(), wave.meters());
             for s in 0..SLOTS {
-                assert_eq!(scalar.registers()[0].read(s), wave.registers()[0].read(s));
+                assert_eq!(scalar.registers().read(0, s), wave.registers().read(0, s));
             }
             assert_eq!(scalar.take_digests(), wave.take_digests(), "digest streams must match");
             for (ts, tw) in scalar.program().tables().iter().zip(wave.program().tables()) {

@@ -38,6 +38,7 @@ use crate::action::Action;
 use crate::index::MatchIndex;
 use crate::phv::FieldId;
 use crate::program::Program;
+use crate::register::BankLayout;
 use std::collections::HashMap;
 
 /// Index of an interned action in an [`ExecPlan`]'s arena.
@@ -96,6 +97,12 @@ pub struct ExecPlan {
     hash_flow: Option<HashFlowFields>,
     max_key_fields: usize,
     max_mask_words: usize,
+    /// Compile-time flow-bank assignment: each logical register's
+    /// `(bank, offset, width)` placement, computed here so cell
+    /// addressing (`base + slot * stride + offset`) is fixed before the
+    /// first packet. The pipeline's [`RegisterFile`](crate::register::RegisterFile)
+    /// materializes exactly this layout.
+    bank: BankLayout,
 }
 
 impl ExecPlan {
@@ -147,7 +154,39 @@ impl ExecPlan {
             }
             _ => None,
         };
-        Self { slots, entry_actions, actions, indexes, hash_flow, max_key_fields, max_mask_words }
+        let bank = BankLayout::assign(program.registers());
+        // Flow-indexed registers must share the slot domain for banking
+        // to coalesce them: every register an `OwnerUpdate` touches is
+        // per-flow by definition, so if any exists, all same-length
+        // register groups that contain one must have banked together
+        // (BankLayout groups strictly by `len`, so this amounts to the
+        // ownership lane not being a singleton when flow state exists).
+        debug_assert!(
+            {
+                let owner_lens: Vec<usize> = actions
+                    .iter()
+                    .flat_map(|a| a.prims.iter())
+                    .filter_map(|p| match p {
+                        crate::action::Primitive::OwnerUpdate { reg, .. } => {
+                            Some(program.registers()[reg.index()].len)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                owner_lens.windows(2).all(|w| w[0] == w[1])
+            },
+            "ownership lanes must share one slot domain"
+        );
+        Self {
+            slots,
+            entry_actions,
+            actions,
+            indexes,
+            hash_flow,
+            max_key_fields,
+            max_mask_words,
+            bank,
+        }
     }
 
     /// The flattened schedule, in execution order.
@@ -192,6 +231,12 @@ impl ExecPlan {
     /// the capacity of the pipeline's reusable mask scratch buffer.
     pub fn max_mask_words(&self) -> usize {
         self.max_mask_words
+    }
+
+    /// The compile-time flow-bank layout (per-register `(bank, offset,
+    /// width)` placements).
+    pub fn bank_layout(&self) -> &BankLayout {
+        &self.bank
     }
 }
 

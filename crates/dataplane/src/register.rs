@@ -74,8 +74,14 @@ impl RegisterSpec {
 /// and off Linux/x86_64 this is a no-op. Issued via a raw syscall to
 /// keep the crate dependency-free.
 fn advise_hugepages(data: &[u64]) {
+    advise_hugepages_raw(data.as_ptr().cast(), std::mem::size_of_val(data));
+}
+
+/// Byte-range form of [`advise_hugepages`], shared with the flow-bank
+/// arena (whose backing storage is cache lines, not `u64`s).
+fn advise_hugepages_raw(ptr: *const u8, bytes: usize) {
     const HUGE: usize = 1 << 21;
-    if std::mem::size_of_val(data) < HUGE {
+    if bytes < HUGE {
         return;
     }
     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
@@ -85,8 +91,8 @@ fn advise_hugepages(data: &[u64]) {
         const PAGE: usize = 4096;
         // madvise wants a page-aligned range; round inward so the hint
         // never touches bytes outside the allocation.
-        let start = data.as_ptr() as usize;
-        let end = start + std::mem::size_of_val(data);
+        let start = ptr as usize;
+        let end = start + bytes;
         let lo = start.next_multiple_of(PAGE);
         let hi = end & !(PAGE - 1);
         if hi > lo {
@@ -104,6 +110,8 @@ fn advise_hugepages(data: &[u64]) {
             }
         }
     }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    let _ = ptr;
 }
 
 /// Runtime state of a register array.
@@ -163,24 +171,8 @@ impl RegisterArray {
     /// becomes saturating addition.
     pub fn rmw(&mut self, i: usize, op: RegAluOp, operand: u64) -> (u64, u64) {
         let idx = i & (self.spec.len - 1);
-        let mask = self.spec.mask();
         let old = self.data[idx];
-        let mut new = match op {
-            RegAluOp::Read => old,
-            RegAluOp::Write => operand & mask,
-            RegAluOp::Add => old.wrapping_add(operand) & mask,
-            RegAluOp::Sub => old.wrapping_sub(operand) & mask,
-            RegAluOp::Min => old.min(operand & mask),
-            RegAluOp::Max => old.max(operand & mask),
-        };
-        if let Some(cap) = self.spec.cap {
-            // Saturating add: if the un-masked sum exceeds the cap, clamp.
-            if op == RegAluOp::Add && old.checked_add(operand).is_none_or(|s| s > cap) {
-                new = cap.min(mask);
-            } else {
-                new = new.min(cap.min(mask));
-            }
-        }
+        let new = alu_apply(old, op, operand, self.spec.mask(), self.spec.cap);
         self.data[idx] = new;
         (old, new)
     }
@@ -188,6 +180,474 @@ impl RegisterArray {
     /// Zeroes all elements.
     pub fn clear(&mut self) {
         self.data.fill(0);
+    }
+}
+
+/// One stateful-ALU visit: applies `op` with `operand` to `old` under the
+/// element-width `mask` and optional saturation `cap`, returning the new
+/// cell value. Shared by [`RegisterArray::rmw`] and
+/// [`RegisterFile::rmw`] so the split and banked layouts are
+/// bit-identical by construction.
+#[inline]
+fn alu_apply(old: u64, op: RegAluOp, operand: u64, mask: u64, cap: Option<u64>) -> u64 {
+    let mut new = match op {
+        RegAluOp::Read => old,
+        RegAluOp::Write => operand & mask,
+        RegAluOp::Add => old.wrapping_add(operand) & mask,
+        RegAluOp::Sub => old.wrapping_sub(operand) & mask,
+        RegAluOp::Min => old.min(operand & mask),
+        RegAluOp::Max => old.max(operand & mask),
+    };
+    if let Some(cap) = cap {
+        // Saturating add: if the un-masked sum exceeds the cap, clamp.
+        if op == RegAluOp::Add && old.checked_add(operand).is_none_or(|s| s > cap) {
+            new = cap.min(mask);
+        } else {
+            new = new.min(cap.min(mask));
+        }
+    }
+    new
+}
+
+/// The CPU cache-line granule the flow bank pads its per-slot stride to.
+pub const BANK_LINE_BYTES: usize = 64;
+
+/// Physical cell size (bytes) a register of `width_bits` occupies in a
+/// flow bank: the next power-of-two byte count, so every cell is
+/// naturally aligned and never straddles a cache line.
+pub fn bank_cell_bytes(width_bits: u8) -> usize {
+    match width_bits {
+        0..=8 => 1,
+        9..=16 => 2,
+        17..=32 => 4,
+        _ => 8,
+    }
+}
+
+/// Where one logical register's cells live physically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegPlacement {
+    /// Coalesced into flow bank `bank` at byte `offset` within each
+    /// slot's stride, as a `cell_bytes`-wide little-endian cell.
+    Banked { bank: u16, offset: u32, cell_bytes: u8 },
+    /// A standalone per-stage [`RegisterArray`] (registers that share a
+    /// slot domain with no sibling gain nothing from coalescing).
+    Split,
+}
+
+/// Descriptor of one flow bank: the registers it coalesces and the
+/// per-slot stride they pack into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankDesc {
+    /// Shared slot domain (every member's `len`).
+    pub slots: usize,
+    /// Packed payload bytes per slot, before line padding.
+    pub cell_bytes: usize,
+    /// Per-slot stride in bytes: `cell_bytes` rounded up to a multiple
+    /// of [`BANK_LINE_BYTES`].
+    pub stride_bytes: usize,
+    /// Member register indices, in packing order (cell size descending,
+    /// declaration order within a size class).
+    pub members: Vec<u16>,
+}
+
+impl BankDesc {
+    /// Cache lines one slot's state spans (1 for ≤64B, 2 beyond, …).
+    pub fn lines_per_slot(&self) -> usize {
+        self.stride_bytes / BANK_LINE_BYTES
+    }
+
+    /// Total arena bytes (`slots * stride`).
+    pub fn arena_bytes(&self) -> usize {
+        self.slots * self.stride_bytes
+    }
+}
+
+/// Compile-time assignment of logical registers to flow banks: registers
+/// sharing a slot domain (`len`) are coalesced into one AoS bank so all
+/// of a flow's state sits on one (or two) cache lines; singletons stay
+/// split. Computed once by the `ExecPlan` compiler and by
+/// [`RegisterFile`] construction — both from the same spec list, so they
+/// always agree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankLayout {
+    /// Per-register placement, parallel to the program's register list.
+    placements: Vec<RegPlacement>,
+    /// Bank descriptors, indexed by `RegPlacement::Banked::bank`.
+    banks: Vec<BankDesc>,
+}
+
+impl BankLayout {
+    /// Assigns placements for `specs`. Grouping key is the slot domain:
+    /// every register whose `len` matches at least one sibling joins that
+    /// domain's bank. Within a bank, cells pack by size descending
+    /// (stable by declaration order), so natural alignment holds without
+    /// gaps; the stride pads to the next cache-line multiple.
+    pub fn assign(specs: &[RegisterSpec]) -> Self {
+        let mut placements = vec![RegPlacement::Split; specs.len()];
+        let mut banks = Vec::new();
+        // Distinct slot domains in declaration order (register counts are
+        // tiny — a linear scan beats a map here).
+        let mut domains: Vec<usize> = Vec::new();
+        for s in specs {
+            if !domains.contains(&s.len) {
+                domains.push(s.len);
+            }
+        }
+        for len in domains {
+            let mut members: Vec<u16> =
+                (0..specs.len()).filter(|&i| specs[i].len == len).map(|i| i as u16).collect();
+            if members.len() < 2 {
+                continue;
+            }
+            // Size-descending stable sort: 8B cells first, then 4, 2, 1.
+            members
+                .sort_by_key(|&i| std::cmp::Reverse(bank_cell_bytes(specs[i as usize].width_bits)));
+            let bank = banks.len() as u16;
+            let mut offset = 0usize;
+            for &m in &members {
+                let cell = bank_cell_bytes(specs[m as usize].width_bits);
+                debug_assert_eq!(offset % cell, 0, "descending pow2 packing keeps cells aligned");
+                placements[m as usize] =
+                    RegPlacement::Banked { bank, offset: offset as u32, cell_bytes: cell as u8 };
+                offset += cell;
+            }
+            let stride = offset.next_multiple_of(BANK_LINE_BYTES);
+            banks.push(BankDesc { slots: len, cell_bytes: offset, stride_bytes: stride, members });
+        }
+        Self { placements, banks }
+    }
+
+    /// Per-register placements (parallel to the spec list).
+    pub fn placements(&self) -> &[RegPlacement] {
+        &self.placements
+    }
+
+    /// The bank descriptors.
+    pub fn banks(&self) -> &[BankDesc] {
+        &self.banks
+    }
+}
+
+/// One 64-byte line of flow-bank state. The `align(64)` keeps every
+/// slot's stride starting on a real cache-line boundary, so the padding
+/// math in [`BankLayout`] translates directly into touched lines.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct CacheLine([u8; BANK_LINE_BYTES]);
+
+const ZERO_LINE: CacheLine = CacheLine([0; BANK_LINE_BYTES]);
+
+/// A flow bank: the cache-line-aligned arena holding every coalesced
+/// register cell of one slot domain, AoS by slot. Cell addressing is
+/// `slot * stride + offset`; cells are little-endian, power-of-two sized
+/// and naturally aligned, so no cell ever straddles a line.
+#[derive(Debug, Clone)]
+pub struct FlowBank {
+    desc: BankDesc,
+    lines: Vec<CacheLine>,
+}
+
+impl FlowBank {
+    fn new(desc: BankDesc) -> Self {
+        assert!(desc.slots.is_power_of_two(), "bank slot domain must be a power of two");
+        let lines = vec![ZERO_LINE; desc.arena_bytes() / BANK_LINE_BYTES];
+        advise_hugepages_raw(lines.as_ptr().cast(), std::mem::size_of_val(&lines[..]));
+        Self { desc, lines }
+    }
+
+    /// The bank's descriptor (slot domain, stride, members).
+    pub fn desc(&self) -> &BankDesc {
+        &self.desc
+    }
+
+    /// Raw arena view — test/introspection only (asserting e.g. that a
+    /// reset left no live byte behind, padding included).
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `CacheLine` is a plain `#[repr(C)]` byte array with no
+        // padding; viewing the contiguous line vec as bytes is always
+        // valid and the length is exactly the allocation's byte size.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.lines.as_ptr().cast::<u8>(),
+                self.lines.len() * BANK_LINE_BYTES,
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn cell(&self, slot: usize, offset: u32, cell_bytes: u8) -> u64 {
+        let base = (slot & (self.desc.slots - 1)) * self.desc.stride_bytes + offset as usize;
+        debug_assert!(base + cell_bytes as usize <= self.lines.len() * BANK_LINE_BYTES);
+        debug_assert_eq!(base % cell_bytes as usize, 0, "cells are naturally aligned");
+        // SAFETY: the masked slot is < `desc.slots`, `offset + cell_bytes
+        // <= stride` by `BankLayout::assign` construction, and the arena
+        // holds exactly `slots * stride` bytes — the access is in bounds
+        // and (being naturally aligned) never straddles the allocation.
+        // The unchecked reads keep three redundant bounds checks out of a
+        // path the interpreter hits ~10 times per packet.
+        unsafe {
+            let p = self.lines.as_ptr().cast::<u8>().add(base);
+            match cell_bytes {
+                1 => p.read() as u64,
+                2 => u16::from_le(p.cast::<u16>().read()) as u64,
+                4 => u32::from_le(p.cast::<u32>().read()) as u64,
+                _ => u64::from_le(p.cast::<u64>().read()),
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn set_cell(&mut self, slot: usize, offset: u32, cell_bytes: u8, v: u64) {
+        let base = (slot & (self.desc.slots - 1)) * self.desc.stride_bytes + offset as usize;
+        debug_assert!(base + cell_bytes as usize <= self.lines.len() * BANK_LINE_BYTES);
+        debug_assert_eq!(base % cell_bytes as usize, 0, "cells are naturally aligned");
+        // SAFETY: same bounds/alignment argument as `cell` above.
+        unsafe {
+            let p = self.lines.as_mut_ptr().cast::<u8>().add(base);
+            match cell_bytes {
+                1 => p.write(v as u8),
+                2 => p.cast::<u16>().write((v as u16).to_le()),
+                4 => p.cast::<u32>().write((v as u32).to_le()),
+                _ => p.cast::<u64>().write(v.to_le()),
+            }
+        }
+    }
+
+    /// Hints the CPU to pull line `line` of slot `slot`'s stride toward
+    /// L1 (the wave executor's push-time prefetch; one call per touched
+    /// line). A no-op off x86_64.
+    #[inline]
+    pub fn prefetch(&self, slot: usize, line: usize) {
+        let idx = (slot & (self.desc.slots - 1)) * self.desc.lines_per_slot() + line;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.lines.as_ptr().add(idx).cast(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
+    fn clear(&mut self) {
+        self.lines.fill(ZERO_LINE);
+    }
+}
+
+/// Resolved per-register addressing inside a [`RegisterFile`] — the
+/// `(bank, offset, width)` the plan compiler assigned, plus the ALU
+/// constants the hot path needs without touching the spec.
+#[derive(Debug, Clone, Copy)]
+enum CellLoc {
+    Bank { bank: u16, offset: u32, cell_bytes: u8 },
+    Array { arr: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    loc: CellLoc,
+    mask: u64,
+    cap: Option<u64>,
+}
+
+/// The register file: every logical register of a program, stored either
+/// coalesced in a [`FlowBank`] (registers sharing a slot domain) or as a
+/// standalone [`RegisterArray`]. The logical API — `read`/`write`/`rmw`
+/// per `(register, slot)` — is layout-independent; `new_split` keeps the
+/// historical one-array-per-register layout as the differential-testing
+/// reference.
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    specs: Vec<RegisterSpec>,
+    cells: Vec<Cell>,
+    banks: Vec<FlowBank>,
+    arrays: Vec<RegisterArray>,
+    layout: BankLayout,
+    banked: bool,
+}
+
+impl RegisterFile {
+    /// Builds the banked (production) layout for `specs`.
+    pub fn new_banked(specs: &[RegisterSpec]) -> Self {
+        Self::with_mode(specs, true)
+    }
+
+    /// Builds the split (reference) layout: one array per register,
+    /// exactly the pre-banking representation.
+    pub fn new_split(specs: &[RegisterSpec]) -> Self {
+        Self::with_mode(specs, false)
+    }
+
+    fn with_mode(specs: &[RegisterSpec], banked: bool) -> Self {
+        let layout = if banked { BankLayout::assign(specs) } else { BankLayout::assign(&[]) };
+        let banks: Vec<FlowBank> = layout.banks().iter().cloned().map(FlowBank::new).collect();
+        let mut arrays = Vec::new();
+        let cells = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let loc = match layout.placements().get(i) {
+                    Some(&RegPlacement::Banked { bank, offset, cell_bytes }) => {
+                        CellLoc::Bank { bank, offset, cell_bytes }
+                    }
+                    _ => {
+                        arrays.push(RegisterArray::new(s.clone()));
+                        CellLoc::Array { arr: arrays.len() as u32 - 1 }
+                    }
+                };
+                Cell { loc, mask: s.mask(), cap: s.cap }
+            })
+            .collect();
+        Self { specs: specs.to_vec(), cells, banks, arrays, layout, banked }
+    }
+
+    /// Whether this file uses the banked layout.
+    pub fn is_banked(&self) -> bool {
+        self.banked
+    }
+
+    /// Number of logical registers.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the file holds no registers.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Declaration of register `i`.
+    pub fn spec(&self, i: usize) -> &RegisterSpec {
+        &self.specs[i]
+    }
+
+    /// The compile-time bank layout this file was built from (empty in
+    /// split mode).
+    pub fn layout(&self) -> &BankLayout {
+        &self.layout
+    }
+
+    /// The live flow banks (empty in split mode).
+    pub fn banks(&self) -> &[FlowBank] {
+        &self.banks
+    }
+
+    /// The standalone array backing register `i`, if it is split.
+    pub(crate) fn split_array(&self, i: usize) -> Option<&RegisterArray> {
+        match self.cells[i].loc {
+            CellLoc::Array { arr } => Some(&self.arrays[arr as usize]),
+            CellLoc::Bank { .. } => None,
+        }
+    }
+
+    /// Reads register `i`, slot `slot` (no modify).
+    #[inline(always)]
+    pub fn read(&self, i: usize, slot: usize) -> u64 {
+        debug_assert!(i < self.cells.len());
+        // SAFETY: `i` is a register index of the program this file was
+        // built from (the plan validates every op's register at compile
+        // time), and a `Bank` loc's `bank` was assigned `< banks.len()`
+        // at construction. The unchecked lookups keep two redundant
+        // bounds checks off a path the interpreter hits ~10×/packet.
+        let cell = unsafe { self.cells.get_unchecked(i) };
+        match cell.loc {
+            CellLoc::Bank { bank, offset, cell_bytes } => unsafe {
+                self.banks.get_unchecked(bank as usize).cell(slot, offset, cell_bytes)
+            },
+            CellLoc::Array { arr } => self.arrays[arr as usize].read(slot),
+        }
+    }
+
+    /// Writes register `i`, slot `slot` (controller-style; masked to the
+    /// register width like [`RegisterArray::write`]).
+    #[inline(always)]
+    pub fn write(&mut self, i: usize, slot: usize, v: u64) {
+        debug_assert!(i < self.cells.len());
+        // SAFETY: see `read`.
+        let cell = *unsafe { self.cells.get_unchecked(i) };
+        match cell.loc {
+            CellLoc::Bank { bank, offset, cell_bytes } => unsafe {
+                self.banks.get_unchecked_mut(bank as usize).set_cell(
+                    slot,
+                    offset,
+                    cell_bytes,
+                    v & cell.mask,
+                );
+            },
+            CellLoc::Array { arr } => self.arrays[arr as usize].write(slot, v),
+        }
+    }
+
+    /// Read-modify-write with [`RegisterArray::rmw`] semantics (same ALU
+    /// body, so both layouts saturate and mask identically).
+    #[inline(always)]
+    pub fn rmw(&mut self, i: usize, slot: usize, op: RegAluOp, operand: u64) -> (u64, u64) {
+        debug_assert!(i < self.cells.len());
+        // SAFETY: see `read`.
+        let cell = *unsafe { self.cells.get_unchecked(i) };
+        match cell.loc {
+            CellLoc::Bank { bank, offset, cell_bytes } => {
+                let b = unsafe { self.banks.get_unchecked_mut(bank as usize) };
+                let old = b.cell(slot, offset, cell_bytes);
+                let new = alu_apply(old, op, operand, cell.mask, cell.cap);
+                b.set_cell(slot, offset, cell_bytes, new);
+                (old, new)
+            }
+            CellLoc::Array { arr } => self.arrays[arr as usize].rmw(slot, op, operand),
+        }
+    }
+
+    /// Zeroes every register — whole bank arenas (padding included) and
+    /// every split array.
+    pub fn clear(&mut self) {
+        for b in &mut self.banks {
+            b.clear();
+        }
+        for a in &mut self.arrays {
+            a.clear();
+        }
+    }
+
+    /// Carries state from `old` into this (freshly zeroed) file for every
+    /// register whose `(name, width, len, cap)` spec matches — the
+    /// program-swap contract. When a whole bank's member spec list
+    /// matches one of `old`'s banks (the common recompile case), its
+    /// arena is cloned wholesale; otherwise matching registers copy cell
+    /// by cell, which also covers carrying across layout modes.
+    pub fn carry_from(&mut self, old: &RegisterFile) {
+        let same = |a: &RegisterSpec, b: &RegisterSpec| {
+            a.name == b.name && a.width_bits == b.width_bits && a.len == b.len && a.cap == b.cap
+        };
+        let mut carried = vec![false; self.specs.len()];
+        for (bi, desc) in self.layout.banks().iter().enumerate().map(|(i, b)| (i, b.clone())) {
+            let matched = old.layout.banks().iter().enumerate().find(|(_, od)| {
+                od.stride_bytes == desc.stride_bytes
+                    && od.members.len() == desc.members.len()
+                    && od.slots == desc.slots
+                    && desc
+                        .members
+                        .iter()
+                        .zip(&od.members)
+                        .all(|(&m, &om)| same(&self.specs[m as usize], &old.specs[om as usize]))
+            });
+            if let Some((oi, _)) = matched {
+                self.banks[bi].lines.copy_from_slice(&old.banks[oi].lines);
+                for &m in &desc.members {
+                    carried[m as usize] = true;
+                }
+            }
+        }
+        for (i, done) in carried.into_iter().enumerate() {
+            if done {
+                continue;
+            }
+            let Some(j) = old.specs.iter().position(|s| same(s, &self.specs[i])) else {
+                continue;
+            };
+            for slot in 0..self.specs[i].len {
+                self.write(i, slot, old.read(j, slot));
+            }
+        }
     }
 }
 
@@ -365,6 +825,130 @@ mod tests {
         assert_eq!(owner_lane::class(wide), owner_lane::CLASS_MASK);
         assert!(!owner_lane::pinned(wide));
         assert!(!owner_lane::decided(wide));
+    }
+
+    #[test]
+    fn bank_layout_packs_descending_and_pads_to_a_line() {
+        let specs = vec![
+            RegisterSpec::new("own", 64, 32),
+            RegisterSpec::new("press", 32, 32),
+            RegisterSpec::new("sid", 8, 32),
+            RegisterSpec::new("win", 16, 32),
+            RegisterSpec::new("lone", 32, 8), // different domain, singleton
+        ];
+        let l = BankLayout::assign(&specs);
+        assert_eq!(l.banks().len(), 1);
+        let b = &l.banks()[0];
+        assert_eq!(b.slots, 32);
+        // 8 + 4 + 2 + 1 packed bytes, one line per slot.
+        assert_eq!(b.cell_bytes, 15);
+        assert_eq!(b.stride_bytes, 64);
+        assert_eq!(b.lines_per_slot(), 1);
+        // Descending cell size: own(8) @ 0, press(4) @ 8, win(2) @ 12, sid(1) @ 14.
+        assert_eq!(l.placements()[0], RegPlacement::Banked { bank: 0, offset: 0, cell_bytes: 8 });
+        assert_eq!(l.placements()[1], RegPlacement::Banked { bank: 0, offset: 8, cell_bytes: 4 });
+        assert_eq!(l.placements()[3], RegPlacement::Banked { bank: 0, offset: 12, cell_bytes: 2 });
+        assert_eq!(l.placements()[2], RegPlacement::Banked { bank: 0, offset: 14, cell_bytes: 1 });
+        assert_eq!(l.placements()[4], RegPlacement::Split);
+    }
+
+    #[test]
+    fn bank_spills_to_two_lines_past_64_bytes() {
+        // Nine 64-bit registers = 72 packed bytes > one line.
+        let specs: Vec<_> = (0..9).map(|i| RegisterSpec::new(format!("r{i}"), 64, 16)).collect();
+        let l = BankLayout::assign(&specs);
+        assert_eq!(l.banks()[0].cell_bytes, 72);
+        assert_eq!(l.banks()[0].stride_bytes, 128);
+        assert_eq!(l.banks()[0].lines_per_slot(), 2);
+    }
+
+    #[test]
+    fn register_file_banked_matches_split_semantics() {
+        let specs = vec![
+            RegisterSpec::new("a", 64, 16),
+            RegisterSpec::capped("b", 32, 16, 100),
+            RegisterSpec::new("c", 8, 16),
+            RegisterSpec::new("lone", 24, 4),
+        ];
+        let mut banked = RegisterFile::new_banked(&specs);
+        let mut split = RegisterFile::new_split(&specs);
+        assert!(banked.is_banked() && !split.is_banked());
+        assert_eq!(banked.banks().len(), 1);
+        assert!(split.banks().is_empty());
+        let ops = [
+            (0, 3, RegAluOp::Write, u64::MAX),
+            (1, 3, RegAluOp::Add, 95),
+            (1, 3, RegAluOp::Add, 50), // saturates at 100
+            (2, 5, RegAluOp::Add, 0x1FF),
+            (3, 9, RegAluOp::Max, 7), // slot wraps: 9 & 3 == 1
+            (0, 3, RegAluOp::Sub, 1),
+        ];
+        for &(r, s, op, v) in &ops {
+            assert_eq!(banked.rmw(r, s, op, v), split.rmw(r, s, op, v), "rmw({r},{s})");
+        }
+        for (r, spec) in specs.iter().enumerate() {
+            for s in 0..spec.len {
+                assert_eq!(banked.read(r, s), split.read(r, s), "reg {r} slot {s}");
+            }
+        }
+        assert_eq!(banked.read(1, 3), 100);
+        assert_eq!(banked.read(3, 1), 7);
+    }
+
+    #[test]
+    fn register_file_clear_zeroes_whole_arena() {
+        let specs = vec![RegisterSpec::new("a", 64, 8), RegisterSpec::new("b", 16, 8)];
+        let mut f = RegisterFile::new_banked(&specs);
+        for s in 0..8 {
+            f.write(0, s, u64::MAX);
+            f.write(1, s, u64::MAX);
+        }
+        f.clear();
+        assert!(f.banks()[0].as_bytes().iter().all(|&b| b == 0), "padding bytes included");
+    }
+
+    #[test]
+    fn register_file_carry_matches_by_spec() {
+        let old_specs = vec![
+            RegisterSpec::new("keep", 32, 8),
+            RegisterSpec::new("drop", 32, 8),
+            RegisterSpec::new("resize", 16, 8),
+        ];
+        let mut old = RegisterFile::new_banked(&old_specs);
+        old.write(0, 2, 42);
+        old.write(1, 2, 7);
+        old.write(2, 2, 9);
+        // New program: same "keep", "resize" grew a width, "fresh" is new.
+        let new_specs = vec![
+            RegisterSpec::new("keep", 32, 8),
+            RegisterSpec::new("resize", 32, 8),
+            RegisterSpec::new("fresh", 32, 8),
+        ];
+        let mut new = RegisterFile::new_banked(&new_specs);
+        new.carry_from(&old);
+        assert_eq!(new.read(0, 2), 42, "matching spec carries");
+        assert_eq!(new.read(1, 2), 0, "width change resets");
+        assert_eq!(new.read(2, 2), 0, "new register starts zeroed");
+    }
+
+    #[test]
+    fn register_file_carry_identical_bank_is_bitwise() {
+        let specs = vec![RegisterSpec::new("a", 64, 16), RegisterSpec::new("b", 32, 16)];
+        let mut old = RegisterFile::new_banked(&specs);
+        for s in 0..16 {
+            old.write(0, s, 0x0102_0304_0506_0708 ^ s as u64);
+            old.write(1, s, 0xDEAD_0000 | s as u64);
+        }
+        let mut new = RegisterFile::new_banked(&specs);
+        new.carry_from(&old);
+        assert_eq!(new.banks()[0].as_bytes(), old.banks()[0].as_bytes());
+        // And across layouts (banked -> split) the logical values carry.
+        let mut split = RegisterFile::new_split(&specs);
+        split.carry_from(&old);
+        for s in 0..16 {
+            assert_eq!(split.read(0, s), old.read(0, s));
+            assert_eq!(split.read(1, s), old.read(1, s));
+        }
     }
 
     #[test]

@@ -176,9 +176,9 @@ fn malformed_frames_are_rejected_cleanly() {
     for cut in 0..good.len() {
         let _ = pipe.process_packet(&good[..cut], 0, &fields); // may Err — must not panic
     }
-    assert_eq!(pipe.registers()[0].read(0), 0, "no partial frame may touch state");
+    assert_eq!(pipe.registers().read(0, 0), 0, "no partial frame may touch state");
     pipe.process_packet(&good, 1, &fields).unwrap();
-    assert_eq!(pipe.registers()[0].read(0), 1);
+    assert_eq!(pipe.registers().read(0, 0), 1);
 }
 
 /// Resubmit-limit safety stop: a pathological always-resubmit program

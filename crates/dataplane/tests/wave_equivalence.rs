@@ -167,9 +167,13 @@ fn assert_equivalent(shape: &Shape, burst: usize, packets: &[(u32, u16, u8)]) {
     assert_eq!(wave.wave_len(), 0, "flush must empty the arena");
     assert_eq!(stats, expected, "wave dispositions must match scalar outcomes");
     assert_eq!(scalar.meters(), wave.meters(), "meters must match");
-    for (r, (rs, rw)) in scalar.registers().iter().zip(wave.registers()).enumerate() {
+    for r in 0..scalar.registers().len() {
         for s in 0..shape.slots {
-            assert_eq!(rs.read(s), rw.read(s), "register {r} slot {s} diverged");
+            assert_eq!(
+                scalar.registers().read(r, s),
+                wave.registers().read(r, s),
+                "register {r} slot {s} diverged"
+            );
         }
     }
     assert_eq!(

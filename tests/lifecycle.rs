@@ -171,9 +171,9 @@ fn run_equivalence_case(flows: &[FlowTrace], starts: &[u64], slots: usize, idle_
     }
 
     // Lane-for-lane equivalence against the live ownership registers.
-    let lane_regs = &engine.pipeline_registers()[io.owner_reg.index()];
+    let lane_regs = engine.pipeline_registers();
     for slot in 0..slots {
-        let cell = lane_regs.read(slot);
+        let cell = lane_regs.read(io.owner_reg.index(), slot);
         match reference.lanes.get(&slot) {
             None => prop_assert_eq!(cell, owner_lane::FREE, "slot {} should be free", slot),
             Some(&(fp, ts, decided)) => {
@@ -437,7 +437,7 @@ fn fin_release_frees_slot_for_immediate_reuse() {
     assert_eq!(lc.released_fin, 1, "FIN verdict must release in-band: {lc:?}");
     assert_eq!(lc.decided_pending, 0, "no decided parking on the FIN path");
     assert!(lc.reconciles(), "{lc:?}");
-    let lane = engine.pipeline_registers()[io.owner_reg.index()].read(slot);
+    let lane = engine.pipeline_registers().read(io.owner_reg.index(), slot);
     assert_eq!(lane, owner_lane::FREE, "lane must be free before any drain");
 
     // B collides into the same slot: a plain free-lane claim.
@@ -493,7 +493,7 @@ fn pinned_class_lane_survives_idle_timeout() {
     assert_eq!(lc.released_fin, 0, "pinned verdicts must not release on FIN");
     assert_eq!(lc.decided_pending, 1);
     assert_eq!(lc.pinned_pending, 1);
-    let cell = engine.pipeline_registers()[io.owner_reg.index()].read(slot);
+    let cell = engine.pipeline_registers().read(io.owner_reg.index(), slot);
     assert!(owner_lane::decided(cell) && owner_lane::pinned(cell));
     assert_eq!(owner_lane::class(cell), u64::from(pinned_class));
 
@@ -574,7 +574,7 @@ fn lanes_carry_canonical_fingerprints() {
     engine.ingest(&Engine::frame_for(&f, 0), 1_000).unwrap();
     let io = engine.io().clone();
     let slot = canonical_flow_index(&f, slots);
-    let cell = engine.pipeline_registers()[io.owner_reg.index()].read(slot);
+    let cell = engine.pipeline_registers().read(io.owner_reg.index(), slot);
     assert_eq!(owner_lane::fp(cell), canonical_flow_fp(&f));
     assert!(!owner_lane::decided(cell));
     assert_eq!(owner_lane::last_seen_us(cell), 1_000);

@@ -140,7 +140,7 @@ fn swap_preserves_pinned_and_active_lanes() {
     let p_slot = canonical_flow_index(p, slots);
     let q_slot = canonical_flow_index(q, slots);
     let lanes_before: Vec<u64> =
-        (0..slots).map(|s| engine.pipeline_registers()[io.owner_reg.index()].read(s)).collect();
+        (0..slots).map(|s| engine.pipeline_registers().read(io.owner_reg.index(), s)).collect();
     assert!(owner_lane::decided(lanes_before[p_slot]) && owner_lane::pinned(lanes_before[p_slot]));
     assert!(
         !owner_lane::decided(lanes_before[q_slot]) && lanes_before[q_slot] != owner_lane::FREE,
@@ -152,7 +152,7 @@ fn swap_preserves_pinned_and_active_lanes() {
     engine.swap_staged().expect("swaps");
 
     let lanes_after: Vec<u64> =
-        (0..slots).map(|s| engine.pipeline_registers()[io.owner_reg.index()].read(s)).collect();
+        (0..slots).map(|s| engine.pipeline_registers().read(io.owner_reg.index(), s)).collect();
     assert_eq!(lanes_before, lanes_after, "ownership lanes must carry bit-identically");
     assert_eq!(lifecycle_before, engine.lifecycle(), "lifecycle counters must carry");
 
@@ -161,7 +161,7 @@ fn swap_preserves_pinned_and_active_lanes() {
     for j in half..q.packets.len() {
         engine.ingest(&Engine::frame_for(q, j), 1_000 + q.packets[j].ts_us).unwrap();
     }
-    let q_lane = engine.pipeline_registers()[io.owner_reg.index()].read(q_slot);
+    let q_lane = engine.pipeline_registers().read(io.owner_reg.index(), q_slot);
     assert_ne!(q_lane, lanes_after[q_slot], "Q's lane must keep tracking after the swap");
     assert_eq!(owner_lane::fp(q_lane), canonical_flow_fp(q), "Q still owns its slot");
     engine.drain_digests();
@@ -217,6 +217,57 @@ fn reset_clears_staged_model_and_tap() {
     engine.stage_model(model2().clone()).expect("stages");
     engine.swap_staged().expect("swaps");
     assert_eq!((engine.swaps(), engine.staged_generation()), (1, 1));
+}
+
+/// The compiled per-flow registers coalesce into one flow bank; a swap
+/// to an identical register set must carry the **whole arena**
+/// bit-identically (the fast path copies cache lines, not logical
+/// cells), so every lane, counter and feature slot survives exactly.
+#[test]
+fn swap_carries_bank_arena_bit_identically() {
+    let mut engine = EngineBuilder::new(model()).flow_slots(64).build().unwrap();
+    for (frame, ts) in schedule_frames(24, 31) {
+        engine.ingest(&frame, ts).unwrap();
+    }
+    let banks: Vec<Vec<u8>> =
+        engine.pipeline_registers().banks().iter().map(|b| b.as_bytes().to_vec()).collect();
+    assert!(!banks.is_empty(), "compiled registers must have banked");
+    assert!(
+        banks.iter().any(|b| b.iter().any(|&x| x != 0)),
+        "traffic must have left state in the arena"
+    );
+
+    engine.stage_model(model().clone()).expect("stages");
+    engine.swap_staged().expect("swaps");
+
+    let after: Vec<Vec<u8>> =
+        engine.pipeline_registers().banks().iter().map(|b| b.as_bytes().to_vec()).collect();
+    assert_eq!(banks, after, "the bank arena must carry bit-identically across the swap");
+}
+
+/// Regression: `Engine::reset` must zero the **whole** bank arena —
+/// every member cell of every slot *and* the stride padding — not just
+/// the registers a partial clear would reach. A reset engine's arena is
+/// indistinguishable from a fresh allocation.
+#[test]
+fn reset_zeroes_whole_bank_arena() {
+    let mut engine = EngineBuilder::new(model()).flow_slots(64).build().unwrap();
+    for (frame, ts) in schedule_frames(24, 31) {
+        engine.ingest(&frame, ts).unwrap();
+    }
+    assert!(
+        engine.pipeline_registers().banks().iter().any(|b| b.as_bytes().iter().any(|&x| x != 0)),
+        "traffic must have left state in the arena"
+    );
+
+    engine.reset();
+
+    for (i, bank) in engine.pipeline_registers().banks().iter().enumerate() {
+        assert!(
+            bank.as_bytes().iter().all(|&x| x == 0),
+            "bank {i}: reset must zero the entire arena, padding included"
+        );
+    }
 }
 
 /// Swapping with nothing staged is an error and leaves the engine
