@@ -1,0 +1,184 @@
+//! CI P4-backend smoke: emit all three golden fixtures live and gate on
+//!
+//! 1. **byte-exact goldens** — the emitted `.p4` and manifest JSON match
+//!    the files committed under `crates/p4/golden/`;
+//! 2. **resource cross-check** — stage count, per-stage SALU usage,
+//!    register bits and bank packing recounted *from the emitted text*
+//!    equal the analytic `ModelFootprint`/`BankPhysical` expectation;
+//! 3. **structural validity** — every fixture passes the shape checker;
+//! 4. **structural counts vs baseline** — table/register/entry totals
+//!    match `bench/p4_baseline.json` exactly (these are counts, not
+//!    timings: any drift is a semantic change, so the gate is equality).
+//!
+//! ```text
+//! p4_smoke [--out BENCH_p4.json] [--baseline bench/p4_baseline.json] [--bless]
+//! ```
+//!
+//! `--bless` rewrites the golden files (and the `--out` JSON) instead of
+//! failing, for intentional emitter changes; CI's re-baseline job runs
+//! it with `--out bench/p4_baseline.json`.
+//!
+//! Exit codes: `0` ok · `1` baseline counts drifted · `4` golden
+//! mismatch · `5` resource cross-check or shape validation failed.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use splidt_bench::hotpath::read_metric;
+use splidt_p4::fixtures::{all, golden_dir};
+use splidt_p4::recount::{cross_check, recount};
+use splidt_p4::validate::validate;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    bless: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { out: "BENCH_p4.json".into(), baseline: None, bless: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--out" => args.out = val("--out"),
+            "--baseline" => args.baseline = Some(val("--baseline")),
+            "--bless" => args.bless = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let fixtures = all();
+
+    let mut golden_match = true;
+    let mut crosscheck_ok = true;
+    let mut stages = 0usize;
+    let mut tables = 0usize;
+    let mut registers = 0usize;
+    let mut manifest_entries = 0usize;
+    let mut salus = 0usize;
+
+    for fixture in &fixtures {
+        let p4 = &fixture.emission.p4;
+        let manifest = fixture.emission.manifest.to_json();
+
+        if let Err(e) = validate(p4) {
+            eprintln!("FAIL: fixture `{}` emitted invalid P4: {e}", fixture.name);
+            std::process::exit(5);
+        }
+        match recount(p4) {
+            Ok(r) => {
+                salus += r.salus_per_stage.iter().sum::<usize>();
+                if let Err(e) = cross_check(&r, &fixture.expectation) {
+                    eprintln!("FAIL: fixture `{}`: {e}", fixture.name);
+                    crosscheck_ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: fixture `{}` recount: {e}", fixture.name);
+                crosscheck_ok = false;
+            }
+        }
+
+        for (file, live) in [
+            (format!("{}.p4", fixture.name), p4.as_str()),
+            (format!("{}.manifest.json", fixture.name), manifest.as_str()),
+        ] {
+            let path = golden_dir().join(&file);
+            if args.bless {
+                fs::write(&path, live).unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+                println!("blessed {}", path.display());
+                continue;
+            }
+            let committed = fs::read_to_string(&path).unwrap_or_default();
+            if committed != live {
+                eprintln!(
+                    "FAIL: {} drifted from the emitter ({} committed bytes vs {} emitted)",
+                    path.display(),
+                    committed.len(),
+                    live.len()
+                );
+                golden_match = false;
+            }
+        }
+
+        let m = &fixture.emission.manifest;
+        stages += fixture.expectation.stages;
+        tables += m.tables.len();
+        registers += m.registers.len();
+        manifest_entries += m.n_entries();
+        println!(
+            "fixture `{}`: {} stages, {} tables ({} entries), {} registers, policy {}",
+            fixture.name,
+            fixture.expectation.stages,
+            m.tables.len(),
+            m.n_entries(),
+            m.registers.len(),
+            m.provenance.policy
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"p4\",");
+    let _ = writeln!(json, "  \"fixtures\": {},", fixtures.len());
+    let _ = writeln!(json, "  \"golden_match\": {},", u8::from(golden_match));
+    let _ = writeln!(json, "  \"crosscheck_ok\": {},", u8::from(crosscheck_ok));
+    let _ = writeln!(json, "  \"stages\": {stages},");
+    let _ = writeln!(json, "  \"tables\": {tables},");
+    let _ = writeln!(json, "  \"registers\": {registers},");
+    let _ = writeln!(json, "  \"salus\": {salus},");
+    let _ = writeln!(json, "  \"manifest_entries\": {manifest_entries},");
+    let _ = writeln!(
+        json,
+        "  \"provenance\": \"Minted with PR 10 (P4 backend emission). Counts are summed over \
+         the three golden fixtures (default / tcp / chained); they are structural, so CI gates \
+         them at exact equality, not a percentage band. Refresh together with the goldens via \
+         `cargo run --release -p splidt-bench --bin p4_smoke -- --bless --out \
+         bench/p4_baseline.json` (docs/p4.md, Re-blessing the goldens).\""
+    );
+    let _ = writeln!(json, "}}");
+    fs::write(&args.out, &json).expect("writes results json");
+    println!("wrote {}", args.out);
+
+    if args.bless {
+        return;
+    }
+    if !crosscheck_ok {
+        std::process::exit(5);
+    }
+    if !golden_match {
+        eprintln!(
+            "hint: regenerate goldens with `cargo run --release -p splidt-bench --bin p4_smoke \
+             -- --bless` if the emitter change is intentional"
+        );
+        std::process::exit(4);
+    }
+    if let Some(baseline) = &args.baseline {
+        let mut drifted = false;
+        for key in ["fixtures", "stages", "tables", "registers", "salus", "manifest_entries"] {
+            let want = read_metric(baseline, key)
+                .unwrap_or_else(|| panic!("no {key} in baseline {baseline}"));
+            let got = read_metric(&args.out, key).expect("just wrote it");
+            if (want - got).abs() > f64::EPSILON {
+                eprintln!("FAIL: {key} drifted: baseline {want}, emitted {got}");
+                drifted = true;
+            }
+        }
+        for key in ["golden_match", "crosscheck_ok"] {
+            let got = read_metric(&args.out, key).expect("just wrote it");
+            if got != 1.0 {
+                eprintln!("FAIL: {key} is {got}, want 1");
+                drifted = true;
+            }
+        }
+        if drifted {
+            std::process::exit(1);
+        }
+        println!("baseline counts match ({baseline})");
+    }
+}

@@ -17,6 +17,9 @@
 //!   digest-vs-software equivalence checking;
 //! * [`resources`] — the analytic feasibility model (flows ↔ registers ↔
 //!   TCAM ↔ stages) driving the design search;
+//! * [`mod@lower`] — the backend lowering entry point bundling a compiled
+//!   model with its resource model for emitters (`splidt_p4`), plus the
+//!   program ↔ footprint cross-check;
 //! * [`recirc`] / [`ttd`] — recirculation-bandwidth and time-to-detection
 //!   analyses (Tables 1/5, Figure 10);
 //! * [`baselines`] — NetBeacon, Leo, per-packet and ideal comparators.
@@ -26,6 +29,7 @@ pub mod compile;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod lower;
 pub mod model;
 pub mod recirc;
 pub mod resources;
@@ -49,6 +53,7 @@ pub use engine::{
     DEFAULT_BURST,
 };
 pub use error::SplidtError;
+pub use lower::{lower, Lowering, ResourceExpectation};
 pub use model::{Inference, LeafTarget, PartitionedTree, Subtree};
 pub use resources::{
     bank_physical, estimate, max_flows, splidt_footprint, BankPhysical, ModelFootprint,

@@ -1,0 +1,216 @@
+//! Public lowering entry point for backend emitters.
+//!
+//! A backend (today: `splidt_p4`, the Tofino-style P4-16 emitter) needs
+//! three things the compiler produces separately: the [`Program`] itself,
+//! the I/O handles ([`CompiledIo`]: flow slots, lifecycle policy, digest
+//! layout), and the analytic resource model ([`ModelFootprint`] /
+//! [`BankPhysical`]) the paper's feasibility claims rest on. [`lower`]
+//! bundles them, and [`Lowering::expectation`] cross-checks the program
+//! against the analytic model — stage count, per-stage SALU population,
+//! per-flow register bits and the physical bank packing must all agree —
+//! so an emitter can assert that what it prints matches what
+//! `resources.rs` predicted. A disagreement is a compiler/model bug, not
+//! an emitter bug, and surfaces here as a typed [`LowerError`] before any
+//! backend runs.
+
+use crate::compile::{CompiledIo, CompiledModel, RulesSummary};
+use crate::model::PartitionedTree;
+use crate::resources::{bank_physical, splidt_footprint, BankPhysical, ModelFootprint};
+use splidt_dataplane::program::Program;
+use splidt_dataplane::register::{bank_cell_bytes, BANK_LINE_BYTES};
+
+/// Everything a backend emitter needs about one compiled model, plus the
+/// analytic resource model to cross-check the emission against.
+#[derive(Debug)]
+pub struct Lowering<'a> {
+    /// The compiled pipeline program (tables, registers, stages).
+    pub program: &'a Program,
+    /// Compiler I/O handles: flow slots, timeouts, policy, digest layout.
+    pub io: &'a CompiledIo,
+    /// Rule-generation summary (TCAM entries, key widths).
+    pub summary: &'a RulesSummary,
+    /// Analytic footprint of the source model (Table 3 metrics).
+    pub footprint: ModelFootprint,
+    /// Physical flow-bank layout derived from the footprint.
+    pub bank: BankPhysical,
+}
+
+/// The resource counts a faithful emission must reproduce. Built by
+/// [`Lowering::expectation`] after the program ↔ footprint cross-check,
+/// consumed by backend recount checks (e.g. `splidt_p4`'s golden tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceExpectation {
+    /// Pipeline stages (`Program::stages().len()` ≡ `ModelFootprint::stages`).
+    pub stages: usize,
+    /// Register arrays resident per stage — each occupies one SALU bank.
+    pub salus_per_stage: Vec<usize>,
+    /// Sum of register cell widths ≡ `ModelFootprint::per_flow_bits()`.
+    pub per_flow_register_bits: u64,
+    /// Slot-domain depth of every register array.
+    pub flow_slots: usize,
+    /// Physical bank packing ≡ `bank_physical(&footprint)`.
+    pub bank: BankPhysical,
+}
+
+/// Disagreement between the compiled program and the analytic resource
+/// model — a compiler/model bug caught before any backend emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// `Program::stages().len()` ≠ `ModelFootprint::stages`.
+    StageCount {
+        /// Stages the compiler laid out.
+        program: usize,
+        /// Stages the footprint model predicts.
+        footprint: usize,
+    },
+    /// Summed register widths ≠ `ModelFootprint::per_flow_bits()`.
+    RegisterBits {
+        /// Bits the compiled registers occupy per flow.
+        program: u64,
+        /// Bits the footprint model predicts per flow.
+        footprint: u64,
+    },
+    /// Register packing ≠ `bank_physical(&footprint)`.
+    BankLayout {
+        /// Packing derived from the compiled registers.
+        program: BankPhysical,
+        /// Packing the footprint model predicts.
+        footprint: BankPhysical,
+    },
+    /// Register arrays disagree on slot depth (banking invariant).
+    NonUniformDepth,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::StageCount { program, footprint } => {
+                write!(f, "stage count mismatch: program {program}, footprint {footprint}")
+            }
+            LowerError::RegisterBits { program, footprint } => {
+                write!(
+                    f,
+                    "per-flow register bits mismatch: program {program}, footprint {footprint}"
+                )
+            }
+            LowerError::BankLayout { program, footprint } => {
+                write!(f, "bank layout mismatch: program {program:?}, footprint {footprint:?}")
+            }
+            LowerError::NonUniformDepth => write!(f, "register arrays disagree on slot depth"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Bundles a compiled model with its analytic resource model for a
+/// backend emitter.
+///
+/// ```
+/// use splidt_core::config::SplidtConfig;
+/// use splidt_core::{compile, lower, train_partitioned};
+/// use splidt_flow::features::catalog;
+/// use splidt_flow::{generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId};
+///
+/// let flows = generate(DatasetId::D2, 120, 21);
+/// let (tr, _) = stratified_split(&flows, 0.3, 5);
+/// let wd = windowed_dataset(&select_flows(&flows, &tr), 3, spec(DatasetId::D2).n_classes as usize);
+/// let cfg = SplidtConfig { partitions: vec![2, 2], k: 4, ..Default::default() };
+/// let model = train_partitioned(&wd, &cfg, &catalog().hardware_eligible());
+/// let compiled = compile(&model, 1 << 10).unwrap();
+///
+/// let lowering = lower::lower(&model, &compiled);
+/// let exp = lowering.expectation().unwrap();
+/// assert_eq!(exp.stages, lowering.program.stages().len());
+/// assert_eq!(exp.flow_slots, 1 << 10);
+/// ```
+pub fn lower<'a>(model: &PartitionedTree, compiled: &'a CompiledModel) -> Lowering<'a> {
+    let footprint = splidt_footprint(model);
+    let bank = bank_physical(&footprint);
+    Lowering {
+        program: &compiled.program,
+        io: &compiled.io,
+        summary: &compiled.summary,
+        footprint,
+        bank,
+    }
+}
+
+impl Lowering<'_> {
+    /// Cross-checks the program against the analytic model and returns
+    /// the counts a faithful emission must reproduce.
+    pub fn expectation(&self) -> Result<ResourceExpectation, LowerError> {
+        let regs = self.program.registers();
+        let stages = self.program.stages().len();
+        if stages != self.footprint.stages {
+            return Err(LowerError::StageCount {
+                program: stages,
+                footprint: self.footprint.stages,
+            });
+        }
+        let per_flow: u64 = regs.iter().map(|r| u64::from(r.width_bits)).sum();
+        if per_flow != self.footprint.per_flow_bits() {
+            return Err(LowerError::RegisterBits {
+                program: per_flow,
+                footprint: self.footprint.per_flow_bits(),
+            });
+        }
+        if regs.iter().any(|r| r.len != self.io.flow_slots) {
+            return Err(LowerError::NonUniformDepth);
+        }
+        // Re-pack the compiled registers the way the flow bank does and
+        // compare against the footprint-derived physical layout.
+        let cell_bytes: usize = regs.iter().map(|r| bank_cell_bytes(r.width_bits)).sum();
+        let stride_bytes = cell_bytes.next_multiple_of(BANK_LINE_BYTES).max(BANK_LINE_BYTES);
+        let packed = BankPhysical {
+            cell_bytes_per_flow: cell_bytes,
+            stride_bytes,
+            lines_per_flow: stride_bytes / BANK_LINE_BYTES,
+        };
+        if packed != self.bank {
+            return Err(LowerError::BankLayout { program: packed, footprint: self.bank });
+        }
+        Ok(ResourceExpectation {
+            stages,
+            salus_per_stage: self.program.stages().iter().map(|s| s.registers.len()).collect(),
+            per_flow_register_bits: per_flow,
+            flow_slots: self.io.flow_slots,
+            bank: self.bank,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::config::SplidtConfig;
+    use crate::train::train_partitioned;
+    use splidt_flow::features::catalog;
+    use splidt_flow::{
+        generate, select_flows, spec, stratified_split, windowed_dataset, DatasetId,
+    };
+
+    fn small_model() -> PartitionedTree {
+        let flows = generate(DatasetId::D2, 300, 21);
+        let (tr, _) = stratified_split(&flows, 0.3, 5);
+        let wd =
+            windowed_dataset(&select_flows(&flows, &tr), 3, spec(DatasetId::D2).n_classes as usize);
+        let cfg = SplidtConfig { partitions: vec![2, 2, 2], k: 4, ..Default::default() };
+        train_partitioned(&wd, &cfg, &catalog().hardware_eligible())
+    }
+
+    #[test]
+    fn expectation_agrees_with_footprint() {
+        let model = small_model();
+        let compiled = compile(&model, 1 << 12).unwrap();
+        let lowering = lower(&model, &compiled);
+        let exp = lowering.expectation().expect("program must match footprint");
+        assert_eq!(exp.stages, lowering.footprint.stages);
+        assert_eq!(exp.per_flow_register_bits, lowering.footprint.per_flow_bits());
+        assert_eq!(exp.flow_slots, 1 << 12);
+        assert_eq!(exp.salus_per_stage.len(), exp.stages);
+        assert_eq!(exp.salus_per_stage.iter().sum::<usize>(), lowering.program.registers().len());
+        assert_eq!(exp.bank, lowering.bank);
+    }
+}

@@ -90,6 +90,12 @@ impl PhvLayout {
         self.fields.iter().position(|f| f.name == name).map(|i| FieldId(i as u16))
     }
 
+    /// Iterates every field id in declaration order (backends walk the
+    /// full layout to emit headers/metadata declarations).
+    pub fn field_ids(&self) -> impl Iterator<Item = FieldId> + '_ {
+        (0..self.fields.len()).map(|i| FieldId(i as u16))
+    }
+
     /// Total declared PHV bits (a loose proxy for container pressure).
     pub fn total_bits(&self) -> usize {
         self.fields.iter().map(|f| f.bits as usize).sum()

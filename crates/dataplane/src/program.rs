@@ -132,6 +132,19 @@ impl Program {
             .sum()
     }
 
+    /// The stage a table was allocated to (backend emitters annotate
+    /// declarations with this; the interpreter only needs the per-stage
+    /// apply order in [`Program::stages`]).
+    pub fn stage_of_table(&self, id: TableId) -> Option<usize> {
+        self.stages.iter().position(|s| s.tables.contains(&id))
+    }
+
+    /// The stage a register array is resident in — the stage whose SALUs
+    /// are the only ones that may touch it (RMT stage-locality).
+    pub fn stage_of_register(&self, id: RegId) -> Option<usize> {
+        self.stages.iter().position(|s| s.registers.contains(&id))
+    }
+
     pub(crate) fn tables_mut(&mut self) -> &mut Vec<Table> {
         &mut self.tables
     }

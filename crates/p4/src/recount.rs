@@ -1,0 +1,237 @@
+//! Resource recount: re-derive the pipeline's resource usage from the
+//! *generated P4 text* and assert it equals the analytic model.
+//!
+//! The emitter writes `@stage(N)` pragmas on every `Register` and
+//! `table` declaration. [`recount`] parses only those lines — nothing
+//! else — and rebuilds stage count, per-stage SALU population, summed
+//! per-flow register bits, the uniform slot depth, and the physical
+//! flow-bank packing. [`cross_check`] then compares the rebuilt counts
+//! against the [`ResourceExpectation`] the core lowering derived from
+//! `ModelFootprint`/`BankPhysical`. The two paths share **no code**:
+//! one walks the compiled IR, the other scrapes the text a switch
+//! would compile, so any emitter bug that drops or duplicates a
+//! declaration breaks the equality.
+
+use splidt_core::lower::ResourceExpectation;
+use splidt_core::resources::BankPhysical;
+use splidt_dataplane::register::{bank_cell_bytes, BANK_LINE_BYTES};
+
+/// Resource usage re-derived from emitted P4 text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recount {
+    /// Stage count: `max(@stage(N)) + 1`.
+    pub stages: usize,
+    /// Register arrays (≡ SALU banks) declared per stage.
+    pub salus_per_stage: Vec<usize>,
+    /// Sum of declared `Register<bit<W>, _>` widths.
+    pub per_flow_register_bits: u64,
+    /// The registers' uniform slot depth.
+    pub flow_slots: usize,
+    /// Flow-bank packing recomputed from the declared widths.
+    pub bank: BankPhysical,
+    /// Match-action tables declared per stage.
+    pub tables_per_stage: Vec<usize>,
+}
+
+/// Why a recount could not be derived from the text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecountError {
+    /// No `@stage`-annotated declarations found.
+    NoDeclarations,
+    /// An `@stage(...)` pragma was not followed by a `Register` or
+    /// `table` declaration.
+    DanglingStagePragma {
+        /// The pragma line.
+        line: String,
+    },
+    /// A declaration could not be parsed.
+    Unparsable {
+        /// The offending line.
+        line: String,
+    },
+    /// Registers disagree on slot depth.
+    NonUniformDepth,
+}
+
+impl std::fmt::Display for RecountError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecountError::NoDeclarations => write!(f, "no @stage-annotated declarations found"),
+            RecountError::DanglingStagePragma { line } => {
+                write!(f, "@stage pragma not followed by a declaration: `{line}`")
+            }
+            RecountError::Unparsable { line } => write!(f, "unparsable declaration: `{line}`"),
+            RecountError::NonUniformDepth => write!(f, "registers disagree on slot depth"),
+        }
+    }
+}
+
+impl std::error::Error for RecountError {}
+
+/// Mismatch between the text recount and the analytic expectation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossCheckError {
+    /// Which quantity disagreed.
+    pub what: &'static str,
+    /// The value recounted from the emitted text.
+    pub emitted: String,
+    /// The value the analytic model expects.
+    pub expected: String,
+}
+
+impl std::fmt::Display for CrossCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "emitted P4 disagrees with the resource model on {}: emitted {}, expected {}",
+            self.what, self.emitted, self.expected
+        )
+    }
+}
+
+impl std::error::Error for CrossCheckError {}
+
+/// Re-derives resource usage from emitted P4 text.
+///
+/// ```
+/// use splidt_p4::recount::recount;
+/// let p4 = "
+///     @stage(0)
+///     Register<bit<64>, bit<32>>(1024) owner;
+///     @stage(1)
+///     Register<bit<32>, bit<32>>(1024) f0;
+///     @stage(1)
+///     table t0 {
+/// ";
+/// let r = recount(p4).unwrap();
+/// assert_eq!(r.stages, 2);
+/// assert_eq!(r.salus_per_stage, vec![1, 1]);
+/// assert_eq!(r.per_flow_register_bits, 96);
+/// assert_eq!(r.flow_slots, 1024);
+/// ```
+pub fn recount(p4: &str) -> Result<Recount, RecountError> {
+    // (stage, register width, register len) / (stage, table)
+    let mut regs: Vec<(usize, u8, usize)> = Vec::new();
+    let mut tables: Vec<usize> = Vec::new();
+
+    let mut lines = p4.lines().peekable();
+    while let Some(line) = lines.next() {
+        let t = line.trim();
+        let Some(stage_s) = t.strip_prefix("@stage(").and_then(|s| s.strip_suffix(")")) else {
+            continue;
+        };
+        let stage: usize =
+            stage_s.parse().map_err(|_| RecountError::Unparsable { line: t.to_string() })?;
+        let decl = lines
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| RecountError::DanglingStagePragma { line: t.to_string() })?;
+        if let Some(rest) = decl.strip_prefix("Register<bit<") {
+            // `Register<bit<W>, bit<32>>(LEN) sym;`
+            let parse = || -> Option<(u8, usize)> {
+                let (w, rest) = rest.split_once('>')?;
+                let (_, rest) = rest.split_once('(')?;
+                let (len, _) = rest.split_once(')')?;
+                Some((w.parse().ok()?, len.parse().ok()?))
+            };
+            let (width, len) =
+                parse().ok_or_else(|| RecountError::Unparsable { line: decl.to_string() })?;
+            regs.push((stage, width, len));
+        } else if decl.starts_with("table ") {
+            tables.push(stage);
+        } else {
+            return Err(RecountError::DanglingStagePragma { line: t.to_string() });
+        }
+    }
+
+    if regs.is_empty() && tables.is_empty() {
+        return Err(RecountError::NoDeclarations);
+    }
+    let stages =
+        regs.iter().map(|&(s, _, _)| s).chain(tables.iter().copied()).max().unwrap_or(0) + 1;
+    let mut salus_per_stage = vec![0usize; stages];
+    let mut tables_per_stage = vec![0usize; stages];
+    for &(s, _, _) in &regs {
+        salus_per_stage[s] += 1;
+    }
+    for &s in &tables {
+        tables_per_stage[s] += 1;
+    }
+    let per_flow_register_bits = regs.iter().map(|&(_, w, _)| u64::from(w)).sum();
+    let flow_slots = regs.first().map(|&(_, _, l)| l).unwrap_or(0);
+    if regs.iter().any(|&(_, _, l)| l != flow_slots) {
+        return Err(RecountError::NonUniformDepth);
+    }
+    let cell_bytes: usize = regs.iter().map(|&(_, w, _)| bank_cell_bytes(w)).sum();
+    let stride_bytes = cell_bytes.next_multiple_of(BANK_LINE_BYTES).max(BANK_LINE_BYTES);
+    Ok(Recount {
+        stages,
+        salus_per_stage,
+        per_flow_register_bits,
+        flow_slots,
+        bank: BankPhysical {
+            cell_bytes_per_flow: cell_bytes,
+            stride_bytes,
+            lines_per_flow: stride_bytes / BANK_LINE_BYTES,
+        },
+        tables_per_stage,
+    })
+}
+
+/// Asserts the text recount equals the analytic expectation.
+pub fn cross_check(r: &Recount, e: &ResourceExpectation) -> Result<(), CrossCheckError> {
+    let fail =
+        |what, emitted: String, expected: String| Err(CrossCheckError { what, emitted, expected });
+    if r.stages != e.stages {
+        return fail("stage count", r.stages.to_string(), e.stages.to_string());
+    }
+    if r.salus_per_stage != e.salus_per_stage {
+        return fail(
+            "per-stage SALU usage",
+            format!("{:?}", r.salus_per_stage),
+            format!("{:?}", e.salus_per_stage),
+        );
+    }
+    if r.per_flow_register_bits != e.per_flow_register_bits {
+        return fail(
+            "per-flow register bits",
+            r.per_flow_register_bits.to_string(),
+            e.per_flow_register_bits.to_string(),
+        );
+    }
+    if r.flow_slots != e.flow_slots {
+        return fail("flow slots", r.flow_slots.to_string(), e.flow_slots.to_string());
+    }
+    if r.bank != e.bank {
+        return fail("bank packing", format!("{:?}", r.bank), format!("{:?}", e.bank));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dangling_pragma_is_an_error() {
+        let p4 = "@stage(0)\n/* nothing */\n";
+        assert!(matches!(recount(p4), Err(RecountError::DanglingStagePragma { .. })));
+    }
+
+    #[test]
+    fn non_uniform_depth_is_an_error() {
+        let p4 = "@stage(0)\nRegister<bit<32>, bit<32>>(16) a;\n\
+                  @stage(0)\nRegister<bit<32>, bit<32>>(32) b;\n";
+        assert!(matches!(recount(p4), Err(RecountError::NonUniformDepth)));
+    }
+
+    #[test]
+    fn bank_packing_rounds_to_lines() {
+        let p4 = "@stage(0)\nRegister<bit<64>, bit<32>>(16) owner;\n\
+                  @stage(1)\nRegister<bit<32>, bit<32>>(16) f0;\n";
+        let r = recount(p4).unwrap();
+        assert_eq!(r.bank.cell_bytes_per_flow, 12);
+        assert_eq!(r.bank.stride_bytes, BANK_LINE_BYTES);
+        assert_eq!(r.bank.lines_per_flow, 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Structural shape checker for emitted P4.
+//!
+//! This is **not** a P4 front-end — it is the invariant net the
+//! property-based suite throws over the emitter: whatever program the
+//! random generator produces, the emission must either fail with a
+//! typed [`EmitError`](crate::EmitError) or pass [`validate`]. The
+//! checks are purely textual but pin down the mistakes a template
+//! emitter actually makes: unbalanced braces, tables declared but never
+//! applied (or applied twice), `RegisterAction`s bound to registers
+//! that were never declared, duplicate symbols, and missing pipeline
+//! sections.
+
+use std::collections::{HashMap, HashSet};
+
+/// A structural defect found in emitted P4 text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// `{` / `}` counts differ.
+    UnbalancedBraces {
+        /// Number of `{`.
+        open: usize,
+        /// Number of `}`.
+        close: usize,
+    },
+    /// A required section is missing.
+    MissingSection {
+        /// The section (e.g. `"parser"`, `"Pipeline"`).
+        section: &'static str,
+    },
+    /// A table is declared but applied a different number of times.
+    TableApplyCount {
+        /// The table symbol.
+        table: String,
+        /// How many times `<table>.apply()` occurs.
+        applies: usize,
+    },
+    /// `<sym>.apply()` references a table that is never declared.
+    UndeclaredTableApplied {
+        /// The applied symbol.
+        table: String,
+    },
+    /// A `RegisterAction<...>(reg)` binds an undeclared register.
+    UndeclaredRegister {
+        /// The register symbol the SALU binds.
+        register: String,
+    },
+    /// The same symbol is declared twice in one namespace.
+    DuplicateSymbol {
+        /// The clashing symbol.
+        symbol: String,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::UnbalancedBraces { open, close } => {
+                write!(f, "unbalanced braces: {open} open vs {close} close")
+            }
+            ShapeError::MissingSection { section } => {
+                write!(f, "missing required section `{section}`")
+            }
+            ShapeError::TableApplyCount { table, applies } => {
+                write!(f, "table `{table}` applied {applies} times (want exactly 1)")
+            }
+            ShapeError::UndeclaredTableApplied { table } => {
+                write!(f, "`{table}.apply()` references an undeclared table")
+            }
+            ShapeError::UndeclaredRegister { register } => {
+                write!(f, "RegisterAction binds undeclared register `{register}`")
+            }
+            ShapeError::DuplicateSymbol { symbol } => {
+                write!(f, "symbol `{symbol}` declared twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+fn ident_at(s: &str, from: usize) -> &str {
+    let rest = &s[from..];
+    let end = rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Checks the structural invariants of one emitted program.
+///
+/// ```
+/// use splidt_p4::validate::validate;
+/// // A fragment is not a program: every section must be present.
+/// assert!(validate("control C() { apply { } }").is_err());
+/// ```
+pub fn validate(p4: &str) -> Result<(), ShapeError> {
+    // Strip comments so documentation can't satisfy (or break) checks.
+    let mut text = String::with_capacity(p4.len());
+    let mut rest = p4;
+    while let Some(i) = rest.find("/*") {
+        text.push_str(&rest[..i]);
+        match rest[i..].find("*/") {
+            Some(j) => rest = &rest[i + j + 2..],
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    text.push_str(rest);
+
+    let open = text.matches('{').count();
+    let close = text.matches('}').count();
+    if open != close {
+        return Err(ShapeError::UnbalancedBraces { open, close });
+    }
+
+    for (needle, section) in [
+        ("parser ", "parser"),
+        ("control ", "control"),
+        ("Pipeline(", "Pipeline"),
+        ("Switch(", "Switch"),
+        ("state start", "parser start state"),
+        ("apply {", "apply block"),
+    ] {
+        if !text.contains(needle) {
+            return Err(ShapeError::MissingSection { section });
+        }
+    }
+
+    // Declared symbols per namespace.
+    let mut tables: HashMap<String, usize> = HashMap::new();
+    let mut registers: HashSet<String> = HashSet::new();
+    let mut salu_regs: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let t = line.trim_start();
+        if let Some(rest) = t.strip_prefix("table ") {
+            let sym = ident_at(rest, 0).to_string();
+            if tables.insert(sym.clone(), 0).is_some() {
+                return Err(ShapeError::DuplicateSymbol { symbol: sym });
+            }
+        } else if t.starts_with("Register<") {
+            // `Register<bit<W>, bit<32>>(LEN) sym;`
+            if let Some(p) = t.rfind(") ") {
+                let sym = ident_at(t, p + 2).to_string();
+                if !registers.insert(sym.clone()) {
+                    return Err(ShapeError::DuplicateSymbol { symbol: sym });
+                }
+            }
+        } else if t.starts_with("RegisterAction<") {
+            // `RegisterAction<...>(reg) sym = {`
+            if let Some(p) = t.rfind(">(") {
+                let reg = ident_at(t, p + 2).to_string();
+                salu_regs.push(reg);
+            }
+        }
+    }
+    for reg in salu_regs {
+        if !registers.contains(&reg) {
+            return Err(ShapeError::UndeclaredRegister { register: reg });
+        }
+    }
+
+    // Every `<sym>.apply()` with a declared-table symbol counts; an
+    // unknown symbol (other than the known extern objects) is an error.
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(sym) = t.strip_suffix(".apply();") {
+            let sym = sym.trim();
+            if let Some(n) = tables.get_mut(sym) {
+                *n += 1;
+            } else if !sym.contains('.') {
+                return Err(ShapeError::UndeclaredTableApplied { table: sym.to_string() });
+            }
+        }
+    }
+    for (table, applies) in tables {
+        if applies != 1 {
+            return Err(ShapeError::TableApplyCount { table, applies });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SKELETON: &str = r#"
+parser P(packet_in pkt) {
+    state start { transition accept; }
+}
+control I() {
+    Register<bit<32>, bit<32>>(16) r0;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(r0) s0 = {
+        void apply(inout bit<32> cell, out bit<32> rv) { rv = cell; }
+    };
+    table t0 { actions = { } }
+    apply {
+        t0.apply();
+    }
+}
+Pipeline(P(), I()) pipe;
+Switch(pipe) main;
+"#;
+
+    #[test]
+    fn skeleton_passes() {
+        validate(SKELETON).unwrap();
+    }
+
+    #[test]
+    fn unapplied_table_fails() {
+        let broken = SKELETON.replace("t0.apply();", "");
+        assert!(matches!(validate(&broken), Err(ShapeError::TableApplyCount { applies: 0, .. })));
+    }
+
+    #[test]
+    fn double_apply_fails() {
+        let broken = SKELETON.replace("t0.apply();", "t0.apply();\n        t0.apply();");
+        assert!(matches!(validate(&broken), Err(ShapeError::TableApplyCount { applies: 2, .. })));
+    }
+
+    #[test]
+    fn undeclared_register_fails() {
+        let broken = SKELETON.replace("(r0) s0", "(ghost) s0");
+        assert!(matches!(validate(&broken), Err(ShapeError::UndeclaredRegister { .. })));
+    }
+
+    #[test]
+    fn unbalanced_braces_fail() {
+        let broken = SKELETON.replace("Switch(pipe) main;", "Switch(pipe) main; }");
+        assert!(matches!(validate(&broken), Err(ShapeError::UnbalancedBraces { .. })));
+    }
+}

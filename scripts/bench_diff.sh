@@ -18,7 +18,12 @@
 # files (drift_smoke, keyed off the expected_swaps field) gate pps, the
 # mid-stream-swap zero-allocation probe, the post-swap recovery floor,
 # strict improvement over the degraded phase, the exact swap count and
-# zero-flow-state-lost across the flip (lifecycle_carried).
+# zero-flow-state-lost across the flip (lifecycle_carried). P4 files
+# (p4_smoke, keyed off the golden_match field) gate byte-exact goldens,
+# the emitted-text resource cross-check, and exact equality of every
+# structural count (stages / tables / registers / salus /
+# manifest_entries) — counts are semantics, not timings, so no drift
+# band applies.
 #
 # Usage:
 #   scripts/bench_diff.sh BASELINE.json CANDIDATE.json [max_drop_pct]
@@ -55,8 +60,9 @@ metric() { # metric FILE KEY
 
 for f in "$baseline" "$candidate"; do
     [ -r "$f" ] || { echo "cannot read $f" >&2; exit 66; }
-    if [ -z "$(metric "$f" pps)" ] && [ -z "$(metric "$f" ternary_4096_speedup)" ]; then
-        echo "no gated metric (pps / ternary_4096_speedup) in $f" >&2
+    if [ -z "$(metric "$f" pps)" ] && [ -z "$(metric "$f" ternary_4096_speedup)" ] \
+        && [ -z "$(metric "$f" golden_match)" ]; then
+        echo "no gated metric (pps / ternary_4096_speedup / golden_match) in $f" >&2
         exit 65
     fi
 done
@@ -83,7 +89,9 @@ for key in pps pps_burst1 pps_burst8 pps_burst32 pps_burst64 \
            tap_fed swaps staged_generation lifecycle_carried \
            ternary_4096_speedup range_4096_speedup \
            ternary_4096_indexed_lps range_4096_indexed_lps \
-           exact_4096_indexed_lps; do
+           exact_4096_indexed_lps \
+           fixtures golden_match crosscheck_ok stages tables registers \
+           salus manifest_entries; do
     b=$(metric "$baseline" "$key")
     c=$(metric "$candidate" "$key")
     [ -n "$b" ] && [ -n "$c" ] || continue
@@ -243,6 +251,33 @@ if [ -n "$psc_b" ] && [ -n "$psc_c" ]; then
         echo "FAIL: pps_scaled dropped more than ${max_drop}% vs baseline" >&2
         fail=1
     fi
+fi
+
+# P4-backend gates (p4 candidates only — keyed off the golden_match
+# field): the emitted programs must match the committed goldens byte for
+# byte, the resource recount from the emitted text must equal the
+# analytic model, and every structural count must equal the baseline
+# exactly (mirrors p4_smoke's own gates).
+gm=$(metric "$candidate" golden_match)
+if [ -n "$gm" ]; then
+    if [ "$gm" != 1 ]; then
+        echo "FAIL: emitted P4 does not match the committed goldens (golden_match=$gm)" >&2
+        fail=1
+    fi
+    cc=$(metric "$candidate" crosscheck_ok)
+    if [ "${cc:-0}" != 1 ]; then
+        echo "FAIL: emitted-P4 resource recount disagrees with the analytic model (crosscheck_ok=${cc:-missing})" >&2
+        fail=1
+    fi
+    for key in fixtures stages tables registers salus manifest_entries; do
+        b=$(metric "$baseline" "$key")
+        c=$(metric "$candidate" "$key")
+        [ -n "$b" ] && [ -n "$c" ] || continue
+        if [ "$b" != "$c" ]; then
+            echo "FAIL: structural count $key drifted: baseline $b, candidate $c" >&2
+            fail=1
+        fi
+    done
 fi
 
 # Lookup-bench floor: indexed ternary/range must beat the linear oracle

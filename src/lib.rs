@@ -65,6 +65,7 @@ pub use splidt_dataplane as dataplane;
 pub use splidt_dt as dt;
 pub use splidt_flow as flow;
 pub use splidt_net as net;
+pub use splidt_p4 as p4;
 pub use splidt_ranging as ranging;
 pub use splidt_search as search;
 
